@@ -1,0 +1,46 @@
+// Ablation (paper Section 8): random convergent encryption (RCE) randomizes
+// ciphertext bodies but attaches deterministic tags for duplicate detection.
+// An adversary simply counts tags instead of ciphertexts, so frequency
+// analysis is unaffected. At trace level an RCE tag is the plaintext
+// fingerprint itself; this bench shows the advanced attack achieving the
+// same inference rate against RCE tag streams as against deterministic MLE.
+#include "expcommon.h"
+
+using namespace freqdedup;
+using namespace freqdedup::exp;
+
+namespace {
+
+/// RCE at trace level: the observable dedup identity of each chunk is its
+/// deterministic tag. (Bodies are random and carry no dedup signal.)
+EncryptedTrace rceTagTrace(const std::vector<ChunkRecord>& plain) {
+  EncryptedTrace out;
+  out.records = plain;  // tag stream == plaintext fingerprint stream
+  out.truth.reserve(plain.size());
+  for (const auto& r : plain) out.truth.emplace(r.fp, r.fp);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  printTitle("Ablation: RCE tags",
+             "deterministic dedup tags leak exactly like MLE ciphertexts");
+  const Dataset& fsl = fslDataset();
+  const size_t targetIndex = fsl.backupCount() - 1;
+  printRow({"aux", "MLE adv", "RCE-tags adv"});
+  for (size_t aux = 0; aux + 1 < fsl.backupCount(); ++aux) {
+    const auto& auxRecords = fsl.backups[aux].records;
+    const EncryptedTrace mleTarget = encryptTarget(fsl, targetIndex);
+    const EncryptedTrace rceTarget =
+        rceTagTrace(fsl.backups[targetIndex].records);
+    printRow({fsl.backups[aux].label,
+              fmtPct(localityRatePct(mleTarget, auxRecords,
+                                     ciphertextOnlyConfig(true))),
+              fmtPct(localityRatePct(rceTarget, auxRecords,
+                                     ciphertextOnlyConfig(true)))});
+  }
+  printf("\nConclusion: randomizing bodies without randomizing dedup "
+         "identities does not mitigate frequency analysis.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "expcommon.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "chunking/cdc_chunker.h"
+#include "datagen/fsl_gen.h"
+#include "datagen/snapshot_gen.h"
+#include "datagen/vm_gen.h"
+#include "trace/trace_io.h"
+
+namespace freqdedup::exp {
+
+namespace {
+
+// Bump when generator parameters change so stale caches are not reused.
+constexpr const char* kCacheVersion = "v3";
+
+std::string cachePath(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / "fdd_bench_cache";
+  std::filesystem::create_directories(dir);
+  return (dir / (name + "-" + kCacheVersion + ".fdtr")).string();
+}
+
+Dataset loadOrGenerate(const std::string& name,
+                       Dataset (*generate)()) {
+  const std::string path = cachePath(name);
+  if (std::filesystem::exists(path)) {
+    try {
+      return loadDataset(path);
+    } catch (const std::exception&) {
+      // Corrupt/stale cache: fall through and regenerate.
+    }
+  }
+  Dataset dataset = generate();
+  try {
+    saveDataset(dataset, path);
+  } catch (const std::exception&) {
+    // Caching is best-effort.
+  }
+  return dataset;
+}
+
+Dataset makeFsl() { return generateFslDataset(); }
+Dataset makeVm() { return generateVmDataset(); }
+Dataset makeSyn() {
+  const CdcChunker chunker;  // 2 KB / 8 KB / 16 KB
+  return generateSyntheticDataset(CorpusParams{}, SnapshotGenParams{},
+                                  chunker);
+}
+
+}  // namespace
+
+const Dataset& fslDataset() {
+  static const Dataset dataset = loadOrGenerate("fsl", makeFsl);
+  return dataset;
+}
+
+const Dataset& vmDataset() {
+  static const Dataset dataset = loadOrGenerate("vm", makeVm);
+  return dataset;
+}
+
+const Dataset& synDataset() {
+  static const Dataset dataset = loadOrGenerate("syn", makeSyn);
+  return dataset;
+}
+
+int fpBitsFor(const Dataset& dataset) {
+  return dataset.name == "synthetic" ? kFullFpBits : kFslFpBits;
+}
+
+uint64_t avgChunkBytesFor(const Dataset& dataset) {
+  return dataset.name == "vm-like" ? 4096 : 8192;
+}
+
+EncryptedTrace encryptTarget(const Dataset& dataset, size_t backupIndex) {
+  return mleEncryptTrace(dataset.backups.at(backupIndex).records,
+                         fpBitsFor(dataset));
+}
+
+double basicRatePct(const EncryptedTrace& target,
+                    const std::vector<ChunkRecord>& aux) {
+  return 100.0 * inferenceRate(basicAttack(target.records, aux), target);
+}
+
+double localityRatePct(const EncryptedTrace& target,
+                       const std::vector<ChunkRecord>& aux,
+                       const AttackConfig& config) {
+  return 100.0 *
+         inferenceRate(localityAttack(target.records, aux, config), target);
+}
+
+AttackConfig ciphertextOnlyConfig(bool sizeAware) {
+  AttackConfig config;
+  config.u = 1;
+  config.v = 15;
+  config.w = kScaledW;
+  config.sizeAware = sizeAware;
+  return config;
+}
+
+AttackConfig knownPlaintextConfig(bool sizeAware, const EncryptedTrace& target,
+                                  double leakagePct, uint64_t seed) {
+  AttackConfig config;
+  config.mode = AttackMode::kKnownPlaintext;
+  config.v = 15;
+  config.w = kScaledWKnownPlaintext;
+  config.sizeAware = sizeAware;
+  Rng rng(seed);
+  config.leakedPairs = sampleLeakedPairs(target, leakagePct / 100.0, rng);
+  return config;
+}
+
+void printTitle(const std::string& figure, const std::string& caption) {
+  printf("\n=== %s — %s ===\n", figure.c_str(), caption.c_str());
+}
+
+void printRow(const std::vector<std::string>& cells) {
+  for (const auto& cell : cells) printf("%-14s", cell.c_str());
+  printf("\n");
+}
+
+std::string fmtPct(double pct) {
+  char buf[32];
+  if (pct != 0.0 && pct < 0.01) {
+    snprintf(buf, sizeof(buf), "%.4f%%", pct);
+  } else {
+    snprintf(buf, sizeof(buf), "%.2f%%", pct);
+  }
+  return buf;
+}
+
+std::string fmtDouble(double v, int precision) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace freqdedup::exp

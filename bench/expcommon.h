@@ -1,0 +1,65 @@
+// Shared setup for the figure-reproduction benches: standard datasets with
+// fixed seeds (cached on disk so the suite does not regenerate them per
+// binary), attack wrappers, and aligned table printing.
+//
+// Scaling note (see EXPERIMENTS.md): datasets are scaled to ~10^5 unique
+// chunks per backup so every figure regenerates in minutes. The locality
+// attack's w parameter and the DDFS fingerprint-cache sizes are scaled by
+// the same factor relative to the paper's 10^7-unique-chunk backups.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/attack_eval.h"
+#include "core/attacks.h"
+#include "core/defense.h"
+#include "trace/backup_trace.h"
+
+namespace freqdedup::exp {
+
+/// The paper's default attack parameters (Section 5.3), with w scaled by the
+/// dataset-size ratio (paper: 200k of ~30M unique chunks; here ~100k unique).
+inline constexpr size_t kScaledW = 2000;
+inline constexpr size_t kScaledWKnownPlaintext = 5000;  // paper: 500k
+
+/// FSL-like dataset (6 users, 5 monthly backups). Cached after first call.
+const Dataset& fslDataset();
+
+/// VM-like dataset (8 students, 13 weekly backups). Cached after first call.
+const Dataset& vmDataset();
+
+/// Synthetic content dataset (initial snapshot + 10 derived). Cached.
+const Dataset& synDataset();
+
+/// Fingerprint width used when encrypting a dataset's traces.
+int fpBitsFor(const Dataset& dataset);
+
+/// Average plaintext chunk size, for segmenting a dataset's streams.
+uint64_t avgChunkBytesFor(const Dataset& dataset);
+
+/// MLE-encrypts one backup of a dataset (deterministic baseline encryption).
+EncryptedTrace encryptTarget(const Dataset& dataset, size_t backupIndex);
+
+/// Runs the basic / locality / advanced attack and returns the inference
+/// rate in percent.
+double basicRatePct(const EncryptedTrace& target,
+                    const std::vector<ChunkRecord>& aux);
+double localityRatePct(const EncryptedTrace& target,
+                       const std::vector<ChunkRecord>& aux,
+                       const AttackConfig& config);
+
+/// Standard ciphertext-only config (u=1, v=15, scaled w).
+AttackConfig ciphertextOnlyConfig(bool sizeAware);
+
+/// Standard known-plaintext config with freshly sampled leaked pairs.
+AttackConfig knownPlaintextConfig(bool sizeAware, const EncryptedTrace& target,
+                                  double leakagePct, uint64_t seed);
+
+/// Table printing: fixed-width columns, pipe-separated.
+void printTitle(const std::string& figure, const std::string& caption);
+void printRow(const std::vector<std::string>& cells);
+std::string fmtPct(double pct);
+std::string fmtDouble(double v, int precision = 2);
+
+}  // namespace freqdedup::exp

@@ -1,0 +1,41 @@
+// Figure 5: ciphertext-only inference rates with a fixed (latest) target
+// backup and varying auxiliary backups, for the basic, locality-based and
+// advanced locality-based attacks on all three datasets. For the VM dataset
+// (fixed-size chunks) the locality-based and advanced attacks coincide.
+#include "expcommon.h"
+
+using namespace freqdedup;
+using namespace freqdedup::exp;
+
+namespace {
+
+void run(const Dataset& dataset, bool fixedSizeChunks) {
+  const size_t targetIndex = dataset.backupCount() - 1;
+  const EncryptedTrace target = encryptTarget(dataset, targetIndex);
+  printf("\n[%s] target=%s\n", dataset.name.c_str(),
+         dataset.backups[targetIndex].label.c_str());
+  printRow({"aux", "basic", "locality", "advanced"});
+  for (size_t aux = 0; aux < targetIndex; ++aux) {
+    const auto& auxRecords = dataset.backups[aux].records;
+    const double basic = basicRatePct(target, auxRecords);
+    const double locality =
+        localityRatePct(target, auxRecords, ciphertextOnlyConfig(false));
+    const double advanced =
+        fixedSizeChunks
+            ? locality
+            : localityRatePct(target, auxRecords, ciphertextOnlyConfig(true));
+    printRow({dataset.backups[aux].label, fmtPct(basic), fmtPct(locality),
+              fmtPct(advanced)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  printTitle("Figure 5",
+             "ciphertext-only inference rate, varying auxiliary backups");
+  run(fslDataset(), false);
+  run(synDataset(), false);
+  run(vmDataset(), true);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6: ciphertext-only inference rates with the earliest backup fixed
+// as auxiliary information and varying target backups.
+#include "expcommon.h"
+
+using namespace freqdedup;
+using namespace freqdedup::exp;
+
+namespace {
+
+void run(const Dataset& dataset, bool fixedSizeChunks) {
+  const auto& aux = dataset.backups[0].records;
+  printf("\n[%s] aux=%s\n", dataset.name.c_str(),
+         dataset.backups[0].label.c_str());
+  printRow({"target", "basic", "locality", "advanced"});
+  for (size_t t = 1; t < dataset.backupCount(); ++t) {
+    const EncryptedTrace target = encryptTarget(dataset, t);
+    const double basic = basicRatePct(target, aux);
+    const double locality =
+        localityRatePct(target, aux, ciphertextOnlyConfig(false));
+    const double advanced =
+        fixedSizeChunks
+            ? locality
+            : localityRatePct(target, aux, ciphertextOnlyConfig(true));
+    printRow({dataset.backups[t].label, fmtPct(basic), fmtPct(locality),
+              fmtPct(advanced)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  printTitle("Figure 6",
+             "ciphertext-only inference rate, varying target backups");
+  run(fslDataset(), false);
+  run(synDataset(), false);
+  run(vmDataset(), true);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 9: known-plaintext mode with a fixed 0.05 % leakage rate and
+// varying auxiliary backups. Targets are fixed as in Figure 8 (FSL May 21,
+// synthetic snapshot 5, VM week 13).
+#include "expcommon.h"
+
+using namespace freqdedup;
+using namespace freqdedup::exp;
+
+namespace {
+
+void run(const Dataset& dataset, size_t targetIndex, size_t maxAux,
+         bool fixedSizeChunks) {
+  const EncryptedTrace target = encryptTarget(dataset, targetIndex);
+  printf("\n[%s] target=%s leakage=0.05%%\n", dataset.name.c_str(),
+         dataset.backups[targetIndex].label.c_str());
+  printRow({"aux", "locality", "advanced"});
+  for (size_t aux = 0; aux < maxAux; ++aux) {
+    const auto& auxRecords = dataset.backups[aux].records;
+    const double locality = localityRatePct(
+        target, auxRecords, knownPlaintextConfig(false, target, 0.05, 7));
+    const double advanced =
+        fixedSizeChunks
+            ? locality
+            : localityRatePct(target, auxRecords,
+                              knownPlaintextConfig(true, target, 0.05, 7));
+    printRow({dataset.backups[aux].label, fmtPct(locality),
+              fmtPct(advanced)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  printTitle("Figure 9",
+             "known-plaintext inference rate, varying auxiliary backups");
+  run(fslDataset(), 4, 4, false);
+  run(synDataset(), 5, 5, false);
+  run(vmDataset(), 12, 12, true);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 13: DDFS metadata access overhead when the fingerprint cache is
+// insufficient to hold all fingerprints (paper: 512 MB cache vs ~2 GB of
+// fingerprint metadata; here scaled to 1/4 of the dataset's metadata).
+#include "metadata_exp.h"
+
+int main() {
+  freqdedup::exp::runMetadataExperiment(
+      "Figure 13", /*cacheBytes=*/900'000,
+      "insufficient (paper: 512 MB)");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// google-benchmark microbenchmarks for the building blocks: hashing, Rabin
+// rolling hash, content-defined chunking, AES-CTR / MLE encryption, the
+// persistent key-value store, the DDFS dedup engine, and the attack kernels.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "chunking/cdc_chunker.h"
+#include "chunking/rabin.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "core/attacks.h"
+#include "core/defense.h"
+#include "crypto/mle.h"
+#include "kvstore/logkv.h"
+#include "storage/dedup_engine.h"
+
+namespace freqdedup {
+namespace {
+
+ByteVec randomBytes(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  ByteVec data(n);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+  return data;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const ByteVec data = randomBytes(1, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(sha256(data));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(8192)->Arg(65536);
+
+void BM_RabinSlide(benchmark::State& state) {
+  const ByteVec data = randomBytes(2, 1 << 16);
+  RabinWindow window;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(window.slide(data[i++ & 0xFFFF]));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RabinSlide);
+
+void BM_CdcChunking(benchmark::State& state) {
+  const ByteVec data = randomBytes(3, 4 << 20);
+  const CdcChunker chunker;
+  for (auto _ : state) benchmark::DoNotOptimize(chunker.split(data));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_CdcChunking);
+
+void BM_MleEncrypt(benchmark::State& state) {
+  const ByteVec chunk = randomBytes(4, static_cast<size_t>(state.range(0)));
+  const ConvergentEncryption mle;
+  for (auto _ : state) benchmark::DoNotOptimize(mle.encrypt(chunk));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MleEncrypt)->Arg(4096)->Arg(8192);
+
+void BM_ServerAidedKeyDerivation(benchmark::State& state) {
+  const KeyManager km(toBytes("bench-secret"));
+  Fp fp = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(km.deriveChunkKey(fp++));
+}
+BENCHMARK(BM_ServerAidedKeyDerivation);
+
+void BM_LogKvPut(benchmark::State& state) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bench_logkv.log").string();
+  std::filesystem::remove(path);
+  LogKv kv(path);
+  const ByteVec value = randomBytes(5, 24);
+  uint64_t key = 0;
+  for (auto _ : state) kv.put(kvKeyFromU64(key++), value);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_LogKvPut);
+
+void BM_DedupEngineIngest(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<ChunkRecord> records(100'000);
+  for (auto& r : records) r = {rng.uniformInt(0, 30'000), 8192};
+  DedupEngineParams params;
+  params.cacheBytes = 8192 * kFpMetadataBytes;
+  params.expectedFingerprints = 200'000;
+  for (auto _ : state) {
+    DedupEngine engine(params);
+    engine.ingestBackup(records);
+    benchmark::DoNotOptimize(engine.stats());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_DedupEngineIngest)->Unit(benchmark::kMillisecond);
+
+void BM_CountChunksWithNeighbors(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<ChunkRecord> records(50'000);
+  for (auto& r : records) r = {rng.uniformInt(0, 20'000), 8192};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(countChunks(records, true));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_CountChunksWithNeighbors)->Unit(benchmark::kMillisecond);
+
+void BM_LocalityAttack(benchmark::State& state) {
+  // Two synthetic backups with realistic churn for a small attack kernel.
+  Rng rng(8);
+  std::vector<ChunkRecord> aux(20'000);
+  for (auto& r : aux) r = {rng.next(), 8192};
+  std::vector<ChunkRecord> targetPlain = aux;
+  for (int i = 0; i < 400; ++i)
+    targetPlain[rng.pickIndex(targetPlain.size())] = {rng.next(), 8192};
+  const EncryptedTrace target = mleEncryptTrace(targetPlain);
+  AttackConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(localityAttack(target.records, aux, config));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(targetPlain.size()));
+}
+BENCHMARK(BM_LocalityAttack)->Unit(benchmark::kMillisecond);
+
+void BM_MinHashEncryptTrace(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<ChunkRecord> records(50'000);
+  for (auto& r : records) r = {rng.next(), 8192};
+  DefenseConfig defense;
+  defense.scramble = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minHashEncryptTrace(records, defense));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_MinHashEncryptTrace)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace freqdedup
+
+BENCHMARK_MAIN();

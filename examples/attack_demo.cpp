@@ -1,0 +1,72 @@
+// Attack demo: what an honest-but-curious adversary learns from watching a
+// deterministic encrypted-deduplication upload stream.
+//
+// Generates an FSL-like backup series, takes one prior backup as the
+// adversary's auxiliary information, and runs the paper's three inference
+// attacks against the MLE-encrypted latest backup.
+//
+// Build and run:  ./build/examples/attack_demo
+#include <cstdio>
+
+#include "core/attack_eval.h"
+#include "core/attacks.h"
+#include "core/defense.h"
+#include "datagen/fsl_gen.h"
+
+using namespace freqdedup;
+
+int main() {
+  // A storage workload: 6 users, 5 monthly full backups.
+  printf("generating FSL-like backup series...\n");
+  const Dataset dataset = generateFslDataset();
+  const size_t targetIndex = dataset.backupCount() - 1;
+  const size_t auxIndex = targetIndex - 1;
+
+  // What the adversary sees: the ciphertext chunk stream of the latest
+  // backup (deterministic MLE) ...
+  const EncryptedTrace target =
+      mleEncryptTrace(dataset.backups[targetIndex].records, kFslFpBits);
+  // ... and what it already knows: the plaintext chunks of a prior backup.
+  const auto& aux = dataset.backups[auxIndex].records;
+
+  printf("target backup '%s': %zu logical chunks, %zu unique\n",
+         dataset.backups[targetIndex].label.c_str(),
+         target.records.size(),
+         uniqueFingerprints(target.records).size());
+  printf("auxiliary backup '%s': %zu logical chunks\n\n",
+         dataset.backups[auxIndex].label.c_str(), aux.size());
+
+  // Attack 1: classical frequency analysis (Algorithm 1).
+  const AttackResult basic = basicAttack(target.records, aux);
+  printf("basic attack:    %7.4f%% of unique chunks inferred\n",
+         100.0 * inferenceRate(basic, target));
+
+  // Attack 2: the locality-based attack (Algorithm 2, u=1 v=15).
+  AttackConfig config;
+  config.w = 2000;  // scaled from the paper's 200k (see EXPERIMENTS.md)
+  const AttackResult locality = localityAttack(target.records, aux, config);
+  printf("locality attack: %7.4f%% inferred (%llu pairs processed)\n",
+         100.0 * inferenceRate(locality, target),
+         static_cast<unsigned long long>(locality.processedPairs));
+
+  // Attack 3: the advanced locality-based attack (Algorithm 3) adds the
+  // chunk-size channel — block ciphers preserve the block count.
+  config.sizeAware = true;
+  const AttackResult advanced = localityAttack(target.records, aux, config);
+  printf("advanced attack: %7.4f%% inferred\n",
+         100.0 * inferenceRate(advanced, target));
+
+  // Known-plaintext mode: a stolen device leaks 0.1% of the target's pairs.
+  Rng rng(3);
+  config.mode = AttackMode::kKnownPlaintext;
+  config.w = 5000;
+  config.leakedPairs = sampleLeakedPairs(target, 0.001, rng);
+  const AttackResult kp = localityAttack(target.records, aux, config);
+  printf("advanced attack + 0.1%% leakage: %7.4f%% inferred\n",
+         100.0 * inferenceRate(kp, target));
+
+  printf("\nTakeaway: deterministic encrypted deduplication leaks enough\n"
+         "frequency and adjacency structure for an adversary to map a large\n"
+         "fraction of ciphertext chunks back to known plaintext chunks.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "chunking/cdc_chunker.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+CdcChunker::CdcChunker(const CdcParams& params) : params_(params) {
+  FDD_CHECK_MSG(std::has_single_bit(params_.avgSize),
+                "avgSize must be a power of two");
+  FDD_CHECK_MSG(params_.minSize >= params_.windowSize,
+                "minSize must cover the Rabin window");
+  FDD_CHECK_MSG(params_.minSize <= params_.avgSize &&
+                    params_.avgSize <= params_.maxSize,
+                "require minSize <= avgSize <= maxSize");
+  mask_ = params_.avgSize - 1;
+}
+
+std::vector<ChunkSpan> CdcChunker::split(ByteView data) const {
+  std::vector<ChunkSpan> chunks;
+  if (data.empty()) return chunks;
+  chunks.reserve(data.size() / params_.avgSize + 1);
+
+  RabinWindow window(params_.windowSize, params_.poly);
+  size_t start = 0;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    const uint64_t fp = window.slide(data[pos]);
+    ++pos;
+    const size_t len = pos - start;
+    const bool atPattern =
+        len >= params_.minSize && (fp & mask_) == mask_;
+    const bool atMax = len >= params_.maxSize;
+    if (atPattern || atMax) {
+      chunks.push_back({start, static_cast<uint32_t>(len)});
+      start = pos;
+      window.reset();
+    }
+  }
+  if (start < data.size()) {
+    chunks.push_back({start, static_cast<uint32_t>(data.size() - start)});
+  }
+  return chunks;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,38 @@
+// Content-defined chunking with Rabin fingerprinting.
+//
+// Cuts a chunk boundary where the rolling Rabin fingerprint matches a content
+// pattern (fp mod avgSize == avgSize-1), subject to configured minimum and
+// maximum chunk sizes — the scheme described in Section 2.1 of the paper.
+// Boundaries depend only on local content, so insertions/deletions shift
+// chunk boundaries only locally (content-shift robustness).
+#pragma once
+
+#include <memory>
+
+#include "chunking/chunker.h"
+#include "chunking/rabin.h"
+
+namespace freqdedup {
+
+struct CdcParams {
+  uint32_t minSize = 2048;
+  uint32_t avgSize = 8192;   // must be a power of two
+  uint32_t maxSize = 16384;
+  uint32_t windowSize = 48;
+  uint64_t poly = kDefaultRabinPoly;
+};
+
+class CdcChunker final : public Chunker {
+ public:
+  explicit CdcChunker(const CdcParams& params = {});
+
+  [[nodiscard]] std::vector<ChunkSpan> split(ByteView data) const override;
+
+  [[nodiscard]] const CdcParams& params() const { return params_; }
+
+ private:
+  CdcParams params_;
+  uint64_t mask_;
+};
+
+}  // namespace freqdedup

@@ -1,0 +1,38 @@
+// Chunking interfaces.
+//
+// A chunker partitions a byte stream into chunks; deduplication then operates
+// on chunk granularity (Section 2.1). Two families are provided, matching the
+// paper's datasets: content-defined chunking with min/avg/max bounds (FSL,
+// synthetic) and fixed-size chunking (VM).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace freqdedup {
+
+/// A chunk as a [offset, offset+size) view into the chunked buffer.
+struct ChunkSpan {
+  size_t offset = 0;
+  uint32_t size = 0;
+
+  friend bool operator==(const ChunkSpan&, const ChunkSpan&) = default;
+};
+
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  /// Splits `data` into consecutive, exhaustive, non-overlapping chunks.
+  /// An empty input yields no chunks.
+  [[nodiscard]] virtual std::vector<ChunkSpan> split(ByteView data) const = 0;
+};
+
+/// Extracts the bytes of one chunk.
+inline ByteView chunkBytes(ByteView data, const ChunkSpan& c) {
+  return data.subspan(c.offset, c.size);
+}
+
+}  // namespace freqdedup

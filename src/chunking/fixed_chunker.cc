@@ -1,0 +1,22 @@
+#include "chunking/fixed_chunker.h"
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+FixedChunker::FixedChunker(uint32_t chunkSize) : chunkSize_(chunkSize) {
+  FDD_CHECK(chunkSize > 0);
+}
+
+std::vector<ChunkSpan> FixedChunker::split(ByteView data) const {
+  std::vector<ChunkSpan> chunks;
+  chunks.reserve(data.size() / chunkSize_ + 1);
+  for (size_t off = 0; off < data.size(); off += chunkSize_) {
+    const auto size =
+        static_cast<uint32_t>(std::min<size_t>(chunkSize_, data.size() - off));
+    chunks.push_back({off, size});
+  }
+  return chunks;
+}
+
+}  // namespace freqdedup

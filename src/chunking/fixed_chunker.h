@@ -1,0 +1,20 @@
+// Fixed-size chunking (the paper's VM dataset uses 4 KB fixed-size chunks).
+#pragma once
+
+#include "chunking/chunker.h"
+
+namespace freqdedup {
+
+class FixedChunker final : public Chunker {
+ public:
+  explicit FixedChunker(uint32_t chunkSize = 4096);
+
+  [[nodiscard]] std::vector<ChunkSpan> split(ByteView data) const override;
+
+  [[nodiscard]] uint32_t chunkSize() const { return chunkSize_; }
+
+ private:
+  uint32_t chunkSize_;
+};
+
+}  // namespace freqdedup

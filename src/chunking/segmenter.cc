@@ -1,0 +1,45 @@
+#include "chunking/segmenter.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+std::vector<Segment> segmentRecords(std::span<const ChunkRecord> records,
+                                    const SegmentParams& params) {
+  FDD_CHECK(params.minBytes > 0);
+  FDD_CHECK(params.minBytes <= params.avgBytes &&
+            params.avgBytes <= params.maxBytes);
+  const uint64_t divisor = params.divisor();
+
+  std::vector<Segment> segments;
+  size_t begin = 0;
+  uint64_t acc = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    acc += records[i].size;
+    const bool atPattern =
+        acc >= params.minBytes && (records[i].fp % divisor) == divisor - 1;
+    const bool nextOverflows =
+        i + 1 < records.size() && acc + records[i + 1].size > params.maxBytes;
+    const bool last = i + 1 == records.size();
+    if (atPattern || nextOverflows || last) {
+      segments.push_back({begin, i + 1});
+      begin = i + 1;
+      acc = 0;
+    }
+  }
+  return segments;
+}
+
+Fp segmentMinFingerprint(std::span<const ChunkRecord> records,
+                         const Segment& seg) {
+  FDD_CHECK_MSG(seg.begin < seg.end && seg.end <= records.size(),
+                "empty or out-of-range segment");
+  Fp minFp = records[seg.begin].fp;
+  for (size_t i = seg.begin + 1; i < seg.end; ++i)
+    minFp = std::min(minFp, records[i].fp);
+  return minFp;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,53 @@
+// Variable-size segmentation over a chunk stream.
+//
+// Segments group adjacent chunks into ~1 MB units; they are the scope of both
+// MinHash encryption (Algorithm 4) and scrambling (Algorithm 5). The boundary
+// rule follows Sparse Indexing [Lillibridge et al., FAST'09], as prescribed in
+// Section 7.1 of the paper: a boundary is placed after a chunk when
+//   (i) the running segment size is at least minBytes AND the chunk's
+//       fingerprint modulo a divisor equals divisor-1, or
+//  (ii) including the next chunk would exceed maxBytes.
+// The divisor controls the average segment size: with avgChunkBytes-sized
+// chunks, divisor = avgBytes / avgChunkBytes gives segments of ~avgBytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace freqdedup {
+
+struct SegmentParams {
+  uint64_t minBytes = 512 * 1024;
+  uint64_t avgBytes = 1024 * 1024;
+  uint64_t maxBytes = 2 * 1024 * 1024;
+  /// Expected average chunk size of the stream; used to derive the divisor.
+  uint64_t avgChunkBytes = 8192;
+
+  [[nodiscard]] uint64_t divisor() const {
+    const uint64_t d = avgBytes / avgChunkBytes;
+    return d == 0 ? 1 : d;
+  }
+};
+
+/// A segment as a half-open range [begin, end) of record indices.
+struct Segment {
+  size_t begin = 0;
+  size_t end = 0;
+
+  [[nodiscard]] size_t count() const { return end - begin; }
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Splits `records` into consecutive, exhaustive segments.
+std::vector<Segment> segmentRecords(std::span<const ChunkRecord> records,
+                                    const SegmentParams& params = {});
+
+/// Minimum fingerprint of a segment (Algorithm 4, line 5). Requires a
+/// non-empty segment.
+Fp segmentMinFingerprint(std::span<const ChunkRecord> records,
+                         const Segment& seg);
+
+}  // namespace freqdedup

@@ -1,0 +1,54 @@
+#include "common/bloom_filter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+BloomFilter::BloomFilter(size_t expectedItems, double fpr) {
+  FDD_CHECK(expectedItems > 0);
+  FDD_CHECK(fpr > 0.0 && fpr < 1.0);
+  const double n = static_cast<double>(expectedItems);
+  const double m = -n * std::log(fpr) / (std::log(2.0) * std::log(2.0));
+  bits_ = std::max<size_t>(64, static_cast<size_t>(std::ceil(m)));
+  k_ = std::max(1, static_cast<int>(std::round(m / n * std::log(2.0))));
+  words_.assign((bits_ + 63) / 64, 0);
+}
+
+size_t BloomFilter::bitIndex(Fp fp, int i) const {
+  const uint64_t h1 = mix64(fp);
+  const uint64_t h2 = mix64(fp ^ 0xa5a5a5a5a5a5a5a5ULL) | 1ULL;
+  return static_cast<size_t>((h1 + static_cast<uint64_t>(i) * h2) % bits_);
+}
+
+void BloomFilter::add(Fp fp) {
+  for (int i = 0; i < k_; ++i) {
+    const size_t b = bitIndex(fp, i);
+    words_[b >> 6] |= 1ULL << (b & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::maybeContains(Fp fp) const {
+  for (int i = 0; i < k_; ++i) {
+    const size_t b = bitIndex(fp, i);
+    if ((words_[b >> 6] & (1ULL << (b & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  words_.assign(words_.size(), 0);
+  inserted_ = 0;
+}
+
+double BloomFilter::estimatedFpr() const {
+  const double exponent = -static_cast<double>(k_) *
+                          static_cast<double>(inserted_) /
+                          static_cast<double>(bits_);
+  const double inner = 1.0 - std::exp(exponent);
+  return std::pow(inner, k_);
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,43 @@
+// Bloom filter over 64-bit fingerprints.
+//
+// Used by the DDFS-like deduplication engine (Section 7.4 of the paper) to
+// avoid on-disk index lookups for chunks that are certainly new. Sized from
+// an expected element count and target false-positive rate, as in the paper
+// (fpr 0.01 → ~7 hash functions). Hash functions are derived by double
+// hashing from two mixes of the fingerprint (Kirsch-Mitzenmacher).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace freqdedup {
+
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expectedItems` at false-positive rate `fpr`.
+  BloomFilter(size_t expectedItems, double fpr);
+
+  void add(Fp fp);
+  [[nodiscard]] bool maybeContains(Fp fp) const;
+  void clear();
+
+  [[nodiscard]] size_t sizeBits() const { return bits_; }
+  [[nodiscard]] size_t sizeBytes() const { return words_.size() * 8; }
+  [[nodiscard]] int numHashes() const { return k_; }
+  [[nodiscard]] size_t insertedCount() const { return inserted_; }
+
+  /// Analytic false-positive probability at the current fill level.
+  [[nodiscard]] double estimatedFpr() const;
+
+ private:
+  [[nodiscard]] size_t bitIndex(Fp fp, int i) const;
+
+  size_t bits_;
+  int k_;
+  size_t inserted_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace freqdedup

@@ -1,0 +1,36 @@
+// Lightweight invariant checking for library code.
+//
+// CHECK(cond) throws std::logic_error when the condition is violated. It is
+// used for programmer-error invariants (contract violations), while
+// std::runtime_error subclasses are used for environmental failures (I/O,
+// corrupt data). Following the C++ Core Guidelines (I.6/E.x), checks stay
+// enabled in release builds: every caller of this library is a research
+// harness where a silent invariant violation would corrupt results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace freqdedup {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace freqdedup
+
+#define FDD_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) ::freqdedup::checkFailed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FDD_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::freqdedup::checkFailed(#cond, __FILE__, __LINE__, (msg));     \
+  } while (0)

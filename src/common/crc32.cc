@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace freqdedup {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // reflected CRC-32C polynomial
+
+constexpr std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j)
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = makeTable();
+
+}  // namespace
+
+uint32_t crc32cExtend(uint32_t crc, ByteView data) {
+  crc = ~crc;
+  for (uint8_t b : data) crc = (crc >> 8) ^ kTable[(crc ^ b) & 0xFF];
+  return ~crc;
+}
+
+uint32_t crc32c(ByteView data) { return crc32cExtend(0, data); }
+
+}  // namespace freqdedup

@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) checksums for on-disk record framing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace freqdedup {
+
+/// CRC-32C of a byte range (initial value 0).
+uint32_t crc32c(ByteView data);
+
+/// Incremental form: extend a running CRC with more data.
+uint32_t crc32cExtend(uint32_t crc, ByteView data);
+
+}  // namespace freqdedup

@@ -1,0 +1,28 @@
+#include "common/fingerprint.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+Fp fpFromDigest(const Digest& d, int bits) {
+  FDD_CHECK_MSG(bits >= 1 && bits <= 64, "fingerprint width out of range");
+  FDD_CHECK_MSG(d.size >= 8, "digest too short for fingerprint");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d.bytes[static_cast<size_t>(i)];
+  if (bits == 64) return v;
+  return v >> (64 - bits);
+}
+
+Fp fpOfContent(ByteView content, int bits) {
+  return fpFromDigest(sha256(content), bits);
+}
+
+std::string fpToHex(Fp fp) {
+  char buf[17];
+  snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,69 @@
+#include "common/hash.h"
+
+#include <openssl/evp.h>
+#include <openssl/hmac.h>
+
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+namespace {
+
+Digest oneShot(const EVP_MD* md, ByteView data) {
+  Digest d;
+  unsigned int len = 0;
+  if (EVP_Digest(data.data(), data.size(), d.bytes.data(), &len, md,
+                 nullptr) != 1)
+    throw std::runtime_error("EVP_Digest failed");
+  d.size = static_cast<uint8_t>(len);
+  return d;
+}
+
+}  // namespace
+
+Digest sha256(ByteView data) { return oneShot(EVP_sha256(), data); }
+
+Digest sha1(ByteView data) { return oneShot(EVP_sha1(), data); }
+
+Digest hmacSha256(ByteView key, ByteView data) {
+  Digest d;
+  unsigned int len = 0;
+  if (HMAC(EVP_sha256(), key.data(), static_cast<int>(key.size()), data.data(),
+           data.size(), d.bytes.data(), &len) == nullptr)
+    throw std::runtime_error("HMAC failed");
+  d.size = static_cast<uint8_t>(len);
+  return d;
+}
+
+Sha256Stream::Sha256Stream() : ctx_(EVP_MD_CTX_new()) {
+  FDD_CHECK(ctx_ != nullptr);
+  if (EVP_DigestInit_ex(static_cast<EVP_MD_CTX*>(ctx_), EVP_sha256(),
+                        nullptr) != 1)
+    throw std::runtime_error("EVP_DigestInit_ex failed");
+}
+
+Sha256Stream::~Sha256Stream() {
+  EVP_MD_CTX_free(static_cast<EVP_MD_CTX*>(ctx_));
+}
+
+void Sha256Stream::update(ByteView data) {
+  if (EVP_DigestUpdate(static_cast<EVP_MD_CTX*>(ctx_), data.data(),
+                       data.size()) != 1)
+    throw std::runtime_error("EVP_DigestUpdate failed");
+}
+
+Digest Sha256Stream::finish() {
+  Digest d;
+  unsigned int len = 0;
+  auto* ctx = static_cast<EVP_MD_CTX*>(ctx_);
+  if (EVP_DigestFinal_ex(ctx, d.bytes.data(), &len) != 1)
+    throw std::runtime_error("EVP_DigestFinal_ex failed");
+  d.size = static_cast<uint8_t>(len);
+  if (EVP_DigestInit_ex(ctx, EVP_sha256(), nullptr) != 1)
+    throw std::runtime_error("EVP_DigestInit_ex (reset) failed");
+  return d;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace freqdedup {
+
+namespace {
+constexpr uint64_t rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  haveSpareNormal_ = false;
+}
+
+uint64_t Rng::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::uniformInt(uint64_t lo, uint64_t hi) {
+  FDD_CHECK(lo <= hi);
+  const uint64_t range = hi - lo;
+  if (range == ~0ULL) return next();
+  // Debiased modulo (rejection sampling on the top of the range).
+  const uint64_t bound = range + 1;
+  const uint64_t limit = (~0ULL) - ((~0ULL) % bound + 1) % bound;
+  uint64_t r = next();
+  while (r > limit) r = next();
+  return lo + r % bound;
+}
+
+double Rng::uniformReal() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniformReal() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (haveSpareNormal_) {
+    haveSpareNormal_ = false;
+    return mean + stddev * spareNormal_;
+  }
+  double u1 = uniformReal();
+  while (u1 <= 0.0) u1 = uniformReal();
+  const double u2 = uniformReal();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double z0 = mag * std::cos(2.0 * M_PI * u2);
+  spareNormal_ = mag * std::sin(2.0 * M_PI * u2);
+  haveSpareNormal_ = true;
+  return mean + stddev * z0;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) {
+  FDD_CHECK(lambda > 0.0);
+  double u = uniformReal();
+  while (u <= 0.0) u = uniformReal();
+  return -std::log(u) / lambda;
+}
+
+uint64_t Rng::geometric(double p) {
+  FDD_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  double u = uniformReal();
+  while (u <= 0.0) u = uniformReal();
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+ZipfTable::ZipfTable(size_t n, double alpha) {
+  FDD_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfTable::sample(Rng& rng) const {
+  const double u = rng.uniformReal();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfTable::pmf(size_t rank) const {
+  FDD_CHECK(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,94 @@
+// Deterministic random number generation.
+//
+// Every synthetic dataset and every randomized defense step in this library
+// must be reproducible from a seed, independent of platform and standard
+// library version. std::<distribution> implementations are allowed to differ
+// across standard libraries, so all sampling is implemented here by hand on
+// top of xoshiro256** (public-domain; Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+/// xoshiro256** seeded via SplitMix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eedf00dULL) { reseed(seed); }
+
+  void reseed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t uniformInt(uint64_t lo, uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniformReal();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (deterministic given the stream).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  uint64_t geometric(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(uniformInt(0, i - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Uniformly picks an element index of a non-empty range.
+  size_t pickIndex(size_t size) {
+    FDD_CHECK(size > 0);
+    return static_cast<size_t>(uniformInt(0, size - 1));
+  }
+
+ private:
+  uint64_t s_[4];
+  bool haveSpareNormal_ = false;
+  double spareNormal_ = 0.0;
+};
+
+/// Zipf(α) sampler over ranks {0, ..., n-1} using a precomputed CDF.
+/// Rank 0 is the most probable element. Suitable for the modest pool sizes
+/// used by the trace generators (<= a few hundred thousand elements).
+class ZipfTable {
+ public:
+  ZipfTable(size_t n, double alpha);
+
+  /// Draws a rank in [0, n).
+  size_t sample(Rng& rng) const;
+
+  [[nodiscard]] size_t size() const { return cdf_.size(); }
+  /// Probability mass of a rank.
+  [[nodiscard]] double pmf(size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace freqdedup

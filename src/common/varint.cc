@@ -1,0 +1,38 @@
+#include "common/varint.h"
+
+namespace freqdedup {
+
+void putVarint(ByteVec& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+std::optional<uint64_t> getVarint(ByteView in, size_t& offset) {
+  uint64_t v = 0;
+  int shift = 0;
+  size_t pos = offset;
+  while (pos < in.size() && shift < 64) {
+    const uint8_t b = in[pos++];
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      offset = pos;
+      return v;
+    }
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+size_t varintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,22 @@
+// LEB128-style varint encoding used by the on-disk storage formats
+// (containers, recipes, log-structured key-value store).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace freqdedup {
+
+/// Appends a varint-encoded value to `out`.
+void putVarint(ByteVec& out, uint64_t v);
+
+/// Reads a varint at `offset`; advances `offset` past it. Returns nullopt on
+/// truncated or overlong (>10 byte) input.
+std::optional<uint64_t> getVarint(ByteView in, size_t& offset);
+
+/// Encoded size of a value in bytes.
+size_t varintSize(uint64_t v);
+
+}  // namespace freqdedup

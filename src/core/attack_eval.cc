@@ -1,0 +1,58 @@
+#include "core/attack_eval.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+std::vector<Fp> uniqueFingerprints(std::span<const ChunkRecord> records) {
+  std::unordered_map<Fp, char, FpHash> seen;
+  seen.reserve(records.size());
+  std::vector<Fp> unique;
+  for (const ChunkRecord& r : records) {
+    if (seen.emplace(r.fp, 0).second) unique.push_back(r.fp);
+  }
+  return unique;
+}
+
+uint64_t correctInferences(const AttackResult& result,
+                           const EncryptedTrace& target) {
+  uint64_t correct = 0;
+  for (const Fp cfp : uniqueFingerprints(target.records)) {
+    const auto inferredIt = result.inferred.find(cfp);
+    if (inferredIt == result.inferred.end()) continue;
+    const auto truthIt = target.truth.find(cfp);
+    FDD_CHECK_MSG(truthIt != target.truth.end(),
+                  "target trace lacks ground truth for its own chunk");
+    if (inferredIt->second == truthIt->second) ++correct;
+  }
+  return correct;
+}
+
+double inferenceRate(const AttackResult& result,
+                     const EncryptedTrace& target) {
+  const std::vector<Fp> unique = uniqueFingerprints(target.records);
+  if (unique.empty()) return 0.0;
+  return static_cast<double>(correctInferences(result, target)) /
+         static_cast<double>(unique.size());
+}
+
+std::vector<InferredPair> sampleLeakedPairs(const EncryptedTrace& target,
+                                            double leakageRate, Rng& rng) {
+  FDD_CHECK(leakageRate >= 0.0 && leakageRate <= 1.0);
+  std::vector<Fp> unique = uniqueFingerprints(target.records);
+  const auto count = static_cast<size_t>(
+      std::llround(leakageRate * static_cast<double>(unique.size())));
+  rng.shuffle(std::span<Fp>(unique));
+  std::vector<InferredPair> leaked;
+  leaked.reserve(count);
+  for (size_t i = 0; i < count && i < unique.size(); ++i) {
+    const auto truthIt = target.truth.find(unique[i]);
+    FDD_CHECK(truthIt != target.truth.end());
+    leaked.push_back({unique[i], truthIt->second});
+  }
+  return leaked;
+}
+
+}  // namespace freqdedup

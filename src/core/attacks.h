@@ -1,0 +1,62 @@
+// The paper's three inference attacks (Section 4).
+//
+// Given the ciphertext chunk stream C of the latest backup and the plaintext
+// chunk stream M of a prior backup (the auxiliary information), each attack
+// outputs a set T of inferred ciphertext-plaintext fingerprint pairs.
+//
+//  - Basic attack (Algorithm 1): global rank-pairing frequency analysis.
+//  - Locality-based attack (Algorithm 2): starts from an inferred seed set G
+//    (top-u frequency pairs in ciphertext-only mode, or leaked pairs in
+//    known-plaintext mode) and repeatedly applies frequency analysis to the
+//    left/right neighbor tables of each inferred pair, exploiting chunk
+//    locality; G is a FIFO queue bounded by w, and each neighbor analysis
+//    returns the top-v pairs.
+//  - Advanced locality-based attack (Algorithm 3): same control flow with
+//    every frequency-analysis call replaced by the size-classified variant.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/freq_analysis.h"
+#include "core/freq_tables.h"
+
+namespace freqdedup {
+
+enum class AttackMode {
+  kCiphertextOnly,  // adversary knows C and M only
+  kKnownPlaintext   // adversary additionally knows some leaked (C, M) pairs
+};
+
+struct AttackConfig {
+  size_t u = 1;        // seed pairs from frequency analysis (ciphertext-only)
+  size_t v = 15;       // pairs returned per neighbor analysis
+  size_t w = 200'000;  // maximum size of the inferred FIFO set G
+  AttackMode mode = AttackMode::kCiphertextOnly;
+  bool sizeAware = false;  // true = advanced locality-based attack
+  /// Known-plaintext mode: leaked pairs about the target backup. Pairs whose
+  /// ciphertext chunk is absent from C or whose plaintext chunk is absent
+  /// from M are ignored (Algorithm 2, line 7).
+  std::vector<InferredPair> leakedPairs;
+};
+
+struct AttackResult {
+  /// T: inferred mapping, ciphertext fingerprint -> plaintext fingerprint.
+  std::unordered_map<Fp, Fp, FpHash> inferred;
+  /// Number of (C, M) pairs dequeued from G during the walk.
+  uint64_t processedPairs = 0;
+};
+
+/// Algorithm 1. `sizeAware` applies the Algorithm-3 frequency analysis to the
+/// global frequency maps (size-classified basic attack).
+AttackResult basicAttack(std::span<const ChunkRecord> cipher,
+                         std::span<const ChunkRecord> plain,
+                         bool sizeAware = false);
+
+/// Algorithms 2 and 3 (select with config.sizeAware).
+AttackResult localityAttack(std::span<const ChunkRecord> cipher,
+                            std::span<const ChunkRecord> plain,
+                            const AttackConfig& config);
+
+}  // namespace freqdedup

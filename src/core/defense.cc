@@ -1,0 +1,102 @@
+#include "core/defense.h"
+
+#include <deque>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace freqdedup {
+
+namespace {
+
+Fp cipherFpMle(Fp plainFp, int fpBits) {
+  ByteVec msg = toBytes("mle");
+  putU64(msg, plainFp);
+  return fpFromDigest(sha256(msg), fpBits);
+}
+
+Fp cipherFpMinHash(Fp minFp, Fp plainFp, int fpBits) {
+  // Section 7.1: concatenate the segment's minimum fingerprint with the chunk
+  // fingerprint, hash, and truncate to the trace's fingerprint width.
+  ByteVec msg = toBytes("mh");
+  putU64(msg, minFp);
+  putU64(msg, plainFp);
+  return fpFromDigest(sha256(msg), fpBits);
+}
+
+}  // namespace
+
+EncryptedTrace mleEncryptTrace(std::span<const ChunkRecord> plain,
+                               int fpBits) {
+  EncryptedTrace out;
+  out.records.reserve(plain.size());
+  out.truth.reserve(plain.size());
+  std::unordered_map<Fp, Fp, FpHash> cache;
+  cache.reserve(plain.size());
+  for (const ChunkRecord& r : plain) {
+    auto [it, inserted] = cache.try_emplace(r.fp, 0);
+    if (inserted) it->second = cipherFpMle(r.fp, fpBits);
+    out.records.push_back({it->second, r.size});
+    out.truth.emplace(it->second, r.fp);
+  }
+  return out;
+}
+
+std::vector<ChunkRecord> scrambleTrace(std::span<const ChunkRecord> records,
+                                       const SegmentParams& params,
+                                       Rng& rng) {
+  const std::vector<Segment> segments = segmentRecords(records, params);
+  std::vector<ChunkRecord> out;
+  out.reserve(records.size());
+  std::deque<ChunkRecord> scrambled;
+  for (const Segment& seg : segments) {
+    scrambled.clear();
+    for (size_t i = seg.begin; i < seg.end; ++i) {
+      // Algorithm 5, lines 7-12: odd random number -> front, else back.
+      if (rng.next() & 1) {
+        scrambled.push_front(records[i]);
+      } else {
+        scrambled.push_back(records[i]);
+      }
+    }
+    out.insert(out.end(), scrambled.begin(), scrambled.end());
+  }
+  FDD_CHECK(out.size() == records.size());
+  return out;
+}
+
+EncryptedTrace minHashEncryptTrace(std::span<const ChunkRecord> plain,
+                                   const DefenseConfig& config) {
+  // Segmentation is computed on the original order; scrambling permutes only
+  // within segments, so the segment boundaries and minima are unchanged
+  // (Section 6.2: "to be compatible with MinHash encryption, scrambling
+  // works on a per-segment basis").
+  const std::vector<Segment> segments =
+      segmentRecords(plain, config.segment);
+  Rng rng(config.scrambleSeed);
+
+  EncryptedTrace out;
+  out.records.reserve(plain.size());
+  out.truth.reserve(plain.size());
+  std::deque<size_t> order;
+  for (const Segment& seg : segments) {
+    const Fp minFp = segmentMinFingerprint(plain, seg);
+    order.clear();
+    for (size_t i = seg.begin; i < seg.end; ++i) {
+      if (config.scramble && (rng.next() & 1)) {
+        order.push_front(i);
+      } else {
+        order.push_back(i);
+      }
+    }
+    for (const size_t i : order) {
+      const Fp cfp = cipherFpMinHash(minFp, plain[i].fp, config.fpBits);
+      out.records.push_back({cfp, plain[i].size});
+      out.truth.emplace(cfp, plain[i].fp);
+    }
+  }
+  FDD_CHECK(out.records.size() == plain.size());
+  return out;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,73 @@
+#include "core/freq_analysis.h"
+
+#include <algorithm>
+
+namespace freqdedup {
+
+std::vector<std::pair<Fp, uint64_t>> sortByFrequency(
+    const CoOccurrenceMap& freq) {
+  std::vector<std::pair<Fp, uint64_t>> sorted(freq.begin(), freq.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return sorted;
+}
+
+std::vector<InferredPair> freqAnalysis(const CoOccurrenceMap& cipherFreq,
+                                       const CoOccurrenceMap& plainFreq,
+                                       size_t x) {
+  const auto cipherSorted = sortByFrequency(cipherFreq);
+  const auto plainSorted = sortByFrequency(plainFreq);
+  const size_t n = std::min({x, cipherSorted.size(), plainSorted.size()});
+  std::vector<InferredPair> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs.push_back({cipherSorted[i].first, plainSorted[i].first});
+  }
+  return pairs;
+}
+
+namespace {
+
+/// Buckets a frequency map by size class (Algorithm 3, CLASSIFY).
+std::unordered_map<uint32_t, CoOccurrenceMap> classifyBySize(
+    const CoOccurrenceMap& freq, const SizeMap& sizes) {
+  std::unordered_map<uint32_t, CoOccurrenceMap> buckets;
+  for (const auto& [fp, count] : freq) {
+    const auto it = sizes.find(fp);
+    if (it == sizes.end()) continue;  // size unknown: cannot classify
+    buckets[sizeClassOf(it->second)].emplace(fp, count);
+  }
+  return buckets;
+}
+
+}  // namespace
+
+std::vector<InferredPair> freqAnalysisSized(const CoOccurrenceMap& cipherFreq,
+                                            const CoOccurrenceMap& plainFreq,
+                                            size_t x,
+                                            const SizeMap& cipherSizes,
+                                            const SizeMap& plainSizes) {
+  const auto cipherBuckets = classifyBySize(cipherFreq, cipherSizes);
+  const auto plainBuckets = classifyBySize(plainFreq, plainSizes);
+
+  // Deterministic result order: iterate size classes in ascending order.
+  std::vector<uint32_t> classes;
+  classes.reserve(cipherBuckets.size());
+  for (const auto& [sizeClass, bucket] : cipherBuckets) {
+    if (plainBuckets.contains(sizeClass)) classes.push_back(sizeClass);
+  }
+  std::sort(classes.begin(), classes.end());
+
+  std::vector<InferredPair> pairs;
+  for (const uint32_t sizeClass : classes) {
+    const auto classPairs = freqAnalysis(cipherBuckets.at(sizeClass),
+                                         plainBuckets.at(sizeClass), x);
+    pairs.insert(pairs.end(), classPairs.begin(), classPairs.end());
+  }
+  return pairs;
+}
+
+}  // namespace freqdedup

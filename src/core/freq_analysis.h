@@ -1,0 +1,54 @@
+// FREQ-ANALYSIS: rank-pairing frequency analysis.
+//
+// Sorts ciphertext-side and plaintext-side frequency maps and pairs entries
+// of equal rank (Algorithm 1/2). The advanced variant (Algorithm 3) first
+// classifies chunks by size in AES blocks (ceil(size/16)) and rank-pairs
+// within each size class, exploiting that deterministic block-cipher
+// encryption preserves the block count of a chunk.
+//
+// Ties (equal frequency) are broken by ascending fingerprint. This makes
+// every attack deterministic and mirrors the practical reality the paper
+// notes in Section 4.1: tie order is arbitrary with respect to the true
+// ciphertext-plaintext correspondence, so ties genuinely hurt accuracy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/freq_tables.h"
+
+namespace freqdedup {
+
+/// An inferred (ciphertext fingerprint, plaintext fingerprint) pair.
+struct InferredPair {
+  Fp cipher = 0;
+  Fp plain = 0;
+
+  friend bool operator==(const InferredPair&, const InferredPair&) = default;
+};
+
+/// Frequency-map entries sorted by (count desc, fingerprint asc).
+std::vector<std::pair<Fp, uint64_t>> sortByFrequency(
+    const CoOccurrenceMap& freq);
+
+/// Pairs the top-x ciphertext and plaintext chunks rank by rank
+/// (x capped at min{|cipher|, |plain|}).
+std::vector<InferredPair> freqAnalysis(const CoOccurrenceMap& cipherFreq,
+                                       const CoOccurrenceMap& plainFreq,
+                                       size_t x);
+
+/// Size-aware frequency analysis (Algorithm 3): rank-pairs the top-x chunks
+/// within each size class of ceil(size/16) blocks. Chunks whose size is
+/// unknown to the given size map are skipped.
+std::vector<InferredPair> freqAnalysisSized(const CoOccurrenceMap& cipherFreq,
+                                            const CoOccurrenceMap& plainFreq,
+                                            size_t x,
+                                            const SizeMap& cipherSizes,
+                                            const SizeMap& plainSizes);
+
+/// Size class of a chunk: number of 16-byte AES blocks (Algorithm 3 line 18).
+[[nodiscard]] constexpr uint32_t sizeClassOf(uint32_t sizeBytes) {
+  return (sizeBytes + 15) / 16;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,25 @@
+#include "core/freq_tables.h"
+
+namespace freqdedup {
+
+FrequencyTables countChunks(std::span<const ChunkRecord> records,
+                            bool withNeighbors) {
+  FrequencyTables tables;
+  tables.freq.reserve(records.size());
+  tables.sizeOf.reserve(records.size());
+  if (withNeighbors) {
+    tables.left.reserve(records.size());
+    tables.right.reserve(records.size());
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ChunkRecord& r = records[i];
+    ++tables.freq[r.fp];
+    tables.sizeOf.emplace(r.fp, r.size);
+    if (!withNeighbors) continue;
+    if (i > 0) ++tables.left[r.fp][records[i - 1].fp];
+    if (i + 1 < records.size()) ++tables.right[r.fp][records[i + 1].fp];
+  }
+  return tables;
+}
+
+}  // namespace freqdedup

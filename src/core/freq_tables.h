@@ -1,0 +1,34 @@
+// The COUNT step shared by all attacks (Algorithms 1 and 2).
+//
+// From a logical chunk stream, builds:
+//   freq  — F_X : fingerprint -> occurrence count;
+//   left  — L_X : fingerprint -> (left-neighbor fingerprint -> co-occurrence
+//           count), i.e. how often each chunk directly precedes X;
+//   right — R_X : the symmetric right-neighbor table;
+//   sizeOf — fingerprint -> chunk size (the advanced attack's size channel).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "common/fingerprint.h"
+#include "trace/backup_trace.h"
+
+namespace freqdedup {
+
+using CoOccurrenceMap = std::unordered_map<Fp, uint64_t, FpHash>;
+using NeighborTable = std::unordered_map<Fp, CoOccurrenceMap, FpHash>;
+
+struct FrequencyTables {
+  FrequencyMap freq;
+  NeighborTable left;
+  NeighborTable right;
+  SizeMap sizeOf;
+};
+
+/// Builds the frequency tables of a stream. Neighbor tables are only filled
+/// when `withNeighbors` is set (the basic attack does not need them).
+FrequencyTables countChunks(std::span<const ChunkRecord> records,
+                            bool withNeighbors);
+
+}  // namespace freqdedup

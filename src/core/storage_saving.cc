@@ -1,0 +1,24 @@
+#include "core/storage_saving.h"
+
+namespace freqdedup {
+
+SavingPoint CumulativeDedup::addBackup(std::span<const ChunkRecord> records,
+                                       std::string label) {
+  for (const ChunkRecord& r : records) {
+    logicalBytes_ += r.size;
+    if (seen_.emplace(r.fp, 0).second) physicalBytes_ += r.size;
+  }
+  SavingPoint point;
+  point.label = std::move(label);
+  point.logicalBytes = logicalBytes_;
+  point.physicalBytes = physicalBytes_;
+  if (logicalBytes_ > 0 && physicalBytes_ > 0) {
+    point.savingPct = 100.0 * (1.0 - static_cast<double>(physicalBytes_) /
+                                         static_cast<double>(logicalBytes_));
+    point.dedupRatio = static_cast<double>(logicalBytes_) /
+                       static_cast<double>(physicalBytes_);
+  }
+  return point;
+}
+
+}  // namespace freqdedup

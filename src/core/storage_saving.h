@@ -1,0 +1,42 @@
+// Cumulative storage-saving accounting (Section 7.3, Figure 11).
+//
+// Backups are added in creation order; after each backup the storage saving
+// is the percentage of the cumulative logical bytes removed by deduplication
+// (metadata excluded, as in the paper).
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace freqdedup {
+
+struct SavingPoint {
+  std::string label;
+  uint64_t logicalBytes = 0;   // cumulative
+  uint64_t physicalBytes = 0;  // cumulative after deduplication
+  double savingPct = 0.0;      // 100 * (1 - physical/logical)
+  double dedupRatio = 0.0;     // logical / physical
+};
+
+/// Streaming cumulative deduplication accounting.
+class CumulativeDedup {
+ public:
+  /// Adds one backup's chunk stream; returns the updated cumulative point.
+  SavingPoint addBackup(std::span<const ChunkRecord> records,
+                        std::string label = {});
+
+  [[nodiscard]] uint64_t logicalBytes() const { return logicalBytes_; }
+  [[nodiscard]] uint64_t physicalBytes() const { return physicalBytes_; }
+  [[nodiscard]] size_t uniqueChunks() const { return seen_.size(); }
+
+ private:
+  std::unordered_map<Fp, char, FpHash> seen_;
+  uint64_t logicalBytes_ = 0;
+  uint64_t physicalBytes_ = 0;
+};
+
+}  // namespace freqdedup

@@ -1,0 +1,54 @@
+#include "crypto/aes.h"
+
+#include <openssl/evp.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace freqdedup {
+
+namespace {
+
+struct CipherCtxDeleter {
+  void operator()(EVP_CIPHER_CTX* ctx) const { EVP_CIPHER_CTX_free(ctx); }
+};
+
+ByteVec ctrApply(const AesKey& key, const AesIv& iv, ByteView input) {
+  std::unique_ptr<EVP_CIPHER_CTX, CipherCtxDeleter> ctx(EVP_CIPHER_CTX_new());
+  if (!ctx) throw std::runtime_error("EVP_CIPHER_CTX_new failed");
+  if (EVP_EncryptInit_ex(ctx.get(), EVP_aes_256_ctr(), nullptr, key.data(),
+                         iv.data()) != 1)
+    throw std::runtime_error("EVP_EncryptInit_ex failed");
+  ByteVec out(input.size());
+  int outLen = 0;
+  if (!input.empty() &&
+      EVP_EncryptUpdate(ctx.get(), out.data(), &outLen, input.data(),
+                        static_cast<int>(input.size())) != 1)
+    throw std::runtime_error("EVP_EncryptUpdate failed");
+  int finalLen = 0;
+  if (EVP_EncryptFinal_ex(ctx.get(), out.data() + outLen, &finalLen) != 1)
+    throw std::runtime_error("EVP_EncryptFinal_ex failed");
+  out.resize(static_cast<size_t>(outLen + finalLen));
+  return out;
+}
+
+}  // namespace
+
+ByteVec aesCtrEncrypt(const AesKey& key, const AesIv& iv, ByteView plaintext) {
+  return ctrApply(key, iv, plaintext);
+}
+
+ByteVec aesCtrDecrypt(const AesKey& key, const AesIv& iv, ByteView ciphertext) {
+  return ctrApply(key, iv, ciphertext);
+}
+
+AesIv deterministicIv(const AesKey& key) {
+  const Digest d = sha256(ByteView(key.data(), key.size()));
+  AesIv iv{};
+  std::copy(d.bytes.begin(), d.bytes.begin() + kAesIvBytes, iv.begin());
+  return iv;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,47 @@
+#include "crypto/minhash_encryption.h"
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+MinHashEncryptor::MinHashEncryptor(const KeyManager& keyManager,
+                                   SegmentParams segmentParams)
+    : keyManager_(&keyManager), segmentParams_(segmentParams) {}
+
+MinHashEncryptionResult MinHashEncryptor::encrypt(
+    const std::vector<ByteVec>& plainChunks) const {
+  MinHashEncryptionResult result;
+  result.chunks.reserve(plainChunks.size());
+
+  // Fingerprint every chunk first; segmentation operates on (fp, size).
+  std::vector<ChunkRecord> records;
+  records.reserve(plainChunks.size());
+  for (const auto& chunk : plainChunks) {
+    records.push_back(
+        {fpOfContent(chunk), static_cast<uint32_t>(chunk.size())});
+  }
+  result.segments = segmentRecords(records, segmentParams_);
+
+  for (size_t s = 0; s < result.segments.size(); ++s) {
+    const Segment& seg = result.segments[s];
+    const Fp minFp = segmentMinFingerprint(records, seg);
+    const AesKey segKey = keyManager_->deriveSegmentKey(minFp);
+    for (size_t i = seg.begin; i < seg.end; ++i) {
+      MinHashEncryptedChunk out;
+      out.key = segKey;
+      out.plainFp = records[i].fp;
+      out.ciphertext = MleScheme::encryptWithKey(segKey, plainChunks[i]);
+      out.cipherFp = fpOfContent(out.ciphertext);
+      out.segmentIndex = s;
+      result.chunks.push_back(std::move(out));
+    }
+  }
+  FDD_CHECK(result.chunks.size() == plainChunks.size());
+  return result;
+}
+
+ByteVec MinHashEncryptor::decrypt(const MinHashEncryptedChunk& chunk) {
+  return MleScheme::decryptWithKey(chunk.key, chunk.ciphertext);
+}
+
+}  // namespace freqdedup

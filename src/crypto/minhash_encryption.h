@@ -1,0 +1,60 @@
+// Content-level MinHash encryption (Algorithm 4).
+//
+// Partitions a sequence of plaintext chunks into segments and encrypts every
+// chunk of a segment under one key derived from the segment's minimum
+// fingerprint. By Broder's theorem, highly similar segments across backups
+// share the same minimum fingerprint with high probability, so most
+// duplicates still deduplicate — while a small fraction of identical chunks
+// land in segments with different minima and encrypt differently, disturbing
+// the ciphertext frequency ranking that frequency analysis relies on.
+//
+// This is the real-bytes implementation used by the content pipeline; the
+// trace-level simulation used for the FSL/VM figure reproduction lives in
+// src/core/defense.h.
+#pragma once
+
+#include <vector>
+
+#include "chunking/segmenter.h"
+#include "crypto/key_manager.h"
+#include "crypto/mle.h"
+
+namespace freqdedup {
+
+struct MinHashEncryptedChunk {
+  ByteVec ciphertext;
+  AesKey key{};       // per-chunk key material for the key recipe
+  Fp plainFp = 0;     // fingerprint of the plaintext chunk
+  Fp cipherFp = 0;    // fingerprint of the ciphertext chunk (dedup identity)
+  size_t segmentIndex = 0;
+};
+
+struct MinHashEncryptionResult {
+  std::vector<MinHashEncryptedChunk> chunks;
+  std::vector<Segment> segments;
+};
+
+class MinHashEncryptor {
+ public:
+  /// The key manager must outlive the encryptor.
+  MinHashEncryptor(const KeyManager& keyManager,
+                   SegmentParams segmentParams = {});
+
+  /// Encrypts a logical sequence of plaintext chunks. Chunk order is
+  /// preserved (scrambling, when used, is applied by the caller first).
+  [[nodiscard]] MinHashEncryptionResult encrypt(
+      const std::vector<ByteVec>& plainChunks) const;
+
+  /// Decrypts one chunk given its key recipe entry.
+  [[nodiscard]] static ByteVec decrypt(const MinHashEncryptedChunk& chunk);
+
+  [[nodiscard]] const SegmentParams& segmentParams() const {
+    return segmentParams_;
+  }
+
+ private:
+  const KeyManager* keyManager_;
+  SegmentParams segmentParams_;
+};
+
+}  // namespace freqdedup

@@ -1,0 +1,35 @@
+#include "crypto/rce.h"
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+RceScheme::RceScheme(const MleScheme& mle, Rng& rng)
+    : mle_(&mle), rng_(&rng) {}
+
+RceCiphertext RceScheme::encrypt(ByteView plaintext) const {
+  AesKey randomKey{};
+  for (size_t i = 0; i < randomKey.size(); i += 8) {
+    const uint64_t word = rng_->next();
+    for (size_t j = 0; j < 8; ++j)
+      randomKey[i + j] = static_cast<uint8_t>(word >> (8 * j));
+  }
+  RceCiphertext ct;
+  ct.body = MleScheme::encryptWithKey(randomKey, plaintext);
+  const AesKey mleKey = mle_->deriveKey(plaintext);
+  ct.wrappedKey = MleScheme::encryptWithKey(
+      mleKey, ByteView(randomKey.data(), randomKey.size()));
+  ct.tag = fpOfContent(plaintext);
+  return ct;
+}
+
+ByteVec RceScheme::decrypt(const RceCiphertext& ct,
+                           const AesKey& mleKey) const {
+  const ByteVec keyBytes = MleScheme::decryptWithKey(mleKey, ct.wrappedKey);
+  FDD_CHECK(keyBytes.size() == kAesKeyBytes);
+  AesKey randomKey{};
+  std::copy(keyBytes.begin(), keyBytes.end(), randomKey.begin());
+  return MleScheme::decryptWithKey(randomKey, ct.body);
+}
+
+}  // namespace freqdedup

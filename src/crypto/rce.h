@@ -1,0 +1,41 @@
+// Random convergent encryption (RCE) — Bellare et al.'s MLE variant that
+// encrypts each chunk under a fresh random key, wrapping the key under the
+// content-derived MLE key, and attaches a deterministic tag for duplicate
+// detection.
+//
+// The paper (Section 8) argues RCE does not stop frequency analysis: the
+// ciphertext *bodies* are randomized, but the dedup tags are deterministic,
+// so an adversary simply counts tags instead of ciphertexts. The
+// `abl_rce_tags` bench demonstrates this with the same attacks.
+#pragma once
+
+#include "common/fingerprint.h"
+#include "common/rng.h"
+#include "crypto/mle.h"
+
+namespace freqdedup {
+
+struct RceCiphertext {
+  ByteVec body;        // chunk encrypted under a random key
+  ByteVec wrappedKey;  // random key encrypted under the MLE key
+  Fp tag = 0;          // deterministic tag = fingerprint(plaintext)
+};
+
+class RceScheme {
+ public:
+  /// Randomness source is injected for reproducibility; the underlying MLE
+  /// scheme provides the key-wrapping key and must outlive this object.
+  RceScheme(const MleScheme& mle, Rng& rng);
+
+  [[nodiscard]] RceCiphertext encrypt(ByteView plaintext) const;
+
+  /// Decrypts given the plaintext-derived MLE key.
+  [[nodiscard]] ByteVec decrypt(const RceCiphertext& ct,
+                                const AesKey& mleKey) const;
+
+ private:
+  const MleScheme* mle_;
+  Rng* rng_;
+};
+
+}  // namespace freqdedup

@@ -1,0 +1,93 @@
+#include "datagen/file_corpus.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+namespace {
+
+ByteVec randomBytes(Rng& rng, size_t n) {
+  ByteVec bytes(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    const uint64_t word = rng.next();
+    for (size_t j = 0; j < 8; ++j)
+      bytes[i + j] = static_cast<uint8_t>(word >> (8 * j));
+    i += 8;
+  }
+  for (uint64_t word = rng.next(); i < n; ++i, word >>= 8)
+    bytes[i] = static_cast<uint8_t>(word);
+  return bytes;
+}
+
+}  // namespace
+
+FileCorpus generateCorpus(const CorpusParams& params) {
+  FDD_CHECK(params.fileCount > 0 && params.poolBlocks > 0);
+  Rng rng(params.seed);
+  const ZipfTable poolZipf(params.poolBlocks, params.poolZipfAlpha);
+
+  std::vector<ByteVec> pool;
+  pool.reserve(params.poolBlocks);
+  for (size_t i = 0; i < params.poolBlocks; ++i) {
+    const size_t size = static_cast<size_t>(
+        rng.uniformInt(params.poolBlockMin, params.poolBlockMax));
+    pool.push_back(randomBytes(rng, size));
+  }
+
+  const uint64_t bytesPerFile =
+      params.targetBytes / static_cast<uint64_t>(params.fileCount);
+
+  FileCorpus corpus;
+  for (int f = 0; f < params.fileCount; ++f) {
+    // Heavy-tailed file sizes around the mean.
+    const double scale = std::min(8.0, rng.lognormal(0.0, 0.8));
+    const auto target = static_cast<uint64_t>(
+        scale * static_cast<double>(bytesPerFile));
+    ByteVec content;
+    content.reserve(target + params.poolBlockMax);
+    while (content.size() < target) {
+      if (rng.bernoulli(params.freshBlockProb)) {
+        const size_t size = static_cast<size_t>(
+            rng.uniformInt(params.poolBlockMin, params.poolBlockMax));
+        const ByteVec fresh = randomBytes(rng, size);
+        appendBytes(content, fresh);
+      } else {
+        ByteVec block = pool[poolZipf.sample(rng)];
+        // Half of the reuses splice only a prefix of the block: chunk
+        // frequencies then strictly decrease along the block, so the trace
+        // has a singular, rank-stable most-frequent chunk rather than a
+        // plateau of exact ties (cf. the motif prefixes in fsl_gen.cc).
+        if (rng.bernoulli(0.5) && block.size() > params.poolBlockMin) {
+          block.resize(static_cast<size_t>(rng.uniformInt(
+              params.poolBlockMin / 2, block.size())));
+        }
+        if (rng.bernoulli(params.mutateBlockProb)) {
+          // Point mutation: overwrite a short random run.
+          const size_t at = rng.pickIndex(block.size());
+          const size_t len =
+              std::min<size_t>(block.size() - at,
+                               static_cast<size_t>(rng.uniformInt(16, 512)));
+          const ByteVec patch = randomBytes(rng, len);
+          std::copy(patch.begin(), patch.end(),
+                    block.begin() + static_cast<ptrdiff_t>(at));
+        }
+        appendBytes(content, block);
+      }
+    }
+    char name[32];
+    snprintf(name, sizeof(name), "file%05d.dat", f);
+    corpus.emplace(name, std::move(content));
+  }
+  return corpus;
+}
+
+uint64_t corpusBytes(const FileCorpus& corpus) {
+  uint64_t total = 0;
+  for (const auto& [name, content] : corpus) total += content.size();
+  return total;
+}
+
+}  // namespace freqdedup

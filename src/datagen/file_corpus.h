@@ -1,0 +1,51 @@
+// Synthetic content corpus with realistic duplication structure.
+//
+// Substitutes for the paper's Ubuntu 14.04 initial snapshot (Section 5.1):
+// a tree of files whose bytes are spliced from a pool of shared source
+// blocks, so that content-defined chunking finds genuine intra- and
+// inter-file duplicates — the property the synthetic dataset's ~90 % storage
+// saving depends on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace freqdedup {
+
+/// File name -> content, ordered by name (deterministic walk order — files
+/// are concatenated in this order when a snapshot is chunked into a backup
+/// stream).
+using FileCorpus = std::map<std::string, ByteVec>;
+
+struct CorpusParams {
+  uint64_t seed = 11;
+  int fileCount = 520;
+  uint64_t targetBytes = 96ULL * 1024 * 1024;
+
+  // Source-block pool: files are built by splicing these shared blocks.
+  size_t poolBlocks = 240;
+  uint32_t poolBlockMin = 8 * 1024;
+  uint32_t poolBlockMax = 96 * 1024;
+  /// Probability that a spliced block is fresh random bytes instead of a
+  /// pool block (unique content).
+  double freshBlockProb = 0.35;
+  /// Probability that a pool block is lightly mutated when spliced (models
+  /// near-duplicate files).
+  double mutateBlockProb = 0.20;
+  /// Zipf exponent for pool-block reuse: popular blocks recur far more than
+  /// unpopular ones, giving the skewed, rank-stable frequency distribution
+  /// real images have (Figure 1).
+  double poolZipfAlpha = 1.1;
+};
+
+/// Generates the initial snapshot.
+FileCorpus generateCorpus(const CorpusParams& params = {});
+
+/// Total content bytes of a corpus.
+uint64_t corpusBytes(const FileCorpus& corpus);
+
+}  // namespace freqdedup

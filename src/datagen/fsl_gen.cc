@@ -1,0 +1,273 @@
+#include "datagen/fsl_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace freqdedup {
+
+namespace {
+
+struct FileState {
+  uint64_t id = 0;  // stable ordering key (directory-walk position)
+  bool shared = false;  // copy of a cross-user template
+  std::vector<ChunkRecord> chunks;
+};
+
+class FslWorld {
+ public:
+  explicit FslWorld(const FslGenParams& params)
+      : params_(params),
+        rng_(params.seed),
+        hotZipf_(params.hotPoolSize, params.hotZipfAlpha),
+        superZipf_(std::max<size_t>(1, params.superChunkCount), 1.9) {
+    superChunks_.reserve(params_.superChunkCount);
+    for (size_t i = 0; i < params_.superChunkCount; ++i)
+      superChunks_.push_back(freshUniqueChunk());
+    hotPool_.reserve(params_.hotPoolSize);
+    for (size_t i = 0; i < params_.hotPoolSize; ++i) {
+      std::vector<ChunkRecord> motif;
+      const size_t len = std::clamp<size_t>(
+          static_cast<size_t>(1.0 + rng_.lognormal(params_.motifLenMu,
+                                                   params_.motifLenSigma)),
+          1, params_.motifMaxLen);
+      motif.reserve(len);
+      for (size_t k = 0; k < len; ++k) motif.push_back(freshUniqueChunk());
+      if (!superChunks_.empty() && rng_.bernoulli(params_.superInMotifProb)) {
+        motif[rng_.pickIndex(motif.size())] =
+            superChunks_[superZipf_.sample(rng_)];
+      }
+      hotPool_.push_back(std::move(motif));
+    }
+  }
+
+  Dataset generate() {
+    Dataset dataset;
+    dataset.name = "fsl-like";
+    static const char* kLabels[] = {"Jan 22", "Feb 22", "Mar 22", "Apr 21",
+                                    "May 21"};
+    for (int u = 0; u < params_.users; ++u) users_.push_back(initialUser());
+    for (int b = 0; b < params_.backups; ++b) {
+      if (b > 0) {
+        for (auto& user : users_) evolveUser(user);
+      }
+      BackupTrace backup;
+      backup.label = b < 5 ? kLabels[b] : "backup " + std::to_string(b + 1);
+      for (const auto& user : users_) {
+        for (const FileState& file : user) {
+          backup.records.insert(backup.records.end(), file.chunks.begin(),
+                                file.chunks.end());
+        }
+      }
+      dataset.backups.push_back(std::move(backup));
+    }
+    return dataset;
+  }
+
+ private:
+  uint32_t sampleChunkSize() {
+    const double mean =
+        static_cast<double>(params_.avgChunkBytes - params_.minChunkBytes);
+    const double extra = rng_.exponential(1.0 / std::max(1.0, mean));
+    const auto size = static_cast<uint32_t>(
+        static_cast<double>(params_.minChunkBytes) + extra);
+    return std::clamp(size, params_.minChunkBytes, params_.maxChunkBytes);
+  }
+
+  ChunkRecord freshUniqueChunk() {
+    return ChunkRecord{rng_.next(), sampleChunkSize()};
+  }
+
+  /// Appends one fresh slot's worth of content: usually one unique chunk,
+  /// sometimes a hot motif *prefix*. Prefix (rather than whole-motif)
+  /// insertion makes frequencies strictly decrease along a motif — real
+  /// traces have a singular most-frequent chunk, not a plateau of exact
+  /// ties — while preserving the strong adjacency that lets the
+  /// locality-based attack crawl through popular content.
+  void appendFresh(std::vector<ChunkRecord>& out, double hotProb) {
+    if (!superChunks_.empty() && rng_.bernoulli(params_.superScatterProb)) {
+      // Zipf-weighted: super-chunk frequencies stay well separated, keeping
+      // their global frequency ranks stable across backups (the paper's
+      // premise for seeding with u top-frequency pairs).
+      out.push_back(superChunks_[superZipf_.sample(rng_)]);
+      return;
+    }
+    if (rng_.bernoulli(hotProb)) {
+      const auto& motif = hotPool_[hotZipf_.sample(rng_)];
+      // Prefix length proportional to the motif: long motifs usually recur
+      // nearly whole (bundles are copied in full), short ones vary more.
+      const double meanPrefix =
+          std::max(1.0, 0.7 * static_cast<double>(motif.size()));
+      const size_t len = std::clamp<size_t>(
+          1 + rng_.geometric(1.0 / meanPrefix), 1, motif.size());
+      out.insert(out.end(), motif.begin(),
+                 motif.begin() + static_cast<ptrdiff_t>(len));
+      return;
+    }
+    out.push_back(freshUniqueChunk());
+  }
+
+  size_t sampleFileChunkCount(double mu, double sigma) {
+    const double n = rng_.lognormal(mu, sigma);
+    return std::clamp<size_t>(static_cast<size_t>(n), params_.minFileChunks,
+                              params_.maxFileChunks);
+  }
+
+  FileState freshFile(double hotProb) {
+    return freshFileSized(hotProb, params_.logChunksMu,
+                          params_.logChunksSigma);
+  }
+
+  FileState freshFileSized(double hotProb, double mu, double sigma) {
+    FileState file;
+    file.id = nextFileId_++;
+    const size_t n = sampleFileChunkCount(mu, sigma);
+    file.chunks.reserve(n);
+    while (file.chunks.size() < n) appendFresh(file.chunks, hotProb);
+    return file;
+  }
+
+  /// A near-duplicate of `original` with a small diverged region.
+  FileState copyOf(const FileState& original) {
+    FileState copy;
+    copy.id = nextFileId_++;
+    copy.chunks = original.chunks;
+    const auto diverged = static_cast<size_t>(
+        params_.copyDivergence * static_cast<double>(copy.chunks.size()));
+    if (diverged > 0 && !copy.chunks.empty()) {
+      const size_t start = rng_.pickIndex(copy.chunks.size());
+      for (size_t k = 0; k < diverged; ++k)
+        copy.chunks[(start + k) % copy.chunks.size()] = freshUniqueChunk();
+    }
+    return copy;
+  }
+
+  std::vector<FileState> initialUser() {
+    if (templates_.empty() && params_.sharedTemplateFiles > 0) {
+      templates_.reserve(params_.sharedTemplateFiles);
+      templateAdoptProb_.reserve(params_.sharedTemplateFiles);
+      for (size_t t = 0; t < params_.sharedTemplateFiles; ++t) {
+        templates_.push_back(
+            freshFileSized(params_.hotChunkProbShared,
+                           params_.templateLogChunksMu,
+                           params_.templateLogChunksSigma)
+                .chunks);
+        templateAdoptProb_.push_back(
+            params_.adoptProbMin +
+            rng_.uniformReal() * (params_.adoptProbMax - params_.adoptProbMin));
+      }
+    }
+    std::vector<FileState> files;
+    files.reserve(static_cast<size_t>(params_.filesPerUser) * 2 +
+                  templates_.size());
+    // Shared files first (they sit at stable positions in every user's walk
+    // order); each user's copy evolves independently afterwards.
+    for (size_t t = 0; t < templates_.size(); ++t) {
+      if (!rng_.bernoulli(templateAdoptProb_[t])) continue;
+      FileState file;
+      file.id = nextFileId_++;
+      file.shared = true;
+      file.chunks = templates_[t];
+      files.push_back(std::move(file));
+    }
+    for (int f = 0; f < params_.filesPerUser; ++f) {
+      files.push_back(freshFile(params_.hotChunkProbPersonal));
+      if (rng_.bernoulli(params_.fileCopyProb))
+        files.push_back(copyOf(files.back()));
+    }
+    return files;
+  }
+
+  /// Clustered in-place modification of one file (the paper's chunk-locality
+  /// premise: changes appear in few clustered regions).
+  void modifyFile(FileState& file) {
+    if (file.chunks.empty()) return;
+    const int regions = 1 + static_cast<int>(rng_.bernoulli(0.3));
+    for (int r = 0; r < regions; ++r) {
+      if (file.chunks.empty()) break;  // every chunk deleted by a prior region
+      const double meanLen = std::max(
+          1.0, params_.modifyRegionFrac *
+                   static_cast<double>(file.chunks.size()) /
+                   static_cast<double>(regions));
+      const size_t len = std::max<uint64_t>(
+          1, rng_.geometric(1.0 / (meanLen + 1.0)));
+      const size_t start = rng_.pickIndex(file.chunks.size());
+      std::vector<ChunkRecord> updated;
+      updated.reserve(file.chunks.size() + 2);
+      const size_t end = std::min(file.chunks.size(), start + len);
+      updated.insert(updated.end(), file.chunks.begin(),
+                     file.chunks.begin() + static_cast<ptrdiff_t>(start));
+      for (size_t i = start; i < end; ++i) {
+        const double roll = rng_.uniformReal();
+        if (roll < 0.92) {
+          // content replaced in place (CDC boundaries resync, so chunk
+          // counts usually hold)
+          appendFresh(updated, params_.hotChunkProbPersonal);
+        } else if (roll < 0.96) {
+          // deletion: chunk vanishes
+        } else {
+          appendFresh(updated, params_.hotChunkProbPersonal);  // insertion
+          appendFresh(updated, params_.hotChunkProbPersonal);
+        }
+      }
+      updated.insert(updated.end(),
+                     file.chunks.begin() + static_cast<ptrdiff_t>(end),
+                     file.chunks.end());
+      file.chunks = std::move(updated);
+    }
+  }
+
+  void evolveUser(std::vector<FileState>& files) {
+    std::vector<FileState> survivors;
+    survivors.reserve(files.size());
+    for (FileState& file : files) {
+      const double factor = file.shared ? params_.sharedModifyFactor : 1.0;
+      if (rng_.bernoulli(params_.fileDeleteProb * factor)) continue;
+      if (rng_.bernoulli(params_.wholeFileRewriteProb * factor)) {
+        FileState rewritten = freshFile(params_.hotChunkProbPersonal);
+        rewritten.id = file.id;  // same path, new content
+        survivors.push_back(std::move(rewritten));
+        continue;
+      }
+      const double modifyProb =
+          file.shared ? params_.fileModifyProb * params_.sharedModifyFactor
+                      : params_.fileModifyProb;
+      if (rng_.bernoulli(modifyProb)) modifyFile(file);
+      survivors.push_back(std::move(file));
+    }
+    const auto created = static_cast<int>(
+        params_.fileCreateFrac * static_cast<double>(params_.filesPerUser));
+    for (int f = 0; f < created; ++f) {
+      survivors.push_back(freshFile(params_.hotChunkProbPersonal));
+      if (rng_.bernoulli(params_.fileCopyProb))
+        survivors.push_back(copyOf(survivors.back()));
+    }
+    std::sort(survivors.begin(), survivors.end(),
+              [](const FileState& a, const FileState& b) {
+                return a.id < b.id;
+              });
+    files = std::move(survivors);
+  }
+
+  FslGenParams params_;
+  Rng rng_;
+  ZipfTable hotZipf_;
+  ZipfTable superZipf_;
+  std::vector<ChunkRecord> superChunks_;
+  std::vector<std::vector<ChunkRecord>> hotPool_;
+  std::vector<std::vector<ChunkRecord>> templates_;
+  std::vector<double> templateAdoptProb_;
+  std::vector<std::vector<FileState>> users_;
+  uint64_t nextFileId_ = 1;
+};
+
+}  // namespace
+
+Dataset generateFslDataset(const FslGenParams& params) {
+  FDD_CHECK(params.users > 0 && params.backups > 0);
+  return FslWorld(params).generate();
+}
+
+}  // namespace freqdedup

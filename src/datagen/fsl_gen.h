@@ -1,0 +1,114 @@
+// FSL-like backup trace generator.
+//
+// Substitutes for the paper's FSL Fslhomes dataset (Section 5.1): several
+// users' home directories, snapshotted as monthly full backups, variable-size
+// chunks (8 KB average, 48-bit fingerprints). The generator is a file-level
+// evolution model reproducing the workload properties the paper's results
+// depend on:
+//   - chunk locality: each file is a stable chunk sequence; backups
+//     concatenate files in stable order; modifications hit few clustered
+//     regions (Section 1);
+//   - skewed frequency: a Zipf-weighted pool of "hot" chunk contents recurs
+//     across files (Figure 1), and some files exist in near-duplicate copies
+//     (giving both intra-backup duplication and frequency ties);
+//   - monthly churn: files are modified/deleted/created between backups, so
+//     older auxiliary backups share less content with the latest backup.
+// All randomness derives from the seed; the same params yield the same
+// dataset on every platform.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/backup_trace.h"
+
+namespace freqdedup {
+
+struct FslGenParams {
+  uint64_t seed = 42;
+  int users = 6;
+  int backups = 5;  // monthly full backups (paper: Jan 22 .. May 21)
+  int filesPerUser = 160;
+
+  // File sizes in chunks: lognormal, clamped.
+  double logChunksMu = 3.3;     // median ~27 chunks (~220 KB at 8 KB)
+  double logChunksSigma = 1.1;
+  uint32_t minFileChunks = 2;
+  uint32_t maxFileChunks = 3000;
+
+  // Chunk sizes: shifted-exponential approximation of Rabin CDC output.
+  uint32_t minChunkBytes = 2048;
+  uint32_t avgChunkBytes = 8192;
+  uint32_t maxChunkBytes = 16384;
+
+  // Intra-backup duplication. Duplicate content recurs as multi-chunk
+  // *motifs* (shared templates, headers, embedded libraries): when a fresh
+  // chunk slot rolls "hot", a whole Zipf-weighted motif sequence is inserted.
+  // Motifs both skew the frequency distribution (Figure 1) and create the
+  // frequency ties among motif neighbors that limit rank-pairing accuracy in
+  // real traces (Section 4.1).
+  // Motifs concentrate in shared content: personal documents rarely embed
+  // globally popular sequences, while shared trees are full of them. The
+  // imbalance controls how often the locality walk meets pure frequency
+  // ties (count-1 contexts) versus dominant, correctly-rankable edges.
+  double hotChunkProbShared = 0.07;    // motif rate inside shared templates
+  double hotChunkProbPersonal = 0.008; // motif rate inside personal files
+  size_t hotPoolSize = 500;            // number of distinct motifs
+
+  // A handful of super-hot chunks (the paper's ~30 chunks occurring >10^4
+  // times, Figure 1). They are embedded *inside* motifs (correlated
+  // popularity: the most frequent chunk's neighbors are themselves popular,
+  // with distinctive counts), plus lightly scattered everywhere.
+  size_t superChunkCount = 12;
+  double superInMotifProb = 0.5;  // motif carries one super chunk
+  double superScatterProb = 0.006; // stray super chunk at any fresh slot
+  double hotZipfAlpha = 1.05;
+  // Motif lengths are heavy-tailed (lognormal): most motifs are a few
+  // chunks (shared headers), but the popular tail is hundreds of chunks long
+  // (shared application bundles, caches) — these long runs are what let the
+  // locality walk ride dominant co-occurrence edges far from its seed.
+  double motifLenMu = 1.2;
+  double motifLenSigma = 1.6;
+  uint32_t motifMaxLen = 400;
+  double fileCopyProb = 0.20;   // file born with a near-duplicate copy
+  double copyDivergence = 0.06; // fraction of diverged chunks in the copy
+
+  // Cross-user shared files (dotfiles, shared datasets, checked-out trees):
+  // identical chunk sequences across users that then evolve independently.
+  // These form the medium-frequency "skeleton" (chunk frequencies ~ number
+  // of users) that the locality-based attack crawls via dominant
+  // co-occurrence counts.
+  size_t sharedTemplateFiles = 150;
+  // Shared files are big (project checkouts, media libraries): identical
+  // runs must span multiple MinHash segments so that segment interiors align
+  // across users — with runs shorter than a segment, every copy would land
+  // under a different segment minimum and cross-user deduplication would
+  // collapse (the paper's combined defense costs <= 3.6 % saving, which
+  // requires long aligned duplicate runs).
+  double templateLogChunksMu = 4.8;   // median ~120 chunks (~1 MB)
+  double templateLogChunksSigma = 0.9;
+  // Per-template adoption probability is itself random (uniform in
+  // [adoptProbMin, adoptProbMax]): different shared files live in different
+  // numbers of home directories. The resulting *distinct* co-occurrence
+  // counts act as matching signatures for rank-pairing — uniform adoption
+  // would make every cross-file tie a coin flip.
+  double adoptProbMin = 0.25;
+  double adoptProbMax = 1.0;
+  /// Shared trees (system files, media, checkouts) are modified far less
+  /// often than personal documents; per-user edits to shared files are what
+  /// make MinHash segments diverge across users, so this multiplier directly
+  /// controls the defense's storage cost (paper: <= 3.6 % saving loss).
+  double sharedModifyFactor = 0.1;
+
+  // Monthly evolution.
+  double fileModifyProb = 0.50;      // file touched between backups
+  double modifyRegionFrac = 0.16;    // mean fraction of chunks per touched file
+  double wholeFileRewriteProb = 0.06;
+  double fileDeleteProb = 0.03;
+  double fileCreateFrac = 0.06;      // new files per backup per user
+};
+
+/// Generates the full monthly-backup dataset (labels "Jan 22" .. "May 21"
+/// for the default five backups).
+Dataset generateFslDataset(const FslGenParams& params = {});
+
+}  // namespace freqdedup

@@ -1,0 +1,94 @@
+#include "datagen/snapshot_gen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+namespace {
+
+ByteVec randomBytes(Rng& rng, size_t n) {
+  ByteVec bytes(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    const uint64_t word = rng.next();
+    for (size_t j = 0; j < 8; ++j)
+      bytes[i + j] = static_cast<uint8_t>(word >> (8 * j));
+    i += 8;
+  }
+  for (uint64_t word = rng.next(); i < n; ++i, word >>= 8)
+    bytes[i] = static_cast<uint8_t>(word);
+  return bytes;
+}
+
+}  // namespace
+
+size_t mutateSnapshot(FileCorpus& corpus, const SnapshotGenParams& params,
+                      Rng& rng, int snapshotIndex) {
+  size_t modified = 0;
+  for (auto& [name, content] : corpus) {
+    if (!rng.bernoulli(params.fileModifyProb) || content.empty()) continue;
+    ++modified;
+    // Modify contentModFrac of the file in one clustered region (changes to
+    // backups "often appear in few clustered regions", Section 1).
+    const auto len = std::max<size_t>(
+        1, static_cast<size_t>(params.contentModFrac *
+                               static_cast<double>(content.size())));
+    const size_t start = rng.pickIndex(content.size());
+    const ByteVec patch = randomBytes(rng, std::min(len, content.size()));
+    for (size_t k = 0; k < patch.size(); ++k)
+      content[(start + k) % content.size()] = patch[k];
+  }
+
+  // Add new data as fresh files.
+  uint64_t added = 0;
+  int serial = 0;
+  while (added < params.newBytesPerSnapshot) {
+    const uint64_t size =
+        std::min<uint64_t>(params.newFileBytes,
+                           params.newBytesPerSnapshot - added);
+    char name[48];
+    snprintf(name, sizeof(name), "new%02d_%04d.dat", snapshotIndex, serial++);
+    corpus.emplace(name, randomBytes(rng, static_cast<size_t>(size)));
+    added += size;
+  }
+  return modified;
+}
+
+BackupTrace chunkSnapshot(const FileCorpus& corpus, const Chunker& chunker,
+                          const std::string& label, int fpBits) {
+  BackupTrace backup;
+  backup.label = label;
+  for (const auto& [name, content] : corpus) {
+    const std::vector<ChunkSpan> spans = chunker.split(content);
+    for (const ChunkSpan& span : spans) {
+      const ByteView bytes = chunkBytes(content, span);
+      backup.records.push_back({fpOfContent(bytes, fpBits), span.size});
+    }
+  }
+  return backup;
+}
+
+Dataset generateSyntheticDataset(const CorpusParams& corpusParams,
+                                 const SnapshotGenParams& params,
+                                 const Chunker& chunker,
+                                 FileCorpus* keepFinalSnapshot) {
+  FDD_CHECK(params.snapshots >= 1);
+  Dataset dataset;
+  dataset.name = "synthetic";
+
+  FileCorpus corpus = generateCorpus(corpusParams);
+  dataset.backups.push_back(chunkSnapshot(corpus, chunker, "snapshot 0"));
+
+  Rng rng(params.seed);
+  for (int s = 1; s <= params.snapshots; ++s) {
+    mutateSnapshot(corpus, params, rng, s);
+    dataset.backups.push_back(
+        chunkSnapshot(corpus, chunker, "snapshot " + std::to_string(s)));
+  }
+  if (keepFinalSnapshot != nullptr) *keepFinalSnapshot = std::move(corpus);
+  return dataset;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,46 @@
+// Lillibridge-style snapshot chain over real content (the paper's Synthetic
+// dataset, Section 5.1): starting from an initial snapshot, each subsequent
+// snapshot randomly picks a fraction of files, modifies a fraction of their
+// content in place, and adds a fixed amount of new data. Snapshots are
+// chunked with real content-defined chunking to produce backup traces.
+#pragma once
+
+#include <vector>
+
+#include "chunking/chunker.h"
+#include "datagen/file_corpus.h"
+#include "trace/backup_trace.h"
+
+namespace freqdedup {
+
+struct SnapshotGenParams {
+  uint64_t seed = 13;
+  int snapshots = 10;            // snapshots derived from the initial one
+  double fileModifyProb = 0.02;  // paper: 2 % of files per snapshot
+  double contentModFrac = 0.025; // paper: 2.5 % of a picked file's content
+  uint64_t newBytesPerSnapshot = 2ULL * 1024 * 1024;  // paper: 10 MB, scaled
+  uint32_t newFileBytes = 256 * 1024;
+};
+
+/// Applies one snapshot step in place; returns the number of modified files.
+size_t mutateSnapshot(FileCorpus& corpus, const SnapshotGenParams& params,
+                      Rng& rng, int snapshotIndex);
+
+/// Chunks one snapshot (files concatenated in name order) into a backup
+/// trace using the provided chunker; fingerprints are truncated SHA-256 of
+/// chunk content.
+BackupTrace chunkSnapshot(const FileCorpus& corpus, const Chunker& chunker,
+                          const std::string& label,
+                          int fpBits = kFullFpBits);
+
+/// Generates the whole synthetic dataset: the initial snapshot (index 0, the
+/// publicly available image in the paper's threat model) followed by
+/// `params.snapshots` derived snapshots. Returns traces only; use the
+/// `keepFinalSnapshot` output to also retain the last snapshot's content for
+/// content-pipeline experiments.
+Dataset generateSyntheticDataset(const CorpusParams& corpusParams,
+                                 const SnapshotGenParams& params,
+                                 const Chunker& chunker,
+                                 FileCorpus* keepFinalSnapshot = nullptr);
+
+}  // namespace freqdedup

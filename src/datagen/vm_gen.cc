@@ -1,0 +1,166 @@
+#include "datagen/vm_gen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace freqdedup {
+
+namespace {
+
+class VmWorld {
+ public:
+  explicit VmWorld(const VmGenParams& params)
+      : params_(params),
+        rng_(params.seed),
+        hotZipf_(params.hotPoolSize, params.hotZipfAlpha) {
+    hotPool_.reserve(params_.hotPoolSize);
+    for (size_t i = 0; i < params_.hotPoolSize; ++i) {
+      std::vector<Fp> motif(std::clamp<size_t>(
+          static_cast<size_t>(1.0 + rng_.lognormal(params_.motifLenMu,
+                                                   params_.motifLenSigma)),
+          1, params_.motifMaxLen));
+      for (auto& fp : motif) fp = rng_.next();
+      hotPool_.push_back(std::move(motif));
+    }
+  }
+
+  Dataset generate() {
+    Dataset dataset;
+    dataset.name = "vm-like";
+
+    // The shared base image all students clone.
+    std::vector<Fp> base = freshContent(params_.baseImageChunks);
+
+    std::vector<std::vector<Fp>> images(static_cast<size_t>(params_.users),
+                                        base);
+    for (auto& image : images) diverge(image, params_.initialDivergence);
+
+    for (int week = 1; week <= params_.weeks; ++week) {
+      if (week > 1) evolveWeek(images, week);
+      BackupTrace backup;
+      backup.label = "week " + std::to_string(week);
+      for (const auto& image : images) {
+        for (const Fp fp : image)
+          backup.records.push_back({fp, params_.chunkBytes});
+      }
+      dataset.backups.push_back(std::move(backup));
+    }
+    return dataset;
+  }
+
+ private:
+  /// Fresh content of exactly `n` chunks: unique fingerprints interleaved
+  /// with whole hot motifs.
+  std::vector<Fp> freshContent(size_t n) {
+    std::vector<Fp> out;
+    out.reserve(n + params_.motifMaxLen);
+    while (out.size() < n) {
+      if (rng_.bernoulli(params_.hotChunkProb)) {
+        // Motif *prefixes*: frequencies strictly decrease along a motif, so
+        // the trace has a singular most-frequent chunk rather than a plateau
+        // of exact ties (see fsl_gen.cc for the rationale).
+        const auto& motif = hotPool_[hotZipf_.sample(rng_)];
+        const double meanPrefix =
+            std::max(1.0, 0.7 * static_cast<double>(motif.size()));
+        const size_t len = std::clamp<size_t>(
+            1 + rng_.geometric(1.0 / meanPrefix), 1, motif.size());
+        out.insert(out.end(), motif.begin(),
+                   motif.begin() + static_cast<ptrdiff_t>(len));
+      } else {
+        out.push_back(rng_.next());
+      }
+    }
+    out.resize(n);
+    return out;
+  }
+
+  /// Replaces a fraction of the image with fresh per-image content, in
+  /// clustered regions.
+  void diverge(std::vector<Fp>& image, double fraction) {
+    const auto count = static_cast<size_t>(
+        fraction * static_cast<double>(image.size()));
+    const std::vector<size_t> positions =
+        clusteredPositions(count, image.size());
+    const std::vector<Fp> content = freshContent(positions.size());
+    for (size_t i = 0; i < positions.size(); ++i)
+      image[positions[i]] = content[i];
+  }
+
+  /// Picks clustered regions totalling ~`count` positions within [0, limit).
+  std::vector<size_t> clusteredPositions(size_t count, size_t limit) {
+    std::vector<size_t> positions;
+    positions.reserve(count);
+    while (positions.size() < count) {
+      const size_t start = rng_.pickIndex(limit);
+      const size_t len = std::min<size_t>(
+          1 + rng_.geometric(1.0 / params_.meanRegionChunks),
+          count - positions.size());
+      for (size_t k = 0; k < len; ++k)
+        positions.push_back((start + k) % limit);
+    }
+    return positions;
+  }
+
+  void evolveWeek(std::vector<std::vector<Fp>>& images, int week) {
+    const bool heavy =
+        week >= params_.heavyWeekFirst + 1 && week <= params_.heavyWeekLast + 1;
+    const double modFrac = heavy ? params_.heavyModFrac : params_.lightModFrac;
+    const size_t baseLimit = params_.baseImageChunks;
+
+    // Course-wide shared update: same positions, same new content for all.
+    const auto sharedCount = static_cast<size_t>(
+        params_.sharedUpdateFrac * modFrac * static_cast<double>(baseLimit));
+    const std::vector<size_t> sharedPositions =
+        clusteredPositions(sharedCount, baseLimit);
+    const std::vector<Fp> sharedContent =
+        freshContent(sharedPositions.size());
+    for (auto& image : images) {
+      for (size_t i = 0; i < sharedPositions.size(); ++i)
+        image[sharedPositions[i]] = sharedContent[i];
+    }
+
+    // Student-specific edits: distinct positions and content per user.
+    const auto personalCount = static_cast<size_t>(
+        (1.0 - params_.sharedUpdateFrac) * modFrac *
+        static_cast<double>(baseLimit));
+    for (auto& image : images) {
+      const std::vector<size_t> positions =
+          clusteredPositions(personalCount, baseLimit);
+      const std::vector<Fp> content = freshContent(positions.size());
+      for (size_t i = 0; i < positions.size(); ++i)
+        image[positions[i]] = content[i];
+    }
+
+    // Weekly image growth (downloads, build artifacts): mostly shared
+    // course data, placed at the tail of every image.
+    const auto growth = static_cast<size_t>(
+        params_.newDataFrac * static_cast<double>(baseLimit));
+    const std::vector<Fp> sharedTail = freshContent(growth);
+    for (auto& image : images) {
+      for (const Fp fp : sharedTail) {
+        if (rng_.bernoulli(params_.sharedUpdateFrac)) {
+          image.push_back(fp);
+        } else {
+          image.push_back(rng_.next());
+        }
+      }
+    }
+  }
+
+  VmGenParams params_;
+  Rng rng_;
+  ZipfTable hotZipf_;
+  std::vector<std::vector<Fp>> hotPool_;
+};
+
+}  // namespace
+
+Dataset generateVmDataset(const VmGenParams& params) {
+  FDD_CHECK(params.users > 0 && params.weeks > 0);
+  FDD_CHECK(params.heavyWeekFirst <= params.heavyWeekLast);
+  return VmWorld(params).generate();
+}
+
+}  // namespace freqdedup

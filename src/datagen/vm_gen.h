@@ -1,0 +1,64 @@
+// VM-like backup trace generator.
+//
+// Substitutes for the paper's course VM dataset (Section 5.1): weekly
+// snapshots of students' virtual machine disk images, 4 KB fixed-size chunks,
+// zero-filled chunks already removed. The model captures the dataset's three
+// defining behaviours:
+//   - all students start from the same base image, so cross-user redundancy
+//     dominates and the dedup ratio is very high;
+//   - weekly changes are in-place block rewrites (disk images do not shift
+//     content), split between student-specific edits and course-wide shared
+//     updates (everyone installs the same packages);
+//   - a heavy-churn window mid-course rewrites most of each image
+//     ("users have heavy activities during these weeks"), which is what
+//     makes auxiliary backups before the window useless against targets
+//     after it (Figures 5(c), 6(c), 7(c)).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/backup_trace.h"
+
+namespace freqdedup {
+
+struct VmGenParams {
+  uint64_t seed = 7;
+  int users = 8;
+  int weeks = 13;
+  uint32_t chunkBytes = 4096;
+  size_t baseImageChunks = 24'000;  // ~94 MB image at 4 KB
+
+  double initialDivergence = 0.01;  // students diverge slightly at week 1
+
+  // Weekly churn as a fraction of the image.
+  double lightModFrac = 0.02;
+  double heavyModFrac = 0.95;
+  int heavyWeekFirst = 5;  // transitions INTO weeks [first, last] are heavy
+  int heavyWeekLast = 8;
+
+  /// Fraction of a week's modifications that are course-wide (identical
+  /// content and position for every student).
+  double sharedUpdateFrac = 0.85;
+
+  double newDataFrac = 0.005;  // image growth per week
+
+  /// Mean length (in chunks) of a contiguous modified region. Edits come in
+  /// few large regions (new files / package payloads written contiguously),
+  /// not scattered single-block patches — scattered edits would perturb
+  /// every MinHash segment's minimum and inflate the defense's storage cost.
+  double meanRegionChunks = 512.0;
+
+  // Intra-image duplication: common multi-chunk motifs (shared library
+  // pages, templates) recurring inside and across images.
+  double hotChunkProb = 0.03;
+  size_t hotPoolSize = 800;
+  double hotZipfAlpha = 1.05;
+  double motifLenMu = 1.2;   // lognormal motif lengths (heavy tail)
+  double motifLenSigma = 1.6;
+  uint32_t motifMaxLen = 400;
+};
+
+/// Generates the weekly dataset (labels "week 1" .. "week N").
+Dataset generateVmDataset(const VmGenParams& params = {});
+
+}  // namespace freqdedup

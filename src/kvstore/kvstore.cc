@@ -1,0 +1,19 @@
+#include "kvstore/kvstore.h"
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+ByteVec kvKeyFromU64(uint64_t v) {
+  ByteVec key;
+  key.reserve(8);
+  putU64(key, v);
+  return key;
+}
+
+uint64_t kvKeyToU64(ByteView key) {
+  FDD_CHECK(key.size() == 8);
+  return getU64(key, 0);
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,48 @@
+// Key-value store interface.
+//
+// The paper implements its associative arrays and the deduplication
+// fingerprint index on LevelDB; this library provides the same capability
+// with two backends: an in-memory map (MemKv) for attack state that fits in
+// RAM at our dataset scale, and a persistent log-structured store (LogKv)
+// for the durable fingerprint index of the storage prototype.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace freqdedup {
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Inserts or overwrites a key.
+  virtual void put(ByteView key, ByteView value) = 0;
+
+  /// Returns the value for a key, or nullopt if absent.
+  virtual std::optional<ByteVec> get(ByteView key) = 0;
+
+  /// Removes a key. Returns true if it was present.
+  virtual bool erase(ByteView key) = 0;
+
+  /// Presence test without materializing the value.
+  [[nodiscard]] virtual bool contains(ByteView key) const = 0;
+
+  /// Number of live keys.
+  [[nodiscard]] virtual size_t size() const = 0;
+
+  /// Iterates all live entries (order unspecified). The callback must not
+  /// mutate the store.
+  virtual void forEach(
+      const std::function<void(ByteView key, ByteView value)>& fn) = 0;
+};
+
+/// Convenience helpers for fingerprint-keyed stores.
+ByteVec kvKeyFromU64(uint64_t v);
+uint64_t kvKeyToU64(ByteView key);
+
+}  // namespace freqdedup

@@ -1,0 +1,190 @@
+#include "kvstore/logkv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/varint.h"
+
+namespace freqdedup {
+
+namespace {
+
+std::string keyString(ByteView key) {
+  return std::string(reinterpret_cast<const char*>(key.data()), key.size());
+}
+
+constexpr size_t kHeaderBytes = 8;  // crc32 + payloadLen
+
+}  // namespace
+
+LogKv::LogKv(std::string path) : path_(std::move(path)), file_(nullptr, fclose) {
+  openLog();
+  replay();
+}
+
+LogKv::~LogKv() {
+  if (file_) fflush(file_.get());
+}
+
+void LogKv::openLog() {
+  // "a+b" would force appends regardless of seek; use explicit r+b/w+b so we
+  // can truncate torn tails during recovery.
+  FILE* f = fopen(path_.c_str(), "r+b");
+  if (f == nullptr) f = fopen(path_.c_str(), "w+b");
+  if (f == nullptr)
+    throw std::runtime_error("LogKv: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  file_.reset(f);
+}
+
+void LogKv::replay() {
+  index_.clear();
+  writeOffset_ = 0;
+  deadRecords_ = 0;
+  FILE* f = file_.get();
+  fseek(f, 0, SEEK_END);
+  const long fileSize = ftell(f);
+  FDD_CHECK(fileSize >= 0);
+  fseek(f, 0, SEEK_SET);
+
+  ByteVec payload;
+  uint64_t offset = 0;
+  while (offset + kHeaderBytes <= static_cast<uint64_t>(fileSize)) {
+    uint8_t header[kHeaderBytes];
+    if (fread(header, 1, kHeaderBytes, f) != kHeaderBytes) break;
+    const uint32_t crc = getU32(ByteView(header, kHeaderBytes), 0);
+    const uint32_t len = getU32(ByteView(header, kHeaderBytes), 4);
+    if (offset + kHeaderBytes + len > static_cast<uint64_t>(fileSize)) break;
+    payload.resize(len);
+    if (len > 0 && fread(payload.data(), 1, len, f) != len) break;
+    if (crc32c(payload) != crc) break;  // corrupt record: stop at torn tail
+
+    size_t pos = 0;
+    if (payload.empty()) break;
+    const auto type = static_cast<RecordType>(payload[pos++]);
+    const auto keyLen = getVarint(payload, pos);
+    if (!keyLen || pos + *keyLen > payload.size()) break;
+    std::string key(reinterpret_cast<const char*>(payload.data() + pos),
+                    static_cast<size_t>(*keyLen));
+    pos += static_cast<size_t>(*keyLen);
+    if (type == RecordType::kPut) {
+      const auto valLen = getVarint(payload, pos);
+      if (!valLen || pos + *valLen != payload.size()) break;
+      if (index_.count(key) > 0) ++deadRecords_;
+      index_[key] = ValueLocation{
+          offset + kHeaderBytes + pos, static_cast<uint32_t>(*valLen)};
+    } else if (type == RecordType::kDelete) {
+      if (index_.erase(key) > 0) ++deadRecords_;
+      ++deadRecords_;  // the tombstone itself is dead space
+    } else {
+      break;  // unknown record type: treat as corruption
+    }
+    offset += kHeaderBytes + len;
+  }
+
+  // Truncate any torn tail so subsequent appends start at a clean boundary.
+  if (offset < static_cast<uint64_t>(fileSize)) {
+    std::filesystem::resize_file(path_, offset);
+    // Reopen to refresh the stdio stream's view of the file.
+    file_.reset();
+    openLog();
+  }
+  writeOffset_ = offset;
+  fseek(file_.get(), static_cast<long>(writeOffset_), SEEK_SET);
+}
+
+uint64_t LogKv::appendRecord(RecordType type, ByteView key, ByteView value) {
+  ByteVec payload;
+  payload.reserve(1 + 10 + key.size() + 10 + value.size());
+  payload.push_back(static_cast<uint8_t>(type));
+  putVarint(payload, key.size());
+  appendBytes(payload, key);
+  size_t valueOffsetInPayload = 0;
+  if (type == RecordType::kPut) {
+    putVarint(payload, value.size());
+    valueOffsetInPayload = payload.size();
+    appendBytes(payload, value);
+  }
+
+  ByteVec framed;
+  framed.reserve(kHeaderBytes + payload.size());
+  putU32(framed, crc32c(payload));
+  putU32(framed, static_cast<uint32_t>(payload.size()));
+  appendBytes(framed, payload);
+
+  FILE* f = file_.get();
+  fseek(f, static_cast<long>(writeOffset_), SEEK_SET);
+  if (fwrite(framed.data(), 1, framed.size(), f) != framed.size())
+    throw std::runtime_error("LogKv: append failed on " + path_);
+  const uint64_t valueFileOffset =
+      writeOffset_ + kHeaderBytes + valueOffsetInPayload;
+  writeOffset_ += framed.size();
+  return valueFileOffset;
+}
+
+ByteVec LogKv::readValueAt(const ValueLocation& loc) {
+  FILE* f = file_.get();
+  fflush(f);  // make buffered appends visible to the read below
+  fseek(f, static_cast<long>(loc.offset), SEEK_SET);
+  ByteVec value(loc.size);
+  if (loc.size > 0 && fread(value.data(), 1, value.size(), f) != value.size())
+    throw std::runtime_error("LogKv: value read failed on " + path_);
+  fseek(f, static_cast<long>(writeOffset_), SEEK_SET);
+  return value;
+}
+
+void LogKv::put(ByteView key, ByteView value) {
+  const uint64_t valueOffset = appendRecord(RecordType::kPut, key, value);
+  auto [it, inserted] = index_.try_emplace(keyString(key));
+  if (!inserted) ++deadRecords_;
+  it->second = ValueLocation{valueOffset, static_cast<uint32_t>(value.size())};
+}
+
+std::optional<ByteVec> LogKv::get(ByteView key) {
+  const auto it = index_.find(keyString(key));
+  if (it == index_.end()) return std::nullopt;
+  return readValueAt(it->second);
+}
+
+bool LogKv::erase(ByteView key) {
+  const auto it = index_.find(keyString(key));
+  if (it == index_.end()) return false;
+  appendRecord(RecordType::kDelete, key, {});
+  index_.erase(it);
+  ++deadRecords_;
+  return true;
+}
+
+bool LogKv::contains(ByteView key) const {
+  return index_.find(keyString(key)) != index_.end();
+}
+
+void LogKv::forEach(
+    const std::function<void(ByteView key, ByteView value)>& fn) {
+  for (const auto& [key, loc] : index_) {
+    const ByteVec value = readValueAt(loc);
+    fn(ByteView(reinterpret_cast<const uint8_t*>(key.data()), key.size()),
+       value);
+  }
+}
+
+void LogKv::flush() { fflush(file_.get()); }
+
+void LogKv::compact() {
+  const std::string tmpPath = path_ + ".compact";
+  {
+    LogKv fresh(tmpPath);
+    forEach([&fresh](ByteView key, ByteView value) { fresh.put(key, value); });
+    fresh.flush();
+  }
+  file_.reset();
+  std::filesystem::rename(tmpPath, path_);
+  openLog();
+  replay();
+}
+
+}  // namespace freqdedup

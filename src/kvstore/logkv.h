@@ -1,0 +1,72 @@
+// LogKv — persistent log-structured key-value store (Bitcask style).
+//
+// All mutations append CRC-framed records to a single log file; an in-memory
+// hash index maps each live key to the file offset of its latest value.
+// Reads seek into the log. Recovery replays the log, verifying checksums and
+// truncating a torn tail (partial final record after a crash). compact()
+// rewrites only live records into a fresh log and atomically renames it over
+// the old one.
+//
+// Record framing: [crc32c: u32][payloadLen: u32][payload], where payload =
+// [type: u8][varint keyLen][key][varint valLen][val] (valLen/val omitted for
+// tombstones).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "kvstore/kvstore.h"
+
+namespace freqdedup {
+
+class LogKv final : public KvStore {
+ public:
+  /// Opens (creating if needed) the log at `path` and replays it.
+  /// Throws std::runtime_error on unrecoverable I/O failure.
+  explicit LogKv(std::string path);
+  ~LogKv() override;
+
+  LogKv(const LogKv&) = delete;
+  LogKv& operator=(const LogKv&) = delete;
+
+  void put(ByteView key, ByteView value) override;
+  std::optional<ByteVec> get(ByteView key) override;
+  bool erase(ByteView key) override;
+  [[nodiscard]] bool contains(ByteView key) const override;
+  [[nodiscard]] size_t size() const override { return index_.size(); }
+  void forEach(const std::function<void(ByteView key, ByteView value)>& fn)
+      override;
+
+  /// Flushes buffered writes to the OS.
+  void flush();
+
+  /// Rewrites the log keeping only live records; reclaims dead space.
+  void compact();
+
+  [[nodiscard]] uint64_t logBytes() const { return writeOffset_; }
+  [[nodiscard]] uint64_t deadRecords() const { return deadRecords_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct ValueLocation {
+    uint64_t offset = 0;  // file offset of the value bytes
+    uint32_t size = 0;
+  };
+
+  enum class RecordType : uint8_t { kPut = 1, kDelete = 2 };
+
+  void openLog();
+  void replay();
+  uint64_t appendRecord(RecordType type, ByteView key, ByteView value);
+  ByteVec readValueAt(const ValueLocation& loc);
+
+  std::string path_;
+  std::unique_ptr<FILE, int (*)(FILE*)> file_;
+  uint64_t writeOffset_ = 0;
+  uint64_t deadRecords_ = 0;
+  std::unordered_map<std::string, ValueLocation> index_;
+};
+
+}  // namespace freqdedup

@@ -1,0 +1,34 @@
+#include "kvstore/memkv.h"
+
+namespace freqdedup {
+
+namespace {
+std::string keyString(ByteView key) {
+  return std::string(reinterpret_cast<const char*>(key.data()), key.size());
+}
+}  // namespace
+
+void MemKv::put(ByteView key, ByteView value) {
+  map_[keyString(key)] = ByteVec(value.begin(), value.end());
+}
+
+std::optional<ByteVec> MemKv::get(ByteView key) {
+  const auto it = map_.find(keyString(key));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemKv::erase(ByteView key) { return map_.erase(keyString(key)) > 0; }
+
+bool MemKv::contains(ByteView key) const {
+  return map_.find(keyString(key)) != map_.end();
+}
+
+void MemKv::forEach(
+    const std::function<void(ByteView key, ByteView value)>& fn) {
+  for (const auto& [k, v] : map_) {
+    fn(ByteView(reinterpret_cast<const uint8_t*>(k.data()), k.size()), v);
+  }
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,25 @@
+// In-memory key-value store backend.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "kvstore/kvstore.h"
+
+namespace freqdedup {
+
+class MemKv final : public KvStore {
+ public:
+  void put(ByteView key, ByteView value) override;
+  std::optional<ByteVec> get(ByteView key) override;
+  bool erase(ByteView key) override;
+  [[nodiscard]] bool contains(ByteView key) const override;
+  [[nodiscard]] size_t size() const override { return map_.size(); }
+  void forEach(const std::function<void(ByteView key, ByteView value)>& fn)
+      override;
+
+ private:
+  std::unordered_map<std::string, ByteVec> map_;
+};
+
+}  // namespace freqdedup

@@ -1,0 +1,184 @@
+#include "storage/backup_manager.h"
+
+#include <deque>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+std::vector<size_t> scrambleOrder(size_t recordCount,
+                                  std::span<const Segment> segments,
+                                  Rng& rng) {
+  std::vector<size_t> order;
+  order.reserve(recordCount);
+  for (const Segment& seg : segments) {
+    FDD_CHECK(seg.end <= recordCount);
+    std::deque<size_t> scrambled;
+    for (size_t i = seg.begin; i < seg.end; ++i) {
+      // Algorithm 5, lines 7-12: odd random number -> front, else back.
+      if (rng.next() & 1) {
+        scrambled.push_front(i);
+      } else {
+        scrambled.push_back(i);
+      }
+    }
+    order.insert(order.end(), scrambled.begin(), scrambled.end());
+  }
+  FDD_CHECK_MSG(order.size() == recordCount,
+                "segments must cover all records");
+  return order;
+}
+
+BackupManager::BackupManager(BackupStore& store, const KeyManager& keyManager,
+                             const Chunker& chunker, BackupOptions options)
+    : store_(&store),
+      keyManager_(&keyManager),
+      chunker_(&chunker),
+      options_(options) {}
+
+BackupOutcome BackupManager::backup(const std::string& name,
+                                    ByteView content) {
+  const std::vector<ChunkSpan> spans = chunker_->split(content);
+  switch (options_.scheme) {
+    case EncryptionScheme::kMle:
+      return backupMle(name, content, spans);
+    case EncryptionScheme::kMinHash:
+      return backupMinHash(name, content, spans, /*scramble=*/false);
+    case EncryptionScheme::kMinHashScrambled:
+      return backupMinHash(name, content, spans, /*scramble=*/true);
+  }
+  FDD_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+BackupOutcome BackupManager::backupMle(const std::string& name,
+                                       ByteView content,
+                                       const std::vector<ChunkSpan>& spans) {
+  BackupOutcome outcome;
+  outcome.fileRecipe.fileName = name;
+  outcome.fileRecipe.fileSize = content.size();
+  outcome.chunkCount = spans.size();
+  for (const ChunkSpan& span : spans) {
+    const ByteView plain = chunkBytes(content, span);
+    const AesKey key = keyManager_->deriveChunkKey(fpOfContent(plain));
+    const ByteVec cipher = MleScheme::encryptWithKey(key, plain);
+    const Fp cipherFp = fpOfContent(cipher);
+    if (store_->putChunk(cipherFp, cipher)) {
+      ++outcome.newChunks;
+    } else {
+      ++outcome.duplicateChunks;
+    }
+    outcome.fileRecipe.entries.push_back(
+        {cipherFp, static_cast<uint32_t>(cipher.size())});
+    outcome.keyRecipe.keys.push_back(key);
+  }
+  return outcome;
+}
+
+BackupOutcome BackupManager::backupMinHash(
+    const std::string& name, ByteView content,
+    const std::vector<ChunkSpan>& spans, bool scramble) {
+  // Materialize plaintext chunks in logical order.
+  std::vector<ByteVec> plainChunks;
+  plainChunks.reserve(spans.size());
+  for (const ChunkSpan& span : spans) {
+    const ByteView bytes = chunkBytes(content, span);
+    plainChunks.emplace_back(bytes.begin(), bytes.end());
+  }
+
+  // Segment on (fingerprint, size) records of the original order.
+  std::vector<ChunkRecord> records;
+  records.reserve(plainChunks.size());
+  for (const auto& chunk : plainChunks)
+    records.push_back(
+        {fpOfContent(chunk), static_cast<uint32_t>(chunk.size())});
+  const std::vector<Segment> segments =
+      segmentRecords(records, options_.segmentParams);
+
+  // Scrambling permutes the upload/storage order within each segment; the
+  // recipes keep the original order so restore is unaffected (Section 6.2).
+  std::vector<size_t> order;
+  if (scramble) {
+    Rng rng(options_.scrambleSeed);
+    order = scrambleOrder(records.size(), segments, rng);
+  } else {
+    order.resize(records.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  }
+
+  // Per-segment keys from the segment's minimum fingerprint (Algorithm 4).
+  std::vector<AesKey> keyOf(plainChunks.size());
+  for (const Segment& seg : segments) {
+    const Fp minFp = segmentMinFingerprint(records, seg);
+    const AesKey segKey = keyManager_->deriveSegmentKey(minFp);
+    for (size_t i = seg.begin; i < seg.end; ++i) keyOf[i] = segKey;
+  }
+
+  BackupOutcome outcome;
+  outcome.fileRecipe.fileName = name;
+  outcome.fileRecipe.fileSize = content.size();
+  outcome.fileRecipe.entries.resize(plainChunks.size());
+  outcome.keyRecipe.keys.resize(plainChunks.size());
+  outcome.chunkCount = plainChunks.size();
+
+  for (const size_t i : order) {
+    const ByteVec cipher =
+        MleScheme::encryptWithKey(keyOf[i], plainChunks[i]);
+    const Fp cipherFp = fpOfContent(cipher);
+    if (store_->putChunk(cipherFp, cipher)) {
+      ++outcome.newChunks;
+    } else {
+      ++outcome.duplicateChunks;
+    }
+    outcome.fileRecipe.entries[i] = {cipherFp,
+                                     static_cast<uint32_t>(cipher.size())};
+    outcome.keyRecipe.keys[i] = keyOf[i];
+  }
+  return outcome;
+}
+
+ByteVec BackupManager::restore(const FileRecipe& fileRecipe,
+                               const KeyRecipe& keyRecipe) {
+  FDD_CHECK_MSG(fileRecipe.entries.size() == keyRecipe.keys.size(),
+                "file and key recipes disagree");
+  ByteVec content;
+  content.reserve(fileRecipe.fileSize);
+  for (size_t i = 0; i < fileRecipe.entries.size(); ++i) {
+    const ByteVec cipher = store_->getChunk(fileRecipe.entries[i].cipherFp);
+    const ByteVec plain =
+        MleScheme::decryptWithKey(keyRecipe.keys[i], cipher);
+    appendBytes(content, plain);
+  }
+  if (content.size() != fileRecipe.fileSize)
+    throw std::runtime_error("restore: size mismatch for " +
+                             fileRecipe.fileName);
+  return content;
+}
+
+void BackupManager::storeRecipes(const std::string& name,
+                                 const BackupOutcome& outcome,
+                                 const AesKey& userKey, Rng& rng) {
+  store_->putBlob("file:" + name,
+                  sealWithUserKey(userKey,
+                                  serializeFileRecipe(outcome.fileRecipe),
+                                  rng));
+  store_->putBlob("key:" + name,
+                  sealWithUserKey(userKey,
+                                  serializeKeyRecipe(outcome.keyRecipe), rng));
+}
+
+ByteVec BackupManager::restoreByName(const std::string& name,
+                                     const AesKey& userKey) {
+  const auto fileBlob = store_->getBlob("file:" + name);
+  const auto keyBlob = store_->getBlob("key:" + name);
+  if (!fileBlob || !keyBlob)
+    throw std::runtime_error("restoreByName: no recipes for " + name);
+  const FileRecipe fileRecipe =
+      parseFileRecipe(openWithUserKey(userKey, *fileBlob));
+  const KeyRecipe keyRecipe =
+      parseKeyRecipe(openWithUserKey(userKey, *keyBlob));
+  return restore(fileRecipe, keyRecipe);
+}
+
+}  // namespace freqdedup

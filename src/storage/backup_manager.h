@@ -1,0 +1,84 @@
+// End-to-end encrypted-deduplication backup pipeline over real bytes:
+// chunking -> (optional scrambling) -> MLE or MinHash encryption -> chunk
+// store, producing file/key recipes; plus the inverse restore path.
+//
+// This is the "client" of Figure 2 in the paper. The trace-level simulation
+// used for the figure reproductions lives in src/core; this class is the
+// real-bytes counterpart exercised by the content-pipeline tests, the
+// synthetic dataset, and the backup_system example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chunking/chunker.h"
+#include "chunking/segmenter.h"
+#include "common/rng.h"
+#include "crypto/key_manager.h"
+#include "crypto/minhash_encryption.h"
+#include "crypto/mle.h"
+#include "storage/backup_store.h"
+#include "storage/recipe.h"
+
+namespace freqdedup {
+
+enum class EncryptionScheme {
+  kMle,              // per-chunk server-aided MLE (deterministic)
+  kMinHash,          // segment-keyed MinHash encryption (Algorithm 4)
+  kMinHashScrambled  // MinHash + per-segment scrambling (Algorithms 4+5)
+};
+
+struct BackupOptions {
+  EncryptionScheme scheme = EncryptionScheme::kMle;
+  SegmentParams segmentParams;
+  uint64_t scrambleSeed = 1;
+};
+
+struct BackupOutcome {
+  FileRecipe fileRecipe;
+  KeyRecipe keyRecipe;
+  size_t chunkCount = 0;
+  size_t newChunks = 0;
+  size_t duplicateChunks = 0;
+};
+
+class BackupManager {
+ public:
+  /// All referenced collaborators must outlive the manager.
+  BackupManager(BackupStore& store, const KeyManager& keyManager,
+                const Chunker& chunker, BackupOptions options = {});
+
+  /// Backs up one logical object (file content) under `name`.
+  BackupOutcome backup(const std::string& name, ByteView content);
+
+  /// Restores content from recipes.
+  ByteVec restore(const FileRecipe& fileRecipe, const KeyRecipe& keyRecipe);
+
+  /// Seals both recipes under the user key and stores them as blobs.
+  void storeRecipes(const std::string& name, const BackupOutcome& outcome,
+                    const AesKey& userKey, Rng& rng);
+
+  /// Loads, unseals and restores a named object; throws if absent.
+  ByteVec restoreByName(const std::string& name, const AesKey& userKey);
+
+ private:
+  BackupOutcome backupMle(const std::string& name, ByteView content,
+                          const std::vector<ChunkSpan>& spans);
+  BackupOutcome backupMinHash(const std::string& name, ByteView content,
+                              const std::vector<ChunkSpan>& spans,
+                              bool scramble);
+
+  BackupStore* store_;
+  const KeyManager* keyManager_;
+  const Chunker* chunker_;
+  BackupOptions options_;
+};
+
+/// Computes the per-segment scrambled visit order of Algorithm 5: for each
+/// chunk a random bit decides whether it is prepended or appended to the
+/// scrambled segment. Returns a permutation of [0, records) (indices into the
+/// original order).
+std::vector<size_t> scrambleOrder(size_t recordCount,
+                                  std::span<const Segment> segments, Rng& rng);
+
+}  // namespace freqdedup

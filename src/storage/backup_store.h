@@ -1,0 +1,95 @@
+// Content-addressed chunk store with container packing.
+//
+// Stores ciphertext chunks deduplicated by ciphertext fingerprint, packed
+// into containers, with a fingerprint index mapping each stored fingerprint
+// to its container and entry. Two modes:
+//  - in-memory (default): containers and index live in RAM — used by tests
+//    and the trace-driven experiments that need real bytes;
+//  - persistent: containers are files under <dir>/containers and the index
+//    and recipes live in a LogKv at <dir>/index.log — used by the
+//    backup_system example. Reopening the directory recovers all state.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/fingerprint.h"
+#include "common/lru_cache.h"
+#include "kvstore/kvstore.h"
+#include "storage/container.h"
+
+namespace freqdedup {
+
+struct BackupStoreStats {
+  uint64_t logicalPuts = 0;
+  uint64_t logicalBytes = 0;
+  uint64_t uniqueChunks = 0;
+  uint64_t storedBytes = 0;
+
+  [[nodiscard]] double dedupRatio() const {
+    return storedBytes == 0 ? 0.0
+                            : static_cast<double>(logicalBytes) /
+                                  static_cast<double>(storedBytes);
+  }
+};
+
+class BackupStore {
+ public:
+  /// In-memory store.
+  BackupStore();
+
+  /// Persistent store rooted at `dir` (created if missing); recovers any
+  /// existing state.
+  explicit BackupStore(const std::string& dir,
+                       uint64_t containerBytes = kDefaultContainerBytes);
+
+  ~BackupStore();
+  BackupStore(const BackupStore&) = delete;
+  BackupStore& operator=(const BackupStore&) = delete;
+
+  /// True if a ciphertext chunk with this fingerprint is already stored.
+  [[nodiscard]] bool hasChunk(Fp cipherFp) const;
+
+  /// Stores a chunk unless already present (deduplication). Returns true if
+  /// the chunk was new.
+  bool putChunk(Fp cipherFp, ByteView bytes);
+
+  /// Retrieves a chunk's bytes; throws std::runtime_error if absent.
+  ByteVec getChunk(Fp cipherFp);
+
+  /// Named metadata blobs (sealed recipes).
+  void putBlob(const std::string& name, ByteView bytes);
+  std::optional<ByteVec> getBlob(const std::string& name);
+  [[nodiscard]] std::vector<std::string> listBlobs();
+
+  /// Seals the open container and persists it (persistent mode).
+  void flush();
+
+  [[nodiscard]] const BackupStoreStats& stats() const { return stats_; }
+  [[nodiscard]] size_t containerCount() const { return nextContainerId_; }
+
+ private:
+  struct ChunkLocation {
+    uint32_t containerId = 0;
+    uint32_t entryIndex = 0;
+  };
+
+  void loadPersistentState();
+  void sealOpenContainer();
+  [[nodiscard]] std::string containerPath(uint32_t id) const;
+  const Container& loadContainer(uint32_t id);
+  static ByteVec chunkKey(Fp fp);
+
+  std::string dir_;  // empty in in-memory mode
+  uint64_t containerBytes_;
+  std::unique_ptr<KvStore> index_;
+  ContainerBuilder builder_;
+  std::unordered_map<Fp, ByteVec, FpHash> openChunks_;  // not yet sealed
+  std::unordered_map<uint32_t, Container> containers_;  // in-memory / cache
+  uint32_t nextContainerId_ = 0;
+  BackupStoreStats stats_;
+};
+
+}  // namespace freqdedup

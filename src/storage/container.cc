@@ -1,0 +1,109 @@
+#include "storage/container.h"
+
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/varint.h"
+
+namespace freqdedup {
+
+namespace {
+constexpr uint32_t kContainerMagic = 0x46444354;  // "FDCT"
+}
+
+uint64_t Container::dataBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : entries) total += e.size;
+  return total;
+}
+
+ByteVec serializeContainer(const Container& container) {
+  ByteVec out;
+  putU32(out, kContainerMagic);
+  putU32(out, container.id);
+  putVarint(out, container.entries.size());
+  for (const auto& e : container.entries) {
+    putU64(out, e.fp);
+    putU32(out, e.size);
+    putVarint(out, e.dataOffset);
+  }
+  putVarint(out, container.data.size());
+  appendBytes(out, container.data);
+  putU32(out, crc32c(out));
+  return out;
+}
+
+Container parseContainer(ByteView bytes) {
+  if (bytes.size() < 12)
+    throw std::runtime_error("container: input too short");
+  const size_t bodySize = bytes.size() - 4;
+  if (crc32c(bytes.subspan(0, bodySize)) != getU32(bytes, bodySize))
+    throw std::runtime_error("container: checksum mismatch");
+
+  size_t offset = 0;
+  if (getU32(bytes, offset) != kContainerMagic)
+    throw std::runtime_error("container: bad magic");
+  offset += 4;
+  Container container;
+  container.id = getU32(bytes, offset);
+  offset += 4;
+  const auto entryCount = getVarint(bytes, offset);
+  if (!entryCount) throw std::runtime_error("container: truncated header");
+  container.entries.reserve(static_cast<size_t>(*entryCount));
+  for (uint64_t i = 0; i < *entryCount; ++i) {
+    ContainerEntry e;
+    if (offset + 12 > bodySize)
+      throw std::runtime_error("container: truncated entry");
+    e.fp = getU64(bytes, offset);
+    offset += 8;
+    e.size = getU32(bytes, offset);
+    offset += 4;
+    const auto dataOffset = getVarint(bytes, offset);
+    if (!dataOffset) throw std::runtime_error("container: truncated entry");
+    e.dataOffset = *dataOffset;
+    container.entries.push_back(e);
+  }
+  const auto dataLen = getVarint(bytes, offset);
+  if (!dataLen || offset + *dataLen > bodySize)
+    throw std::runtime_error("container: truncated data");
+  container.data.assign(bytes.begin() + static_cast<ptrdiff_t>(offset),
+                        bytes.begin() + static_cast<ptrdiff_t>(offset + *dataLen));
+  return container;
+}
+
+ContainerBuilder::ContainerBuilder(uint64_t capacityBytes)
+    : capacityBytes_(capacityBytes) {
+  FDD_CHECK(capacityBytes > 0);
+}
+
+size_t ContainerBuilder::add(Fp fp, uint32_t size, ByteView bytes) {
+  FDD_CHECK_MSG(bytes.empty() || bytes.size() == size,
+                "content size must match declared size");
+  ContainerEntry e;
+  e.fp = fp;
+  e.size = size;
+  e.dataOffset = data_.size();
+  if (!bytes.empty()) appendBytes(data_, bytes);
+  entries_.push_back(e);
+  pendingBytes_ += size;
+  return entries_.size() - 1;
+}
+
+bool ContainerBuilder::wouldOverflow(uint32_t size) const {
+  return !entries_.empty() && pendingBytes_ + size > capacityBytes_;
+}
+
+Container ContainerBuilder::seal(uint32_t id) {
+  FDD_CHECK_MSG(!entries_.empty(), "sealing an empty container");
+  Container container;
+  container.id = id;
+  container.entries = std::move(entries_);
+  container.data = std::move(data_);
+  entries_.clear();
+  data_.clear();
+  pendingBytes_ = 0;
+  return container;
+}
+
+}  // namespace freqdedup

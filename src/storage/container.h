@@ -1,0 +1,74 @@
+// Containers: the multi-megabyte on-disk units that deduplicated storage
+// systems batch unique chunks into (Section 7.4; Zhu et al., FAST'08;
+// Lillibridge et al., FAST'13). Chunks are appended in logical order, which
+// is what gives the fingerprint-prefetching of step S4 its hit rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/fingerprint.h"
+
+namespace freqdedup {
+
+inline constexpr uint64_t kDefaultContainerBytes = 4 * 1024 * 1024;
+
+struct ContainerEntry {
+  Fp fp = 0;
+  uint32_t size = 0;
+  uint64_t dataOffset = 0;  // offset of the chunk within the container data
+
+  friend bool operator==(const ContainerEntry&,
+                         const ContainerEntry&) = default;
+};
+
+struct Container {
+  uint32_t id = 0;
+  std::vector<ContainerEntry> entries;
+  ByteVec data;  // empty in trace mode (sizes tracked, bytes not stored)
+
+  [[nodiscard]] size_t chunkCount() const { return entries.size(); }
+  [[nodiscard]] uint64_t dataBytes() const;
+  /// Bytes of fingerprint metadata this container contributes to the index
+  /// (32 B per fingerprint, as configured in the paper's prototype).
+  [[nodiscard]] uint64_t metadataBytes() const {
+    return static_cast<uint64_t>(entries.size()) * kFpMetadataBytes;
+  }
+};
+
+/// Serializes a container (header, entry table, data, trailing CRC).
+ByteVec serializeContainer(const Container& container);
+
+/// Parses a serialized container; throws std::runtime_error on corruption.
+Container parseContainer(ByteView bytes);
+
+/// Accumulates chunks until the data payload reaches the capacity, then the
+/// caller seals it into a Container.
+class ContainerBuilder {
+ public:
+  explicit ContainerBuilder(uint64_t capacityBytes = kDefaultContainerBytes);
+
+  /// Adds a chunk. In trace mode pass an empty `bytes` (size still counts
+  /// toward capacity). Returns the entry index.
+  size_t add(Fp fp, uint32_t size, ByteView bytes = {});
+
+  /// True when adding a chunk of `size` would exceed capacity.
+  [[nodiscard]] bool wouldOverflow(uint32_t size) const;
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] size_t chunkCount() const { return entries_.size(); }
+  [[nodiscard]] uint64_t pendingBytes() const { return pendingBytes_; }
+  [[nodiscard]] uint64_t capacityBytes() const { return capacityBytes_; }
+
+  /// Seals the accumulated chunks into a container with the given id and
+  /// resets the builder.
+  Container seal(uint32_t id);
+
+ private:
+  uint64_t capacityBytes_;
+  uint64_t pendingBytes_ = 0;
+  std::vector<ContainerEntry> entries_;
+  ByteVec data_;
+};
+
+}  // namespace freqdedup

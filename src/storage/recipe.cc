@@ -1,0 +1,121 @@
+#include "storage/recipe.h"
+
+#include <stdexcept>
+
+#include "common/crc32.h"
+#include "common/varint.h"
+
+namespace freqdedup {
+
+namespace {
+
+void putString(ByteVec& out, const std::string& s) {
+  putVarint(out, s.size());
+  appendBytes(out,
+              ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+std::string getString(ByteView in, size_t& offset) {
+  const auto len = getVarint(in, offset);
+  if (!len || offset + *len > in.size())
+    throw std::runtime_error("recipe: truncated string");
+  std::string s(reinterpret_cast<const char*>(in.data() + offset),
+                static_cast<size_t>(*len));
+  offset += static_cast<size_t>(*len);
+  return s;
+}
+
+void checkTrailingCrc(ByteView bytes) {
+  if (bytes.size() < 4) throw std::runtime_error("recipe: input too short");
+  if (crc32c(bytes.subspan(0, bytes.size() - 4)) !=
+      getU32(bytes, bytes.size() - 4))
+    throw std::runtime_error("recipe: checksum mismatch");
+}
+
+}  // namespace
+
+ByteVec serializeFileRecipe(const FileRecipe& recipe) {
+  ByteVec out;
+  putString(out, recipe.fileName);
+  putU64(out, recipe.fileSize);
+  putVarint(out, recipe.entries.size());
+  for (const auto& e : recipe.entries) {
+    putU64(out, e.cipherFp);
+    putU32(out, e.size);
+  }
+  putU32(out, crc32c(out));
+  return out;
+}
+
+FileRecipe parseFileRecipe(ByteView bytes) {
+  checkTrailingCrc(bytes);
+  size_t offset = 0;
+  FileRecipe recipe;
+  recipe.fileName = getString(bytes, offset);
+  recipe.fileSize = getU64(bytes, offset);
+  offset += 8;
+  const auto count = getVarint(bytes, offset);
+  if (!count || offset + *count * 12 + 4 > bytes.size())
+    throw std::runtime_error("recipe: truncated entries");
+  recipe.entries.reserve(static_cast<size_t>(*count));
+  for (uint64_t i = 0; i < *count; ++i) {
+    RecipeEntry e;
+    e.cipherFp = getU64(bytes, offset);
+    offset += 8;
+    e.size = getU32(bytes, offset);
+    offset += 4;
+    recipe.entries.push_back(e);
+  }
+  return recipe;
+}
+
+ByteVec serializeKeyRecipe(const KeyRecipe& recipe) {
+  ByteVec out;
+  putVarint(out, recipe.keys.size());
+  for (const auto& key : recipe.keys)
+    appendBytes(out, ByteView(key.data(), key.size()));
+  putU32(out, crc32c(out));
+  return out;
+}
+
+KeyRecipe parseKeyRecipe(ByteView bytes) {
+  checkTrailingCrc(bytes);
+  size_t offset = 0;
+  const auto count = getVarint(bytes, offset);
+  if (!count || offset + *count * kAesKeyBytes + 4 > bytes.size())
+    throw std::runtime_error("recipe: truncated keys");
+  KeyRecipe recipe;
+  recipe.keys.reserve(static_cast<size_t>(*count));
+  for (uint64_t i = 0; i < *count; ++i) {
+    AesKey key{};
+    std::copy(bytes.begin() + static_cast<ptrdiff_t>(offset),
+              bytes.begin() + static_cast<ptrdiff_t>(offset + kAesKeyBytes),
+              key.begin());
+    offset += kAesKeyBytes;
+    recipe.keys.push_back(key);
+  }
+  return recipe;
+}
+
+ByteVec sealWithUserKey(const AesKey& userKey, ByteView plaintext, Rng& rng) {
+  AesIv iv{};
+  for (size_t i = 0; i < iv.size(); i += 8) {
+    const uint64_t word = rng.next();
+    for (size_t j = 0; j < 8; ++j)
+      iv[i + j] = static_cast<uint8_t>(word >> (8 * j));
+  }
+  ByteVec out(iv.begin(), iv.end());
+  const ByteVec body = aesCtrEncrypt(userKey, iv, plaintext);
+  appendBytes(out, body);
+  return out;
+}
+
+ByteVec openWithUserKey(const AesKey& userKey, ByteView sealed) {
+  if (sealed.size() < kAesIvBytes)
+    throw std::runtime_error("recipe: sealed blob too short");
+  AesIv iv{};
+  std::copy(sealed.begin(), sealed.begin() + kAesIvBytes, iv.begin());
+  return aesCtrDecrypt(userKey, iv, sealed.subspan(kAesIvBytes));
+}
+
+}  // namespace freqdedup

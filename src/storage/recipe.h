@@ -1,0 +1,56 @@
+// File recipes and key recipes (Section 2).
+//
+// A file recipe lists, in the file's original chunk order, the ciphertext
+// fingerprints needed to reconstruct the file; a key recipe carries the
+// per-chunk MLE keys. Recipes are metadata, are never deduplicated, and are
+// protected with the user's own secret key via conventional (randomized)
+// encryption — which is why the paper's adversary cannot read them
+// (Section 3.3). With scrambling, the file recipe retains the *original*
+// (pre-scramble) chunk order, so restore re-assembles the file correctly
+// (Section 6.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+
+namespace freqdedup {
+
+struct RecipeEntry {
+  Fp cipherFp = 0;
+  uint32_t size = 0;
+
+  friend bool operator==(const RecipeEntry&, const RecipeEntry&) = default;
+};
+
+struct FileRecipe {
+  std::string fileName;
+  uint64_t fileSize = 0;
+  std::vector<RecipeEntry> entries;
+
+  friend bool operator==(const FileRecipe&, const FileRecipe&) = default;
+};
+
+struct KeyRecipe {
+  std::vector<AesKey> keys;  // keys[i] decrypts the chunk of entries[i]
+
+  friend bool operator==(const KeyRecipe&, const KeyRecipe&) = default;
+};
+
+ByteVec serializeFileRecipe(const FileRecipe& recipe);
+FileRecipe parseFileRecipe(ByteView bytes);
+
+ByteVec serializeKeyRecipe(const KeyRecipe& recipe);
+KeyRecipe parseKeyRecipe(ByteView bytes);
+
+/// Conventional (randomized) encryption of recipe bytes under the user key:
+/// a fresh random IV is prepended to the AES-256-CTR ciphertext.
+ByteVec sealWithUserKey(const AesKey& userKey, ByteView plaintext, Rng& rng);
+
+/// Inverse of sealWithUserKey; throws std::runtime_error on truncated input.
+ByteVec openWithUserKey(const AesKey& userKey, ByteView sealed);
+
+}  // namespace freqdedup

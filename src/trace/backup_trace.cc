@@ -1,0 +1,86 @@
+#include "trace/backup_trace.h"
+
+#include <algorithm>
+
+namespace freqdedup {
+
+uint64_t BackupTrace::logicalBytes() const {
+  uint64_t total = 0;
+  for (const auto& r : records) total += r.size;
+  return total;
+}
+
+size_t BackupTrace::uniqueChunkCount() const {
+  std::unordered_map<Fp, char, FpHash> seen;
+  seen.reserve(records.size());
+  for (const auto& r : records) seen.emplace(r.fp, 0);
+  return seen.size();
+}
+
+uint64_t BackupTrace::uniqueBytes() const {
+  std::unordered_map<Fp, char, FpHash> seen;
+  seen.reserve(records.size());
+  uint64_t total = 0;
+  for (const auto& r : records) {
+    if (seen.emplace(r.fp, 0).second) total += r.size;
+  }
+  return total;
+}
+
+FrequencyMap BackupTrace::frequencies() const {
+  FrequencyMap freq;
+  freq.reserve(records.size());
+  for (const auto& r : records) ++freq[r.fp];
+  return freq;
+}
+
+SizeMap BackupTrace::sizes() const {
+  SizeMap sizes;
+  sizes.reserve(records.size());
+  for (const auto& r : records) sizes.emplace(r.fp, r.size);
+  return sizes;
+}
+
+DatasetStats computeDatasetStats(const Dataset& dataset) {
+  DatasetStats stats;
+  std::unordered_map<Fp, char, FpHash> seen;
+  for (const auto& backup : dataset.backups) {
+    for (const auto& r : backup.records) {
+      stats.logicalBytes += r.size;
+      ++stats.logicalChunks;
+      if (seen.emplace(r.fp, 0).second) {
+        stats.uniqueBytes += r.size;
+        ++stats.uniqueChunks;
+      }
+    }
+  }
+  return stats;
+}
+
+FrequencyMap datasetFrequencies(const Dataset& dataset) {
+  FrequencyMap freq;
+  for (const auto& backup : dataset.backups) {
+    for (const auto& r : backup.records) ++freq[r.fp];
+  }
+  return freq;
+}
+
+std::vector<FrequencyCdfPoint> frequencyCdf(const Dataset& dataset) {
+  const FrequencyMap freq = datasetFrequencies(dataset);
+  std::vector<uint64_t> counts;
+  counts.reserve(freq.size());
+  for (const auto& [fp, count] : freq) counts.push_back(count);
+  std::sort(counts.begin(), counts.end());
+
+  std::vector<FrequencyCdfPoint> points;
+  const double n = static_cast<double>(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    // Emit one point per distinct frequency value (at its last occurrence).
+    if (i + 1 == counts.size() || counts[i + 1] != counts[i]) {
+      points.push_back({counts[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return points;
+}
+
+}  // namespace freqdedup

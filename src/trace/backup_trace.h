@@ -1,0 +1,82 @@
+// Backup traces: the logical chunk streams the paper's evaluation operates on.
+//
+// A BackupTrace is the sequence of (fingerprint, size) records of one full
+// backup in logical (pre-deduplication) order — exactly what the paper's
+// adversary observes (Section 3.3). A dataset is an ordered series of backups
+// of the same primary data source.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace freqdedup {
+
+using FrequencyMap = std::unordered_map<Fp, uint64_t, FpHash>;
+using SizeMap = std::unordered_map<Fp, uint32_t, FpHash>;
+
+struct BackupTrace {
+  std::string label;  // e.g. "Jan 22", "week 3"
+  std::vector<ChunkRecord> records;
+
+  [[nodiscard]] size_t chunkCount() const { return records.size(); }
+  [[nodiscard]] uint64_t logicalBytes() const;
+  [[nodiscard]] size_t uniqueChunkCount() const;
+  [[nodiscard]] uint64_t uniqueBytes() const;
+  /// Frequency of every unique fingerprint in this backup.
+  [[nodiscard]] FrequencyMap frequencies() const;
+  /// Fingerprint -> chunk size. (A fingerprint determines its content and
+  /// hence its size; duplicate records agree by construction.)
+  [[nodiscard]] SizeMap sizes() const;
+};
+
+/// A backup series from one primary data source.
+struct Dataset {
+  std::string name;
+  std::vector<BackupTrace> backups;
+
+  [[nodiscard]] size_t backupCount() const { return backups.size(); }
+};
+
+struct DatasetStats {
+  uint64_t logicalBytes = 0;
+  uint64_t logicalChunks = 0;
+  uint64_t uniqueBytes = 0;
+  uint64_t uniqueChunks = 0;
+
+  /// Logical-to-physical size ratio (Section 5.1).
+  [[nodiscard]] double dedupRatio() const {
+    return uniqueBytes == 0 ? 0.0
+                            : static_cast<double>(logicalBytes) /
+                                  static_cast<double>(uniqueBytes);
+  }
+  /// Fraction of logical bytes eliminated by deduplication.
+  [[nodiscard]] double storageSavingPct() const {
+    return logicalBytes == 0
+               ? 0.0
+               : 100.0 * (1.0 - static_cast<double>(uniqueBytes) /
+                                    static_cast<double>(logicalBytes));
+  }
+};
+
+/// Deduplication statistics across all backups of a dataset.
+DatasetStats computeDatasetStats(const Dataset& dataset);
+
+/// One point of the Figure-1 curve: the fraction `cdf` of unique chunks with
+/// frequency <= `frequency`.
+struct FrequencyCdfPoint {
+  uint64_t frequency = 0;
+  double cdf = 0.0;
+};
+
+/// Frequency CDF over all unique chunks of the whole dataset (Figure 1).
+std::vector<FrequencyCdfPoint> frequencyCdf(const Dataset& dataset);
+
+/// Aggregate frequencies across an entire dataset.
+FrequencyMap datasetFrequencies(const Dataset& dataset);
+
+}  // namespace freqdedup

@@ -1,0 +1,101 @@
+#include "trace/trace_io.h"
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/varint.h"
+
+namespace freqdedup {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x46445452;  // "FDTR"
+constexpr uint32_t kVersion = 1;
+
+void putString(ByteVec& out, const std::string& s) {
+  putVarint(out, s.size());
+  appendBytes(out, ByteView(reinterpret_cast<const uint8_t*>(s.data()),
+                            s.size()));
+}
+
+std::string getString(ByteView in, size_t& offset) {
+  const auto len = getVarint(in, offset);
+  if (!len || offset + *len > in.size())
+    throw std::runtime_error("trace_io: truncated string");
+  std::string s(reinterpret_cast<const char*>(in.data() + offset),
+                static_cast<size_t>(*len));
+  offset += static_cast<size_t>(*len);
+  return s;
+}
+
+}  // namespace
+
+ByteVec serializeDataset(const Dataset& dataset) {
+  ByteVec out;
+  putU32(out, kMagic);
+  putU32(out, kVersion);
+  putString(out, dataset.name);
+  putVarint(out, dataset.backups.size());
+  for (const auto& backup : dataset.backups) {
+    putString(out, backup.label);
+    putVarint(out, backup.records.size());
+    for (const auto& r : backup.records) {
+      putU64(out, r.fp);
+      putU32(out, r.size);
+    }
+  }
+  putU32(out, crc32c(out));
+  return out;
+}
+
+Dataset parseDataset(ByteView data) {
+  if (data.size() < 12) throw std::runtime_error("trace_io: input too short");
+  const size_t bodySize = data.size() - 4;
+  const uint32_t storedCrc = getU32(data, bodySize);
+  if (crc32c(data.subspan(0, bodySize)) != storedCrc)
+    throw std::runtime_error("trace_io: checksum mismatch");
+
+  size_t offset = 0;
+  if (getU32(data, offset) != kMagic)
+    throw std::runtime_error("trace_io: bad magic");
+  offset += 4;
+  if (getU32(data, offset) != kVersion)
+    throw std::runtime_error("trace_io: unsupported version");
+  offset += 4;
+
+  Dataset dataset;
+  dataset.name = getString(data, offset);
+  const auto backupCount = getVarint(data, offset);
+  if (!backupCount) throw std::runtime_error("trace_io: truncated header");
+  dataset.backups.reserve(static_cast<size_t>(*backupCount));
+  for (uint64_t b = 0; b < *backupCount; ++b) {
+    BackupTrace backup;
+    backup.label = getString(data, offset);
+    const auto recordCount = getVarint(data, offset);
+    if (!recordCount) throw std::runtime_error("trace_io: truncated backup");
+    if (offset + *recordCount * 12 > bodySize)
+      throw std::runtime_error("trace_io: truncated records");
+    backup.records.reserve(static_cast<size_t>(*recordCount));
+    for (uint64_t i = 0; i < *recordCount; ++i) {
+      ChunkRecord r;
+      r.fp = getU64(data, offset);
+      offset += 8;
+      r.size = getU32(data, offset);
+      offset += 4;
+      backup.records.push_back(r);
+    }
+    dataset.backups.push_back(std::move(backup));
+  }
+  return dataset;
+}
+
+void saveDataset(const Dataset& dataset, const std::string& path) {
+  writeFile(path, serializeDataset(dataset));
+}
+
+Dataset loadDataset(const std::string& path) {
+  return parseDataset(readFile(path));
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,23 @@
+// Binary serialization of datasets, so generated traces can be cached and
+// exchanged. Format: magic "FDTR", version u32, dataset name, backup count;
+// per backup: label, record count, (fp u64, size u32) pairs; trailing CRC-32C
+// over everything before it.
+#pragma once
+
+#include <string>
+
+#include "trace/backup_trace.h"
+
+namespace freqdedup {
+
+/// Serializes a dataset to bytes.
+ByteVec serializeDataset(const Dataset& dataset);
+
+/// Parses a serialized dataset; throws std::runtime_error on corruption.
+Dataset parseDataset(ByteView data);
+
+/// File convenience wrappers.
+void saveDataset(const Dataset& dataset, const std::string& path);
+Dataset loadDataset(const std::string& path);
+
+}  // namespace freqdedup

@@ -1,0 +1,151 @@
+#include "chunking/cdc_chunker.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/fingerprint.h"
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+ByteVec randomData(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  ByteVec data(n);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+  return data;
+}
+
+CdcParams smallParams() {
+  CdcParams p;
+  p.minSize = 256;
+  p.avgSize = 1024;
+  p.maxSize = 4096;
+  p.windowSize = 48;
+  return p;
+}
+
+TEST(Cdc, EmptyInputYieldsNoChunks) {
+  CdcChunker chunker(smallParams());
+  EXPECT_TRUE(chunker.split({}).empty());
+}
+
+TEST(Cdc, TinyInputYieldsOneChunk) {
+  CdcChunker chunker(smallParams());
+  const ByteVec data = randomData(1, 100);
+  const auto chunks = chunker.split(data);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].offset, 0u);
+  EXPECT_EQ(chunks[0].size, 100u);
+}
+
+class CdcProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CdcProperty, ChunksAreExhaustiveAndContiguous) {
+  CdcChunker chunker(smallParams());
+  const ByteVec data = randomData(GetParam(), 256 * 1024);
+  const auto chunks = chunker.split(data);
+  ASSERT_FALSE(chunks.empty());
+  size_t expectOffset = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, expectOffset);
+    EXPECT_GT(c.size, 0u);
+    expectOffset += c.size;
+  }
+  EXPECT_EQ(expectOffset, data.size());
+}
+
+TEST_P(CdcProperty, SizesWithinBounds) {
+  const CdcParams p = smallParams();
+  CdcChunker chunker(p);
+  const ByteVec data = randomData(GetParam(), 256 * 1024);
+  const auto chunks = chunker.split(data);
+  for (size_t i = 0; i + 1 < chunks.size(); ++i) {  // last chunk may be short
+    EXPECT_GE(chunks[i].size, p.minSize);
+    EXPECT_LE(chunks[i].size, p.maxSize);
+  }
+  EXPECT_LE(chunks.back().size, p.maxSize);
+}
+
+TEST_P(CdcProperty, AverageSizeIsInTheRightRegime) {
+  const CdcParams p = smallParams();
+  CdcChunker chunker(p);
+  const ByteVec data = randomData(GetParam(), 1024 * 1024);
+  const auto chunks = chunker.split(data);
+  const double avg = static_cast<double>(data.size()) /
+                     static_cast<double>(chunks.size());
+  // Expected size for min+avg-masked CDC is roughly min + avg; allow slack.
+  EXPECT_GT(avg, p.avgSize * 0.5);
+  EXPECT_LT(avg, p.avgSize * 2.5);
+}
+
+TEST_P(CdcProperty, DeterministicAcrossCalls) {
+  CdcChunker chunker(smallParams());
+  const ByteVec data = randomData(GetParam(), 128 * 1024);
+  EXPECT_EQ(chunker.split(data), chunker.split(data));
+}
+
+// Content-defined chunking's raison d'être: a prefix insertion shifts all
+// content, yet most chunks (identified by content hash) survive.
+TEST_P(CdcProperty, RobustToContentShift) {
+  CdcChunker chunker(smallParams());
+  const ByteVec original = randomData(GetParam(), 512 * 1024);
+  ByteVec shifted = randomData(GetParam() + 1000, 137);  // odd-size prefix
+  shifted.insert(shifted.end(), original.begin(), original.end());
+
+  std::unordered_set<Fp, FpHash> originalFps;
+  for (const auto& c : chunker.split(original))
+    originalFps.insert(fpOfContent(chunkBytes(original, c)));
+
+  size_t surviving = 0;
+  const auto shiftedChunks = chunker.split(shifted);
+  for (const auto& c : shiftedChunks) {
+    if (originalFps.contains(fpOfContent(chunkBytes(shifted, c))))
+      ++surviving;
+  }
+  // All but the first few chunks should re-align.
+  EXPECT_GT(surviving, shiftedChunks.size() * 3 / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdcProperty, ::testing::Values(1, 2, 42, 99));
+
+TEST(Cdc, MaxSizeForcedOnConstantData) {
+  const CdcParams p = smallParams();
+  CdcChunker chunker(p);
+  // Constant data never matches the boundary pattern (fp is constant), so
+  // every chunk is cut at maxSize.
+  const ByteVec data(64 * 1024, 0x55);
+  const auto chunks = chunker.split(data);
+  for (size_t i = 0; i + 1 < chunks.size(); ++i)
+    EXPECT_EQ(chunks[i].size, p.maxSize);
+}
+
+TEST(Cdc, RejectsNonPowerOfTwoAverage) {
+  CdcParams p = smallParams();
+  p.avgSize = 1000;
+  EXPECT_THROW(CdcChunker{p}, std::logic_error);
+}
+
+TEST(Cdc, RejectsInvertedBounds) {
+  CdcParams p = smallParams();
+  p.minSize = 8192;
+  EXPECT_THROW(CdcChunker{p}, std::logic_error);
+}
+
+TEST(Cdc, RejectsMinBelowWindow) {
+  CdcParams p = smallParams();
+  p.minSize = 16;
+  p.windowSize = 48;
+  EXPECT_THROW(CdcChunker{p}, std::logic_error);
+}
+
+TEST(Cdc, ChunkBytesExtractsCorrectSlice) {
+  const ByteVec data = toBytes("abcdefgh");
+  const ChunkSpan span{2, 3};
+  const ByteView view = chunkBytes(data, span);
+  EXPECT_EQ(toString(view), "cde");
+}
+
+}  // namespace
+}  // namespace freqdedup

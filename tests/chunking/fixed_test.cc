@@ -1,0 +1,59 @@
+#include "chunking/fixed_chunker.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+TEST(Fixed, ExactMultiple) {
+  FixedChunker chunker(4);
+  const ByteVec data(16, 1);
+  const auto chunks = chunker.split(data);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chunks[i].offset, i * 4);
+    EXPECT_EQ(chunks[i].size, 4u);
+  }
+}
+
+TEST(Fixed, ShortTail) {
+  FixedChunker chunker(4096);
+  const ByteVec data(4096 + 100, 0);
+  const auto chunks = chunker.split(data);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].size, 4096u);
+  EXPECT_EQ(chunks[1].size, 100u);
+}
+
+TEST(Fixed, EmptyInput) {
+  FixedChunker chunker(4096);
+  EXPECT_TRUE(chunker.split({}).empty());
+}
+
+TEST(Fixed, InputSmallerThanChunk) {
+  FixedChunker chunker(4096);
+  const ByteVec data(10, 0);
+  const auto chunks = chunker.split(data);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size, 10u);
+}
+
+TEST(Fixed, DefaultIsVmDatasetGranularity) {
+  EXPECT_EQ(FixedChunker().chunkSize(), 4096u);
+}
+
+TEST(Fixed, RejectsZeroSize) {
+  EXPECT_THROW(FixedChunker(0), std::logic_error);
+}
+
+TEST(Fixed, CoversAllBytes) {
+  FixedChunker chunker(7);
+  const ByteVec data(100, 0);
+  const auto chunks = chunker.split(data);
+  size_t total = 0;
+  for (const auto& c : chunks) total += c.size;
+  EXPECT_EQ(total, data.size());
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,120 @@
+#include "chunking/rabin.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+TEST(RabinPoly, Degree) {
+  EXPECT_EQ(polyDegree(1), 0);
+  EXPECT_EQ(polyDegree(2), 1);
+  EXPECT_EQ(polyDegree(0x8000000000000000ULL), 63);
+  EXPECT_EQ(polyDegree(kDefaultRabinPoly), 53);
+}
+
+TEST(RabinPoly, ModByItselfIsZero) {
+  EXPECT_EQ(polyMod(0, kDefaultRabinPoly, kDefaultRabinPoly), 0u);
+}
+
+TEST(RabinPoly, ModOfSmallerValueIsIdentity) {
+  EXPECT_EQ(polyMod(0, 0x1234, kDefaultRabinPoly), 0x1234u);
+}
+
+TEST(RabinPoly, MulModDistributes) {
+  // (a + b) * c == a*c + b*c over GF(2) (xor is addition).
+  const uint64_t d = kDefaultRabinPoly;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t a = rng.next() >> 12;
+    const uint64_t b = rng.next() >> 12;
+    const uint64_t c = rng.next() >> 12;
+    EXPECT_EQ(polyMulMod(a ^ b, c, d),
+              polyMulMod(a, c, d) ^ polyMulMod(b, c, d));
+  }
+}
+
+TEST(RabinPoly, MulModCommutes) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t a = rng.next() >> 8;
+    const uint64_t b = rng.next() >> 8;
+    EXPECT_EQ(polyMulMod(a, b, kDefaultRabinPoly),
+              polyMulMod(b, a, kDefaultRabinPoly));
+  }
+}
+
+TEST(RabinPoly, MulByOneIsIdentityModP) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t a = rng.next();
+    EXPECT_EQ(polyMulMod(a, 1, kDefaultRabinPoly),
+              polyMod(0, a, kDefaultRabinPoly));
+  }
+}
+
+TEST(RabinWindow, DeterministicAcrossInstances) {
+  RabinWindow w1(48), w2(48);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto b = static_cast<uint8_t>(rng.next());
+    EXPECT_EQ(w1.slide(b), w2.slide(b));
+  }
+}
+
+// The defining property of a rolling hash: after sliding in enough bytes,
+// the fingerprint depends only on the last `window` bytes.
+TEST(RabinWindow, FingerprintDependsOnlyOnWindow) {
+  const uint32_t window = 32;
+  Rng rng(11);
+  ByteVec tail(window);
+  for (auto& b : tail) b = static_cast<uint8_t>(rng.next());
+
+  RabinWindow w1(window);
+  // Prefix A then the tail.
+  for (int i = 0; i < 1000; ++i) w1.slide(static_cast<uint8_t>(rng.next()));
+  for (const uint8_t b : tail) w1.slide(b);
+
+  RabinWindow w2(window);
+  // Different prefix B then the same tail.
+  for (int i = 0; i < 777; ++i) w2.slide(static_cast<uint8_t>(~rng.next()));
+  for (const uint8_t b : tail) w2.slide(b);
+
+  EXPECT_EQ(w1.fingerprint(), w2.fingerprint());
+}
+
+TEST(RabinWindow, ResetRestoresInitialState) {
+  RabinWindow w(48);
+  const uint64_t afterOne = w.slide(0xAB);
+  w.slide(0xCD);
+  w.reset();
+  EXPECT_EQ(w.fingerprint(), 0u);
+  EXPECT_EQ(w.slide(0xAB), afterOne);
+}
+
+TEST(RabinWindow, DifferentContentDifferentFingerprint) {
+  RabinWindow w1(48), w2(48);
+  for (int i = 0; i < 100; ++i) {
+    w1.slide(static_cast<uint8_t>(i));
+    w2.slide(static_cast<uint8_t>(i + 1));
+  }
+  EXPECT_NE(w1.fingerprint(), w2.fingerprint());
+}
+
+TEST(RabinWindow, RejectsTinyWindow) {
+  EXPECT_THROW(RabinWindow(1), std::logic_error);
+}
+
+TEST(RabinWindow, FingerprintStaysBelowPolyDegreeBound) {
+  // All fingerprints are residues mod a degree-53 polynomial.
+  RabinWindow w(48);
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t fp = w.slide(static_cast<uint8_t>(rng.next()));
+    EXPECT_LT(fp, 1ULL << 54);
+  }
+}
+
+}  // namespace
+}  // namespace freqdedup

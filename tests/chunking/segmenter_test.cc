@@ -1,0 +1,138 @@
+#include "chunking/segmenter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+std::vector<ChunkRecord> randomRecords(uint64_t seed, size_t n,
+                                       uint32_t size = 8192) {
+  Rng rng(seed);
+  std::vector<ChunkRecord> records(n);
+  for (auto& r : records) r = {rng.next(), size};
+  return records;
+}
+
+TEST(Segmenter, EmptyInputYieldsNoSegments) {
+  EXPECT_TRUE(segmentRecords({}, SegmentParams{}).empty());
+}
+
+TEST(Segmenter, SingleRecord) {
+  const std::vector<ChunkRecord> records{{42, 100}};
+  const auto segments = segmentRecords(records, SegmentParams{});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0], (Segment{0, 1}));
+}
+
+class SegmenterProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmenterProperty, SegmentsAreExhaustiveAndContiguous) {
+  const auto records = randomRecords(GetParam(), 5000);
+  const auto segments = segmentRecords(records, SegmentParams{});
+  ASSERT_FALSE(segments.empty());
+  size_t expect = 0;
+  for (const auto& s : segments) {
+    EXPECT_EQ(s.begin, expect);
+    EXPECT_GT(s.count(), 0u);
+    expect = s.end;
+  }
+  EXPECT_EQ(expect, records.size());
+}
+
+TEST_P(SegmenterProperty, SegmentSizesRespectBounds) {
+  const SegmentParams p;
+  const auto records = randomRecords(GetParam(), 5000);
+  const auto segments = segmentRecords(records, p);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    uint64_t bytes = 0;
+    for (size_t j = segments[i].begin; j < segments[i].end; ++j)
+      bytes += records[j].size;
+    EXPECT_LE(bytes, p.maxBytes);
+    if (i + 1 < segments.size()) {
+      // Non-final segments end either at the fingerprint pattern (size >=
+      // min) or because the next chunk would overflow maxBytes.
+      const bool atPattern =
+          bytes >= p.minBytes &&
+          records[segments[i].end - 1].fp % p.divisor() == p.divisor() - 1;
+      const bool nextOverflows =
+          bytes + records[segments[i].end].size > p.maxBytes;
+      EXPECT_TRUE(atPattern || nextOverflows);
+    }
+  }
+}
+
+TEST_P(SegmenterProperty, AverageSegmentSizeInRegime) {
+  const SegmentParams p;
+  const auto records = randomRecords(GetParam(), 20'000);
+  const auto segments = segmentRecords(records, p);
+  const double avgBytes =
+      8192.0 * static_cast<double>(records.size()) /
+      static_cast<double>(segments.size());
+  EXPECT_GT(avgBytes, p.minBytes);
+  EXPECT_LT(avgBytes, p.maxBytes);
+}
+
+TEST_P(SegmenterProperty, Deterministic) {
+  const auto records = randomRecords(GetParam(), 3000);
+  EXPECT_EQ(segmentRecords(records, SegmentParams{}),
+            segmentRecords(records, SegmentParams{}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmenterProperty,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(Segmenter, MinFingerprintOfSegment) {
+  const std::vector<ChunkRecord> records{{5, 1}, {3, 1}, {9, 1}, {1, 1}};
+  EXPECT_EQ(segmentMinFingerprint(records, {0, 4}), 1u);
+  EXPECT_EQ(segmentMinFingerprint(records, {0, 3}), 3u);
+  EXPECT_EQ(segmentMinFingerprint(records, {2, 3}), 9u);
+}
+
+TEST(Segmenter, MinFingerprintRejectsEmptySegment) {
+  const std::vector<ChunkRecord> records{{5, 1}};
+  EXPECT_THROW(segmentMinFingerprint(records, {1, 1}), std::logic_error);
+  EXPECT_THROW(segmentMinFingerprint(records, {0, 2}), std::logic_error);
+}
+
+TEST(Segmenter, DivisorDerivedFromAverageSizes) {
+  SegmentParams p;
+  p.avgBytes = 1024 * 1024;
+  p.avgChunkBytes = 8192;
+  EXPECT_EQ(p.divisor(), 128u);
+  p.avgChunkBytes = 4096;
+  EXPECT_EQ(p.divisor(), 256u);
+}
+
+TEST(Segmenter, BoundaryPlacedAtPatternMatch) {
+  // Craft records: fp % divisor == divisor-1 exactly at index 80 with
+  // everything sized so the min-bytes constraint is satisfied there.
+  SegmentParams p;
+  p.minBytes = 10 * 8192;
+  p.avgBytes = 64 * 8192;
+  p.maxBytes = 1000 * 8192;
+  p.avgChunkBytes = 8192;
+  const uint64_t divisor = p.divisor();
+  std::vector<ChunkRecord> records(200);
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i] = {i == 80 ? divisor - 1 : divisor, 8192};  // only 80 matches
+  }
+  const auto segments = segmentRecords(records, p);
+  ASSERT_GE(segments.size(), 2u);
+  EXPECT_EQ(segments[0].end, 81u);  // boundary right after the match
+}
+
+TEST(Segmenter, RejectsInvalidParams) {
+  SegmentParams p;
+  p.minBytes = 0;
+  EXPECT_THROW(segmentRecords(std::vector<ChunkRecord>{{1, 1}}, p),
+               std::logic_error);
+  SegmentParams q;
+  q.minBytes = q.maxBytes + 1;
+  EXPECT_THROW(segmentRecords(std::vector<ChunkRecord>{{1, 1}}, q),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace freqdedup

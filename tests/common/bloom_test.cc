@@ -1,0 +1,78 @@
+#include "common/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+TEST(Bloom, NoFalseNegativesSmall) {
+  BloomFilter bloom(1000, 0.01);
+  for (Fp fp = 0; fp < 1000; ++fp) bloom.add(fp);
+  for (Fp fp = 0; fp < 1000; ++fp) EXPECT_TRUE(bloom.maybeContains(fp));
+}
+
+class BloomProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BloomProperty, NoFalseNegativesRandom) {
+  Rng rng(GetParam());
+  BloomFilter bloom(5000, 0.01);
+  std::vector<Fp> inserted;
+  for (int i = 0; i < 5000; ++i) inserted.push_back(rng.next());
+  for (const Fp fp : inserted) bloom.add(fp);
+  for (const Fp fp : inserted) EXPECT_TRUE(bloom.maybeContains(fp));
+}
+
+TEST_P(BloomProperty, FalsePositiveRateNearTarget) {
+  Rng rng(GetParam());
+  BloomFilter bloom(10'000, 0.01);
+  for (int i = 0; i < 10'000; ++i) bloom.add(rng.next());
+  int falsePositives = 0;
+  const int probes = 100'000;
+  for (int i = 0; i < probes; ++i)
+    falsePositives += bloom.maybeContains(rng.next());
+  // Random probes are almost surely not members; observed rate should be
+  // within a small factor of the design target.
+  EXPECT_LT(falsePositives / static_cast<double>(probes), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BloomProperty, ::testing::Values(1, 7, 42));
+
+TEST(Bloom, PaperConfigurationUsesSevenHashes) {
+  // fpr 0.01 implies k = round(ln2 * m/n) ~= 7 (Section 7.4.2).
+  BloomFilter bloom(65'000'000, 0.01);
+  EXPECT_EQ(bloom.numHashes(), 7);
+}
+
+TEST(Bloom, SizeScalesWithExpectedItems) {
+  BloomFilter small(1000, 0.01);
+  BloomFilter large(100'000, 0.01);
+  EXPECT_GT(large.sizeBytes(), small.sizeBytes() * 50);
+}
+
+TEST(Bloom, ClearRemovesEverything) {
+  BloomFilter bloom(100, 0.01);
+  bloom.add(42);
+  ASSERT_TRUE(bloom.maybeContains(42));
+  bloom.clear();
+  EXPECT_FALSE(bloom.maybeContains(42));
+  EXPECT_EQ(bloom.insertedCount(), 0u);
+}
+
+TEST(Bloom, EstimatedFprGrowsWithLoad) {
+  BloomFilter bloom(100, 0.01);
+  const double before = bloom.estimatedFpr();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) bloom.add(rng.next());
+  EXPECT_GT(bloom.estimatedFpr(), before);
+}
+
+TEST(Bloom, RejectsBadParameters) {
+  EXPECT_THROW(BloomFilter(0, 0.01), std::logic_error);
+  EXPECT_THROW(BloomFilter(10, 0.0), std::logic_error);
+  EXPECT_THROW(BloomFilter(10, 1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,40 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283 (iSCSI test vector).
+  EXPECT_EQ(crc32c(toBytes("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(crc32c({}), 0u); }
+
+TEST(Crc32, ExtendMatchesWhole) {
+  const ByteVec whole = toBytes("hello world, this is a checksum test");
+  uint32_t crc = 0;
+  crc = crc32cExtend(crc, ByteView(whole.data(), 10));
+  crc = crc32cExtend(crc, ByteView(whole.data() + 10, whole.size() - 10));
+  EXPECT_EQ(crc, crc32c(whole));
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  ByteVec data = toBytes("payload");
+  const uint32_t before = crc32c(data);
+  data[3] ^= 0x01;
+  EXPECT_NE(crc32c(data), before);
+}
+
+TEST(Crc32, SensitiveToReordering) {
+  EXPECT_NE(crc32c(toBytes("ab")), crc32c(toBytes("ba")));
+}
+
+TEST(Crc32, DifferentLengthsDiffer) {
+  const ByteVec withNul{'a', 0x00};
+  EXPECT_NE(crc32c(toBytes("a")), crc32c(withNul));
+}
+
+}  // namespace
+}  // namespace freqdedup

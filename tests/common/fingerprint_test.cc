@@ -1,0 +1,75 @@
+#include "common/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace freqdedup {
+namespace {
+
+TEST(Fingerprint, FullWidthUsesFirstEightBytes) {
+  Digest d;
+  d.size = 32;
+  for (int i = 0; i < 8; ++i) d.bytes[i] = static_cast<uint8_t>(i + 1);
+  EXPECT_EQ(fpFromDigest(d, 64), 0x0102030405060708ULL);
+}
+
+TEST(Fingerprint, TruncationKeepsHighBits) {
+  Digest d;
+  d.size = 32;
+  for (int i = 0; i < 8; ++i) d.bytes[i] = 0xFF;
+  EXPECT_EQ(fpFromDigest(d, kFslFpBits), (1ULL << 48) - 1);
+  EXPECT_EQ(fpFromDigest(d, 8), 0xFFULL);
+  EXPECT_EQ(fpFromDigest(d, 1), 1ULL);
+}
+
+TEST(Fingerprint, RejectsBadWidths) {
+  const Digest d = sha256(toBytes("x"));
+  EXPECT_THROW(fpFromDigest(d, 0), std::logic_error);
+  EXPECT_THROW(fpFromDigest(d, 65), std::logic_error);
+}
+
+TEST(Fingerprint, ContentFingerprintDeterministic) {
+  EXPECT_EQ(fpOfContent(toBytes("chunk")), fpOfContent(toBytes("chunk")));
+  EXPECT_NE(fpOfContent(toBytes("chunk")), fpOfContent(toBytes("chunk2")));
+}
+
+TEST(Fingerprint, FslWidthFitsIn48Bits) {
+  const Fp fp = fpOfContent(toBytes("data"), kFslFpBits);
+  EXPECT_LT(fp, 1ULL << 48);
+}
+
+TEST(Fingerprint, HexFormatting) {
+  EXPECT_EQ(fpToHex(0), "0000000000000000");
+  EXPECT_EQ(fpToHex(0xdeadbeefULL), "00000000deadbeef");
+}
+
+TEST(Fingerprint, Mix64IsInjectiveOnSample) {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(Fingerprint, Mix64Scrambles) {
+  // Consecutive inputs should differ in roughly half their bits.
+  int totalBits = 0;
+  for (uint64_t i = 0; i < 100; ++i)
+    totalBits += __builtin_popcountll(mix64(i) ^ mix64(i + 1));
+  EXPECT_GT(totalBits, 100 * 20);
+  EXPECT_LT(totalBits, 100 * 44);
+}
+
+TEST(Fingerprint, ChunkRecordEquality) {
+  EXPECT_EQ((ChunkRecord{1, 2}), (ChunkRecord{1, 2}));
+  EXPECT_NE((ChunkRecord{1, 2}), (ChunkRecord{1, 3}));
+  EXPECT_NE((ChunkRecord{1, 2}), (ChunkRecord{2, 2}));
+}
+
+TEST(Fingerprint, FpHashUsable) {
+  FpHash hasher;
+  EXPECT_NE(hasher(1), hasher(2));
+}
+
+}  // namespace
+}  // namespace freqdedup

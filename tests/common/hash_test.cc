@@ -1,0 +1,69 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+// FIPS-180 test vectors.
+TEST(Hash, Sha256KnownVectorEmpty) {
+  EXPECT_EQ(sha256({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Hash, Sha256KnownVectorAbc) {
+  EXPECT_EQ(sha256(toBytes("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Hash, Sha1KnownVectorAbc) {
+  EXPECT_EQ(sha1(toBytes("abc")).hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Hash, Sha1DigestSize) { EXPECT_EQ(sha1(toBytes("x")).size, 20); }
+
+TEST(Hash, Sha256DigestSize) { EXPECT_EQ(sha256(toBytes("x")).size, 32); }
+
+// RFC 4231 test case 2.
+TEST(Hash, HmacSha256KnownVector) {
+  EXPECT_EQ(
+      hmacSha256(toBytes("Jefe"), toBytes("what do ya want for nothing?"))
+          .hex(),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hash, HmacDependsOnKey) {
+  const auto d1 = hmacSha256(toBytes("key1"), toBytes("msg"));
+  const auto d2 = hmacSha256(toBytes("key2"), toBytes("msg"));
+  EXPECT_FALSE(d1 == d2);
+}
+
+TEST(Hash, StreamMatchesOneShot) {
+  Sha256Stream stream;
+  stream.update(toBytes("hello "));
+  stream.update(toBytes("world"));
+  EXPECT_EQ(stream.finish().hex(), sha256(toBytes("hello world")).hex());
+}
+
+TEST(Hash, StreamResetsAfterFinish) {
+  Sha256Stream stream;
+  stream.update(toBytes("first"));
+  (void)stream.finish();
+  stream.update(toBytes("abc"));
+  EXPECT_EQ(stream.finish().hex(), sha256(toBytes("abc")).hex());
+}
+
+TEST(Hash, StreamEmptyInput) {
+  Sha256Stream stream;
+  EXPECT_EQ(stream.finish().hex(), sha256({}).hex());
+}
+
+TEST(Hash, DigestEquality) {
+  EXPECT_TRUE(sha256(toBytes("a")) == sha256(toBytes("a")));
+  EXPECT_FALSE(sha256(toBytes("a")) == sha256(toBytes("b")));
+  EXPECT_FALSE(sha256(toBytes("a")) == sha1(toBytes("a")));  // size differs
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,119 @@
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fingerprint.h"
+
+namespace freqdedup {
+namespace {
+
+TEST(Lru, BasicPutGet) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_EQ(cache.get(1), 10);
+  EXPECT_EQ(cache.get(2), 20);
+  EXPECT_EQ(cache.get(3), std::nullopt);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Lru, GetPromotes) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_TRUE(cache.get(1).has_value());  // 1 becomes MRU
+  cache.put(3, 30);                       // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(Lru, TouchPromotes) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_TRUE(cache.touch(1));
+  cache.put(3, 30);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(Lru, ContainsDoesNotPromote) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_TRUE(cache.contains(1));  // non-promoting
+  cache.put(3, 30);                // still evicts 1
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Lru, PutExistingUpdatesValueWithoutEviction) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_FALSE(cache.put(1, 11));
+  EXPECT_EQ(cache.get(1), 11);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Lru, PutReturnsTrueOnEviction) {
+  LruCache<int, int> cache(1);
+  EXPECT_FALSE(cache.put(1, 10));
+  EXPECT_TRUE(cache.put(2, 20));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(Lru, CapacityOne) {
+  LruCache<int, int> cache(1);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.get(2), 20);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Lru, Erase) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 10);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Lru, Clear) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(Lru, ZeroCapacityRejected) {
+  EXPECT_THROW((LruCache<int, int>(0)), std::logic_error);
+}
+
+TEST(Lru, WorksWithFingerprintKeys) {
+  LruCache<Fp, uint32_t, FpHash> cache(3);
+  cache.put(0xdeadULL, 1);
+  cache.put(0xbeefULL, 2);
+  EXPECT_EQ(cache.get(0xdeadULL), 1u);
+}
+
+TEST(Lru, HeavyChurnRespectsCapacity) {
+  LruCache<int, int> cache(16);
+  for (int i = 0; i < 1000; ++i) cache.put(i, i);
+  EXPECT_EQ(cache.size(), 16u);
+  for (int i = 1000 - 16; i < 1000; ++i) EXPECT_TRUE(cache.contains(i));
+}
+
+}  // namespace
+}  // namespace freqdedup

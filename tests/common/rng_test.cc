@@ -1,0 +1,171 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace freqdedup {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const uint64_t first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t v = rng.uniformInt(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniformInt(42, 42), 42u);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniformInt(2, 1), std::logic_error);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(5);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.uniformInt(0, 7)];
+  for (int c : counts) EXPECT_GT(c, 800);  // each bucket near 1000
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniformReal();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(1);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0, sumSq = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  EXPECT_NEAR(sum / n, 3.0, 0.15);  // (1-p)/p = 3
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(17);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+class RngShuffleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngShuffleProperty, ShuffleIsPermutation) {
+  Rng rng(GetParam());
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(std::span<int>(shuffled));
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngShuffleProperty,
+                         ::testing::Values(1, 2, 3, 42, 99, 12345));
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfTable zipf(100, 1.1);
+  double sum = 0;
+  for (size_t i = 0; i < zipf.size(); ++i) sum += zipf.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfIsDecreasing) {
+  ZipfTable zipf(50, 1.3);
+  for (size_t i = 1; i < zipf.size(); ++i)
+    EXPECT_LT(zipf.pmf(i), zipf.pmf(i - 1));
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  ZipfTable zipf(10, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), zipf.pmf(i), 0.01);
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfTable zipf(1, 1.5);
+  Rng rng(1);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_NEAR(zipf.pmf(0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace freqdedup

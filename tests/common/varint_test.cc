@@ -1,0 +1,68 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+class VarintRoundtrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundtrip, EncodesAndDecodes) {
+  const uint64_t v = GetParam();
+  ByteVec buf;
+  putVarint(buf, v);
+  EXPECT_EQ(buf.size(), varintSize(v));
+  size_t offset = 0;
+  const auto decoded = getVarint(buf, offset);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, v);
+  EXPECT_EQ(offset, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundtrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 255ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32) - 1, 1ULL << 32, ~0ULL));
+
+TEST(Varint, SingleByteForSmallValues) {
+  EXPECT_EQ(varintSize(0), 1u);
+  EXPECT_EQ(varintSize(127), 1u);
+  EXPECT_EQ(varintSize(128), 2u);
+}
+
+TEST(Varint, MaxValueUsesTenBytes) { EXPECT_EQ(varintSize(~0ULL), 10u); }
+
+TEST(Varint, TruncatedInputReturnsNullopt) {
+  ByteVec buf;
+  putVarint(buf, 1ULL << 40);
+  buf.pop_back();
+  size_t offset = 0;
+  EXPECT_EQ(getVarint(buf, offset), std::nullopt);
+}
+
+TEST(Varint, EmptyInputReturnsNullopt) {
+  size_t offset = 0;
+  EXPECT_EQ(getVarint(ByteVec{}, offset), std::nullopt);
+}
+
+TEST(Varint, SequentialDecoding) {
+  ByteVec buf;
+  putVarint(buf, 7);
+  putVarint(buf, 300);
+  putVarint(buf, 0);
+  size_t offset = 0;
+  EXPECT_EQ(*getVarint(buf, offset), 7u);
+  EXPECT_EQ(*getVarint(buf, offset), 300u);
+  EXPECT_EQ(*getVarint(buf, offset), 0u);
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(Varint, OffsetPreservedOnFailure) {
+  ByteVec buf{0x80};  // continuation bit but no next byte
+  size_t offset = 0;
+  EXPECT_EQ(getVarint(buf, offset), std::nullopt);
+  EXPECT_EQ(offset, 0u);
+}
+
+}  // namespace
+}  // namespace freqdedup

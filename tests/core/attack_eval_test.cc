@@ -1,0 +1,94 @@
+#include "core/attack_eval.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+EncryptedTrace makeTarget() {
+  // Three unique ciphertext chunks 101..103 with truth 1..3.
+  EncryptedTrace target;
+  target.records = {{101, 10}, {102, 10}, {101, 10}, {103, 10}};
+  target.truth = {{101, 1}, {102, 2}, {103, 3}};
+  return target;
+}
+
+TEST(AttackEval, UniqueFingerprintsFirstAppearanceOrder) {
+  const EncryptedTrace target = makeTarget();
+  EXPECT_EQ(uniqueFingerprints(target.records),
+            (std::vector<Fp>{101, 102, 103}));
+}
+
+TEST(AttackEval, InferenceRateCountsOnlyCorrectPairs) {
+  const EncryptedTrace target = makeTarget();
+  AttackResult result;
+  result.inferred = {{101, 1}, {102, 99}};  // one right, one wrong
+  EXPECT_EQ(correctInferences(result, target), 1u);
+  EXPECT_NEAR(inferenceRate(result, target), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AttackEval, PerfectInference) {
+  const EncryptedTrace target = makeTarget();
+  AttackResult result;
+  result.inferred = {{101, 1}, {102, 2}, {103, 3}};
+  EXPECT_DOUBLE_EQ(inferenceRate(result, target), 1.0);
+}
+
+TEST(AttackEval, NoInference) {
+  const EncryptedTrace target = makeTarget();
+  EXPECT_DOUBLE_EQ(inferenceRate(AttackResult{}, target), 0.0);
+}
+
+TEST(AttackEval, InferencesOutsideTargetIgnored) {
+  const EncryptedTrace target = makeTarget();
+  AttackResult result;
+  result.inferred = {{999, 9}};
+  EXPECT_DOUBLE_EQ(inferenceRate(result, target), 0.0);
+}
+
+TEST(AttackEval, EmptyTargetIsZero) {
+  EXPECT_DOUBLE_EQ(inferenceRate(AttackResult{}, EncryptedTrace{}), 0.0);
+}
+
+TEST(AttackEval, LeakedPairsAreTruthful) {
+  const EncryptedTrace target = makeTarget();
+  Rng rng(1);
+  const auto leaked = sampleLeakedPairs(target, 1.0, rng);
+  EXPECT_EQ(leaked.size(), 3u);
+  for (const auto& p : leaked) EXPECT_EQ(target.truth.at(p.cipher), p.plain);
+}
+
+TEST(AttackEval, LeakageRateControlsCount) {
+  EncryptedTrace target;
+  for (Fp fp = 0; fp < 1000; ++fp) {
+    target.records.push_back({fp + 1000, 10});
+    target.truth.emplace(fp + 1000, fp);
+  }
+  Rng rng(2);
+  EXPECT_EQ(sampleLeakedPairs(target, 0.0, rng).size(), 0u);
+  EXPECT_EQ(sampleLeakedPairs(target, 0.1, rng).size(), 100u);
+  EXPECT_EQ(sampleLeakedPairs(target, 0.002, rng).size(), 2u);
+}
+
+TEST(AttackEval, LeakSamplingIsDeterministicPerSeed) {
+  EncryptedTrace target;
+  for (Fp fp = 0; fp < 100; ++fp) {
+    target.records.push_back({fp + 1000, 10});
+    target.truth.emplace(fp + 1000, fp);
+  }
+  Rng rng1(3), rng2(3), rng3(4);
+  const auto a = sampleLeakedPairs(target, 0.2, rng1);
+  const auto b = sampleLeakedPairs(target, 0.2, rng2);
+  const auto c = sampleLeakedPairs(target, 0.2, rng3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(AttackEval, InvalidLeakageRateRejected) {
+  Rng rng(1);
+  EXPECT_THROW(sampleLeakedPairs(makeTarget(), 1.5, rng), std::logic_error);
+  EXPECT_THROW(sampleLeakedPairs(makeTarget(), -0.1, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace freqdedup

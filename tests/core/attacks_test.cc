@@ -1,0 +1,178 @@
+#include "core/attacks.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+std::vector<ChunkRecord> seq(std::initializer_list<Fp> fps,
+                             uint32_t size = 100) {
+  std::vector<ChunkRecord> records;
+  for (const Fp fp : fps) records.push_back({fp, size});
+  return records;
+}
+
+// The worked example of Section 4.2 (Figure 3):
+//   M = <M1, M2, M1, M2, M3, M4, M2, M3, M4>
+//   C = <C1, C2, C5, C2, C1, C2, C3, C4, C2, C3, C4, C4>
+// Ground truth: Ci <-> Mi for i = 1..4; C5 is new content absent from M.
+// With u = v = 1 and unbounded G, the attack infers (Ci, Mi) for i = 1..4
+// and cannot infer C5.
+constexpr Fp kM1 = 1, kM2 = 2, kM3 = 3, kM4 = 4;
+constexpr Fp kC1 = 101, kC2 = 102, kC3 = 103, kC4 = 104, kC5 = 105;
+
+std::vector<ChunkRecord> paperM() {
+  return seq({kM1, kM2, kM1, kM2, kM3, kM4, kM2, kM3, kM4});
+}
+
+std::vector<ChunkRecord> paperC() {
+  return seq({kC1, kC2, kC5, kC2, kC1, kC2, kC3, kC4, kC2, kC3, kC4, kC4});
+}
+
+TEST(LocalityAttack, PaperFigure3Example) {
+  AttackConfig config;
+  config.u = 1;
+  config.v = 1;
+  config.w = 1'000'000;  // "unbounded" in the example
+  const AttackResult result = localityAttack(paperC(), paperM(), config);
+
+  EXPECT_EQ(result.inferred.at(kC1), kM1);
+  EXPECT_EQ(result.inferred.at(kC2), kM2);
+  EXPECT_EQ(result.inferred.at(kC3), kM3);
+  EXPECT_EQ(result.inferred.at(kC4), kM4);
+  // C5's plaintext never appears in M; whatever the attack maps it to (if
+  // anything), it cannot be a *new* chunk — the example says it cannot be
+  // inferred. With v=1 the walk never pairs it correctly; it must not be
+  // paired with any of M1..M4's fingerprints that are already taken.
+  const auto it = result.inferred.find(kC5);
+  if (it != result.inferred.end()) {
+    EXPECT_NE(it->second, kM1);
+    EXPECT_NE(it->second, kM3);
+    EXPECT_NE(it->second, kM4);
+  }
+}
+
+TEST(LocalityAttack, Figure3SeedIsMostFrequentPair) {
+  // Frequency analysis finds (C2, M2) as the most frequent pair first.
+  const auto fc = countChunks(paperC(), false);
+  const auto fm = countChunks(paperM(), false);
+  const auto seeds = freqAnalysis(fc.freq, fm.freq, 1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], (InferredPair{kC2, kM2}));
+}
+
+TEST(BasicAttack, RanksGloballyByFrequency) {
+  // Frequencies: cipher 102 > 101 > 103; plain 2 > 1 > 3.
+  const auto cipher = seq({102, 102, 102, 101, 101, 103});
+  const auto plain = seq({2, 2, 2, 1, 1, 3});
+  const AttackResult result = basicAttack(cipher, plain);
+  EXPECT_EQ(result.inferred.at(102), 2u);
+  EXPECT_EQ(result.inferred.at(101), 1u);
+  EXPECT_EQ(result.inferred.at(103), 3u);
+}
+
+TEST(BasicAttack, SizeAwareSeparatesSizeClasses) {
+  std::vector<ChunkRecord> cipher{{101, 16}, {102, 32}};
+  std::vector<ChunkRecord> plain{{1, 16}, {2, 32}};
+  const AttackResult plainRank = basicAttack(cipher, plain, false);
+  // Without sizes, ties are broken by fingerprint: wrong pairing possible.
+  // With sizes, each chunk is alone in its class: pairing is forced.
+  const AttackResult sized = basicAttack(cipher, plain, true);
+  EXPECT_EQ(sized.inferred.at(101), 1u);
+  EXPECT_EQ(sized.inferred.at(102), 2u);
+  EXPECT_EQ(plainRank.inferred.size(), 2u);
+}
+
+TEST(LocalityAttack, KnownPlaintextSeedsFromLeakedPairs) {
+  AttackConfig config;
+  config.mode = AttackMode::kKnownPlaintext;
+  config.v = 1;
+  config.leakedPairs = {{kC3, kM3}};
+  const AttackResult result = localityAttack(paperC(), paperM(), config);
+  // From (C3, M3) the walk reaches its neighbors: C2/M2 (left) and C4/M4
+  // (right), and from those C1/M1.
+  EXPECT_EQ(result.inferred.at(kC3), kM3);
+  EXPECT_EQ(result.inferred.at(kC2), kM2);
+  EXPECT_EQ(result.inferred.at(kC4), kM4);
+  EXPECT_EQ(result.inferred.at(kC1), kM1);
+}
+
+TEST(LocalityAttack, LeakedPairsAbsentFromAuxStillCounted) {
+  AttackConfig config;
+  config.mode = AttackMode::kKnownPlaintext;
+  config.leakedPairs = {{kC5, 999}};  // 999 does not occur in M
+  const AttackResult result = localityAttack(paperC(), paperM(), config);
+  // The leaked pair itself is known to the adversary (counted in T), but it
+  // cannot seed the walk.
+  EXPECT_EQ(result.inferred.at(kC5), 999u);
+  EXPECT_EQ(result.processedPairs, 0u);
+}
+
+TEST(LocalityAttack, LeakedPairsAbsentFromTargetIgnored) {
+  AttackConfig config;
+  config.mode = AttackMode::kKnownPlaintext;
+  config.leakedPairs = {{777, kM2}};  // 777 is not a ciphertext chunk of C
+  const AttackResult result = localityAttack(paperC(), paperM(), config);
+  EXPECT_FALSE(result.inferred.contains(777));
+}
+
+TEST(LocalityAttack, FirstInferenceWins) {
+  AttackConfig config;
+  config.u = 1;
+  config.v = 1;
+  const AttackResult result = localityAttack(paperC(), paperM(), config);
+  // Every ciphertext chunk maps to exactly one plaintext chunk.
+  EXPECT_LE(result.inferred.size(), 5u);
+}
+
+TEST(LocalityAttack, WBoundsTheQueue) {
+  // Algorithm 2 line 17: a pair joins G only while |G| <= w. With w = 0 the
+  // queue holds at most one pending pair at a time, so the walk degenerates
+  // to a single chain and can never process more pairs than with a large w.
+  AttackConfig tightCfg;
+  tightCfg.u = 1;
+  tightCfg.v = 1;
+  tightCfg.w = 0;
+  AttackConfig looseCfg = tightCfg;
+  looseCfg.w = 1'000'000;
+  const AttackResult tight = localityAttack(paperC(), paperM(), tightCfg);
+  const AttackResult loose = localityAttack(paperC(), paperM(), looseCfg);
+  EXPECT_GE(tight.processedPairs, 1u);
+  EXPECT_LE(tight.processedPairs, loose.processedPairs);
+  EXPECT_LE(tight.inferred.size(), loose.inferred.size());
+}
+
+TEST(LocalityAttack, LargerUSeedsMorePairs) {
+  AttackConfig config;
+  config.u = 3;
+  config.v = 1;
+  const AttackResult result = localityAttack(paperC(), paperM(), config);
+  EXPECT_GE(result.processedPairs, 3u);
+}
+
+TEST(LocalityAttack, EmptyStreams) {
+  AttackConfig config;
+  const AttackResult result = localityAttack({}, {}, config);
+  EXPECT_TRUE(result.inferred.empty());
+}
+
+TEST(LocalityAttack, AdvancedVariantOnFixedSizeEqualsPlainVariant) {
+  // With fixed-size chunks there is a single size class, so the advanced
+  // attack reduces to the locality attack (Section 5.3: "equivalent for the
+  // VM dataset").
+  AttackConfig plainCfg;
+  plainCfg.v = 1;
+  AttackConfig sizedCfg = plainCfg;
+  sizedCfg.sizeAware = true;
+  const AttackResult a = localityAttack(paperC(), paperM(), plainCfg);
+  const AttackResult b = localityAttack(paperC(), paperM(), sizedCfg);
+  EXPECT_EQ(a.inferred, b.inferred);
+}
+
+TEST(BasicAttack, EmptyInputs) {
+  EXPECT_TRUE(basicAttack({}, {}).inferred.empty());
+  EXPECT_TRUE(basicAttack(seq({1}), {}).inferred.empty());
+}
+
+}  // namespace
+}  // namespace freqdedup

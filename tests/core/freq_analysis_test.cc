@@ -1,0 +1,111 @@
+#include "core/freq_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+TEST(FreqAnalysis, SortByFrequencyDescending) {
+  CoOccurrenceMap freq{{10, 5}, {20, 9}, {30, 1}};
+  const auto sorted = sortByFrequency(freq);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, 20u);
+  EXPECT_EQ(sorted[1].first, 10u);
+  EXPECT_EQ(sorted[2].first, 30u);
+}
+
+TEST(FreqAnalysis, TiesBrokenByAscendingFingerprint) {
+  CoOccurrenceMap freq{{30, 5}, {10, 5}, {20, 5}};
+  const auto sorted = sortByFrequency(freq);
+  EXPECT_EQ(sorted[0].first, 10u);
+  EXPECT_EQ(sorted[1].first, 20u);
+  EXPECT_EQ(sorted[2].first, 30u);
+}
+
+TEST(FreqAnalysis, PairsByRank) {
+  CoOccurrenceMap cipher{{101, 9}, {102, 5}, {103, 1}};
+  CoOccurrenceMap plain{{201, 80}, {202, 40}, {203, 2}};
+  const auto pairs = freqAnalysis(cipher, plain, 10);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (InferredPair{101, 201}));
+  EXPECT_EQ(pairs[1], (InferredPair{102, 202}));
+  EXPECT_EQ(pairs[2], (InferredPair{103, 203}));
+}
+
+TEST(FreqAnalysis, XLimitsPairCount) {
+  CoOccurrenceMap cipher{{1, 3}, {2, 2}, {3, 1}};
+  CoOccurrenceMap plain{{4, 3}, {5, 2}, {6, 1}};
+  EXPECT_EQ(freqAnalysis(cipher, plain, 2).size(), 2u);
+  EXPECT_EQ(freqAnalysis(cipher, plain, 0).size(), 0u);
+}
+
+TEST(FreqAnalysis, CappedByShorterSide) {
+  CoOccurrenceMap cipher{{1, 3}};
+  CoOccurrenceMap plain{{4, 3}, {5, 2}};
+  EXPECT_EQ(freqAnalysis(cipher, plain, 10).size(), 1u);
+}
+
+TEST(FreqAnalysis, EmptyInputs) {
+  EXPECT_TRUE(freqAnalysis({}, {}, 5).empty());
+  EXPECT_TRUE(freqAnalysis({{1, 1}}, {}, 5).empty());
+}
+
+TEST(SizeClass, SixteenByteBlocks) {
+  EXPECT_EQ(sizeClassOf(1), 1u);
+  EXPECT_EQ(sizeClassOf(16), 1u);
+  EXPECT_EQ(sizeClassOf(17), 2u);
+  EXPECT_EQ(sizeClassOf(4096), 256u);
+  EXPECT_EQ(sizeClassOf(4097), 257u);
+}
+
+TEST(FreqAnalysisSized, PairsWithinSizeClassesOnly) {
+  // Cipher: two 1-block chunks and one 2-block chunk; same on plain side.
+  CoOccurrenceMap cipher{{1, 10}, {2, 5}, {3, 7}};
+  CoOccurrenceMap plain{{11, 20}, {12, 8}, {13, 9}};
+  SizeMap cipherSizes{{1, 16}, {2, 10}, {3, 32}};
+  SizeMap plainSizes{{11, 16}, {12, 12}, {13, 20}};
+  const auto pairs = freqAnalysisSized(cipher, plain, 10, cipherSizes,
+                                       plainSizes);
+  // Class 1 (<=16 bytes): cipher {1:10, 2:5} vs plain {11:20, 12:8}.
+  // Class 2 (17..32 bytes): cipher {3} vs plain {13}.
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (InferredPair{1, 11}));
+  EXPECT_EQ(pairs[1], (InferredPair{2, 12}));
+  EXPECT_EQ(pairs[2], (InferredPair{3, 13}));
+}
+
+TEST(FreqAnalysisSized, MismatchedClassesProduceNothing) {
+  CoOccurrenceMap cipher{{1, 10}};
+  CoOccurrenceMap plain{{11, 10}};
+  SizeMap cipherSizes{{1, 16}};
+  SizeMap plainSizes{{11, 160}};  // different block count
+  EXPECT_TRUE(
+      freqAnalysisSized(cipher, plain, 10, cipherSizes, plainSizes).empty());
+}
+
+TEST(FreqAnalysisSized, UnknownSizesSkipped) {
+  CoOccurrenceMap cipher{{1, 10}, {2, 10}};
+  CoOccurrenceMap plain{{11, 10}};
+  SizeMap cipherSizes{{1, 16}};  // chunk 2's size unknown
+  SizeMap plainSizes{{11, 16}};
+  const auto pairs = freqAnalysisSized(cipher, plain, 10, cipherSizes,
+                                       plainSizes);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (InferredPair{1, 11}));
+}
+
+TEST(FreqAnalysisSized, XAppliesPerClass) {
+  // Algorithm 3 returns up to x pairs for EACH size class.
+  CoOccurrenceMap cipher{{1, 10}, {2, 5}, {3, 7}, {4, 6}};
+  CoOccurrenceMap plain{{11, 20}, {12, 8}, {13, 9}, {14, 2}};
+  SizeMap cipherSizes{{1, 16}, {2, 16}, {3, 32}, {4, 32}};
+  SizeMap plainSizes{{11, 16}, {12, 16}, {13, 32}, {14, 32}};
+  const auto pairs =
+      freqAnalysisSized(cipher, plain, 1, cipherSizes, plainSizes);
+  ASSERT_EQ(pairs.size(), 2u);  // one pair per class
+  EXPECT_EQ(pairs[0], (InferredPair{1, 11}));
+  EXPECT_EQ(pairs[1], (InferredPair{3, 13}));
+}
+
+}  // namespace
+}  // namespace freqdedup

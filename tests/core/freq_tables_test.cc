@@ -1,0 +1,77 @@
+#include "core/freq_tables.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+std::vector<ChunkRecord> seq(std::initializer_list<Fp> fps) {
+  std::vector<ChunkRecord> records;
+  uint32_t size = 100;
+  for (const Fp fp : fps) records.push_back({fp, size});
+  return records;
+}
+
+TEST(FreqTables, CountsFrequencies) {
+  const auto t = countChunks(seq({1, 2, 1, 3, 1}), false);
+  EXPECT_EQ(t.freq.at(1), 3u);
+  EXPECT_EQ(t.freq.at(2), 1u);
+  EXPECT_EQ(t.freq.at(3), 1u);
+  EXPECT_TRUE(t.left.empty());
+  EXPECT_TRUE(t.right.empty());
+}
+
+TEST(FreqTables, RecordsSizes) {
+  std::vector<ChunkRecord> records{{1, 64}, {2, 128}};
+  const auto t = countChunks(records, false);
+  EXPECT_EQ(t.sizeOf.at(1), 64u);
+  EXPECT_EQ(t.sizeOf.at(2), 128u);
+}
+
+TEST(FreqTables, NeighborTablesForPaperExample) {
+  // The plaintext sequence from the Figure 3 worked example:
+  // M = <M1, M2, M1, M2, M3, M4, M2, M3, M4>.
+  const auto t = countChunks(seq({1, 2, 1, 2, 3, 4, 2, 3, 4}), true);
+
+  // L_M2 = {M1:2, M4:1}; R_M2 = {M1:1, M3:2} (Section 4.2's example).
+  EXPECT_EQ(t.left.at(2).at(1), 2u);
+  EXPECT_EQ(t.left.at(2).at(4), 1u);
+  EXPECT_EQ(t.left.at(2).size(), 2u);
+  EXPECT_EQ(t.right.at(2).at(1), 1u);
+  EXPECT_EQ(t.right.at(2).at(3), 2u);
+  EXPECT_EQ(t.right.at(2).size(), 2u);
+}
+
+TEST(FreqTables, FirstChunkHasNoLeftNeighbor) {
+  const auto t = countChunks(seq({7, 8}), true);
+  EXPECT_FALSE(t.left.contains(7));
+  EXPECT_EQ(t.left.at(8).at(7), 1u);
+}
+
+TEST(FreqTables, LastChunkHasNoRightNeighbor) {
+  const auto t = countChunks(seq({7, 8}), true);
+  EXPECT_FALSE(t.right.contains(8));
+  EXPECT_EQ(t.right.at(7).at(8), 1u);
+}
+
+TEST(FreqTables, SelfAdjacency) {
+  const auto t = countChunks(seq({5, 5, 5}), true);
+  EXPECT_EQ(t.left.at(5).at(5), 2u);
+  EXPECT_EQ(t.right.at(5).at(5), 2u);
+}
+
+TEST(FreqTables, EmptyStream) {
+  const auto t = countChunks({}, true);
+  EXPECT_TRUE(t.freq.empty());
+  EXPECT_TRUE(t.left.empty());
+}
+
+TEST(FreqTables, SingleChunk) {
+  const auto t = countChunks(seq({9}), true);
+  EXPECT_EQ(t.freq.at(9), 1u);
+  EXPECT_TRUE(t.left.empty());
+  EXPECT_TRUE(t.right.empty());
+}
+
+}  // namespace
+}  // namespace freqdedup

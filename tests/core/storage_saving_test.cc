@@ -1,0 +1,76 @@
+#include "core/storage_saving.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+std::vector<ChunkRecord> seq(std::initializer_list<Fp> fps,
+                             uint32_t size = 100) {
+  std::vector<ChunkRecord> records;
+  for (const Fp fp : fps) records.push_back({fp, size});
+  return records;
+}
+
+TEST(StorageSaving, FirstBackupAllUnique) {
+  CumulativeDedup dedup;
+  const SavingPoint p = dedup.addBackup(seq({1, 2, 3}), "b1");
+  EXPECT_EQ(p.label, "b1");
+  EXPECT_EQ(p.logicalBytes, 300u);
+  EXPECT_EQ(p.physicalBytes, 300u);
+  EXPECT_DOUBLE_EQ(p.savingPct, 0.0);
+  EXPECT_DOUBLE_EQ(p.dedupRatio, 1.0);
+}
+
+TEST(StorageSaving, IdenticalSecondBackupHalvesPhysical) {
+  CumulativeDedup dedup;
+  dedup.addBackup(seq({1, 2, 3}));
+  const SavingPoint p = dedup.addBackup(seq({1, 2, 3}));
+  EXPECT_EQ(p.logicalBytes, 600u);
+  EXPECT_EQ(p.physicalBytes, 300u);
+  EXPECT_DOUBLE_EQ(p.savingPct, 50.0);
+  EXPECT_DOUBLE_EQ(p.dedupRatio, 2.0);
+}
+
+TEST(StorageSaving, IntraBackupDuplicatesCounted) {
+  CumulativeDedup dedup;
+  const SavingPoint p = dedup.addBackup(seq({1, 1, 1, 2}));
+  EXPECT_EQ(p.physicalBytes, 200u);
+  EXPECT_EQ(p.logicalBytes, 400u);
+}
+
+TEST(StorageSaving, MixedSizes) {
+  CumulativeDedup dedup;
+  std::vector<ChunkRecord> records{{1, 1000}, {2, 200}, {1, 1000}};
+  const SavingPoint p = dedup.addBackup(records);
+  EXPECT_EQ(p.logicalBytes, 2200u);
+  EXPECT_EQ(p.physicalBytes, 1200u);
+}
+
+TEST(StorageSaving, EmptyBackup) {
+  CumulativeDedup dedup;
+  const SavingPoint p = dedup.addBackup({});
+  EXPECT_DOUBLE_EQ(p.savingPct, 0.0);
+  EXPECT_EQ(p.logicalBytes, 0u);
+}
+
+TEST(StorageSaving, SavingGrowsWithRedundantBackups) {
+  CumulativeDedup dedup;
+  double lastSaving = -1.0;
+  for (int i = 0; i < 5; ++i) {
+    const SavingPoint p = dedup.addBackup(seq({1, 2, 3, 4}));
+    EXPECT_GT(p.savingPct + 1e-9, lastSaving);
+    lastSaving = p.savingPct;
+  }
+  EXPECT_DOUBLE_EQ(lastSaving, 80.0);  // 5 backups, one stored
+}
+
+TEST(StorageSaving, UniqueChunkCountTracked) {
+  CumulativeDedup dedup;
+  dedup.addBackup(seq({1, 2}));
+  dedup.addBackup(seq({2, 3}));
+  EXPECT_EQ(dedup.uniqueChunks(), 3u);
+}
+
+}  // namespace
+}  // namespace freqdedup

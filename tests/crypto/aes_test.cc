@@ -1,0 +1,76 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+AesKey testKey(uint8_t fill = 0x11) {
+  AesKey key{};
+  key.fill(fill);
+  return key;
+}
+
+AesIv testIv(uint8_t fill = 0x22) {
+  AesIv iv{};
+  iv.fill(fill);
+  return iv;
+}
+
+TEST(Aes, RoundtripRestoresPlaintext) {
+  const ByteVec plain = toBytes("the quick brown fox jumps over the lazy dog");
+  const ByteVec cipher = aesCtrEncrypt(testKey(), testIv(), plain);
+  EXPECT_EQ(aesCtrDecrypt(testKey(), testIv(), cipher), plain);
+}
+
+TEST(Aes, CiphertextDiffersFromPlaintext) {
+  const ByteVec plain = toBytes("some secret content here");
+  EXPECT_NE(aesCtrEncrypt(testKey(), testIv(), plain), plain);
+}
+
+TEST(Aes, DeterministicForSameKeyAndIv) {
+  const ByteVec plain = toBytes("deduplication needs determinism");
+  EXPECT_EQ(aesCtrEncrypt(testKey(), testIv(), plain),
+            aesCtrEncrypt(testKey(), testIv(), plain));
+}
+
+TEST(Aes, DifferentKeysGiveDifferentCiphertexts) {
+  const ByteVec plain = toBytes("same plaintext");
+  EXPECT_NE(aesCtrEncrypt(testKey(0x11), testIv(), plain),
+            aesCtrEncrypt(testKey(0x12), testIv(), plain));
+}
+
+TEST(Aes, DifferentIvsGiveDifferentCiphertexts) {
+  const ByteVec plain = toBytes("same plaintext");
+  EXPECT_NE(aesCtrEncrypt(testKey(), testIv(0x01), plain),
+            aesCtrEncrypt(testKey(), testIv(0x02), plain));
+}
+
+TEST(Aes, CtrPreservesLength) {
+  Rng rng(1);
+  for (const size_t n : {0u, 1u, 15u, 16u, 17u, 1000u, 4096u, 10'000u}) {
+    ByteVec plain(n);
+    for (auto& b : plain) b = static_cast<uint8_t>(rng.next());
+    EXPECT_EQ(aesCtrEncrypt(testKey(), testIv(), plain).size(), n);
+  }
+}
+
+TEST(Aes, EmptyPlaintext) {
+  EXPECT_TRUE(aesCtrEncrypt(testKey(), testIv(), {}).empty());
+}
+
+TEST(Aes, WrongKeyDoesNotDecrypt) {
+  const ByteVec plain = toBytes("confidential");
+  const ByteVec cipher = aesCtrEncrypt(testKey(0x11), testIv(), plain);
+  EXPECT_NE(aesCtrDecrypt(testKey(0x12), testIv(), cipher), plain);
+}
+
+TEST(Aes, DeterministicIvDerivedFromKey) {
+  EXPECT_EQ(deterministicIv(testKey(0x33)), deterministicIv(testKey(0x33)));
+  EXPECT_NE(deterministicIv(testKey(0x33)), deterministicIv(testKey(0x34)));
+}
+
+}  // namespace
+}  // namespace freqdedup

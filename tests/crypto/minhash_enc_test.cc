@@ -1,0 +1,125 @@
+#include "crypto/minhash_encryption.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+std::vector<ByteVec> randomChunks(uint64_t seed, size_t count, size_t size) {
+  Rng rng(seed);
+  std::vector<ByteVec> chunks(count);
+  for (auto& chunk : chunks) {
+    chunk.resize(size);
+    for (auto& b : chunk) b = static_cast<uint8_t>(rng.next());
+  }
+  return chunks;
+}
+
+SegmentParams tinySegments() {
+  SegmentParams p;
+  p.minBytes = 4 * 1024;
+  p.avgBytes = 8 * 1024;
+  p.maxBytes = 16 * 1024;
+  p.avgChunkBytes = 1024;
+  return p;
+}
+
+TEST(MinHashEnc, EncryptsEveryChunk) {
+  KeyManager km(toBytes("secret"));
+  MinHashEncryptor enc(km, tinySegments());
+  const auto chunks = randomChunks(1, 50, 1024);
+  const auto result = enc.encrypt(chunks);
+  EXPECT_EQ(result.chunks.size(), chunks.size());
+  EXPECT_FALSE(result.segments.empty());
+}
+
+TEST(MinHashEnc, DecryptRoundtrip) {
+  KeyManager km(toBytes("secret"));
+  MinHashEncryptor enc(km, tinySegments());
+  const auto chunks = randomChunks(2, 40, 1024);
+  const auto result = enc.encrypt(chunks);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(MinHashEncryptor::decrypt(result.chunks[i]), chunks[i]);
+  }
+}
+
+TEST(MinHashEnc, ChunksInSameSegmentShareKey) {
+  KeyManager km(toBytes("secret"));
+  MinHashEncryptor enc(km, tinySegments());
+  const auto chunks = randomChunks(3, 60, 1024);
+  const auto result = enc.encrypt(chunks);
+  for (size_t i = 1; i < result.chunks.size(); ++i) {
+    if (result.chunks[i].segmentIndex == result.chunks[i - 1].segmentIndex) {
+      EXPECT_EQ(result.chunks[i].key, result.chunks[i - 1].key);
+    }
+  }
+}
+
+TEST(MinHashEnc, KeyDerivedFromSegmentMinimum) {
+  KeyManager km(toBytes("secret"));
+  MinHashEncryptor enc(km, tinySegments());
+  const auto chunks = randomChunks(4, 30, 1024);
+  const auto result = enc.encrypt(chunks);
+
+  std::vector<ChunkRecord> records;
+  for (const auto& chunk : chunks)
+    records.push_back({fpOfContent(chunk), static_cast<uint32_t>(chunk.size())});
+  for (size_t s = 0; s < result.segments.size(); ++s) {
+    const Fp minFp = segmentMinFingerprint(records, result.segments[s]);
+    const AesKey expected = km.deriveSegmentKey(minFp);
+    for (size_t i = result.segments[s].begin; i < result.segments[s].end; ++i)
+      EXPECT_EQ(result.chunks[i].key, expected);
+  }
+}
+
+TEST(MinHashEnc, IdenticalPlaintextsInSameSegmentDeduplicate) {
+  KeyManager km(toBytes("secret"));
+  MinHashEncryptor enc(km, tinySegments());
+  auto chunks = randomChunks(5, 8, 512);
+  chunks[2] = chunks[6];  // duplicate within one (likely) segment
+  const auto result = enc.encrypt(chunks);
+  if (result.chunks[2].segmentIndex == result.chunks[6].segmentIndex) {
+    EXPECT_EQ(result.chunks[2].cipherFp, result.chunks[6].cipherFp);
+  }
+}
+
+TEST(MinHashEnc, DuplicateAcrossDifferentMinimaDoesNotDeduplicate) {
+  // Two single-segment streams with different minima: the shared chunk
+  // encrypts differently — the frequency-disturbing effect of Algorithm 4.
+  KeyManager km(toBytes("secret"));
+  SegmentParams p = tinySegments();
+  MinHashEncryptor enc(km, p);
+  auto streamA = randomChunks(6, 4, 512);
+  auto streamB = randomChunks(7, 4, 512);
+  streamB[1] = streamA[1];  // shared plaintext chunk
+  const auto resultA = enc.encrypt(streamA);
+  const auto resultB = enc.encrypt(streamB);
+  // Different chunk sets almost surely have different minima.
+  ASSERT_NE(resultA.chunks[0].key, resultB.chunks[0].key);
+  EXPECT_NE(resultA.chunks[1].cipherFp, resultB.chunks[1].cipherFp);
+  // Yet both decrypt to the same plaintext.
+  EXPECT_EQ(MinHashEncryptor::decrypt(resultA.chunks[1]),
+            MinHashEncryptor::decrypt(resultB.chunks[1]));
+}
+
+TEST(MinHashEnc, PlainFingerprintRecorded) {
+  KeyManager km(toBytes("secret"));
+  MinHashEncryptor enc(km, tinySegments());
+  const auto chunks = randomChunks(8, 10, 512);
+  const auto result = enc.encrypt(chunks);
+  for (size_t i = 0; i < chunks.size(); ++i)
+    EXPECT_EQ(result.chunks[i].plainFp, fpOfContent(chunks[i]));
+}
+
+TEST(MinHashEnc, EmptyInput) {
+  KeyManager km(toBytes("secret"));
+  MinHashEncryptor enc(km, tinySegments());
+  const auto result = enc.encrypt({});
+  EXPECT_TRUE(result.chunks.empty());
+  EXPECT_TRUE(result.segments.empty());
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,66 @@
+#include "crypto/rce.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+TEST(Rce, DecryptRoundtrip) {
+  ConvergentEncryption mle;
+  Rng rng(1);
+  RceScheme rce(mle, rng);
+  const ByteVec plain = toBytes("random convergent encryption test");
+  const RceCiphertext ct = rce.encrypt(plain);
+  EXPECT_EQ(rce.decrypt(ct, mle.deriveKey(plain)), plain);
+}
+
+TEST(Rce, BodiesAreRandomized) {
+  ConvergentEncryption mle;
+  Rng rng(2);
+  RceScheme rce(mle, rng);
+  const ByteVec plain = toBytes("identical plaintext chunk");
+  const RceCiphertext ct1 = rce.encrypt(plain);
+  const RceCiphertext ct2 = rce.encrypt(plain);
+  EXPECT_NE(ct1.body, ct2.body);
+  EXPECT_NE(ct1.wrappedKey, ct2.wrappedKey);
+}
+
+TEST(Rce, TagsAreDeterministic) {
+  // The paper's Section 8 point: RCE's dedup tags leak frequencies exactly
+  // like deterministic ciphertexts do.
+  ConvergentEncryption mle;
+  Rng rng(3);
+  RceScheme rce(mle, rng);
+  const ByteVec plain = toBytes("identical plaintext chunk");
+  EXPECT_EQ(rce.encrypt(plain).tag, rce.encrypt(plain).tag);
+  EXPECT_NE(rce.encrypt(plain).tag, rce.encrypt(toBytes("other")).tag);
+}
+
+TEST(Rce, TagIsPlaintextFingerprint) {
+  ConvergentEncryption mle;
+  Rng rng(4);
+  RceScheme rce(mle, rng);
+  const ByteVec plain = toBytes("tagged chunk");
+  EXPECT_EQ(rce.encrypt(plain).tag, fpOfContent(plain));
+}
+
+TEST(Rce, WrongMleKeyFailsToDecrypt) {
+  ConvergentEncryption mle;
+  Rng rng(5);
+  RceScheme rce(mle, rng);
+  const ByteVec plain = toBytes("protected content");
+  const RceCiphertext ct = rce.encrypt(plain);
+  const AesKey wrongKey = mle.deriveKey(toBytes("other content"));
+  EXPECT_NE(rce.decrypt(ct, wrongKey), plain);
+}
+
+TEST(Rce, BodyLengthMatchesPlaintext) {
+  ConvergentEncryption mle;
+  Rng rng(6);
+  RceScheme rce(mle, rng);
+  const ByteVec plain(777, 0x12);
+  EXPECT_EQ(rce.encrypt(plain).body.size(), plain.size());
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,125 @@
+#include "datagen/file_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "chunking/cdc_chunker.h"
+#include "datagen/snapshot_gen.h"
+
+namespace freqdedup {
+namespace {
+
+CorpusParams smallCorpus(uint64_t seed = 11) {
+  CorpusParams p;
+  p.seed = seed;
+  p.fileCount = 40;
+  p.targetBytes = 4 * 1024 * 1024;
+  p.poolBlocks = 40;
+  return p;
+}
+
+CdcParams smallCdc() {
+  CdcParams p;
+  p.minSize = 512;
+  p.avgSize = 2048;
+  p.maxSize = 8192;
+  return p;
+}
+
+TEST(Corpus, Deterministic) {
+  EXPECT_EQ(generateCorpus(smallCorpus()), generateCorpus(smallCorpus()));
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  EXPECT_NE(generateCorpus(smallCorpus(1)), generateCorpus(smallCorpus(2)));
+}
+
+TEST(Corpus, SizeNearTarget) {
+  const CorpusParams p = smallCorpus();
+  const uint64_t bytes = corpusBytes(generateCorpus(p));
+  EXPECT_GT(bytes, p.targetBytes / 2);
+  EXPECT_LT(bytes, p.targetBytes * 4);
+}
+
+TEST(Corpus, FileCountMatches) {
+  const CorpusParams p = smallCorpus();
+  EXPECT_EQ(generateCorpus(p).size(), static_cast<size_t>(p.fileCount));
+}
+
+TEST(Corpus, HasInternalDuplication) {
+  // Pool-block splicing must produce CDC-level duplicate chunks.
+  const FileCorpus corpus = generateCorpus(smallCorpus());
+  const CdcChunker chunker(smallCdc());
+  const BackupTrace trace = chunkSnapshot(corpus, chunker, "t");
+  EXPECT_LT(trace.uniqueChunkCount(), trace.chunkCount() * 9 / 10);
+}
+
+TEST(SnapshotGen, MutationAddsNewFiles) {
+  FileCorpus corpus = generateCorpus(smallCorpus());
+  const size_t before = corpus.size();
+  SnapshotGenParams p;
+  p.newBytesPerSnapshot = 512 * 1024;
+  Rng rng(1);
+  mutateSnapshot(corpus, p, rng, 1);
+  EXPECT_GT(corpus.size(), before);
+}
+
+TEST(SnapshotGen, MutationPreservesMostContent) {
+  FileCorpus corpus = generateCorpus(smallCorpus());
+  const FileCorpus original = corpus;
+  SnapshotGenParams p;
+  p.newBytesPerSnapshot = 0;
+  p.fileModifyProb = 0.02;
+  Rng rng(2);
+  mutateSnapshot(corpus, p, rng, 1);
+  size_t unchanged = 0;
+  for (const auto& [name, content] : original) {
+    unchanged += corpus.at(name) == content;
+  }
+  EXPECT_GT(unchanged, original.size() * 8 / 10);
+}
+
+TEST(SnapshotGen, ChunkTraceCoversAllBytes) {
+  const FileCorpus corpus = generateCorpus(smallCorpus());
+  const CdcChunker chunker(smallCdc());
+  const BackupTrace trace = chunkSnapshot(corpus, chunker, "label");
+  EXPECT_EQ(trace.label, "label");
+  EXPECT_EQ(trace.logicalBytes(), corpusBytes(corpus));
+}
+
+TEST(SnapshotGen, DatasetHasExpectedSnapshotCount) {
+  SnapshotGenParams p;
+  p.snapshots = 4;
+  p.newBytesPerSnapshot = 256 * 1024;
+  const CdcChunker chunker(smallCdc());
+  const Dataset d = generateSyntheticDataset(smallCorpus(), p, chunker);
+  EXPECT_EQ(d.backups.size(), 5u);  // initial + 4 derived
+  EXPECT_EQ(d.backups[0].label, "snapshot 0");
+}
+
+TEST(SnapshotGen, DatasetDeduplicates) {
+  SnapshotGenParams p;
+  p.snapshots = 4;
+  p.newBytesPerSnapshot = 128 * 1024;
+  const CdcChunker chunker(smallCdc());
+  const DatasetStats stats = computeDatasetStats(
+      generateSyntheticDataset(smallCorpus(), p, chunker));
+  // Five nearly-identical snapshots: dedup ratio should approach 5x.
+  EXPECT_GT(stats.dedupRatio(), 3.0);
+}
+
+TEST(SnapshotGen, FinalSnapshotReturned) {
+  SnapshotGenParams p;
+  p.snapshots = 2;
+  p.newBytesPerSnapshot = 64 * 1024;
+  const CdcChunker chunker(smallCdc());
+  FileCorpus finalSnapshot;
+  const Dataset d =
+      generateSyntheticDataset(smallCorpus(), p, chunker, &finalSnapshot);
+  EXPECT_FALSE(finalSnapshot.empty());
+  // The returned corpus chunks to exactly the last backup trace.
+  const BackupTrace again = chunkSnapshot(finalSnapshot, chunker, "x");
+  EXPECT_EQ(again.records, d.backups.back().records);
+}
+
+}  // namespace
+}  // namespace freqdedup

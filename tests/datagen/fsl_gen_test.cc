@@ -1,0 +1,119 @@
+#include "datagen/fsl_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace freqdedup {
+namespace {
+
+FslGenParams smallParams(uint64_t seed = 42) {
+  FslGenParams p;
+  p.seed = seed;
+  p.users = 3;
+  p.backups = 3;
+  p.filesPerUser = 40;
+  p.sharedTemplateFiles = 60;
+  return p;
+}
+
+TEST(FslGen, DeterministicForSameSeed) {
+  const Dataset a = generateFslDataset(smallParams());
+  const Dataset b = generateFslDataset(smallParams());
+  ASSERT_EQ(a.backups.size(), b.backups.size());
+  for (size_t i = 0; i < a.backups.size(); ++i)
+    EXPECT_EQ(a.backups[i].records, b.backups[i].records);
+}
+
+TEST(FslGen, DifferentSeedsDiffer) {
+  const Dataset a = generateFslDataset(smallParams(1));
+  const Dataset b = generateFslDataset(smallParams(2));
+  EXPECT_NE(a.backups[0].records, b.backups[0].records);
+}
+
+TEST(FslGen, BackupCountAndLabels) {
+  const Dataset d = generateFslDataset(smallParams());
+  ASSERT_EQ(d.backups.size(), 3u);
+  EXPECT_EQ(d.backups[0].label, "Jan 22");
+  EXPECT_EQ(d.backups[2].label, "Mar 22");
+  EXPECT_EQ(d.name, "fsl-like");
+}
+
+TEST(FslGen, ChunkSizesWithinConfiguredBounds) {
+  const FslGenParams p = smallParams();
+  const Dataset d = generateFslDataset(p);
+  for (const auto& backup : d.backups) {
+    for (const auto& r : backup.records) {
+      EXPECT_GE(r.size, p.minChunkBytes);
+      EXPECT_LE(r.size, p.maxChunkBytes);
+    }
+  }
+}
+
+TEST(FslGen, FingerprintSizeConsistency) {
+  // A fingerprint always denotes the same content, hence the same size.
+  const Dataset d = generateFslDataset(smallParams());
+  SizeMap sizes;
+  for (const auto& backup : d.backups) {
+    for (const auto& r : backup.records) {
+      const auto [it, inserted] = sizes.emplace(r.fp, r.size);
+      EXPECT_EQ(it->second, r.size) << fpToHex(r.fp);
+    }
+  }
+}
+
+TEST(FslGen, DeduplicationRatioInBackupRegime) {
+  const DatasetStats stats =
+      computeDatasetStats(generateFslDataset(FslGenParams{}));
+  EXPECT_GT(stats.dedupRatio(), 2.5);
+  EXPECT_LT(stats.dedupRatio(), 15.0);
+}
+
+TEST(FslGen, ConsecutiveBackupsShareMostContent) {
+  const Dataset d = generateFslDataset(smallParams());
+  for (size_t b = 1; b < d.backups.size(); ++b) {
+    std::unordered_set<Fp, FpHash> prev;
+    for (const auto& r : d.backups[b - 1].records) prev.insert(r.fp);
+    size_t shared = 0;
+    for (const auto& r : d.backups[b].records) shared += prev.contains(r.fp);
+    EXPECT_GT(shared, d.backups[b].records.size() / 2)
+        << "monthly churn should leave the majority of chunks untouched";
+  }
+}
+
+TEST(FslGen, BackupsEvolve) {
+  const Dataset d = generateFslDataset(smallParams());
+  EXPECT_NE(d.backups[0].records, d.backups[1].records);
+}
+
+TEST(FslGen, SkewedFrequencyDistribution) {
+  const Dataset d = generateFslDataset(FslGenParams{});
+  const FrequencyMap freq = datasetFrequencies(d);
+  uint64_t maxFreq = 0;
+  for (const auto& [fp, count] : freq) maxFreq = std::max(maxFreq, count);
+  // Figure 1's premise: a tiny set of chunks occurs orders of magnitude more
+  // often than the typical chunk.
+  EXPECT_GT(maxFreq, 500u);
+  size_t rare = 0;
+  for (const auto& [fp, count] : freq) rare += count < 100;
+  EXPECT_GT(static_cast<double>(rare) / static_cast<double>(freq.size()),
+            0.95);
+}
+
+TEST(FslGen, MultipleUsersContribute) {
+  FslGenParams oneUser = smallParams();
+  oneUser.users = 1;
+  const Dataset d1 = generateFslDataset(oneUser);
+  const Dataset d3 = generateFslDataset(smallParams());
+  EXPECT_GT(d3.backups[0].chunkCount(), d1.backups[0].chunkCount() * 2);
+}
+
+TEST(FslGen, RejectsDegenerateParams) {
+  FslGenParams p = smallParams();
+  p.users = 0;
+  EXPECT_THROW(generateFslDataset(p), std::logic_error);
+}
+
+}  // namespace
+}  // namespace freqdedup

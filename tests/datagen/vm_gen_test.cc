@@ -1,0 +1,99 @@
+#include "datagen/vm_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace freqdedup {
+namespace {
+
+VmGenParams smallParams(uint64_t seed = 7) {
+  VmGenParams p;
+  p.seed = seed;
+  p.users = 3;
+  p.weeks = 10;
+  p.baseImageChunks = 4000;
+  p.heavyWeekFirst = 4;
+  p.heavyWeekLast = 6;
+  return p;
+}
+
+TEST(VmGen, Deterministic) {
+  const Dataset a = generateVmDataset(smallParams());
+  const Dataset b = generateVmDataset(smallParams());
+  ASSERT_EQ(a.backups.size(), b.backups.size());
+  for (size_t i = 0; i < a.backups.size(); ++i)
+    EXPECT_EQ(a.backups[i].records, b.backups[i].records);
+}
+
+TEST(VmGen, WeeklyLabels) {
+  const Dataset d = generateVmDataset(smallParams());
+  ASSERT_EQ(d.backups.size(), 10u);
+  EXPECT_EQ(d.backups[0].label, "week 1");
+  EXPECT_EQ(d.backups[9].label, "week 10");
+}
+
+TEST(VmGen, AllChunksFixedSize) {
+  const VmGenParams p = smallParams();
+  const Dataset d = generateVmDataset(p);
+  for (const auto& backup : d.backups) {
+    for (const auto& r : backup.records) EXPECT_EQ(r.size, p.chunkBytes);
+  }
+}
+
+TEST(VmGen, HighCrossUserRedundancyInWeekOne) {
+  const Dataset d = generateVmDataset(smallParams());
+  const BackupTrace& week1 = d.backups[0];
+  // 3 users cloned from one base: unique chunks should be close to one
+  // image's worth, far below the logical count.
+  EXPECT_LT(week1.uniqueChunkCount(), week1.chunkCount() / 2);
+}
+
+TEST(VmGen, HighOverallDedupRatio) {
+  const DatasetStats stats =
+      computeDatasetStats(generateVmDataset(VmGenParams{}));
+  EXPECT_GT(stats.dedupRatio(), 8.0);
+}
+
+TEST(VmGen, HeavyChurnWindowDestroysOldContent) {
+  const VmGenParams p = smallParams();
+  const Dataset d = generateVmDataset(p);
+  // Content from before the heavy window should barely survive to the end.
+  std::unordered_set<Fp, FpHash> early;
+  for (const auto& r : d.backups[1].records) early.insert(r.fp);
+  size_t survivors = 0;
+  for (const auto& r : d.backups.back().records)
+    survivors += early.contains(r.fp);
+  EXPECT_LT(static_cast<double>(survivors) /
+                static_cast<double>(d.backups.back().records.size()),
+            0.2);
+}
+
+TEST(VmGen, PostWindowBackupsShareContent) {
+  const VmGenParams p = smallParams();
+  const Dataset d = generateVmDataset(p);
+  // After the heavy window (transitions into weeks 5..7), consecutive
+  // backups are similar again.
+  std::unordered_set<Fp, FpHash> w8;
+  for (const auto& r : d.backups[8].records) w8.insert(r.fp);
+  size_t shared = 0;
+  for (const auto& r : d.backups[9].records) shared += w8.contains(r.fp);
+  EXPECT_GT(static_cast<double>(shared) /
+                static_cast<double>(d.backups[9].records.size()),
+            0.8);
+}
+
+TEST(VmGen, ImagesGrowWeekly) {
+  const Dataset d = generateVmDataset(smallParams());
+  EXPECT_GT(d.backups.back().chunkCount(), d.backups.front().chunkCount());
+}
+
+TEST(VmGen, RejectsDegenerateParams) {
+  VmGenParams p = smallParams();
+  p.heavyWeekFirst = 9;
+  p.heavyWeekLast = 3;
+  EXPECT_THROW(generateVmDataset(p), std::logic_error);
+}
+
+}  // namespace
+}  // namespace freqdedup

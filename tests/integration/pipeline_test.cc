@@ -1,0 +1,197 @@
+// Cross-module integration tests: trace pipeline (datagen -> encryption ->
+// attack -> defense -> evaluation), content pipeline (corpus -> chunking ->
+// MLE -> dedup store -> restore), and the DDFS engine fed by defended traces.
+#include <gtest/gtest.h>
+
+#include "chunking/cdc_chunker.h"
+#include "core/attack_eval.h"
+#include "core/attacks.h"
+#include "core/defense.h"
+#include "core/storage_saving.h"
+#include "datagen/fsl_gen.h"
+#include "datagen/snapshot_gen.h"
+#include "datagen/vm_gen.h"
+#include "storage/backup_manager.h"
+#include "storage/dedup_engine.h"
+#include "trace/trace_io.h"
+
+namespace freqdedup {
+namespace {
+
+FslGenParams smallFsl() {
+  FslGenParams p;
+  p.users = 3;
+  p.backups = 3;
+  p.filesPerUser = 50;
+  p.sharedTemplateFiles = 80;
+  return p;
+}
+
+TEST(TracePipeline, LocalityBeatsBasicAndDefenseBeatsBoth) {
+  const Dataset fsl = generateFslDataset(smallFsl());
+  const auto& aux = fsl.backups[1].records;
+  const auto& plainTarget = fsl.backups[2].records;
+
+  const EncryptedTrace mleTarget = mleEncryptTrace(plainTarget);
+  const AttackResult basic = basicAttack(mleTarget.records, aux);
+  AttackConfig cfg;
+  cfg.sizeAware = true;
+  const AttackResult advanced = localityAttack(mleTarget.records, aux, cfg);
+
+  const double basicRate = inferenceRate(basic, mleTarget);
+  const double advancedRate = inferenceRate(advanced, mleTarget);
+  EXPECT_GT(advancedRate, basicRate);
+  EXPECT_GT(advancedRate, 0.01);
+
+  // The combined defense collapses the same attack.
+  DefenseConfig defense;
+  defense.scramble = true;
+  const EncryptedTrace defendedTarget =
+      minHashEncryptTrace(plainTarget, defense);
+  const AttackResult attacked =
+      localityAttack(defendedTarget.records, aux, cfg);
+  EXPECT_LT(inferenceRate(attacked, defendedTarget), advancedRate / 3);
+}
+
+TEST(TracePipeline, KnownPlaintextOutperformsCiphertextOnly) {
+  const Dataset fsl = generateFslDataset(smallFsl());
+  const auto& aux = fsl.backups[1].records;
+  const EncryptedTrace target = mleEncryptTrace(fsl.backups[2].records);
+
+  AttackConfig co;
+  co.sizeAware = true;
+  const double coRate =
+      inferenceRate(localityAttack(target.records, aux, co), target);
+
+  AttackConfig kp = co;
+  kp.mode = AttackMode::kKnownPlaintext;
+  Rng rng(5);
+  kp.leakedPairs = sampleLeakedPairs(target, 0.01, rng);
+  const double kpRate =
+      inferenceRate(localityAttack(target.records, aux, kp), target);
+  EXPECT_GE(kpRate, coRate);
+}
+
+TEST(TracePipeline, MinHashStorageCostIsBounded) {
+  const Dataset fsl = generateFslDataset(smallFsl());
+  CumulativeDedup mle, combined;
+  DefenseConfig defense;
+  defense.scramble = true;
+  SavingPoint mlePoint, combinedPoint;
+  for (const auto& backup : fsl.backups) {
+    mlePoint = mle.addBackup(mleEncryptTrace(backup.records).records);
+    combinedPoint = combined.addBackup(
+        minHashEncryptTrace(backup.records, defense).records);
+  }
+  EXPECT_LE(combinedPoint.savingPct, mlePoint.savingPct);
+  // Paper (Section 7.3): at most a few percentage points of saving lost.
+  EXPECT_LT(mlePoint.savingPct - combinedPoint.savingPct, 10.0);
+}
+
+TEST(TracePipeline, VmFixedSizeMakesAdvancedEqualLocality) {
+  VmGenParams p;
+  p.users = 2;
+  p.weeks = 4;
+  p.baseImageChunks = 3000;
+  p.heavyWeekFirst = 2;
+  p.heavyWeekLast = 2;
+  const Dataset vm = generateVmDataset(p);
+  const EncryptedTrace target = mleEncryptTrace(vm.backups[3].records);
+  AttackConfig plainCfg;
+  AttackConfig sizedCfg;
+  sizedCfg.sizeAware = true;
+  const AttackResult a =
+      localityAttack(target.records, vm.backups[2].records, plainCfg);
+  const AttackResult b =
+      localityAttack(target.records, vm.backups[2].records, sizedCfg);
+  EXPECT_EQ(a.inferred, b.inferred);
+}
+
+TEST(ContentPipeline, SnapshotChainBacksUpAndRestores) {
+  CorpusParams corpusParams;
+  corpusParams.fileCount = 20;
+  corpusParams.targetBytes = 2 * 1024 * 1024;
+  corpusParams.poolBlocks = 20;
+  SnapshotGenParams snapParams;
+  snapParams.snapshots = 2;
+  snapParams.newBytesPerSnapshot = 128 * 1024;
+
+  CdcParams cdc;
+  cdc.minSize = 1024;
+  cdc.avgSize = 4096;
+  cdc.maxSize = 16384;
+  const CdcChunker chunker(cdc);
+
+  FileCorpus finalSnapshot;
+  const Dataset dataset = generateSyntheticDataset(corpusParams, snapParams,
+                                                   chunker, &finalSnapshot);
+  ASSERT_EQ(dataset.backups.size(), 3u);
+
+  // Back the final snapshot's files up through the real encrypted-dedup
+  // pipeline and restore them.
+  BackupStore store;
+  KeyManager km(toBytes("integration-secret"));
+  BackupOptions options;
+  options.scheme = EncryptionScheme::kMinHashScrambled;
+  options.segmentParams.minBytes = 64 * 1024;
+  options.segmentParams.avgBytes = 128 * 1024;
+  options.segmentParams.maxBytes = 256 * 1024;
+  options.segmentParams.avgChunkBytes = 4096;
+  BackupManager manager(store, km, chunker, options);
+
+  size_t restored = 0;
+  for (const auto& [name, content] : finalSnapshot) {
+    const BackupOutcome outcome = manager.backup(name, content);
+    EXPECT_EQ(manager.restore(outcome.fileRecipe, outcome.keyRecipe),
+              content);
+    if (++restored >= 10) break;  // ten files is plenty for integration
+  }
+  EXPECT_GT(store.stats().uniqueChunks, 0u);
+}
+
+TEST(DdfsPipeline, DefendedTraceCostsLittleExtraMetadata) {
+  const Dataset fsl = generateFslDataset(smallFsl());
+
+  const auto runEngine = [&](bool defended) {
+    DedupEngineParams params;
+    params.containerBytes = 512 * 1024;
+    params.cacheBytes = 4096 * kFpMetadataBytes;
+    params.expectedFingerprints = 1'000'000;
+    DedupEngine engine(params);
+    DefenseConfig defense;
+    defense.scramble = true;
+    for (const auto& backup : fsl.backups) {
+      if (defended) {
+        engine.ingestBackup(
+            minHashEncryptTrace(backup.records, defense).records);
+      } else {
+        engine.ingestBackup(mleEncryptTrace(backup.records).records);
+      }
+    }
+    engine.flushOpenContainer();
+    return engine.stats();
+  };
+
+  const DedupEngineStats mleStats = runEngine(false);
+  const DedupEngineStats combinedStats = runEngine(true);
+  EXPECT_GE(combinedStats.uniqueChunks, mleStats.uniqueChunks);
+  // Metadata overhead of the defense stays within tens of percent.
+  EXPECT_LT(static_cast<double>(combinedStats.metadata.totalBytes()),
+            static_cast<double>(mleStats.metadata.totalBytes()) * 1.5);
+}
+
+TEST(TracePipeline, SerializationPreservesAttackResults) {
+  const Dataset fsl = generateFslDataset(smallFsl());
+  const ByteVec bytes = serializeDataset(fsl);
+  const Dataset reloaded = parseDataset(bytes);
+  const EncryptedTrace t1 = mleEncryptTrace(fsl.backups[2].records);
+  const EncryptedTrace t2 = mleEncryptTrace(reloaded.backups[2].records);
+  const AttackResult r1 =
+      basicAttack(t1.records, fsl.backups[1].records);
+  const AttackResult r2 =
+      basicAttack(t2.records, reloaded.backups[1].records);
+  EXPECT_EQ(inferenceRate(r1, t1), inferenceRate(r2, t2));
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,189 @@
+#include "kvstore/logkv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+class LogKvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("logkv_test_" +
+              std::to_string(
+                  ::testing::UnitTest::GetInstance()->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".log"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(LogKvTest, PutGet) {
+  LogKv kv(path_);
+  kv.put(toBytes("key"), toBytes("value"));
+  EXPECT_EQ(kv.get(toBytes("key")), toBytes("value"));
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST_F(LogKvTest, MissingKey) {
+  LogKv kv(path_);
+  EXPECT_EQ(kv.get(toBytes("nope")), std::nullopt);
+  EXPECT_FALSE(kv.contains(toBytes("nope")));
+}
+
+TEST_F(LogKvTest, OverwriteKeepsLatest) {
+  LogKv kv(path_);
+  kv.put(toBytes("k"), toBytes("v1"));
+  kv.put(toBytes("k"), toBytes("v2"));
+  EXPECT_EQ(kv.get(toBytes("k")), toBytes("v2"));
+  EXPECT_EQ(kv.size(), 1u);
+  EXPECT_GT(kv.deadRecords(), 0u);
+}
+
+TEST_F(LogKvTest, PersistsAcrossReopen) {
+  {
+    LogKv kv(path_);
+    kv.put(toBytes("alpha"), toBytes("1"));
+    kv.put(toBytes("beta"), toBytes("2"));
+    kv.erase(toBytes("alpha"));
+    kv.flush();
+  }
+  LogKv reopened(path_);
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(reopened.get(toBytes("beta")), toBytes("2"));
+  EXPECT_FALSE(reopened.contains(toBytes("alpha")));
+}
+
+TEST_F(LogKvTest, ManyEntriesSurviveReopen) {
+  Rng rng(1);
+  std::vector<std::pair<ByteVec, ByteVec>> entries;
+  {
+    LogKv kv(path_);
+    for (int i = 0; i < 500; ++i) {
+      ByteVec key = kvKeyFromU64(rng.next());
+      ByteVec value(static_cast<size_t>(rng.uniformInt(0, 64)));
+      for (auto& b : value) b = static_cast<uint8_t>(rng.next());
+      kv.put(key, value);
+      entries.emplace_back(std::move(key), std::move(value));
+    }
+    kv.flush();
+  }
+  LogKv reopened(path_);
+  EXPECT_EQ(reopened.size(), entries.size());
+  for (const auto& [key, value] : entries)
+    EXPECT_EQ(reopened.get(key), value);
+}
+
+TEST_F(LogKvTest, TornTailIsTruncatedOnRecovery) {
+  {
+    LogKv kv(path_);
+    kv.put(toBytes("good"), toBytes("record"));
+    kv.flush();
+  }
+  // Simulate a crash mid-append: add garbage half-record bytes.
+  {
+    FILE* f = fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint8_t garbage[] = {0x12, 0x34, 0x56};
+    fwrite(garbage, 1, sizeof(garbage), f);
+    fclose(f);
+  }
+  LogKv recovered(path_);
+  EXPECT_EQ(recovered.get(toBytes("good")), toBytes("record"));
+  EXPECT_EQ(recovered.size(), 1u);
+  // The torn bytes are gone; new appends work.
+  recovered.put(toBytes("new"), toBytes("entry"));
+  recovered.flush();
+  LogKv again(path_);
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_EQ(again.get(toBytes("new")), toBytes("entry"));
+}
+
+TEST_F(LogKvTest, CorruptRecordStopsReplayAtTail) {
+  {
+    LogKv kv(path_);
+    kv.put(toBytes("first"), toBytes("1"));
+    kv.put(toBytes("second"), toBytes("2"));
+    kv.flush();
+  }
+  // Flip a byte inside the second record's payload.
+  {
+    auto data = readFile(path_);
+    data[data.size() - 2] ^= 0xFF;
+    writeFile(path_, data);
+  }
+  LogKv recovered(path_);
+  EXPECT_EQ(recovered.get(toBytes("first")), toBytes("1"));
+  EXPECT_FALSE(recovered.contains(toBytes("second")));
+}
+
+TEST_F(LogKvTest, CompactionReclaimsDeadSpace) {
+  LogKv kv(path_);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      kv.put(kvKeyFromU64(static_cast<uint64_t>(i)),
+             toBytes("value-" + std::to_string(round)));
+    }
+  }
+  const uint64_t before = kv.logBytes();
+  kv.compact();
+  EXPECT_LT(kv.logBytes(), before / 4);
+  EXPECT_EQ(kv.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(kv.get(kvKeyFromU64(static_cast<uint64_t>(i))),
+              toBytes("value-19"));
+  }
+}
+
+TEST_F(LogKvTest, CompactionSurvivesReopen) {
+  {
+    LogKv kv(path_);
+    kv.put(toBytes("a"), toBytes("1"));
+    kv.put(toBytes("b"), toBytes("2"));
+    kv.erase(toBytes("a"));
+    kv.compact();
+  }
+  LogKv reopened(path_);
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(reopened.get(toBytes("b")), toBytes("2"));
+  EXPECT_EQ(reopened.deadRecords(), 0u);
+}
+
+TEST_F(LogKvTest, EraseMissingReturnsFalse) {
+  LogKv kv(path_);
+  EXPECT_FALSE(kv.erase(toBytes("ghost")));
+}
+
+TEST_F(LogKvTest, ForEachVisitsLiveEntriesOnly) {
+  LogKv kv(path_);
+  kv.put(toBytes("keep"), toBytes("1"));
+  kv.put(toBytes("drop"), toBytes("2"));
+  kv.erase(toBytes("drop"));
+  size_t count = 0;
+  kv.forEach([&count](ByteView key, ByteView) {
+    EXPECT_EQ(toString(key), "keep");
+    ++count;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(LogKvTest, EmptyValue) {
+  LogKv kv(path_);
+  kv.put(toBytes("k"), {});
+  const auto value = kv.get(toBytes("k"));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(value->empty());
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,79 @@
+#include "kvstore/memkv.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace freqdedup {
+namespace {
+
+TEST(MemKv, PutGet) {
+  MemKv kv;
+  kv.put(toBytes("key"), toBytes("value"));
+  EXPECT_EQ(kv.get(toBytes("key")), toBytes("value"));
+}
+
+TEST(MemKv, MissingKeyReturnsNullopt) {
+  MemKv kv;
+  EXPECT_EQ(kv.get(toBytes("absent")), std::nullopt);
+}
+
+TEST(MemKv, OverwriteReplacesValue) {
+  MemKv kv;
+  kv.put(toBytes("k"), toBytes("v1"));
+  kv.put(toBytes("k"), toBytes("v2"));
+  EXPECT_EQ(kv.get(toBytes("k")), toBytes("v2"));
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(MemKv, Erase) {
+  MemKv kv;
+  kv.put(toBytes("k"), toBytes("v"));
+  EXPECT_TRUE(kv.erase(toBytes("k")));
+  EXPECT_FALSE(kv.erase(toBytes("k")));
+  EXPECT_FALSE(kv.contains(toBytes("k")));
+}
+
+TEST(MemKv, Contains) {
+  MemKv kv;
+  EXPECT_FALSE(kv.contains(toBytes("k")));
+  kv.put(toBytes("k"), toBytes("v"));
+  EXPECT_TRUE(kv.contains(toBytes("k")));
+}
+
+TEST(MemKv, EmptyValueAllowed) {
+  MemKv kv;
+  kv.put(toBytes("k"), {});
+  const auto value = kv.get(toBytes("k"));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(value->empty());
+}
+
+TEST(MemKv, BinaryKeysWithEmbeddedNulls) {
+  MemKv kv;
+  const ByteVec key{0x00, 0x01, 0x00, 0x02};
+  kv.put(key, toBytes("binary"));
+  EXPECT_EQ(kv.get(key), toBytes("binary"));
+}
+
+TEST(MemKv, ForEachVisitsAllEntries) {
+  MemKv kv;
+  kv.put(toBytes("a"), toBytes("1"));
+  kv.put(toBytes("b"), toBytes("2"));
+  kv.put(toBytes("c"), toBytes("3"));
+  std::map<std::string, std::string> seen;
+  kv.forEach([&seen](ByteView key, ByteView value) {
+    seen[toString(key)] = toString(value);
+  });
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen["b"], "2");
+}
+
+TEST(MemKv, U64KeyHelpers) {
+  const ByteVec key = kvKeyFromU64(0x1122334455667788ULL);
+  EXPECT_EQ(key.size(), 8u);
+  EXPECT_EQ(kvKeyToU64(key), 0x1122334455667788ULL);
+}
+
+}  // namespace
+}  // namespace freqdedup

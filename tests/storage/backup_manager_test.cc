@@ -1,0 +1,210 @@
+#include "storage/backup_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "chunking/cdc_chunker.h"
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+ByteVec randomContent(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  ByteVec data(n);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+  return data;
+}
+
+CdcParams smallCdc() {
+  CdcParams p;
+  p.minSize = 256;
+  p.avgSize = 1024;
+  p.maxSize = 4096;
+  return p;
+}
+
+BackupOptions minhashOptions(EncryptionScheme scheme) {
+  BackupOptions options;
+  options.scheme = scheme;
+  options.segmentParams.minBytes = 8 * 1024;
+  options.segmentParams.avgBytes = 16 * 1024;
+  options.segmentParams.maxBytes = 32 * 1024;
+  options.segmentParams.avgChunkBytes = 1024;
+  return options;
+}
+
+class BackupManagerSchemes
+    : public ::testing::TestWithParam<EncryptionScheme> {};
+
+TEST_P(BackupManagerSchemes, BackupRestoreRoundtrip) {
+  BackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, minhashOptions(GetParam()));
+
+  const ByteVec content = randomContent(1, 300 * 1024);
+  const BackupOutcome outcome = manager.backup("file.bin", content);
+  EXPECT_EQ(outcome.chunkCount,
+            outcome.newChunks + outcome.duplicateChunks);
+  EXPECT_EQ(manager.restore(outcome.fileRecipe, outcome.keyRecipe), content);
+}
+
+TEST_P(BackupManagerSchemes, SecondIdenticalBackupFullyDeduplicates) {
+  BackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, minhashOptions(GetParam()));
+
+  const ByteVec content = randomContent(2, 200 * 1024);
+  (void)manager.backup("v1", content);
+  const BackupOutcome second = manager.backup("v2", content);
+  EXPECT_EQ(second.newChunks, 0u)
+      << "identical content must deduplicate fully under " \
+         "deterministic schemes";
+  EXPECT_EQ(manager.restore(second.fileRecipe, second.keyRecipe), content);
+}
+
+TEST_P(BackupManagerSchemes, ModifiedBackupMostlyDeduplicates) {
+  BackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, minhashOptions(GetParam()));
+
+  ByteVec content = randomContent(3, 400 * 1024);
+  (void)manager.backup("v1", content);
+  // Clustered 2 % modification.
+  for (size_t i = 100'000; i < 108'000; ++i) content[i] ^= 0xFF;
+  const BackupOutcome second = manager.backup("v2", content);
+  EXPECT_LT(second.newChunks, second.chunkCount / 3);
+  EXPECT_EQ(manager.restore(second.fileRecipe, second.keyRecipe), content);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, BackupManagerSchemes,
+    ::testing::Values(EncryptionScheme::kMle, EncryptionScheme::kMinHash,
+                      EncryptionScheme::kMinHashScrambled));
+
+TEST(BackupManager, RecipePreservesOriginalOrderUnderScrambling) {
+  BackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(
+      store, km, chunker,
+      minhashOptions(EncryptionScheme::kMinHashScrambled));
+
+  const ByteVec content = randomContent(4, 150 * 1024);
+  const BackupOutcome outcome = manager.backup("f", content);
+  // Restoring via the recipe must reproduce the exact byte order even though
+  // chunks were uploaded in scrambled order (Section 6.2).
+  EXPECT_EQ(manager.restore(outcome.fileRecipe, outcome.keyRecipe), content);
+  // Recipe sizes must sum to the file size in order.
+  uint64_t total = 0;
+  for (const auto& e : outcome.fileRecipe.entries) total += e.size;
+  EXPECT_EQ(total, content.size());
+}
+
+TEST(BackupManager, StoreAndRestoreByNameWithSealedRecipes) {
+  BackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, {});
+
+  AesKey userKey{};
+  userKey.fill(0x55);
+  Rng rng(5);
+  const ByteVec content = randomContent(6, 100 * 1024);
+  const BackupOutcome outcome = manager.backup("docs/thesis.tex", content);
+  manager.storeRecipes("docs/thesis.tex", outcome, userKey, rng);
+  EXPECT_EQ(manager.restoreByName("docs/thesis.tex", userKey), content);
+}
+
+TEST(BackupManager, RestoreByNameMissingThrows) {
+  BackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, {});
+  AesKey userKey{};
+  EXPECT_THROW(manager.restoreByName("ghost", userKey), std::runtime_error);
+}
+
+TEST(BackupManager, WrongUserKeyFailsRecipeParsing) {
+  BackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, {});
+  AesKey rightKey{}, wrongKey{};
+  rightKey.fill(1);
+  wrongKey.fill(2);
+  Rng rng(7);
+  const BackupOutcome outcome =
+      manager.backup("f", randomContent(8, 50 * 1024));
+  manager.storeRecipes("f", outcome, rightKey, rng);
+  EXPECT_THROW(manager.restoreByName("f", wrongKey), std::runtime_error);
+}
+
+TEST(BackupManager, MleAndMinHashProduceDifferentCiphertexts) {
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  const ByteVec content = randomContent(9, 100 * 1024);
+
+  BackupStore storeA;
+  BackupManager mleManager(storeA, km, chunker, {});
+  const auto mleOutcome = mleManager.backup("f", content);
+
+  BackupStore storeB;
+  BackupManager mhManager(storeB, km, chunker,
+                          minhashOptions(EncryptionScheme::kMinHash));
+  const auto mhOutcome = mhManager.backup("f", content);
+
+  size_t differing = 0;
+  ASSERT_EQ(mleOutcome.fileRecipe.entries.size(),
+            mhOutcome.fileRecipe.entries.size());
+  for (size_t i = 0; i < mleOutcome.fileRecipe.entries.size(); ++i) {
+    differing += mleOutcome.fileRecipe.entries[i].cipherFp !=
+                 mhOutcome.fileRecipe.entries[i].cipherFp;
+  }
+  EXPECT_EQ(differing, mleOutcome.fileRecipe.entries.size());
+}
+
+class ScrambleOrderProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScrambleOrderProperty, IsPermutationWithinSegments) {
+  Rng rng(GetParam());
+  const size_t count = 100;
+  const std::vector<Segment> segments = {{0, 30}, {30, 31}, {31, 100}};
+  const std::vector<size_t> order = scrambleOrder(count, segments, rng);
+  ASSERT_EQ(order.size(), count);
+  // Permutation overall.
+  std::vector<size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < count; ++i) EXPECT_EQ(sorted[i], i);
+  // Each segment's indices stay within the segment.
+  size_t pos = 0;
+  for (const Segment& seg : segments) {
+    for (size_t i = seg.begin; i < seg.end; ++i, ++pos) {
+      EXPECT_GE(order[pos], seg.begin);
+      EXPECT_LT(order[pos], seg.end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScrambleOrderProperty,
+                         ::testing::Values(1, 2, 3, 99));
+
+TEST(ScrambleOrder, SingletonSegmentUnchanged) {
+  Rng rng(1);
+  const std::vector<Segment> segments = {{0, 1}};
+  EXPECT_EQ(scrambleOrder(1, segments, rng), std::vector<size_t>{0});
+}
+
+TEST(ScrambleOrder, RejectsNonCoveringSegments) {
+  Rng rng(1);
+  const std::vector<Segment> segments = {{0, 2}};
+  EXPECT_THROW(scrambleOrder(5, segments, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace freqdedup

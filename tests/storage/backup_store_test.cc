@@ -1,0 +1,133 @@
+#include "storage/backup_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace freqdedup {
+namespace {
+
+class BackupStoreDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("backup_store_test_" + std::string(::testing::UnitTest::
+                                                    GetInstance()
+                                                        ->current_test_info()
+                                                        ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST(BackupStoreMem, PutGetChunk) {
+  BackupStore store;
+  const ByteVec bytes = toBytes("ciphertext chunk");
+  const Fp fp = fpOfContent(bytes);
+  EXPECT_TRUE(store.putChunk(fp, bytes));
+  EXPECT_TRUE(store.hasChunk(fp));
+  EXPECT_EQ(store.getChunk(fp), bytes);
+}
+
+TEST(BackupStoreMem, DuplicatePutIsDeduplicated) {
+  BackupStore store;
+  const ByteVec bytes = toBytes("dup chunk");
+  const Fp fp = fpOfContent(bytes);
+  EXPECT_TRUE(store.putChunk(fp, bytes));
+  EXPECT_FALSE(store.putChunk(fp, bytes));
+  EXPECT_EQ(store.stats().uniqueChunks, 1u);
+  EXPECT_EQ(store.stats().logicalPuts, 2u);
+  EXPECT_EQ(store.stats().storedBytes, bytes.size());
+  EXPECT_EQ(store.stats().logicalBytes, 2 * bytes.size());
+}
+
+TEST(BackupStoreMem, MissingChunkThrows) {
+  BackupStore store;
+  EXPECT_THROW(store.getChunk(0x1234), std::runtime_error);
+}
+
+TEST(BackupStoreMem, ChunksRetrievableAfterContainerSeal) {
+  BackupStore store;  // 4 MB containers by default
+  std::vector<std::pair<Fp, ByteVec>> chunks;
+  for (int i = 0; i < 200; ++i) {
+    ByteVec bytes(64 * 1024, static_cast<uint8_t>(i));  // 200 x 64 KB > 4 MB
+    const Fp fp = fpOfContent(bytes);
+    store.putChunk(fp, bytes);
+    chunks.emplace_back(fp, std::move(bytes));
+  }
+  EXPECT_GT(store.containerCount(), 1u);
+  for (const auto& [fp, bytes] : chunks) EXPECT_EQ(store.getChunk(fp), bytes);
+}
+
+TEST(BackupStoreMem, Blobs) {
+  BackupStore store;
+  store.putBlob("file:a", toBytes("recipe-a"));
+  store.putBlob("key:a", toBytes("keys-a"));
+  EXPECT_EQ(store.getBlob("file:a"), toBytes("recipe-a"));
+  EXPECT_EQ(store.getBlob("missing"), std::nullopt);
+  const auto names = store.listBlobs();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(BackupStoreMem, DedupRatioTracksDuplication) {
+  BackupStore store;
+  const ByteVec bytes(1000, 0x33);
+  const Fp fp = fpOfContent(bytes);
+  for (int i = 0; i < 4; ++i) store.putChunk(fp, bytes);
+  EXPECT_DOUBLE_EQ(store.stats().dedupRatio(), 4.0);
+}
+
+TEST_F(BackupStoreDirTest, PersistsAcrossReopen) {
+  std::vector<std::pair<Fp, ByteVec>> chunks;
+  {
+    BackupStore store(dir_, /*containerBytes=*/256 * 1024);
+    for (int i = 0; i < 50; ++i) {
+      ByteVec bytes(16 * 1024, static_cast<uint8_t>(i));
+      const Fp fp = fpOfContent(bytes);
+      store.putChunk(fp, bytes);
+      chunks.emplace_back(fp, std::move(bytes));
+    }
+    store.putBlob("file:backup1", toBytes("sealed recipe"));
+    store.flush();
+  }
+  BackupStore reopened(dir_, 256 * 1024);
+  EXPECT_EQ(reopened.stats().uniqueChunks, 50u);
+  for (const auto& [fp, bytes] : chunks) {
+    EXPECT_TRUE(reopened.hasChunk(fp));
+    EXPECT_EQ(reopened.getChunk(fp), bytes);
+  }
+  EXPECT_EQ(reopened.getBlob("file:backup1"), toBytes("sealed recipe"));
+}
+
+TEST_F(BackupStoreDirTest, DedupAcrossReopen) {
+  const ByteVec bytes(8 * 1024, 0x77);
+  const Fp fp = fpOfContent(bytes);
+  {
+    BackupStore store(dir_);
+    EXPECT_TRUE(store.putChunk(fp, bytes));
+    store.flush();
+  }
+  BackupStore reopened(dir_);
+  EXPECT_FALSE(reopened.putChunk(fp, bytes)) << "chunk must survive reopen";
+}
+
+TEST_F(BackupStoreDirTest, ContainerFilesOnDisk) {
+  {
+    BackupStore store(dir_, 64 * 1024);
+    for (int i = 0; i < 10; ++i) {
+      ByteVec bytes(16 * 1024, static_cast<uint8_t>(i));
+      store.putChunk(fpOfContent(bytes), bytes);
+    }
+    store.flush();
+  }
+  size_t containerFiles = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_ + "/containers"))
+    containerFiles += entry.is_regular_file();
+  EXPECT_GE(containerFiles, 2u);
+}
+
+}  // namespace
+}  // namespace freqdedup

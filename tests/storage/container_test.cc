@@ -1,0 +1,100 @@
+#include "storage/container.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+TEST(ContainerBuilder, AccumulatesChunks) {
+  ContainerBuilder builder(1024);
+  EXPECT_TRUE(builder.empty());
+  builder.add(1, 100, toBytes(std::string(100, 'a')));
+  builder.add(2, 200, toBytes(std::string(200, 'b')));
+  EXPECT_EQ(builder.chunkCount(), 2u);
+  EXPECT_EQ(builder.pendingBytes(), 300u);
+}
+
+TEST(ContainerBuilder, WouldOverflow) {
+  ContainerBuilder builder(250);
+  EXPECT_FALSE(builder.wouldOverflow(1000));  // empty builder always accepts
+  builder.add(1, 200, {});
+  EXPECT_TRUE(builder.wouldOverflow(100));
+  EXPECT_FALSE(builder.wouldOverflow(50));
+}
+
+TEST(ContainerBuilder, SealResetsState) {
+  ContainerBuilder builder(1024);
+  builder.add(1, 10, {});
+  const Container c = builder.seal(7);
+  EXPECT_EQ(c.id, 7u);
+  EXPECT_EQ(c.chunkCount(), 1u);
+  EXPECT_TRUE(builder.empty());
+  EXPECT_EQ(builder.pendingBytes(), 0u);
+}
+
+TEST(ContainerBuilder, SealEmptyRejected) {
+  ContainerBuilder builder(1024);
+  EXPECT_THROW(builder.seal(0), std::logic_error);
+}
+
+TEST(ContainerBuilder, SizeMismatchRejected) {
+  ContainerBuilder builder(1024);
+  EXPECT_THROW(builder.add(1, 10, toBytes("short")), std::logic_error);
+}
+
+TEST(ContainerBuilder, DataOffsetsTrackPayload) {
+  ContainerBuilder builder(1024);
+  builder.add(1, 3, toBytes("abc"));
+  builder.add(2, 4, toBytes("defg"));
+  const Container c = builder.seal(0);
+  EXPECT_EQ(c.entries[0].dataOffset, 0u);
+  EXPECT_EQ(c.entries[1].dataOffset, 3u);
+  EXPECT_EQ(toString(ByteView(c.data.data() + 3, 4)), "defg");
+}
+
+TEST(Container, SerializeParseRoundtrip) {
+  ContainerBuilder builder(1024);
+  builder.add(0xAAAA, 5, toBytes("hello"));
+  builder.add(0xBBBB, 5, toBytes("world"));
+  const Container original = builder.seal(42);
+  const Container parsed = parseContainer(serializeContainer(original));
+  EXPECT_EQ(parsed.id, original.id);
+  EXPECT_EQ(parsed.entries, original.entries);
+  EXPECT_EQ(parsed.data, original.data);
+}
+
+TEST(Container, TraceModeRoundtrip) {
+  ContainerBuilder builder(64 * 1024);
+  builder.add(1, 8192, {});  // trace mode: size only, no bytes
+  builder.add(2, 4096, {});
+  const Container original = builder.seal(3);
+  EXPECT_EQ(original.dataBytes(), 12288u);
+  EXPECT_TRUE(original.data.empty());
+  const Container parsed = parseContainer(serializeContainer(original));
+  EXPECT_EQ(parsed.entries, original.entries);
+}
+
+TEST(Container, CorruptChecksumRejected) {
+  ContainerBuilder builder(1024);
+  builder.add(1, 3, toBytes("abc"));
+  ByteVec bytes = serializeContainer(builder.seal(0));
+  bytes[bytes.size() / 2] ^= 0x01;
+  EXPECT_THROW(parseContainer(bytes), std::runtime_error);
+}
+
+TEST(Container, TruncatedInputRejected) {
+  ContainerBuilder builder(1024);
+  builder.add(1, 3, toBytes("abc"));
+  ByteVec bytes = serializeContainer(builder.seal(0));
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(parseContainer(bytes), std::runtime_error);
+}
+
+TEST(Container, MetadataBytesAt32PerFingerprint) {
+  ContainerBuilder builder(1024 * 1024);
+  for (Fp fp = 0; fp < 10; ++fp) builder.add(fp, 100, {});
+  EXPECT_EQ(builder.seal(0).metadataBytes(), 320u);
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,174 @@
+#include "storage/dedup_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+DedupEngineParams tinyParams() {
+  DedupEngineParams p;
+  p.containerBytes = 16 * 1024;     // 4 chunks of 4 KB per container
+  p.cacheBytes = 64 * kFpMetadataBytes;  // 64 cached fingerprints
+  p.expectedFingerprints = 10'000;
+  return p;
+}
+
+std::vector<ChunkRecord> makeRecords(std::initializer_list<Fp> fps,
+                                     uint32_t size = 4096) {
+  std::vector<ChunkRecord> records;
+  for (const Fp fp : fps) records.push_back({fp, size});
+  return records;
+}
+
+TEST(DedupEngine, AllUniqueChunksStored) {
+  DedupEngine engine(tinyParams());
+  engine.ingestBackup(makeRecords({1, 2, 3, 4, 5}));
+  EXPECT_EQ(engine.stats().uniqueChunks, 5u);
+  EXPECT_EQ(engine.stats().logicalChunks, 5u);
+}
+
+TEST(DedupEngine, DuplicateInOpenBufferDetected) {
+  DedupEngine engine(tinyParams());
+  engine.ingestBackup(makeRecords({1, 2, 1}));
+  EXPECT_EQ(engine.stats().uniqueChunks, 2u);
+  EXPECT_EQ(engine.stats().bufferHits + engine.stats().cacheHits, 1u);
+}
+
+TEST(DedupEngine, DuplicateAfterFlushGoesThroughIndex) {
+  DedupEngine engine(tinyParams());
+  // Fill exactly one container (4 chunks x 4 KB = 16 KB), then overflow so
+  // it flushes, then repeat a chunk from the flushed container.
+  engine.ingestBackup(makeRecords({1, 2, 3, 4, 5}));  // 5 forces flush
+  const IngestOutcome outcome = engine.ingest({1, 4096});
+  EXPECT_TRUE(outcome.duplicate);
+  ASSERT_TRUE(outcome.containerId.has_value());
+  EXPECT_EQ(engine.stats().indexHits, 1u);
+  // S4 loaded the container's fingerprints (4 entries x 32 B).
+  EXPECT_EQ(engine.stats().metadata.loadingBytes, 4u * kFpMetadataBytes);
+}
+
+TEST(DedupEngine, CacheHitAfterContainerLoad) {
+  DedupEngine engine(tinyParams());
+  engine.ingestBackup(makeRecords({1, 2, 3, 4, 5}));
+  (void)engine.ingest({1, 4096});  // index hit, loads container fps
+  const auto metadataBefore = engine.stats().metadata;
+  const IngestOutcome outcome = engine.ingest({2, 4096});  // neighbor: cached
+  EXPECT_TRUE(outcome.duplicate);
+  EXPECT_EQ(engine.stats().metadata.totalBytes(), metadataBefore.totalBytes())
+      << "a fingerprint-cache hit must not touch on-disk metadata";
+}
+
+TEST(DedupEngine, UpdateAccessCountedOnFlush) {
+  DedupEngine engine(tinyParams());
+  engine.ingestBackup(makeRecords({1, 2, 3, 4}));
+  EXPECT_EQ(engine.stats().metadata.updateBytes, 0u);  // still buffered
+  engine.flushOpenContainer();
+  EXPECT_EQ(engine.stats().metadata.updateBytes, 4u * kFpMetadataBytes);
+  EXPECT_EQ(engine.containerCount(), 1u);
+}
+
+TEST(DedupEngine, ContainerCapacityRespected) {
+  DedupEngine engine(tinyParams());
+  std::vector<ChunkRecord> records;
+  for (Fp fp = 0; fp < 20; ++fp) records.push_back({fp, 4096});
+  engine.ingestBackup(records);
+  engine.flushOpenContainer();
+  EXPECT_EQ(engine.containerCount(), 5u);  // 20 chunks / 4 per container
+  for (uint32_t id = 0; id < 5; ++id)
+    EXPECT_EQ(engine.containerFingerprints(id).size(), 4u);
+}
+
+TEST(DedupEngine, BloomNegativeSkipsIndex) {
+  DedupEngine engine(tinyParams());
+  engine.ingestBackup(makeRecords({1, 2, 3}));
+  // All chunks were new; their uniqueness was provable by the Bloom filter
+  // except for rare false positives.
+  EXPECT_EQ(engine.stats().bloomNegatives +
+                engine.stats().bloomFalsePositives,
+            3u);
+  EXPECT_LE(engine.stats().metadata.indexBytes,
+            3u * kFpMetadataBytes);  // only false positives pay index lookups
+}
+
+TEST(DedupEngine, StatsDedupRatio) {
+  DedupEngine engine(tinyParams());
+  engine.ingestBackup(makeRecords({1, 2, 1, 2, 1, 2}));
+  EXPECT_DOUBLE_EQ(engine.stats().dedupRatio(), 3.0);
+}
+
+class DedupEngineProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DedupEngineProperty, MatchesNaiveDeduplication) {
+  Rng rng(GetParam());
+  std::vector<ChunkRecord> records;
+  for (int i = 0; i < 5000; ++i) {
+    // Draw from a small fingerprint space to force many duplicates.
+    records.push_back({rng.uniformInt(0, 700),
+                       static_cast<uint32_t>(rng.uniformInt(1024, 8192))});
+  }
+  // A fingerprint must always denote the same content/size.
+  std::unordered_map<Fp, uint32_t, FpHash> canonicalSize;
+  for (auto& r : records) {
+    const auto [it, inserted] = canonicalSize.try_emplace(r.fp, r.size);
+    r.size = it->second;
+  }
+
+  DedupEngineParams p = tinyParams();
+  DedupEngine engine(p);
+  engine.ingestBackup(records);
+
+  std::unordered_set<Fp, FpHash> naive;
+  uint64_t naiveBytes = 0;
+  for (const auto& r : records) {
+    if (naive.insert(r.fp).second) naiveBytes += r.size;
+  }
+  EXPECT_EQ(engine.stats().uniqueChunks, naive.size());
+  EXPECT_EQ(engine.stats().uniqueBytes, naiveBytes);
+  EXPECT_EQ(engine.stats().logicalChunks, records.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DedupEngineProperty,
+                         ::testing::Values(1, 17, 23, 77));
+
+TEST(DedupEngine, LoadingDominatesWithSmallCache) {
+  // The paper's observation (Section 7.4.2): with an insufficient cache,
+  // loading access dominates total metadata traffic.
+  DedupEngineParams p;
+  p.containerBytes = 64 * 1024;
+  p.cacheBytes = 8 * kFpMetadataBytes;  // pathologically small cache
+  p.expectedFingerprints = 10'000;
+  DedupEngine engine(p);
+  Rng rng(5);
+  std::vector<ChunkRecord> backup1;
+  for (int i = 0; i < 2000; ++i) backup1.push_back({rng.next(), 4096});
+  engine.ingestBackup(backup1);
+  engine.flushOpenContainer();
+  engine.ingestBackup(backup1);  // second backup: all duplicates
+  const auto& m = engine.stats().metadata;
+  EXPECT_GT(m.loadingBytes, m.updateBytes);
+  EXPECT_GT(m.loadingBytes, m.indexBytes);
+}
+
+TEST(DedupEngine, SufficientCacheEliminatesRepeatLoading) {
+  DedupEngineParams p;
+  p.containerBytes = 64 * 1024;
+  p.cacheBytes = 1'000'000 * kFpMetadataBytes;  // effectively unbounded
+  p.expectedFingerprints = 10'000;
+  DedupEngine engine(p);
+  Rng rng(6);
+  std::vector<ChunkRecord> backup;
+  for (int i = 0; i < 2000; ++i) backup.push_back({rng.next(), 4096});
+  engine.ingestBackup(backup);
+  engine.flushOpenContainer();
+  engine.ingestBackup(backup);
+  const uint64_t loadingAfterSecond = engine.stats().metadata.loadingBytes;
+  engine.ingestBackup(backup);  // third pass: everything cache-resident
+  EXPECT_EQ(engine.stats().metadata.loadingBytes, loadingAfterSecond);
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,106 @@
+#include "storage/recipe.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+FileRecipe sampleFileRecipe() {
+  FileRecipe recipe;
+  recipe.fileName = "docs/report.pdf";
+  recipe.fileSize = 123456;
+  recipe.entries = {{0xAAAA, 8192}, {0xBBBB, 4096}, {0xCCCC, 100}};
+  return recipe;
+}
+
+KeyRecipe sampleKeyRecipe() {
+  KeyRecipe recipe;
+  for (uint8_t i = 1; i <= 3; ++i) {
+    AesKey key{};
+    key.fill(i);
+    recipe.keys.push_back(key);
+  }
+  return recipe;
+}
+
+TEST(FileRecipe, SerializeParseRoundtrip) {
+  const FileRecipe original = sampleFileRecipe();
+  EXPECT_EQ(parseFileRecipe(serializeFileRecipe(original)), original);
+}
+
+TEST(FileRecipe, EmptyRecipeRoundtrip) {
+  FileRecipe empty;
+  empty.fileName = "empty";
+  EXPECT_EQ(parseFileRecipe(serializeFileRecipe(empty)), empty);
+}
+
+TEST(FileRecipe, CorruptionDetected) {
+  ByteVec bytes = serializeFileRecipe(sampleFileRecipe());
+  bytes[5] ^= 0x40;
+  EXPECT_THROW(parseFileRecipe(bytes), std::runtime_error);
+}
+
+TEST(FileRecipe, TruncationDetected) {
+  ByteVec bytes = serializeFileRecipe(sampleFileRecipe());
+  bytes.resize(bytes.size() - 6);
+  EXPECT_THROW(parseFileRecipe(bytes), std::runtime_error);
+}
+
+TEST(KeyRecipe, SerializeParseRoundtrip) {
+  const KeyRecipe original = sampleKeyRecipe();
+  EXPECT_EQ(parseKeyRecipe(serializeKeyRecipe(original)), original);
+}
+
+TEST(KeyRecipe, CorruptionDetected) {
+  ByteVec bytes = serializeKeyRecipe(sampleKeyRecipe());
+  bytes[bytes.size() / 2] ^= 0x01;
+  EXPECT_THROW(parseKeyRecipe(bytes), std::runtime_error);
+}
+
+TEST(RecipeSealing, SealOpenRoundtrip) {
+  AesKey userKey{};
+  userKey.fill(0x42);
+  Rng rng(1);
+  const ByteVec plaintext = serializeFileRecipe(sampleFileRecipe());
+  const ByteVec sealed = sealWithUserKey(userKey, plaintext, rng);
+  EXPECT_EQ(openWithUserKey(userKey, sealed), plaintext);
+}
+
+TEST(RecipeSealing, RandomizedAcrossSealings) {
+  // Recipes are conventional (randomized) encryption: sealing the same
+  // plaintext twice must produce different blobs (Section 3.3).
+  AesKey userKey{};
+  userKey.fill(0x42);
+  Rng rng(2);
+  const ByteVec plaintext = toBytes("identical recipe bytes");
+  EXPECT_NE(sealWithUserKey(userKey, plaintext, rng),
+            sealWithUserKey(userKey, plaintext, rng));
+}
+
+TEST(RecipeSealing, WrongKeyGarbles) {
+  AesKey rightKey{}, wrongKey{};
+  rightKey.fill(0x01);
+  wrongKey.fill(0x02);
+  Rng rng(3);
+  const ByteVec plaintext = toBytes("secret recipe");
+  const ByteVec sealed = sealWithUserKey(rightKey, plaintext, rng);
+  EXPECT_NE(openWithUserKey(wrongKey, sealed), plaintext);
+}
+
+TEST(RecipeSealing, TruncatedBlobRejected) {
+  AesKey userKey{};
+  EXPECT_THROW(openWithUserKey(userKey, ByteVec(8)), std::runtime_error);
+}
+
+TEST(RecipeSealing, SealedRecipesParseAfterUnseal) {
+  AesKey userKey{};
+  userKey.fill(0x07);
+  Rng rng(4);
+  const KeyRecipe original = sampleKeyRecipe();
+  const ByteVec sealed =
+      sealWithUserKey(userKey, serializeKeyRecipe(original), rng);
+  EXPECT_EQ(parseKeyRecipe(openWithUserKey(userKey, sealed)), original);
+}
+
+}  // namespace
+}  // namespace freqdedup

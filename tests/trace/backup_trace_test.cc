@@ -1,0 +1,103 @@
+#include "trace/backup_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace freqdedup {
+namespace {
+
+BackupTrace sampleBackup() {
+  BackupTrace backup;
+  backup.label = "b1";
+  backup.records = {{1, 100}, {2, 200}, {1, 100}, {3, 300}, {2, 200}};
+  return backup;
+}
+
+TEST(BackupTrace, LogicalBytes) {
+  EXPECT_EQ(sampleBackup().logicalBytes(), 900u);
+}
+
+TEST(BackupTrace, UniqueCounts) {
+  const BackupTrace b = sampleBackup();
+  EXPECT_EQ(b.chunkCount(), 5u);
+  EXPECT_EQ(b.uniqueChunkCount(), 3u);
+  EXPECT_EQ(b.uniqueBytes(), 600u);
+}
+
+TEST(BackupTrace, Frequencies) {
+  const FrequencyMap freq = sampleBackup().frequencies();
+  EXPECT_EQ(freq.at(1), 2u);
+  EXPECT_EQ(freq.at(2), 2u);
+  EXPECT_EQ(freq.at(3), 1u);
+}
+
+TEST(BackupTrace, SizeMap) {
+  const SizeMap sizes = sampleBackup().sizes();
+  EXPECT_EQ(sizes.at(1), 100u);
+  EXPECT_EQ(sizes.at(3), 300u);
+}
+
+TEST(BackupTrace, EmptyBackup) {
+  BackupTrace b;
+  EXPECT_EQ(b.logicalBytes(), 0u);
+  EXPECT_EQ(b.uniqueChunkCount(), 0u);
+  EXPECT_TRUE(b.frequencies().empty());
+}
+
+TEST(DatasetStats, AggregatesAcrossBackups) {
+  Dataset dataset;
+  dataset.backups.push_back(sampleBackup());
+  BackupTrace second;
+  second.records = {{1, 100}, {4, 400}};  // one duplicate of backup 1
+  dataset.backups.push_back(second);
+
+  const DatasetStats stats = computeDatasetStats(dataset);
+  EXPECT_EQ(stats.logicalChunks, 7u);
+  EXPECT_EQ(stats.logicalBytes, 1400u);
+  EXPECT_EQ(stats.uniqueChunks, 4u);
+  EXPECT_EQ(stats.uniqueBytes, 1000u);
+  EXPECT_DOUBLE_EQ(stats.dedupRatio(), 1.4);
+  EXPECT_NEAR(stats.storageSavingPct(), 100.0 * (1.0 - 1000.0 / 1400.0),
+              1e-9);
+}
+
+TEST(DatasetStats, EmptyDataset) {
+  const DatasetStats stats = computeDatasetStats(Dataset{});
+  EXPECT_EQ(stats.dedupRatio(), 0.0);
+  EXPECT_EQ(stats.storageSavingPct(), 0.0);
+}
+
+TEST(FrequencyCdf, MonotoneAndNormalized) {
+  Dataset dataset;
+  dataset.backups.push_back(sampleBackup());
+  const auto points = frequencyCdf(dataset);
+  ASSERT_FALSE(points.empty());
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].frequency, points[i - 1].frequency);
+    EXPECT_GT(points[i].cdf, points[i - 1].cdf);
+  }
+  EXPECT_DOUBLE_EQ(points.back().cdf, 1.0);
+}
+
+TEST(FrequencyCdf, SampleValues) {
+  Dataset dataset;
+  dataset.backups.push_back(sampleBackup());  // freqs: {1:2, 2:2, 3:1}
+  const auto points = frequencyCdf(dataset);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].frequency, 1u);
+  EXPECT_NEAR(points[0].cdf, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(points[1].frequency, 2u);
+  EXPECT_NEAR(points[1].cdf, 1.0, 1e-12);
+}
+
+TEST(DatasetFrequencies, SumEqualsLogicalChunks) {
+  Dataset dataset;
+  dataset.backups.push_back(sampleBackup());
+  dataset.backups.push_back(sampleBackup());
+  const FrequencyMap freq = datasetFrequencies(dataset);
+  uint64_t sum = 0;
+  for (const auto& [fp, count] : freq) sum += count;
+  EXPECT_EQ(sum, 10u);
+}
+
+}  // namespace
+}  // namespace freqdedup

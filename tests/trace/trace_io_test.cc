@@ -1,0 +1,82 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+Dataset sampleDataset(uint64_t seed = 1) {
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.name = "sample";
+  for (int b = 0; b < 3; ++b) {
+    BackupTrace backup;
+    backup.label = "backup " + std::to_string(b);
+    for (int i = 0; i < 100; ++i) {
+      backup.records.push_back(
+          {rng.next(), static_cast<uint32_t>(rng.uniformInt(1, 1 << 20))});
+    }
+    dataset.backups.push_back(std::move(backup));
+  }
+  return dataset;
+}
+
+bool datasetsEqual(const Dataset& a, const Dataset& b) {
+  if (a.name != b.name || a.backups.size() != b.backups.size()) return false;
+  for (size_t i = 0; i < a.backups.size(); ++i) {
+    if (a.backups[i].label != b.backups[i].label) return false;
+    if (a.backups[i].records != b.backups[i].records) return false;
+  }
+  return true;
+}
+
+TEST(TraceIo, SerializeParseRoundtrip) {
+  const Dataset original = sampleDataset();
+  EXPECT_TRUE(datasetsEqual(parseDataset(serializeDataset(original)),
+                            original));
+}
+
+TEST(TraceIo, EmptyDatasetRoundtrip) {
+  Dataset empty;
+  empty.name = "empty";
+  EXPECT_TRUE(datasetsEqual(parseDataset(serializeDataset(empty)), empty));
+}
+
+TEST(TraceIo, FileRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "trace_io_test.fdtr")
+          .string();
+  const Dataset original = sampleDataset(7);
+  saveDataset(original, path);
+  EXPECT_TRUE(datasetsEqual(loadDataset(path), original));
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, CorruptionDetected) {
+  ByteVec bytes = serializeDataset(sampleDataset());
+  bytes[bytes.size() / 2] ^= 0x10;
+  EXPECT_THROW(parseDataset(bytes), std::runtime_error);
+}
+
+TEST(TraceIo, TruncationDetected) {
+  ByteVec bytes = serializeDataset(sampleDataset());
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW(parseDataset(bytes), std::runtime_error);
+}
+
+TEST(TraceIo, BadMagicDetected) {
+  ByteVec bytes = serializeDataset(sampleDataset());
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(parseDataset(bytes), std::runtime_error);
+}
+
+TEST(TraceIo, TooShortInputRejected) {
+  EXPECT_THROW(parseDataset(ByteVec(4)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,129 @@
+// Calibration harness: prints dataset statistics and headline attack numbers
+// so generator parameters can be tuned against the paper's reported shapes.
+// Not part of the benchmark suite.
+#include <chrono>
+#include <cstdio>
+
+#include "chunking/cdc_chunker.h"
+#include "core/attack_eval.h"
+#include "core/attacks.h"
+#include "core/defense.h"
+#include "datagen/fsl_gen.h"
+#include "datagen/snapshot_gen.h"
+#include "datagen/vm_gen.h"
+
+using namespace freqdedup;
+
+namespace {
+
+double nowSec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+void datasetReport(const Dataset& d) {
+  const DatasetStats s = computeDatasetStats(d);
+  printf("%s: %zu backups, logical %.2f GB (%llu chunks), unique %.2f GB "
+         "(%llu chunks), dedup %.1fx saving %.1f%%\n",
+         d.name.c_str(), d.backups.size(),
+         s.logicalBytes / 1e9, (unsigned long long)s.logicalChunks,
+         s.uniqueBytes / 1e9, (unsigned long long)s.uniqueChunks,
+         s.dedupRatio(), s.storageSavingPct());
+  for (const auto& b : d.backups) {
+    printf("  %-10s logical=%zu unique=%zu\n", b.label.c_str(),
+           b.chunkCount(), b.uniqueChunkCount());
+  }
+}
+
+void attackReport(const Dataset& d, size_t auxIdx, size_t targetIdx,
+                  int fpBits) {
+  const EncryptedTrace target =
+      mleEncryptTrace(d.backups[targetIdx].records, fpBits);
+  const auto& aux = d.backups[auxIdx].records;
+
+  double t0 = nowSec();
+  const AttackResult basic = basicAttack(target.records, aux);
+  double tBasic = nowSec() - t0;
+
+  AttackConfig cfg;  // u=1 v=15 w=200k
+  const char* wEnv = getenv("CAL_W");
+  if (wEnv != nullptr) cfg.w = static_cast<size_t>(atoll(wEnv));
+  t0 = nowSec();
+  const AttackResult loc = localityAttack(target.records, aux, cfg);
+  double tLoc = nowSec() - t0;
+
+  cfg.sizeAware = true;
+  t0 = nowSec();
+  const AttackResult adv = localityAttack(target.records, aux, cfg);
+  double tAdv = nowSec() - t0;
+
+  printf("  aux=%zu -> target=%zu: basic=%.4f%% loc=%.2f%% adv=%.2f%% "
+         "(%.1fs/%.1fs/%.1fs) [loc T=%zu proc=%llu correct=%llu]\n",
+         auxIdx, targetIdx, 100.0 * inferenceRate(basic, target),
+         100.0 * inferenceRate(loc, target),
+         100.0 * inferenceRate(adv, target), tBasic, tLoc, tAdv,
+         loc.inferred.size(), (unsigned long long)loc.processedPairs,
+         (unsigned long long)correctInferences(loc, target));
+}
+
+void defenseReport(const Dataset& d, size_t auxIdx, size_t targetIdx,
+                   int fpBits, uint64_t avgChunk) {
+  DefenseConfig dc;
+  dc.fpBits = fpBits;
+  dc.segment.avgChunkBytes = avgChunk;
+  AttackConfig cfg;
+  cfg.mode = AttackMode::kKnownPlaintext;
+  cfg.w = 500'000;
+  cfg.sizeAware = true;
+  Rng rng(99);
+
+  for (const bool scramble : {false, true}) {
+    dc.scramble = scramble;
+    const EncryptedTrace target =
+        minHashEncryptTrace(d.backups[targetIdx].records, dc);
+    cfg.leakedPairs = sampleLeakedPairs(target, 0.002, rng);
+    const AttackResult adv =
+        localityAttack(target.records, d.backups[auxIdx].records, cfg);
+    printf("  defense %-9s leak=0.2%%: adv=%.3f%%\n",
+           scramble ? "combined" : "minhash",
+           100.0 * inferenceRate(adv, target));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "all";
+
+  if (which == "all" || which == "fsl") {
+    double t0 = nowSec();
+    const Dataset fsl = generateFslDataset();
+    printf("[fsl gen %.1fs]\n", nowSec() - t0);
+    datasetReport(fsl);
+    for (size_t aux = 0; aux + 1 < fsl.backups.size(); ++aux)
+      attackReport(fsl, aux, fsl.backups.size() - 1, kFslFpBits);
+    defenseReport(fsl, 2, fsl.backups.size() - 1, kFslFpBits, 8192);
+  }
+  if (which == "all" || which == "vm") {
+    double t0 = nowSec();
+    const Dataset vm = generateVmDataset();
+    printf("[vm gen %.1fs]\n", nowSec() - t0);
+    datasetReport(vm);
+    for (size_t aux : {0u, 3u, 7u, 8u, 10u, 11u})
+      attackReport(vm, aux, vm.backups.size() - 1, kFslFpBits);
+    defenseReport(vm, 8, vm.backups.size() - 1, kFslFpBits, 4096);
+  }
+  if (which == "all" || which == "syn") {
+    double t0 = nowSec();
+    const CdcChunker chunker;
+    const Dataset syn =
+        generateSyntheticDataset(CorpusParams{}, SnapshotGenParams{}, chunker);
+    printf("[syn gen %.1fs]\n", nowSec() - t0);
+    datasetReport(syn);
+    for (size_t aux : {0u, 4u, 9u})
+      attackReport(syn, aux, syn.backups.size() - 1, kFullFpBits);
+    defenseReport(syn, 0, 5, kFullFpBits, 8192);
+  }
+  return 0;
+}
