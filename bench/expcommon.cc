@@ -1,6 +1,8 @@
 #include "expcommon.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include "chunking/cdc_chunker.h"
@@ -135,6 +137,48 @@ std::string fmtDouble(double v, int precision) {
   char buf[32];
   snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+uint32_t threadsFlag(int argc, char** argv, uint32_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--threads") continue;
+    if (i + 1 >= argc) {
+      fprintf(stderr, "warning: --threads needs a value; using %u\n",
+              fallback);
+      return fallback;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(argv[i + 1], &end, 10);
+    if (end == argv[i + 1] || *end != '\0' || parsed < 1 ||
+        parsed > 1'000'000) {
+      fprintf(stderr, "warning: invalid --threads '%s'; using %u\n",
+              argv[i + 1], fallback);
+      return fallback;
+    }
+    return static_cast<uint32_t>(parsed);
+  }
+  return fallback;
+}
+
+namespace {
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Stopwatch::Stopwatch() : startNanos_(nowNanos()) {}
+
+void Stopwatch::reset() { startNanos_ = nowNanos(); }
+
+double Stopwatch::elapsedSeconds() const {
+  return static_cast<double>(nowNanos() - startNanos_) * 1e-9;
+}
+
+double throughputMBps(uint64_t bytes, double seconds) {
+  return seconds <= 0.0 ? 0.0 : static_cast<double>(bytes) / 1e6 / seconds;
 }
 
 }  // namespace freqdedup::exp

@@ -62,4 +62,25 @@ void printRow(const std::vector<std::string>& cells);
 std::string fmtPct(double pct);
 std::string fmtDouble(double v, int precision = 2);
 
+// --- Throughput-bench helpers (shared by pipeline_throughput and any bench
+// that measures wall-clock rates) ---
+
+/// Parses `--threads N` from argv; returns `fallback` when absent. Ignores
+/// unrelated arguments so benches can layer their own flags.
+uint32_t threadsFlag(int argc, char** argv, uint32_t fallback = 1);
+
+/// Wall-clock stopwatch (steady clock).
+class Stopwatch {
+ public:
+  Stopwatch();
+  void reset();
+  [[nodiscard]] double elapsedSeconds() const;
+
+ private:
+  uint64_t startNanos_;
+};
+
+/// Megabytes (1e6 bytes) per second; 0 when elapsed time is 0.
+double throughputMBps(uint64_t bytes, double seconds);
+
 }  // namespace freqdedup::exp

@@ -1,0 +1,115 @@
+// Throughput of the parallel ingest pipeline vs. the serial DedupEngine on
+// the synthetic FSL-like and VM-like corpora.
+//
+//   pipeline_throughput [--threads N]
+//
+// Two workloads per corpus:
+//  - dedup-only: the raw trace streamed straight into the dedup stage;
+//  - crypto+dedup: a per-chunk transform that emulates client-side
+//    fingerprint+encrypt cost (SHA-256 over the chunk's size in bytes) runs
+//    in the parallel worker stage before dedup — the realistic ingest shape.
+//
+// The pipeline must reproduce the serial engine's dedup ratio and
+// unique-chunk count exactly (shard routing is per-fingerprint); the bench
+// verifies that on every run and reports wall-clock MB/s and speedup.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "expcommon.h"
+#include "pipeline/parallel_ingest_pipeline.h"
+#include "storage/dedup_engine.h"
+
+namespace freqdedup {
+namespace {
+
+DedupEngineParams engineParams() {
+  DedupEngineParams p;
+  p.containerBytes = 512 * 1024;
+  p.cacheBytes = 64 * 1024 * kFpMetadataBytes;
+  p.expectedFingerprints = 2'000'000;
+  return p;
+}
+
+/// Emulates the client-side fingerprint+encrypt stage: hashes `size` bytes
+/// of scratch data seeded by the fingerprint, like encrypting the chunk.
+ChunkRecord cryptoTransform(const ChunkRecord& r) {
+  thread_local ByteVec scratch;
+  if (scratch.size() < r.size) scratch.resize(r.size);
+  for (size_t i = 0; i < r.size; i += 512)
+    scratch[i] = static_cast<uint8_t>(mix64(r.fp ^ i));
+  const Digest d = sha256(ByteView(scratch.data(), r.size));
+  return {fpFromDigest(d), r.size};
+}
+
+struct RunResult {
+  double seconds = 0;
+  DedupEngineStats stats;
+};
+
+RunResult run(const Dataset& dataset, uint32_t threads, bool withCrypto) {
+  PipelineOptions options;
+  options.parallelism = threads;
+  ParallelIngestPipeline pipeline(engineParams(), options,
+                                  withCrypto ? cryptoTransform : nullptr);
+  exp::Stopwatch watch;
+  for (const auto& backup : dataset.backups)
+    pipeline.ingestBackup(backup.records);
+  pipeline.finish();
+  return {watch.elapsedSeconds(), pipeline.stats()};
+}
+
+void benchCorpus(const Dataset& dataset, uint32_t threads, bool withCrypto) {
+  exp::printTitle("pipeline_throughput",
+                  dataset.name + (withCrypto ? " (crypto+dedup)"
+                                             : " (dedup-only)"));
+  exp::printRow({"config", "wall", "throughput", "speedup", "dedup-ratio",
+                 "unique"});
+
+  const RunResult serial = run(dataset, 1, withCrypto);
+  exp::printRow({"serial",
+                 exp::fmtDouble(serial.seconds, 3) + " s",
+                 exp::fmtDouble(exp::throughputMBps(serial.stats.logicalBytes,
+                                                    serial.seconds),
+                                1) +
+                     " MB/s",
+                 "1.00x", exp::fmtDouble(serial.stats.dedupRatio()),
+                 std::to_string(serial.stats.uniqueChunks)});
+
+  const RunResult parallel = run(dataset, threads, withCrypto);
+  const double speedup =
+      parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0;
+  exp::printRow({"threads=" + std::to_string(threads),
+                 exp::fmtDouble(parallel.seconds, 3) + " s",
+                 exp::fmtDouble(
+                     exp::throughputMBps(parallel.stats.logicalBytes,
+                                         parallel.seconds),
+                     1) +
+                     " MB/s",
+                 exp::fmtDouble(speedup) + "x",
+                 exp::fmtDouble(parallel.stats.dedupRatio()),
+                 std::to_string(parallel.stats.uniqueChunks)});
+
+  if (parallel.stats.uniqueChunks != serial.stats.uniqueChunks ||
+      parallel.stats.uniqueBytes != serial.stats.uniqueBytes) {
+    printf("ERROR: parallel dedup diverged from serial "
+           "(unique %llu vs %llu)\n",
+           static_cast<unsigned long long>(parallel.stats.uniqueChunks),
+           static_cast<unsigned long long>(serial.stats.uniqueChunks));
+    exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace freqdedup
+
+int main(int argc, char** argv) {
+  using namespace freqdedup;
+  const uint32_t threads = exp::threadsFlag(argc, argv, 4);
+  benchCorpus(exp::fslDataset(), threads, /*withCrypto=*/false);
+  benchCorpus(exp::fslDataset(), threads, /*withCrypto=*/true);
+  benchCorpus(exp::vmDataset(), threads, /*withCrypto=*/false);
+  benchCorpus(exp::vmDataset(), threads, /*withCrypto=*/true);
+  return 0;
+}

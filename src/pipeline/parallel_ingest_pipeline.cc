@@ -1,0 +1,169 @@
+#include "pipeline/parallel_ingest_pipeline.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "pipeline/bounded_queue.h"
+#include "pipeline/thread_pool.h"
+
+namespace freqdedup {
+
+namespace {
+
+struct ShardBatch {
+  uint32_t shard = 0;
+  std::vector<ChunkRecord> records;
+};
+
+}  // namespace
+
+ParallelIngestPipeline::ParallelIngestPipeline(
+    const DedupEngineParams& engineParams, PipelineOptions options,
+    RecordTransform transform)
+    : options_(options), transform_(std::move(transform)) {
+  FDD_CHECK(options_.parallelism >= 1);
+  FDD_CHECK(options_.batchRecords > 0);
+  FDD_CHECK(options_.queueCapacity > 0);
+  if (options_.parallelism == 1) {
+    serial_ = std::make_unique<DedupEngine>(engineParams);
+    return;
+  }
+  ShardedIndexParams params;
+  params.engine = engineParams;
+  params.shards =
+      options_.shards != 0 ? options_.shards : options_.parallelism * 4;
+  sharded_ = std::make_unique<ShardedDedupIndex>(params);
+
+  // Stage sizing follows the workload: with a transform the route stage does
+  // the per-chunk crypto and deserves most threads; without one, routing is a
+  // cheap partition pass and the dedup consumers carry the cost.
+  if (transform_) {
+    dedupWorkers_ = std::max(1u, options_.parallelism / 4);
+    routeWorkers_ = std::max(1u, options_.parallelism - dedupWorkers_);
+  } else {
+    routeWorkers_ = std::max(1u, options_.parallelism / 4);
+    dedupWorkers_ = std::max(1u, options_.parallelism - routeWorkers_);
+  }
+  // One long-running loop task per stage worker per ingestBackup call; the
+  // pool is sized so every loop gets a thread (anything less would deadlock
+  // on the queues). Reused across backups to avoid per-call thread spawns.
+  pool_ = std::make_unique<ThreadPool>(routeWorkers_ + dedupWorkers_,
+                                       routeWorkers_ + dedupWorkers_);
+}
+
+ParallelIngestPipeline::~ParallelIngestPipeline() = default;
+
+void ParallelIngestPipeline::ingestBackup(
+    std::span<const ChunkRecord> records) {
+  if (serial_) {
+    if (transform_) {
+      for (const ChunkRecord& r : records) serial_->ingest(transform_(r));
+    } else {
+      serial_->ingestBackup(records);
+    }
+    return;
+  }
+  ingestParallel(records);
+}
+
+void ParallelIngestPipeline::ingestParallel(
+    std::span<const ChunkRecord> records) {
+  const uint32_t shards = sharded_->shardCount();
+
+  BoundedQueue<std::vector<ChunkRecord>> rawQueue(options_.queueCapacity);
+  BoundedQueue<ShardBatch> shardQueue(options_.queueCapacity);
+  std::atomic<uint32_t> activeRouters{routeWorkers_};
+
+  // A worker exception aborts the whole ingest: record the first one, close
+  // both queues so every stage (and the producer) unblocks and drains, then
+  // rethrow on the calling thread once the pool is quiet.
+  std::mutex errorMu;
+  std::exception_ptr error;
+  const auto abortWithCurrentException = [&] {
+    {
+      std::lock_guard lock(errorMu);
+      if (!error) error = std::current_exception();
+    }
+    rawQueue.close();
+    shardQueue.close();
+  };
+
+  for (uint32_t w = 0; w < routeWorkers_; ++w) {
+    pool_->submit([&] {
+      while (auto batch = rawQueue.pop()) {
+        try {
+          std::vector<std::vector<ChunkRecord>> perShard(shards);
+          for (const ChunkRecord& r : *batch) {
+            const ChunkRecord out = transform_ ? transform_(r) : r;
+            perShard[sharded_->shardOf(out.fp)].push_back(out);
+          }
+          for (uint32_t s = 0; s < shards; ++s) {
+            if (!perShard[s].empty())
+              shardQueue.push({s, std::move(perShard[s])});
+          }
+        } catch (...) {
+          abortWithCurrentException();
+          break;
+        }
+      }
+      // Last router out closes the downstream queue so consumers drain.
+      if (activeRouters.fetch_sub(1) == 1) shardQueue.close();
+    });
+  }
+
+  for (uint32_t w = 0; w < dedupWorkers_; ++w) {
+    pool_->submit([&] {
+      while (auto batch = shardQueue.pop()) {
+        try {
+          sharded_->ingestShardBatch(batch->shard, batch->records);
+        } catch (...) {
+          abortWithCurrentException();
+          break;
+        }
+      }
+    });
+  }
+
+  // Stage 1: the calling thread is the producer. A failed push means the
+  // queue was closed by an aborting worker — stop feeding.
+  std::vector<ChunkRecord> batch;
+  batch.reserve(options_.batchRecords);
+  for (const ChunkRecord& r : records) {
+    batch.push_back(r);
+    if (batch.size() == options_.batchRecords) {
+      if (!rawQueue.push(std::move(batch))) break;
+      batch = {};
+      batch.reserve(options_.batchRecords);
+    }
+  }
+  if (!batch.empty()) rawQueue.push(std::move(batch));
+  rawQueue.close();
+
+  pool_->wait();
+  if (error) std::rethrow_exception(error);
+}
+
+void ParallelIngestPipeline::finish() {
+  if (serial_) {
+    serial_->flushOpenContainer();
+  } else {
+    sharded_->flushOpenContainers();
+  }
+}
+
+DedupEngineStats ParallelIngestPipeline::stats() const {
+  return serial_ ? serial_->stats() : sharded_->mergedStats();
+}
+
+uint32_t ParallelIngestPipeline::shardCount() const {
+  return serial_ ? 1 : sharded_->shardCount();
+}
+
+size_t ParallelIngestPipeline::containerCount() const {
+  return serial_ ? serial_->containerCount() : sharded_->containerCount();
+}
+
+}  // namespace freqdedup

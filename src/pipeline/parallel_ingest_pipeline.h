@@ -1,0 +1,82 @@
+// Staged parallel ingest over the sharded dedup index.
+//
+// The backup stream is processed as a three-stage pipeline connected by
+// bounded queues (Figure: producer -> route/transform workers -> per-shard
+// dedup consumers):
+//
+//   stage 1  the calling thread slices the logical stream into batches;
+//   stage 2  route workers apply the optional per-record transform (e.g.
+//            re-fingerprinting or encryption) and partition each batch by
+//            destination shard (fp % N);
+//   stage 3  dedup consumers pop per-shard batches and run the DDFS steps
+//            under that shard's lock (lock striping keeps consumers for
+//            different shards fully concurrent).
+//
+// With parallelism == 1 the pipeline degenerates to a single serial
+// DedupEngine — no threads, no sharding — so results are bit-identical to
+// the existing engine and all paper figures stay reproducible. With
+// parallelism > 1 the unique-chunk/unique-byte counts (and the dedup ratio)
+// are still deterministic and equal to the serial engine's, because shard
+// routing is a pure function of the fingerprint (see sharded_dedup_index.h).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "pipeline/sharded_dedup_index.h"
+#include "pipeline/thread_pool.h"
+#include "storage/dedup_engine.h"
+
+namespace freqdedup {
+
+struct PipelineOptions {
+  /// Total worker threads for the route + dedup stages. 1 = serial path.
+  uint32_t parallelism = 1;
+  /// Index shards; 0 derives 4x parallelism (keeps stripe contention low).
+  uint32_t shards = 0;
+  /// Records per producer batch.
+  size_t batchRecords = 2048;
+  /// Batches in flight per queue (backpressure bound).
+  size_t queueCapacity = 64;
+};
+
+class ParallelIngestPipeline {
+ public:
+  /// Applied per record in the parallel stage; must be thread-safe.
+  using RecordTransform = std::function<ChunkRecord(const ChunkRecord&)>;
+
+  explicit ParallelIngestPipeline(const DedupEngineParams& engineParams,
+                                  PipelineOptions options = {},
+                                  RecordTransform transform = nullptr);
+  ~ParallelIngestPipeline();
+
+  /// Ingests one backup stream; returns when the stream is fully deduped.
+  /// Call once per backup; backups are processed back to back, as in the
+  /// serial engine.
+  void ingestBackup(std::span<const ChunkRecord> records);
+
+  /// Flushes open container buffers (call at end of the run, like
+  /// DedupEngine::flushOpenContainer).
+  void finish();
+
+  /// Merged counters, comparable to DedupEngine::stats().
+  [[nodiscard]] DedupEngineStats stats() const;
+
+  [[nodiscard]] bool parallel() const { return sharded_ != nullptr; }
+  [[nodiscard]] uint32_t shardCount() const;
+  [[nodiscard]] size_t containerCount() const;
+
+ private:
+  void ingestParallel(std::span<const ChunkRecord> records);
+
+  PipelineOptions options_;
+  RecordTransform transform_;
+  uint32_t routeWorkers_ = 0;
+  uint32_t dedupWorkers_ = 0;
+  std::unique_ptr<DedupEngine> serial_;         // parallelism == 1
+  std::unique_ptr<ShardedDedupIndex> sharded_;  // parallelism > 1
+  std::unique_ptr<ThreadPool> pool_;            // stage workers, reused
+};
+
+}  // namespace freqdedup

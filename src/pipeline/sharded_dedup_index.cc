@@ -1,0 +1,83 @@
+#include "pipeline/sharded_dedup_index.h"
+
+#include "common/check.h"
+
+namespace freqdedup {
+
+namespace {
+
+DedupEngineParams perShardParams(const DedupEngineParams& global,
+                                 uint32_t shards) {
+  DedupEngineParams p = global;
+  p.cacheBytes = std::max<uint64_t>(kFpMetadataBytes, global.cacheBytes / shards);
+  p.expectedFingerprints =
+      std::max<uint64_t>(1, global.expectedFingerprints / shards);
+  return p;
+}
+
+}  // namespace
+
+ShardedDedupIndex::ShardedDedupIndex(const ShardedIndexParams& params) {
+  FDD_CHECK(params.shards > 0);
+  const DedupEngineParams shardParams =
+      perShardParams(params.engine, params.shards);
+  shards_.reserve(params.shards);
+  for (uint32_t i = 0; i < params.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>(shardParams));
+}
+
+IngestOutcome ShardedDedupIndex::ingest(const ChunkRecord& record) {
+  Shard& shard = *shards_[shardOf(record.fp)];
+  std::lock_guard lock(shard.mu);
+  return shard.engine.ingest(record);
+}
+
+void ShardedDedupIndex::ingestShardBatch(uint32_t shard,
+                                         std::span<const ChunkRecord> records) {
+  FDD_CHECK(shard < shards_.size());
+  Shard& s = *shards_[shard];
+  std::lock_guard lock(s.mu);
+  s.engine.ingestBackup(records);
+}
+
+void ShardedDedupIndex::flushOpenContainers() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->engine.flushOpenContainer();
+  }
+}
+
+DedupEngineStats ShardedDedupIndex::mergedStats() const {
+  DedupEngineStats merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    merged += shard->engine.stats();
+  }
+  return merged;
+}
+
+DedupEngineStats ShardedDedupIndex::shardStats(uint32_t shard) const {
+  FDD_CHECK(shard < shards_.size());
+  std::lock_guard lock(shards_[shard]->mu);
+  return shards_[shard]->engine.stats();
+}
+
+size_t ShardedDedupIndex::containerCount() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->engine.containerCount();
+  }
+  return total;
+}
+
+size_t ShardedDedupIndex::indexEntries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->engine.indexEntries();
+  }
+  return total;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,75 @@
+// Lock-striped partition of the DDFS-style dedup state.
+//
+// The fingerprint index, Bloom filter, LRU fingerprint cache and open
+// container buffer are split across N shards keyed by fp % N, each shard a
+// full DedupEngine guarded by its own mutex. Because a fingerprint always
+// routes to the same shard, the duplicate/unique decision for every chunk is
+// exactly the serial engine's decision regardless of interleaving: unique
+// chunk and byte counts (and hence the dedup ratio) are deterministic and
+// equal to the single-engine result. Path counters (cache vs. buffer vs.
+// index hits) and container layout may differ, since containers and caches
+// are per shard.
+//
+// Global budgets — cache bytes and expected fingerprints — are divided evenly
+// across shards; container capacity stays per shard, matching how a real
+// system would give each ingest stripe its own open container.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "storage/dedup_engine.h"
+
+namespace freqdedup {
+
+struct ShardedIndexParams {
+  DedupEngineParams engine;  // global budgets, divided across shards
+  uint32_t shards = 8;
+};
+
+class ShardedDedupIndex {
+ public:
+  explicit ShardedDedupIndex(const ShardedIndexParams& params);
+
+  [[nodiscard]] uint32_t shardOf(Fp fp) const {
+    return static_cast<uint32_t>(fp % shards_.size());
+  }
+  [[nodiscard]] uint32_t shardCount() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// Ingests one record, routing it to its shard (convenience serial path).
+  IngestOutcome ingest(const ChunkRecord& record);
+
+  /// Ingests a batch whose records all route to `shard`, under that shard's
+  /// lock. Callers are expected to have partitioned by shardOf().
+  void ingestShardBatch(uint32_t shard, std::span<const ChunkRecord> records);
+
+  /// Flushes every shard's open container buffer.
+  void flushOpenContainers();
+
+  /// Counters summed across shards; comparable to DedupEngine::stats().
+  [[nodiscard]] DedupEngineStats mergedStats() const;
+
+  /// One shard's counters (shard < shardCount()).
+  [[nodiscard]] DedupEngineStats shardStats(uint32_t shard) const;
+
+  /// Total sealed containers across shards.
+  [[nodiscard]] size_t containerCount() const;
+
+  /// Total on-disk index entries across shards.
+  [[nodiscard]] size_t indexEntries() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const DedupEngineParams& p) : engine(p) {}
+    mutable std::mutex mu;
+    DedupEngine engine;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace freqdedup

@@ -1,0 +1,89 @@
+#include "pipeline/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace freqdedup {
+
+ThreadPool::ThreadPool(size_t threads, size_t queueCapacity)
+    : tasks_(queueCapacity) {
+  FDD_CHECK(threads > 0);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::workerLoop() {
+  while (auto task = tasks_.pop()) {
+    try {
+      (*task)();
+    } catch (...) {
+      // Worker threads must not unwind (std::terminate); park the first
+      // exception for wait() to rethrow on the submitting thread.
+      std::lock_guard lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    finishOne();
+  }
+}
+
+void ThreadPool::finishOne() {
+  std::lock_guard lock(mu_);
+  if (--inFlight_ == 0) idle_.notify_all();
+}
+
+bool ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    ++inFlight_;
+  }
+  if (!tasks_.push(std::move(task))) {
+    finishOne();  // never ran: roll the accounting back
+    return false;
+  }
+  return true;
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [&] { return inFlight_ == 0; });
+  if (error_) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::shutdown() {
+  tasks_.close();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+void parallelFor(size_t threads, size_t n,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+  ThreadPool pool(threads, std::min(n, threads * 4));
+  parallelFor(pool, n, body);
+}
+
+void parallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  // 4 blocks per worker smooths out uneven per-item cost.
+  const size_t blocks = std::min(n, pool.threadCount() * 4);
+  const size_t blockSize = (n + blocks - 1) / blocks;
+  for (size_t begin = 0; begin < n; begin += blockSize) {
+    const size_t end = std::min(n, begin + blockSize);
+    pool.submit([&body, begin, end] { body(begin, end); });
+  }
+  pool.wait();
+}
+
+}  // namespace freqdedup

@@ -1,11 +1,29 @@
 #include "storage/backup_manager.h"
 
+#include <algorithm>
 #include <deque>
 #include <stdexcept>
 
 #include "common/check.h"
+#include "pipeline/thread_pool.h"
 
 namespace freqdedup {
+
+namespace {
+
+/// One chunk after the (parallelizable) encrypt stage.
+struct EncryptedChunk {
+  AesKey key;
+  ByteVec cipher;
+  Fp cipherFp = 0;
+};
+
+/// Ciphertexts in flight on the parallel paths: encryption runs at most this
+/// many chunks ahead of the serial store loop, bounding extra memory to
+/// O(window * chunk size) regardless of file size.
+constexpr size_t kEncryptWindowChunks = 1024;
+
+}  // namespace
 
 std::vector<size_t> scrambleOrder(size_t recordCount,
                                   std::span<const Segment> segments,
@@ -35,7 +53,12 @@ BackupManager::BackupManager(BackupStore& store, const KeyManager& keyManager,
     : store_(&store),
       keyManager_(&keyManager),
       chunker_(&chunker),
-      options_(options) {}
+      options_(options) {
+  if (options_.parallelism > 1)
+    pool_ = std::make_unique<ThreadPool>(options_.parallelism);
+}
+
+BackupManager::~BackupManager() = default;
 
 BackupOutcome BackupManager::backup(const std::string& name,
                                     ByteView content) {
@@ -59,19 +82,53 @@ BackupOutcome BackupManager::backupMle(const std::string& name,
   outcome.fileRecipe.fileName = name;
   outcome.fileRecipe.fileSize = content.size();
   outcome.chunkCount = spans.size();
-  for (const ChunkSpan& span : spans) {
-    const ByteView plain = chunkBytes(content, span);
-    const AesKey key = keyManager_->deriveChunkKey(fpOfContent(plain));
-    const ByteVec cipher = MleScheme::encryptWithKey(key, plain);
-    const Fp cipherFp = fpOfContent(cipher);
-    if (store_->putChunk(cipherFp, cipher)) {
-      ++outcome.newChunks;
-    } else {
-      ++outcome.duplicateChunks;
+
+  if (!pool_) {
+    // Serial path: one ciphertext in flight at a time (bounded memory).
+    for (const ChunkSpan& span : spans) {
+      const ByteView plain = chunkBytes(content, span);
+      const AesKey key = keyManager_->deriveChunkKey(fpOfContent(plain));
+      const ByteVec cipher = MleScheme::encryptWithKey(key, plain);
+      const Fp cipherFp = fpOfContent(cipher);
+      if (store_->putChunk(cipherFp, cipher)) {
+        ++outcome.newChunks;
+      } else {
+        ++outcome.duplicateChunks;
+      }
+      outcome.fileRecipe.entries.push_back(
+          {cipherFp, static_cast<uint32_t>(cipher.size())});
+      outcome.keyRecipe.keys.push_back(key);
     }
-    outcome.fileRecipe.entries.push_back(
-        {cipherFp, static_cast<uint32_t>(cipher.size())});
-    outcome.keyRecipe.keys.push_back(key);
+    return outcome;
+  }
+
+  // Encrypt stage: parallel across a bounded window of chunks (key
+  // derivation and AES are pure); the store stage runs serially in logical
+  // order, so the outcome is identical for every parallelism level.
+  std::vector<EncryptedChunk> window;
+  for (size_t base = 0; base < spans.size(); base += kEncryptWindowChunks) {
+    const size_t count =
+        std::min(kEncryptWindowChunks, spans.size() - base);
+    window.assign(count, {});
+    parallelFor(*pool_, count, [&](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) {
+        const ByteView plain = chunkBytes(content, spans[base + k]);
+        const AesKey key = keyManager_->deriveChunkKey(fpOfContent(plain));
+        ByteVec cipher = MleScheme::encryptWithKey(key, plain);
+        const Fp cipherFp = fpOfContent(cipher);
+        window[k] = {key, std::move(cipher), cipherFp};
+      }
+    });
+    for (const EncryptedChunk& e : window) {
+      if (store_->putChunk(e.cipherFp, e.cipher)) {
+        ++outcome.newChunks;
+      } else {
+        ++outcome.duplicateChunks;
+      }
+      outcome.fileRecipe.entries.push_back(
+          {e.cipherFp, static_cast<uint32_t>(e.cipher.size())});
+      outcome.keyRecipe.keys.push_back(e.key);
+    }
   }
   return outcome;
 }
@@ -122,18 +179,51 @@ BackupOutcome BackupManager::backupMinHash(
   outcome.keyRecipe.keys.resize(plainChunks.size());
   outcome.chunkCount = plainChunks.size();
 
-  for (const size_t i : order) {
-    const ByteVec cipher =
-        MleScheme::encryptWithKey(keyOf[i], plainChunks[i]);
-    const Fp cipherFp = fpOfContent(cipher);
-    if (store_->putChunk(cipherFp, cipher)) {
-      ++outcome.newChunks;
-    } else {
-      ++outcome.duplicateChunks;
+  if (!pool_) {
+    // Serial path: encrypt in upload order, one ciphertext in flight.
+    for (const size_t i : order) {
+      const ByteVec cipher =
+          MleScheme::encryptWithKey(keyOf[i], plainChunks[i]);
+      const Fp cipherFp = fpOfContent(cipher);
+      if (store_->putChunk(cipherFp, cipher)) {
+        ++outcome.newChunks;
+      } else {
+        ++outcome.duplicateChunks;
+      }
+      outcome.fileRecipe.entries[i] = {cipherFp,
+                                       static_cast<uint32_t>(cipher.size())};
+      outcome.keyRecipe.keys[i] = keyOf[i];
     }
-    outcome.fileRecipe.entries[i] = {cipherFp,
-                                     static_cast<uint32_t>(cipher.size())};
-    outcome.keyRecipe.keys[i] = keyOf[i];
+    return outcome;
+  }
+
+  // Encrypt stage: parallel across a bounded window of the upload order.
+  // The store stage keeps the (possibly scrambled) upload order, so
+  // parallelism never changes what the server observes.
+  std::vector<EncryptedChunk> window;
+  for (size_t base = 0; base < order.size(); base += kEncryptWindowChunks) {
+    const size_t count = std::min(kEncryptWindowChunks, order.size() - base);
+    window.assign(count, {});
+    parallelFor(*pool_, count, [&](size_t begin, size_t end) {
+      for (size_t k = begin; k < end; ++k) {
+        const size_t i = order[base + k];
+        ByteVec cipher = MleScheme::encryptWithKey(keyOf[i], plainChunks[i]);
+        const Fp cipherFp = fpOfContent(cipher);
+        window[k] = {keyOf[i], std::move(cipher), cipherFp};
+      }
+    });
+    for (size_t k = 0; k < count; ++k) {
+      const size_t i = order[base + k];
+      const EncryptedChunk& e = window[k];
+      if (store_->putChunk(e.cipherFp, e.cipher)) {
+        ++outcome.newChunks;
+      } else {
+        ++outcome.duplicateChunks;
+      }
+      outcome.fileRecipe.entries[i] = {e.cipherFp,
+                                       static_cast<uint32_t>(e.cipher.size())};
+      outcome.keyRecipe.keys[i] = e.key;
+    }
   }
   return outcome;
 }

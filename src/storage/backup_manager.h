@@ -8,6 +8,7 @@
 // synthetic dataset, and the backup_system example.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,8 @@
 
 namespace freqdedup {
 
+class ThreadPool;
+
 enum class EncryptionScheme {
   kMle,              // per-chunk server-aided MLE (deterministic)
   kMinHash,          // segment-keyed MinHash encryption (Algorithm 4)
@@ -32,6 +35,11 @@ struct BackupOptions {
   EncryptionScheme scheme = EncryptionScheme::kMle;
   SegmentParams segmentParams;
   uint64_t scrambleSeed = 1;
+  /// Worker threads for the per-chunk key-derivation + encryption stage.
+  /// 1 (the default) keeps the fully serial path. Any value produces
+  /// bit-identical recipes and store contents: chunks are encrypted in
+  /// parallel but stored in the same order as the serial path.
+  uint32_t parallelism = 1;
 };
 
 struct BackupOutcome {
@@ -47,6 +55,7 @@ class BackupManager {
   /// All referenced collaborators must outlive the manager.
   BackupManager(BackupStore& store, const KeyManager& keyManager,
                 const Chunker& chunker, BackupOptions options = {});
+  ~BackupManager();
 
   /// Backs up one logical object (file content) under `name`.
   BackupOutcome backup(const std::string& name, ByteView content);
@@ -72,6 +81,7 @@ class BackupManager {
   const KeyManager* keyManager_;
   const Chunker* chunker_;
   BackupOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // encrypt workers; null when serial
 };
 
 /// Computes the per-segment scrambled visit order of Algorithm 5: for each

@@ -55,11 +55,15 @@ struct MetadataAccessStats {
     loadingBytes += o.loadingBytes;
     return *this;
   }
+  /// Differences saturate at zero: callers diff cumulative counters taken at
+  /// two points in time, and a reordered snapshot must not underflow into a
+  /// huge unsigned value.
   friend MetadataAccessStats operator-(MetadataAccessStats a,
                                        const MetadataAccessStats& b) {
-    a.updateBytes -= b.updateBytes;
-    a.indexBytes -= b.indexBytes;
-    a.loadingBytes -= b.loadingBytes;
+    const auto sub = [](uint64_t x, uint64_t y) { return x > y ? x - y : 0; };
+    a.updateBytes = sub(a.updateBytes, b.updateBytes);
+    a.indexBytes = sub(a.indexBytes, b.indexBytes);
+    a.loadingBytes = sub(a.loadingBytes, b.loadingBytes);
     return a;
   }
 };
@@ -77,9 +81,25 @@ struct DedupEngineStats {
   MetadataAccessStats metadata;
 
   [[nodiscard]] double dedupRatio() const {
-    return uniqueBytes == 0 ? 0.0
-                            : static_cast<double>(logicalBytes) /
-                                  static_cast<double>(uniqueBytes);
+    return uniqueBytes == 0 || logicalBytes == 0
+               ? 0.0
+               : static_cast<double>(logicalBytes) /
+                     static_cast<double>(uniqueBytes);
+  }
+
+  /// Merges counters from another engine (e.g. a shard of the sharded index).
+  DedupEngineStats& operator+=(const DedupEngineStats& o) {
+    logicalChunks += o.logicalChunks;
+    logicalBytes += o.logicalBytes;
+    uniqueChunks += o.uniqueChunks;
+    uniqueBytes += o.uniqueBytes;
+    cacheHits += o.cacheHits;
+    bufferHits += o.bufferHits;
+    bloomNegatives += o.bloomNegatives;
+    bloomFalsePositives += o.bloomFalsePositives;
+    indexHits += o.indexHits;
+    metadata += o.metadata;
+    return *this;
   }
 };
 

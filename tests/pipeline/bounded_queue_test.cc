@@ -1,0 +1,113 @@
+#include "pipeline/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace freqdedup {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.tryPush(1));
+  EXPECT_TRUE(q.tryPush(2));
+  EXPECT_FALSE(q.tryPush(3));  // full
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(4);
+  q.push(7);
+  q.push(8);
+  q.close();
+  EXPECT_FALSE(q.push(9));  // rejected after close
+  EXPECT_EQ(q.pop(), 7);    // queued items still delivered
+  EXPECT_EQ(q.pop(), 8);
+  EXPECT_EQ(q.pop(), std::nullopt);  // drained: end of stream
+  EXPECT_EQ(q.pop(), std::nullopt);  // stays terminal
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, BackpressureBlocksProducerUntilPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> secondPushDone{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks: queue is full
+    secondPushDone = true;
+  });
+  // Give the producer a chance to block on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(secondPushDone);
+  EXPECT_EQ(q.pop(), 1);  // frees a slot; the producer resumes
+  EXPECT_EQ(q.pop(), 2);
+  producer.join();
+  EXPECT_TRUE(secondPushDone);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> q(16);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  }
+
+  std::atomic<int> popped{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++popped;
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(popped, total);
+  EXPECT_EQ(sum, static_cast<long long>(total) * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,190 @@
+#include "pipeline/parallel_ingest_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/dedup_engine.h"
+
+namespace freqdedup {
+namespace {
+
+DedupEngineParams smallParams() {
+  DedupEngineParams p;
+  p.containerBytes = 64 * 1024;
+  p.cacheBytes = 1024 * kFpMetadataBytes;
+  p.expectedFingerprints = 200'000;
+  return p;
+}
+
+/// A multi-backup stream with churn: each backup mutates a slice of the
+/// previous one, like the synthetic dataset generators.
+std::vector<std::vector<ChunkRecord>> churnBackups(uint64_t seed,
+                                                   size_t backups,
+                                                   size_t chunksPerBackup) {
+  Rng rng(seed);
+  std::vector<std::vector<ChunkRecord>> result;
+  std::vector<ChunkRecord> current;
+  for (size_t i = 0; i < chunksPerBackup; ++i)
+    current.push_back(
+        {rng.next(), static_cast<uint32_t>(rng.uniformInt(1024, 8192))});
+  result.push_back(current);
+  for (size_t b = 1; b < backups; ++b) {
+    for (size_t m = 0; m < chunksPerBackup / 10; ++m)
+      current[rng.pickIndex(current.size())] = {
+          rng.next(), static_cast<uint32_t>(rng.uniformInt(1024, 8192))};
+    result.push_back(current);
+  }
+  return result;
+}
+
+DedupEngineStats runSerialEngine(
+    const std::vector<std::vector<ChunkRecord>>& backups) {
+  DedupEngine engine(smallParams());
+  for (const auto& backup : backups) engine.ingestBackup(backup);
+  engine.flushOpenContainer();
+  return engine.stats();
+}
+
+TEST(ParallelIngestPipeline, ParallelismOneIsBitIdenticalToSerialEngine) {
+  const auto backups = churnBackups(3, 4, 5000);
+  const DedupEngineStats serial = runSerialEngine(backups);
+
+  PipelineOptions options;
+  options.parallelism = 1;
+  ParallelIngestPipeline pipeline(smallParams(), options);
+  EXPECT_FALSE(pipeline.parallel());
+  for (const auto& backup : backups) pipeline.ingestBackup(backup);
+  pipeline.finish();
+  const DedupEngineStats p = pipeline.stats();
+
+  // Every counter matches, including path counters and metadata accounting:
+  // the serial pipeline IS the serial engine.
+  EXPECT_EQ(p.logicalChunks, serial.logicalChunks);
+  EXPECT_EQ(p.logicalBytes, serial.logicalBytes);
+  EXPECT_EQ(p.uniqueChunks, serial.uniqueChunks);
+  EXPECT_EQ(p.uniqueBytes, serial.uniqueBytes);
+  EXPECT_EQ(p.cacheHits, serial.cacheHits);
+  EXPECT_EQ(p.bufferHits, serial.bufferHits);
+  EXPECT_EQ(p.bloomNegatives, serial.bloomNegatives);
+  EXPECT_EQ(p.bloomFalsePositives, serial.bloomFalsePositives);
+  EXPECT_EQ(p.indexHits, serial.indexHits);
+  EXPECT_EQ(p.metadata.updateBytes, serial.metadata.updateBytes);
+  EXPECT_EQ(p.metadata.indexBytes, serial.metadata.indexBytes);
+  EXPECT_EQ(p.metadata.loadingBytes, serial.metadata.loadingBytes);
+}
+
+TEST(ParallelIngestPipeline, ParallelismOneIsDeterministicAcrossRuns) {
+  const auto backups = churnBackups(4, 3, 4000);
+  const auto runOnce = [&] {
+    ParallelIngestPipeline pipeline(smallParams(), {});
+    for (const auto& backup : backups) pipeline.ingestBackup(backup);
+    pipeline.finish();
+    return pipeline.stats();
+  };
+  const DedupEngineStats a = runOnce();
+  const DedupEngineStats b = runOnce();
+  EXPECT_EQ(a.uniqueChunks, b.uniqueChunks);
+  EXPECT_EQ(a.cacheHits, b.cacheHits);
+  EXPECT_EQ(a.metadata.totalBytes(), b.metadata.totalBytes());
+}
+
+class ParallelIngestEquivalence : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParallelIngestEquivalence, ParallelMatchesSerialDedupResults) {
+  const auto backups = churnBackups(5, 4, 10'000);
+  const DedupEngineStats serial = runSerialEngine(backups);
+
+  PipelineOptions options;
+  options.parallelism = GetParam();
+  options.batchRecords = 512;  // force many batches through the queues
+  options.queueCapacity = 8;
+  ParallelIngestPipeline pipeline(smallParams(), options);
+  EXPECT_TRUE(pipeline.parallel());
+  for (const auto& backup : backups) pipeline.ingestBackup(backup);
+  pipeline.finish();
+  const DedupEngineStats p = pipeline.stats();
+
+  // Dedup-relevant results are exact for any thread count and interleaving.
+  EXPECT_EQ(p.logicalChunks, serial.logicalChunks);
+  EXPECT_EQ(p.logicalBytes, serial.logicalBytes);
+  EXPECT_EQ(p.uniqueChunks, serial.uniqueChunks);
+  EXPECT_EQ(p.uniqueBytes, serial.uniqueBytes);
+  EXPECT_DOUBLE_EQ(p.dedupRatio(), serial.dedupRatio());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelIngestEquivalence,
+                         ::testing::Values(2u, 4u, 8u));
+
+TEST(ParallelIngestPipeline, ParallelRunsAreDeterministicOnDedupResults) {
+  const auto backups = churnBackups(6, 3, 8000);
+  const auto runOnce = [&] {
+    PipelineOptions options;
+    options.parallelism = 4;
+    options.batchRecords = 256;
+    ParallelIngestPipeline pipeline(smallParams(), options);
+    for (const auto& backup : backups) pipeline.ingestBackup(backup);
+    pipeline.finish();
+    return pipeline.stats();
+  };
+  const DedupEngineStats a = runOnce();
+  const DedupEngineStats b = runOnce();
+  EXPECT_EQ(a.uniqueChunks, b.uniqueChunks);
+  EXPECT_EQ(a.uniqueBytes, b.uniqueBytes);
+  EXPECT_EQ(a.logicalBytes, b.logicalBytes);
+}
+
+TEST(ParallelIngestPipeline, TransformRunsInWorkerStage) {
+  const auto backups = churnBackups(7, 2, 5000);
+  const auto transform = [](const ChunkRecord& r) {
+    return ChunkRecord{mix64(r.fp), r.size};
+  };
+
+  DedupEngine serial(smallParams());
+  for (const auto& backup : backups)
+    for (const auto& r : backup) serial.ingest(transform(r));
+  serial.flushOpenContainer();
+
+  PipelineOptions options;
+  options.parallelism = 4;
+  ParallelIngestPipeline pipeline(smallParams(), options, transform);
+  for (const auto& backup : backups) pipeline.ingestBackup(backup);
+  pipeline.finish();
+
+  EXPECT_EQ(pipeline.stats().uniqueChunks, serial.stats().uniqueChunks);
+  EXPECT_EQ(pipeline.stats().uniqueBytes, serial.stats().uniqueBytes);
+}
+
+TEST(ParallelIngestPipeline, TransformExceptionPropagatesToCaller) {
+  const auto backups = churnBackups(8, 1, 5000);
+  PipelineOptions options;
+  options.parallelism = 4;
+  options.batchRecords = 128;
+  ParallelIngestPipeline pipeline(
+      smallParams(), options, [](const ChunkRecord& r) -> ChunkRecord {
+        if (r.size == 0) return r;  // unreachable; keeps the lambda honest
+        throw std::runtime_error("transform failed");
+      });
+  EXPECT_THROW(pipeline.ingestBackup(backups[0]), std::runtime_error);
+}
+
+TEST(ParallelIngestPipeline, EmptyAndTinyStreams) {
+  PipelineOptions options;
+  options.parallelism = 4;
+  ParallelIngestPipeline pipeline(smallParams(), options);
+  pipeline.ingestBackup({});  // no records: workers start and drain cleanly
+  pipeline.finish();
+  EXPECT_EQ(pipeline.stats().logicalChunks, 0u);
+  EXPECT_EQ(pipeline.stats().dedupRatio(), 0.0);
+
+  const std::vector<ChunkRecord> one = {{42, 4096}};
+  pipeline.ingestBackup(one);
+  pipeline.finish();
+  EXPECT_EQ(pipeline.stats().logicalChunks, 1u);
+  EXPECT_EQ(pipeline.stats().uniqueChunks, 1u);
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,126 @@
+#include "pipeline/sharded_dedup_index.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/dedup_engine.h"
+
+namespace freqdedup {
+namespace {
+
+DedupEngineParams smallParams() {
+  DedupEngineParams p;
+  p.containerBytes = 64 * 1024;
+  p.cacheBytes = 512 * kFpMetadataBytes;
+  p.expectedFingerprints = 100'000;
+  return p;
+}
+
+std::vector<ChunkRecord> randomTrace(uint64_t seed, size_t n,
+                                     uint64_t fpSpace) {
+  Rng rng(seed);
+  std::vector<ChunkRecord> records;
+  records.reserve(n);
+  std::unordered_map<Fp, uint32_t, FpHash> sizeOf;  // fp -> canonical size
+  for (size_t i = 0; i < n; ++i) {
+    const Fp fp = rng.uniformInt(0, fpSpace);
+    const auto [it, inserted] = sizeOf.try_emplace(
+        fp, static_cast<uint32_t>(rng.uniformInt(1024, 8192)));
+    records.push_back({fp, it->second});
+  }
+  return records;
+}
+
+TEST(ShardedDedupIndex, RoutingIsStablePerFingerprint) {
+  ShardedIndexParams params;
+  params.engine = smallParams();
+  params.shards = 7;
+  ShardedDedupIndex index(params);
+  EXPECT_EQ(index.shardCount(), 7u);
+  for (Fp fp = 0; fp < 1000; ++fp) {
+    EXPECT_EQ(index.shardOf(fp), index.shardOf(fp));
+    EXPECT_LT(index.shardOf(fp), 7u);
+  }
+}
+
+TEST(ShardedDedupIndex, SerialIngestMatchesSerialEngineUniqueCounts) {
+  const auto trace = randomTrace(11, 20'000, 3000);
+
+  DedupEngine serial(smallParams());
+  serial.ingestBackup(trace);
+  serial.flushOpenContainer();
+
+  ShardedIndexParams params;
+  params.engine = smallParams();
+  params.shards = 8;
+  ShardedDedupIndex sharded(params);
+  for (const auto& r : trace) sharded.ingest(r);
+  sharded.flushOpenContainers();
+
+  const DedupEngineStats a = serial.stats();
+  const DedupEngineStats b = sharded.mergedStats();
+  EXPECT_EQ(a.logicalChunks, b.logicalChunks);
+  EXPECT_EQ(a.logicalBytes, b.logicalBytes);
+  EXPECT_EQ(a.uniqueChunks, b.uniqueChunks);
+  EXPECT_EQ(a.uniqueBytes, b.uniqueBytes);
+  EXPECT_DOUBLE_EQ(a.dedupRatio(), b.dedupRatio());
+  EXPECT_EQ(sharded.indexEntries(), serial.indexEntries());
+}
+
+TEST(ShardedDedupIndex, MergedStatsEqualSumOfShardStats) {
+  const auto trace = randomTrace(12, 10'000, 2000);
+  ShardedIndexParams params;
+  params.engine = smallParams();
+  params.shards = 5;
+  ShardedDedupIndex index(params);
+  for (const auto& r : trace) index.ingest(r);
+  index.flushOpenContainers();
+
+  DedupEngineStats summed;
+  for (uint32_t s = 0; s < index.shardCount(); ++s)
+    summed += index.shardStats(s);
+  const DedupEngineStats merged = index.mergedStats();
+  EXPECT_EQ(summed.logicalChunks, merged.logicalChunks);
+  EXPECT_EQ(summed.uniqueChunks, merged.uniqueChunks);
+  EXPECT_EQ(summed.uniqueBytes, merged.uniqueBytes);
+  EXPECT_EQ(summed.metadata.totalBytes(), merged.metadata.totalBytes());
+}
+
+TEST(ShardedDedupIndex, ConcurrentShardBatchesMatchSerialUniqueCounts) {
+  const auto trace = randomTrace(13, 50'000, 4000);
+
+  DedupEngine serial(smallParams());
+  serial.ingestBackup(trace);
+  serial.flushOpenContainer();
+
+  constexpr uint32_t kShards = 8;
+  ShardedIndexParams params;
+  params.engine = smallParams();
+  params.shards = kShards;
+  ShardedDedupIndex sharded(params);
+
+  // Partition by shard, then ingest every shard from its own thread.
+  std::vector<std::vector<ChunkRecord>> perShard(kShards);
+  for (const auto& r : trace) perShard[sharded.shardOf(r.fp)].push_back(r);
+  std::vector<std::thread> workers;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    workers.emplace_back(
+        [&sharded, &perShard, s] { sharded.ingestShardBatch(s, perShard[s]); });
+  }
+  for (auto& w : workers) w.join();
+  sharded.flushOpenContainers();
+
+  const DedupEngineStats a = serial.stats();
+  const DedupEngineStats b = sharded.mergedStats();
+  EXPECT_EQ(a.uniqueChunks, b.uniqueChunks);
+  EXPECT_EQ(a.uniqueBytes, b.uniqueBytes);
+  EXPECT_EQ(a.logicalChunks, b.logicalChunks);
+  EXPECT_DOUBLE_EQ(a.dedupRatio(), b.dedupRatio());
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -206,5 +206,41 @@ TEST(ScrambleOrder, RejectsNonCoveringSegments) {
   EXPECT_THROW(scrambleOrder(5, segments, rng), std::logic_error);
 }
 
+class BackupManagerParallelism
+    : public ::testing::TestWithParam<EncryptionScheme> {};
+
+TEST_P(BackupManagerParallelism, ParallelEncryptionIsBitIdenticalToSerial) {
+  const ByteVec content = randomContent(9, 400 * 1024);
+
+  const auto runBackup = [&](uint32_t parallelism) {
+    BackupStore store;
+    KeyManager km(toBytes("secret"));
+    CdcChunker chunker(smallCdc());
+    BackupOptions options = minhashOptions(GetParam());
+    options.parallelism = parallelism;
+    BackupManager manager(store, km, chunker, options);
+    BackupOutcome outcome = manager.backup("file.bin", content);
+    EXPECT_EQ(manager.restore(outcome.fileRecipe, outcome.keyRecipe),
+              content);
+    return outcome;
+  };
+
+  const BackupOutcome serial = runBackup(1);
+  const BackupOutcome parallel = runBackup(4);
+  EXPECT_EQ(parallel.newChunks, serial.newChunks);
+  EXPECT_EQ(parallel.duplicateChunks, serial.duplicateChunks);
+  // Recipes must match byte for byte: parallel encryption only reorders the
+  // computation, never the upload/storage order.
+  EXPECT_EQ(serializeFileRecipe(parallel.fileRecipe),
+            serializeFileRecipe(serial.fileRecipe));
+  EXPECT_EQ(serializeKeyRecipe(parallel.keyRecipe),
+            serializeKeyRecipe(serial.keyRecipe));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, BackupManagerParallelism,
+                         ::testing::Values(EncryptionScheme::kMle,
+                                           EncryptionScheme::kMinHash,
+                                           EncryptionScheme::kMinHashScrambled));
+
 }  // namespace
 }  // namespace freqdedup

@@ -100,6 +100,52 @@ TEST(DedupEngine, StatsDedupRatio) {
   EXPECT_DOUBLE_EQ(engine.stats().dedupRatio(), 3.0);
 }
 
+TEST(DedupEngineStats, DedupRatioIsZeroWithoutTraffic) {
+  DedupEngineStats stats;
+  EXPECT_EQ(stats.dedupRatio(), 0.0);  // both counters zero: no division
+  stats.uniqueBytes = 4096;            // degenerate snapshot, logicalBytes 0
+  EXPECT_EQ(stats.dedupRatio(), 0.0);
+  stats.uniqueBytes = 0;
+  stats.logicalBytes = 4096;  // unique 0: also guarded
+  EXPECT_EQ(stats.dedupRatio(), 0.0);
+}
+
+TEST(MetadataAccessStats, DifferenceSaturatesInsteadOfUnderflowing) {
+  MetadataAccessStats earlier;
+  earlier.updateBytes = 100;
+  earlier.indexBytes = 50;
+  earlier.loadingBytes = 10;
+  MetadataAccessStats later;
+  later.updateBytes = 150;
+  later.indexBytes = 20;  // lower than `earlier`: swapped-snapshot hazard
+  later.loadingBytes = 10;
+
+  const MetadataAccessStats diff = later - earlier;
+  EXPECT_EQ(diff.updateBytes, 50u);
+  EXPECT_EQ(diff.indexBytes, 0u);  // saturates instead of wrapping to 2^64-30
+  EXPECT_EQ(diff.loadingBytes, 0u);
+  EXPECT_EQ(diff.totalBytes(), 50u);
+}
+
+TEST(DedupEngineStats, MergeAddsEveryCounter) {
+  DedupEngineStats a;
+  a.logicalChunks = 1;
+  a.logicalBytes = 10;
+  a.uniqueChunks = 1;
+  a.uniqueBytes = 10;
+  a.cacheHits = 2;
+  a.metadata.indexBytes = 32;
+  DedupEngineStats b = a;
+  b.bufferHits = 3;
+  a += b;
+  EXPECT_EQ(a.logicalChunks, 2u);
+  EXPECT_EQ(a.logicalBytes, 20u);
+  EXPECT_EQ(a.uniqueChunks, 2u);
+  EXPECT_EQ(a.cacheHits, 4u);
+  EXPECT_EQ(a.bufferHits, 3u);
+  EXPECT_EQ(a.metadata.indexBytes, 64u);
+}
+
 class DedupEngineProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DedupEngineProperty, MatchesNaiveDeduplication) {
