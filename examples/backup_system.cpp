@@ -5,6 +5,10 @@
 // Usage:
 //   backup_system backup  <store-dir> <source-dir> <passphrase>
 //   backup_system restore <store-dir> <dest-dir>  <passphrase>
+//   backup_system delete  <store-dir> <name>      # then `gc` to reclaim
+//   backup_system gc      <store-dir>
+//   backup_system verify  <store-dir>
+//   backup_system list    <store-dir>
 //   backup_system stats   <store-dir>
 //   backup_system demo                      # self-contained tmp-dir demo
 #include <cstdio>
@@ -16,6 +20,7 @@
 #include "common/hash.h"
 #include "common/rng.h"
 #include "storage/backup_manager.h"
+#include "storage/file_backup_store.h"
 
 using namespace freqdedup;
 namespace fs = std::filesystem;
@@ -35,9 +40,22 @@ BackupOptions defenseOptions() {
   return options;
 }
 
+void printRecovery(const FileBackupStore& store) {
+  const StoreRecoveryStats& rs = store.recoveryStats();
+  if (rs.orphanContainersRemoved + rs.corruptContainers + rs.entriesDropped ==
+      0)
+    return;
+  printf("recovery: %llu orphan containers removed, %llu corrupt containers "
+         "quarantined, %llu index entries dropped\n",
+         static_cast<unsigned long long>(rs.orphanContainersRemoved),
+         static_cast<unsigned long long>(rs.corruptContainers),
+         static_cast<unsigned long long>(rs.entriesDropped));
+}
+
 int doBackup(const std::string& storeDir, const std::string& sourceDir,
              const std::string& passphrase) {
-  BackupStore store(storeDir);
+  FileBackupStore store(storeDir);
+  printRecovery(store);
   KeyManager keyManager(toBytes("backup-system-global-secret"));
   CdcChunker chunker;
   BackupManager manager(store, keyManager, chunker, defenseOptions());
@@ -52,7 +70,7 @@ int doBackup(const std::string& storeDir, const std::string& sourceDir,
         fs::relative(entry.path(), sourceDir).generic_string();
     const ByteVec content = readFile(entry.path().string());
     const BackupOutcome outcome = manager.backup(rel, content);
-    manager.storeRecipes(rel, outcome, userKey, rng);
+    manager.commitBackup(rel, outcome, userKey, rng);
     ++files;
     newChunks += outcome.newChunks;
     dupChunks += outcome.duplicateChunks;
@@ -67,16 +85,15 @@ int doBackup(const std::string& storeDir, const std::string& sourceDir,
 
 int doRestore(const std::string& storeDir, const std::string& destDir,
               const std::string& passphrase) {
-  BackupStore store(storeDir);
+  FileBackupStore store(storeDir);
+  printRecovery(store);
   KeyManager keyManager(toBytes("backup-system-global-secret"));
   CdcChunker chunker;
   BackupManager manager(store, keyManager, chunker, defenseOptions());
   const AesKey userKey = keyFromPassphrase(passphrase);
 
   size_t files = 0;
-  for (const std::string& blob : store.listBlobs()) {
-    if (blob.rfind("file:", 0) != 0) continue;
-    const std::string name = blob.substr(5);
+  for (const std::string& name : manager.listBackups()) {
     const ByteVec content = manager.restoreByName(name, userKey);
     const fs::path out = fs::path(destDir) / name;
     fs::create_directories(out.parent_path());
@@ -87,16 +104,61 @@ int doRestore(const std::string& storeDir, const std::string& destDir,
   return 0;
 }
 
+int doDelete(const std::string& storeDir, const std::string& name) {
+  FileBackupStore store(storeDir);
+  KeyManager keyManager(toBytes("backup-system-global-secret"));
+  CdcChunker chunker;
+  BackupManager manager(store, keyManager, chunker, defenseOptions());
+  if (!manager.deleteBackup(name)) {
+    fprintf(stderr, "no backup named '%s'\n", name.c_str());
+    return 1;
+  }
+  printf("deleted '%s'; run `backup_system gc %s` to reclaim space\n",
+         name.c_str(), storeDir.c_str());
+  return 0;
+}
+
+int doGc(const std::string& storeDir) {
+  FileBackupStore store(storeDir);
+  const GcStats gc = store.collectGarbage();
+  printf("gc: reclaimed %llu chunks (%.2f MB) from %llu containers, "
+         "relocated %llu live chunks\n",
+         static_cast<unsigned long long>(gc.chunksReclaimed),
+         static_cast<double>(gc.bytesReclaimed) / 1e6,
+         static_cast<unsigned long long>(gc.containersCompacted),
+         static_cast<unsigned long long>(gc.chunksRelocated));
+  return 0;
+}
+
+int doVerify(const std::string& storeDir) {
+  FileBackupStore store(storeDir);
+  printRecovery(store);
+  const StoreCheckReport report = store.verify();
+  printf("verify: %llu chunks, %llu containers, %llu backups checked\n",
+         static_cast<unsigned long long>(report.chunksChecked),
+         static_cast<unsigned long long>(report.containersChecked),
+         static_cast<unsigned long long>(report.backupsChecked));
+  for (const std::string& error : report.errors)
+    fprintf(stderr, "  error: %s\n", error.c_str());
+  printf("%s\n", report.ok() ? "store is consistent" : "STORE IS DAMAGED");
+  return report.ok() ? 0 : 1;
+}
+
+int doList(const std::string& storeDir) {
+  FileBackupStore store(storeDir);
+  for (const std::string& name : store.listBackups())
+    printf("%s\n", name.c_str());
+  return 0;
+}
+
 int doStats(const std::string& storeDir) {
-  BackupStore store(storeDir);
-  size_t recipes = 0;
-  for (const std::string& blob : store.listBlobs())
-    recipes += blob.rfind("file:", 0) == 0;
+  FileBackupStore store(storeDir);
   printf("store %s: %llu unique chunks, %.2f MB stored, %zu containers, "
-         "%zu file recipes\n",
+         "%zu backups\n",
          storeDir.c_str(),
          static_cast<unsigned long long>(store.stats().uniqueChunks),
-         store.stats().storedBytes / 1e6, store.containerCount(), recipes);
+         store.stats().storedBytes / 1e6, store.containerCount(),
+         store.listBackups().size());
   return 0;
 }
 
@@ -124,10 +186,17 @@ int doDemo() {
   }
 
   doBackup(storeDir.string(), source.string(), "demo-pass");
+
+  // Delete one backup, reclaim its unshared chunks, and verify the store
+  // still checks out before restoring the survivors.
+  doDelete(storeDir.string(), "docs/file0.bin");
+  doGc(storeDir.string());
+  bool ok = doVerify(storeDir.string()) == 0;
+  fs::remove(source / "docs" / "file0.bin");
+
   doRestore(storeDir.string(), restored.string(), "demo-pass");
 
-  // Verify every restored file byte-for-byte.
-  bool ok = true;
+  // Verify every surviving file restored byte-for-byte.
   for (const auto& entry : fs::recursive_directory_iterator(source)) {
     if (!entry.is_regular_file()) continue;
     const auto rel = fs::relative(entry.path(), source);
@@ -149,6 +218,10 @@ int main(int argc, char** argv) {
       return doBackup(argv[2], argv[3], argv[4]);
     if (mode == "restore" && argc == 5)
       return doRestore(argv[2], argv[3], argv[4]);
+    if (mode == "delete" && argc == 4) return doDelete(argv[2], argv[3]);
+    if (mode == "gc" && argc == 3) return doGc(argv[2]);
+    if (mode == "verify" && argc == 3) return doVerify(argv[2]);
+    if (mode == "list" && argc == 3) return doList(argv[2]);
     if (mode == "stats" && argc == 3) return doStats(argv[2]);
     if (mode == "demo") return doDemo();
   } catch (const std::exception& e) {
@@ -158,6 +231,10 @@ int main(int argc, char** argv) {
   fprintf(stderr,
           "usage: backup_system backup <store> <source> <passphrase>\n"
           "       backup_system restore <store> <dest> <passphrase>\n"
+          "       backup_system delete <store> <name>\n"
+          "       backup_system gc <store>\n"
+          "       backup_system verify <store>\n"
+          "       backup_system list <store>\n"
           "       backup_system stats <store>\n"
           "       backup_system demo\n");
   return 2;

@@ -9,6 +9,7 @@
 #include "chunking/cdc_chunker.h"
 #include "common/rng.h"
 #include "storage/backup_manager.h"
+#include "storage/container_backup_store.h"
 
 using namespace freqdedup;
 
@@ -24,9 +25,9 @@ ByteVec makeDocument(uint64_t seed, size_t bytes) {
 }  // namespace
 
 int main() {
-  // 1. A chunk store (in-memory here; pass a directory for persistence) and
+  // 1. A chunk store (in-memory here; FileBackupStore for persistence) and
   //    a DupLESS-style key manager holding the global secret.
-  BackupStore store;
+  MemBackupStore store;
   KeyManager keyManager(toBytes("quickstart-global-secret"));
 
   // 2. Content-defined chunking with 8 KB average chunks.
@@ -55,7 +56,7 @@ int main() {
   AesKey userKey{};
   userKey.fill(0x42);
   Rng rng(7);
-  manager.storeRecipes("report-v2", v2, userKey, rng);
+  manager.commitBackup("report-v2", v2, userKey, rng);
 
   // Restore and verify.
   const ByteVec restored = manager.restoreByName("report-v2", userKey);

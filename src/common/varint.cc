@@ -1,5 +1,7 @@
 #include "common/varint.h"
 
+#include <stdexcept>
+
 namespace freqdedup {
 
 void putVarint(ByteVec& out, uint64_t v) {
@@ -33,6 +35,23 @@ size_t varintSize(uint64_t v) {
     ++n;
   }
   return n;
+}
+
+void putLengthPrefixedString(ByteVec& out, std::string_view s) {
+  putVarint(out, s.size());
+  appendBytes(out,
+              ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+std::string getLengthPrefixedString(ByteView in, size_t& offset) {
+  const auto len = getVarint(in, offset);
+  // Underflow-safe bound: getVarint never advances offset past in.size().
+  if (!len || *len > in.size() - offset)
+    throw std::runtime_error("varint: truncated string");
+  std::string s(reinterpret_cast<const char*>(in.data() + offset),
+                static_cast<size_t>(*len));
+  offset += static_cast<size_t>(*len);
+  return s;
 }
 
 }  // namespace freqdedup

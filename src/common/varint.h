@@ -4,6 +4,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "common/bytes.h"
 
@@ -18,5 +20,11 @@ std::optional<uint64_t> getVarint(ByteView in, size_t& offset);
 
 /// Encoded size of a value in bytes.
 size_t varintSize(uint64_t v);
+
+/// Varint-length-prefixed string, shared by the on-disk formats (recipes,
+/// traces). The getter bounds-checks against `in` and throws
+/// std::runtime_error on truncated or over-long lengths.
+void putLengthPrefixedString(ByteVec& out, std::string_view s);
+std::string getLengthPrefixedString(ByteView in, size_t& offset);
 
 }  // namespace freqdedup

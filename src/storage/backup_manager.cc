@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/varint.h"
 #include "pipeline/thread_pool.h"
 
 namespace freqdedup {
@@ -16,6 +17,7 @@ struct EncryptedChunk {
   AesKey key;
   ByteVec cipher;
   Fp cipherFp = 0;
+  Fp plainFp = 0;
 };
 
 /// Ciphertexts in flight on the parallel paths: encryption runs at most this
@@ -87,7 +89,8 @@ BackupOutcome BackupManager::backupMle(const std::string& name,
     // Serial path: one ciphertext in flight at a time (bounded memory).
     for (const ChunkSpan& span : spans) {
       const ByteView plain = chunkBytes(content, span);
-      const AesKey key = keyManager_->deriveChunkKey(fpOfContent(plain));
+      const Fp plainFp = fpOfContent(plain);
+      const AesKey key = keyManager_->deriveChunkKey(plainFp);
       const ByteVec cipher = MleScheme::encryptWithKey(key, plain);
       const Fp cipherFp = fpOfContent(cipher);
       if (store_->putChunk(cipherFp, cipher)) {
@@ -96,7 +99,7 @@ BackupOutcome BackupManager::backupMle(const std::string& name,
         ++outcome.duplicateChunks;
       }
       outcome.fileRecipe.entries.push_back(
-          {cipherFp, static_cast<uint32_t>(cipher.size())});
+          {cipherFp, static_cast<uint32_t>(cipher.size()), plainFp});
       outcome.keyRecipe.keys.push_back(key);
     }
     return outcome;
@@ -113,10 +116,11 @@ BackupOutcome BackupManager::backupMle(const std::string& name,
     parallelFor(*pool_, count, [&](size_t begin, size_t end) {
       for (size_t k = begin; k < end; ++k) {
         const ByteView plain = chunkBytes(content, spans[base + k]);
-        const AesKey key = keyManager_->deriveChunkKey(fpOfContent(plain));
+        const Fp plainFp = fpOfContent(plain);
+        const AesKey key = keyManager_->deriveChunkKey(plainFp);
         ByteVec cipher = MleScheme::encryptWithKey(key, plain);
         const Fp cipherFp = fpOfContent(cipher);
-        window[k] = {key, std::move(cipher), cipherFp};
+        window[k] = {key, std::move(cipher), cipherFp, plainFp};
       }
     });
     for (const EncryptedChunk& e : window) {
@@ -126,7 +130,7 @@ BackupOutcome BackupManager::backupMle(const std::string& name,
         ++outcome.duplicateChunks;
       }
       outcome.fileRecipe.entries.push_back(
-          {e.cipherFp, static_cast<uint32_t>(e.cipher.size())});
+          {e.cipherFp, static_cast<uint32_t>(e.cipher.size()), e.plainFp});
       outcome.keyRecipe.keys.push_back(e.key);
     }
   }
@@ -190,8 +194,8 @@ BackupOutcome BackupManager::backupMinHash(
       } else {
         ++outcome.duplicateChunks;
       }
-      outcome.fileRecipe.entries[i] = {cipherFp,
-                                       static_cast<uint32_t>(cipher.size())};
+      outcome.fileRecipe.entries[i] = {
+          cipherFp, static_cast<uint32_t>(cipher.size()), records[i].fp};
       outcome.keyRecipe.keys[i] = keyOf[i];
     }
     return outcome;
@@ -220,8 +224,8 @@ BackupOutcome BackupManager::backupMinHash(
       } else {
         ++outcome.duplicateChunks;
       }
-      outcome.fileRecipe.entries[i] = {e.cipherFp,
-                                       static_cast<uint32_t>(e.cipher.size())};
+      outcome.fileRecipe.entries[i] = {
+          e.cipherFp, static_cast<uint32_t>(e.cipher.size()), records[i].fp};
       outcome.keyRecipe.keys[i] = e.key;
     }
   }
@@ -235,9 +239,21 @@ ByteVec BackupManager::restore(const FileRecipe& fileRecipe,
   ByteVec content;
   content.reserve(fileRecipe.fileSize);
   for (size_t i = 0; i < fileRecipe.entries.size(); ++i) {
-    const ByteVec cipher = store_->getChunk(fileRecipe.entries[i].cipherFp);
+    const RecipeEntry& entry = fileRecipe.entries[i];
+    const ByteVec cipher = store_->getChunk(entry.cipherFp);
+    // End-to-end verification: the store must hand back exactly the
+    // ciphertext the recipe names, and decryption must reproduce the
+    // plaintext the recipe fingerprinted at backup time.
+    if (fpOfContent(cipher) != entry.cipherFp)
+      throw std::runtime_error(
+          "restore: ciphertext fingerprint mismatch for " +
+          fpToHex(entry.cipherFp));
     const ByteVec plain =
         MleScheme::decryptWithKey(keyRecipe.keys[i], cipher);
+    if (entry.plainFp != 0 && fpOfContent(plain) != entry.plainFp)
+      throw std::runtime_error(
+          "restore: plaintext fingerprint mismatch for " +
+          fpToHex(entry.cipherFp));
     appendBytes(content, plain);
   }
   if (content.size() != fileRecipe.fileSize)
@@ -246,28 +262,96 @@ ByteVec BackupManager::restore(const FileRecipe& fileRecipe,
   return content;
 }
 
-void BackupManager::storeRecipes(const std::string& name,
+std::string BackupManager::recipeBlobName(const std::string& name) {
+  return "recipe:" + name;
+}
+
+namespace {
+
+/// The recipe blob packs both sealed recipes into one value so the pair is
+/// swapped by a single (atomic) log record and can never tear: varint
+/// lengths prefix each sealed section.
+ByteVec packSealedRecipes(ByteView sealedFile, ByteView sealedKeys) {
+  ByteVec out;
+  putVarint(out, sealedFile.size());
+  appendBytes(out, sealedFile);
+  putVarint(out, sealedKeys.size());
+  appendBytes(out, sealedKeys);
+  return out;
+}
+
+std::pair<ByteVec, ByteVec> unpackSealedRecipes(ByteView blob) {
+  size_t offset = 0;
+  const auto fileLen = getVarint(blob, offset);
+  if (!fileLen || *fileLen > blob.size() - offset)
+    throw std::runtime_error("recipe blob: truncated file section");
+  ByteVec sealedFile(blob.begin() + static_cast<ptrdiff_t>(offset),
+                     blob.begin() + static_cast<ptrdiff_t>(offset + *fileLen));
+  offset += static_cast<size_t>(*fileLen);
+  const auto keyLen = getVarint(blob, offset);
+  if (!keyLen || *keyLen != blob.size() - offset)
+    throw std::runtime_error("recipe blob: truncated key section");
+  ByteVec sealedKeys(blob.begin() + static_cast<ptrdiff_t>(offset),
+                     blob.end());
+  return {std::move(sealedFile), std::move(sealedKeys)};
+}
+
+}  // namespace
+
+void BackupManager::commitBackup(const std::string& name,
                                  const BackupOutcome& outcome,
                                  const AesKey& userKey, Rng& rng) {
-  store_->putBlob("file:" + name,
-                  sealWithUserKey(userKey,
-                                  serializeFileRecipe(outcome.fileRecipe),
-                                  rng));
-  store_->putBlob("key:" + name,
-                  sealWithUserKey(userKey,
-                                  serializeKeyRecipe(outcome.keyRecipe), rng));
+  std::vector<Fp> refs;
+  refs.reserve(outcome.fileRecipe.entries.size());
+  for (const RecipeEntry& e : outcome.fileRecipe.entries)
+    refs.push_back(e.cipherFp);
+
+  // Phase 1: widen the manifest to old ∪ new, so chunks of both the current
+  // blob and the incoming one stay protected through the swap.
+  const auto oldRefs = store_->backupRefs(name);
+  if (oldRefs) {
+    std::vector<Fp> unionRefs = refs;
+    unionRefs.insert(unionRefs.end(), oldRefs->begin(), oldRefs->end());
+    store_->recordBackup(name, unionRefs);
+  } else {
+    store_->recordBackup(name, refs);
+  }
+
+  // Phase 2: swap the sealed recipe pair in one atomic blob put.
+  store_->putBlob(
+      recipeBlobName(name),
+      packSealedRecipes(
+          sealWithUserKey(userKey, serializeFileRecipe(outcome.fileRecipe),
+                          rng),
+          sealWithUserKey(userKey, serializeKeyRecipe(outcome.keyRecipe),
+                          rng)));
+
+  // Phase 3: shrink the manifest to the new references only.
+  if (oldRefs) store_->recordBackup(name, refs);
+}
+
+bool BackupManager::deleteBackup(const std::string& name) {
+  // Blob first: a crash in between leaves the manifest (safe over-retention
+  // that a re-run or re-commit clears), never recipes whose chunks GC could
+  // reclaim underneath them.
+  const bool hadBlob = store_->eraseBlob(recipeBlobName(name));
+  const bool hadManifest = store_->releaseBackup(name);
+  return hadBlob || hadManifest;
+}
+
+std::vector<std::string> BackupManager::listBackups() {
+  return store_->listBackups();
 }
 
 ByteVec BackupManager::restoreByName(const std::string& name,
                                      const AesKey& userKey) {
-  const auto fileBlob = store_->getBlob("file:" + name);
-  const auto keyBlob = store_->getBlob("key:" + name);
-  if (!fileBlob || !keyBlob)
-    throw std::runtime_error("restoreByName: no recipes for " + name);
+  const auto blob = store_->getBlob(recipeBlobName(name));
+  if (!blob) throw std::runtime_error("restoreByName: no recipes for " + name);
+  const auto [sealedFile, sealedKeys] = unpackSealedRecipes(*blob);
   const FileRecipe fileRecipe =
-      parseFileRecipe(openWithUserKey(userKey, *fileBlob));
+      parseFileRecipe(openWithUserKey(userKey, sealedFile));
   const KeyRecipe keyRecipe =
-      parseKeyRecipe(openWithUserKey(userKey, *keyBlob));
+      parseKeyRecipe(openWithUserKey(userKey, sealedKeys));
   return restore(fileRecipe, keyRecipe);
 }
 

@@ -60,15 +60,37 @@ class BackupManager {
   /// Backs up one logical object (file content) under `name`.
   BackupOutcome backup(const std::string& name, ByteView content);
 
-  /// Restores content from recipes.
+  /// Restores content from recipes, verifying every chunk end-to-end: the
+  /// fetched ciphertext must match the recipe's ciphertext fingerprint and
+  /// the decrypted plaintext must match its plaintext fingerprint. Throws
+  /// std::runtime_error on any mismatch.
   ByteVec restore(const FileRecipe& fileRecipe, const KeyRecipe& keyRecipe);
 
-  /// Seals both recipes under the user key and stores them as blobs.
-  void storeRecipes(const std::string& name, const BackupOutcome& outcome,
+  /// Commits a completed backup: seals both recipes under the user key,
+  /// stores them as one blob, and records the backup's chunk references in
+  /// the store so deletion and garbage collection can account for them.
+  ///
+  /// Crash-safe also when re-committing an existing name: the references are
+  /// first widened to the union of old and new (one atomic manifest swap),
+  /// then the recipe blob is swapped (one atomic put), then the references
+  /// shrink to the new set — so at every instant the stored blob's chunks
+  /// are covered by the manifest and GC can never reclaim them.
+  void commitBackup(const std::string& name, const BackupOutcome& outcome,
                     const AesKey& userKey, Rng& rng);
+
+  /// Deletes a committed backup: releases its chunk references and removes
+  /// its sealed recipes. Returns false if no such backup exists. Unreferenced
+  /// chunks are reclaimed by the store's next collectGarbage().
+  bool deleteBackup(const std::string& name);
+
+  /// Names of all committed backups.
+  [[nodiscard]] std::vector<std::string> listBackups();
 
   /// Loads, unseals and restores a named object; throws if absent.
   ByteVec restoreByName(const std::string& name, const AesKey& userKey);
+
+  /// Blob name commitBackup uses for a backup's sealed recipe pair.
+  static std::string recipeBlobName(const std::string& name);
 
  private:
   BackupOutcome backupMle(const std::string& name, ByteView content,

@@ -1,170 +1,22 @@
 #include "storage/backup_store.h"
 
-#include <cstdio>
-#include <filesystem>
-#include <stdexcept>
-
 #include "common/check.h"
-#include "kvstore/logkv.h"
-#include "kvstore/memkv.h"
+#include "storage/container_backup_store.h"
+#include "storage/file_backup_store.h"
 
 namespace freqdedup {
 
-namespace {
-constexpr char kChunkKeyPrefix = 'C';
-constexpr char kBlobKeyPrefix = 'B';
-
-ByteVec blobKey(const std::string& name) {
-  ByteVec key;
-  key.push_back(static_cast<uint8_t>(kBlobKeyPrefix));
-  appendBytes(key, ByteView(reinterpret_cast<const uint8_t*>(name.data()),
-                            name.size()));
-  return key;
-}
-}  // namespace
-
-ByteVec BackupStore::chunkKey(Fp fp) {
-  ByteVec key;
-  key.push_back(static_cast<uint8_t>(kChunkKeyPrefix));
-  putU64(key, fp);
-  return key;
-}
-
-BackupStore::BackupStore()
-    : containerBytes_(kDefaultContainerBytes),
-      index_(std::make_unique<MemKv>()),
-      builder_(kDefaultContainerBytes) {}
-
-BackupStore::BackupStore(const std::string& dir, uint64_t containerBytes)
-    : dir_(dir), containerBytes_(containerBytes), builder_(containerBytes) {
-  FDD_CHECK_MSG(!dir.empty(), "persistent store needs a directory");
-  std::filesystem::create_directories(dir_ + "/containers");
-  index_ = std::make_unique<LogKv>(dir_ + "/index.log");
-  loadPersistentState();
-}
-
-BackupStore::~BackupStore() {
-  if (!dir_.empty()) {
-    try {
-      flush();
-    } catch (...) {  // NOLINT(bugprone-empty-catch)
-      // Destructors must not throw; an unflushed open container is the same
-      // state as a crash before flush(), which recovery tolerates.
-    }
+std::unique_ptr<BackupStore> makeBackupStore(StoreBackend backend,
+                                             const std::string& dir,
+                                             uint64_t containerBytes) {
+  switch (backend) {
+    case StoreBackend::kMemory:
+      return std::make_unique<MemBackupStore>(containerBytes);
+    case StoreBackend::kFile:
+      return std::make_unique<FileBackupStore>(dir, containerBytes);
   }
-}
-
-void BackupStore::loadPersistentState() {
-  // Containers are named containers/%08u.fdc; resume numbering after the max.
-  nextContainerId_ = 0;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(dir_ + "/containers")) {
-    const std::string stem = entry.path().stem().string();
-    const uint32_t id = static_cast<uint32_t>(std::stoul(stem));
-    nextContainerId_ = std::max(nextContainerId_, id + 1);
-  }
-  // Rebuild stats from the index.
-  index_->forEach([this](ByteView key, ByteView value) {
-    if (!key.empty() && key[0] == static_cast<uint8_t>(kChunkKeyPrefix)) {
-      ++stats_.uniqueChunks;
-      stats_.storedBytes += getU32(value, 8);
-    }
-  });
-}
-
-std::string BackupStore::containerPath(uint32_t id) const {
-  char name[32];
-  snprintf(name, sizeof(name), "%08u.fdc", id);
-  return dir_ + "/containers/" + name;
-}
-
-bool BackupStore::hasChunk(Fp cipherFp) const {
-  if (openChunks_.contains(cipherFp)) return true;
-  return index_->contains(chunkKey(cipherFp));
-}
-
-bool BackupStore::putChunk(Fp cipherFp, ByteView bytes) {
-  ++stats_.logicalPuts;
-  stats_.logicalBytes += bytes.size();
-  if (hasChunk(cipherFp)) return false;
-
-  if (builder_.wouldOverflow(static_cast<uint32_t>(bytes.size())))
-    sealOpenContainer();
-  builder_.add(cipherFp, static_cast<uint32_t>(bytes.size()), bytes);
-  openChunks_.emplace(cipherFp, ByteVec(bytes.begin(), bytes.end()));
-  ++stats_.uniqueChunks;
-  stats_.storedBytes += bytes.size();
-  return true;
-}
-
-void BackupStore::sealOpenContainer() {
-  if (builder_.empty()) return;
-  const uint32_t id = nextContainerId_++;
-  Container container = builder_.seal(id);
-  // Index entries: containerId u32, entryIndex u32, size u32.
-  for (uint32_t i = 0; i < container.entries.size(); ++i) {
-    ByteVec value;
-    putU32(value, id);
-    putU32(value, i);
-    putU32(value, container.entries[i].size);
-    index_->put(chunkKey(container.entries[i].fp), value);
-  }
-  if (!dir_.empty()) {
-    writeFile(containerPath(id), serializeContainer(container));
-  }
-  containers_.emplace(id, std::move(container));
-  openChunks_.clear();
-}
-
-const Container& BackupStore::loadContainer(uint32_t id) {
-  const auto it = containers_.find(id);
-  if (it != containers_.end()) return it->second;
-  FDD_CHECK_MSG(!dir_.empty(), "container missing from in-memory store");
-  Container container = parseContainer(readFile(containerPath(id)));
-  return containers_.emplace(id, std::move(container)).first->second;
-}
-
-ByteVec BackupStore::getChunk(Fp cipherFp) {
-  const auto openIt = openChunks_.find(cipherFp);
-  if (openIt != openChunks_.end()) return openIt->second;
-
-  const auto value = index_->get(chunkKey(cipherFp));
-  if (!value)
-    throw std::runtime_error("BackupStore: chunk not found: " +
-                             fpToHex(cipherFp));
-  const uint32_t containerId = getU32(*value, 0);
-  const uint32_t entryIndex = getU32(*value, 4);
-  const Container& container = loadContainer(containerId);
-  FDD_CHECK(entryIndex < container.entries.size());
-  const ContainerEntry& entry = container.entries[entryIndex];
-  return ByteVec(
-      container.data.begin() + static_cast<ptrdiff_t>(entry.dataOffset),
-      container.data.begin() +
-          static_cast<ptrdiff_t>(entry.dataOffset + entry.size));
-}
-
-void BackupStore::putBlob(const std::string& name, ByteView bytes) {
-  index_->put(blobKey(name), bytes);
-}
-
-std::optional<ByteVec> BackupStore::getBlob(const std::string& name) {
-  return index_->get(blobKey(name));
-}
-
-std::vector<std::string> BackupStore::listBlobs() {
-  std::vector<std::string> names;
-  index_->forEach([&names](ByteView key, ByteView) {
-    if (!key.empty() && key[0] == static_cast<uint8_t>(kBlobKeyPrefix)) {
-      names.emplace_back(reinterpret_cast<const char*>(key.data()) + 1,
-                         key.size() - 1);
-    }
-  });
-  return names;
-}
-
-void BackupStore::flush() {
-  sealOpenContainer();
-  if (auto* logkv = dynamic_cast<LogKv*>(index_.get())) logkv->flush();
+  FDD_CHECK_MSG(false, "unreachable");
+  return nullptr;
 }
 
 }  // namespace freqdedup

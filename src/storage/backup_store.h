@@ -1,26 +1,36 @@
 // Content-addressed chunk store with container packing.
 //
-// Stores ciphertext chunks deduplicated by ciphertext fingerprint, packed
-// into containers, with a fingerprint index mapping each stored fingerprint
-// to its container and entry. Two modes:
-//  - in-memory (default): containers and index live in RAM — used by tests
-//    and the trace-driven experiments that need real bytes;
-//  - persistent: containers are files under <dir>/containers and the index
-//    and recipes live in a LogKv at <dir>/index.log — used by the
-//    backup_system example. Reopening the directory recovers all state.
+// `BackupStore` is the storage interface the backup client (BackupManager)
+// writes through: ciphertext chunks deduplicated by ciphertext fingerprint
+// and packed into containers, named metadata blobs (sealed recipes), and
+// per-backup reference manifests that drive deletion and garbage collection.
+//
+// Two backends implement it (pick one with makeBackupStore):
+//  - MemBackupStore: containers and index live in RAM — tests and the
+//    trace-driven experiments that need real bytes;
+//  - FileBackupStore: containers are CRC-framed files under
+//    <dir>/containers and the index, manifests and blobs live in a LogKv at
+//    <dir>/index.log. Reopening the directory recovers all state, removing
+//    orphan containers and dropping index entries whose container failed
+//    trailer validation (crash-safe recovery).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/fingerprint.h"
-#include "common/lru_cache.h"
-#include "kvstore/kvstore.h"
 #include "storage/container.h"
 
 namespace freqdedup {
+
+enum class StoreBackend {
+  kMemory,  // volatile, in-process
+  kFile     // persistent, log-structured containers + LogKv index
+};
 
 struct BackupStoreStats {
   uint64_t logicalPuts = 0;
@@ -35,61 +45,101 @@ struct BackupStoreStats {
   }
 };
 
+/// Outcome of one collectGarbage() pass.
+struct GcStats {
+  uint64_t chunksReclaimed = 0;    // refcount-0 chunks dropped
+  uint64_t bytesReclaimed = 0;     // payload bytes those chunks held
+  uint64_t chunksRelocated = 0;    // live chunks copied forward
+  uint64_t containersCompacted = 0;  // containers rewritten and reclaimed
+};
+
+/// Result of verify(): an fsck-style consistency report.
+struct StoreCheckReport {
+  uint64_t chunksChecked = 0;
+  uint64_t containersChecked = 0;
+  uint64_t backupsChecked = 0;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// What crash-safe recovery had to repair while reopening a persistent store.
+struct StoreRecoveryStats {
+  uint64_t containersValidated = 0;      // trailer CRC + structure checked
+  uint64_t orphanContainersRemoved = 0;  // files no index entry references
+  uint64_t corruptContainers = 0;        // failed trailer validation
+  uint64_t entriesDropped = 0;  // index entries whose container is gone/bad
+  uint64_t refcountsRepaired = 0;  // refcounts reconciled against manifests
+};
+
 class BackupStore {
  public:
-  /// In-memory store.
-  BackupStore();
-
-  /// Persistent store rooted at `dir` (created if missing); recovers any
-  /// existing state.
-  explicit BackupStore(const std::string& dir,
-                       uint64_t containerBytes = kDefaultContainerBytes);
-
-  ~BackupStore();
-  BackupStore(const BackupStore&) = delete;
-  BackupStore& operator=(const BackupStore&) = delete;
+  virtual ~BackupStore() = default;
 
   /// True if a ciphertext chunk with this fingerprint is already stored.
-  [[nodiscard]] bool hasChunk(Fp cipherFp) const;
+  [[nodiscard]] virtual bool hasChunk(Fp cipherFp) const = 0;
 
   /// Stores a chunk unless already present (deduplication). Returns true if
-  /// the chunk was new.
-  bool putChunk(Fp cipherFp, ByteView bytes);
+  /// the chunk was new. New chunks start with a reference count of zero;
+  /// references are added when a backup that uses them is recorded.
+  virtual bool putChunk(Fp cipherFp, ByteView bytes) = 0;
 
   /// Retrieves a chunk's bytes; throws std::runtime_error if absent.
-  ByteVec getChunk(Fp cipherFp);
+  virtual ByteVec getChunk(Fp cipherFp) = 0;
+
+  /// Current reference count of a chunk (0 if absent or unreferenced).
+  [[nodiscard]] virtual uint32_t chunkRefCount(Fp cipherFp) const = 0;
 
   /// Named metadata blobs (sealed recipes).
-  void putBlob(const std::string& name, ByteView bytes);
-  std::optional<ByteVec> getBlob(const std::string& name);
-  [[nodiscard]] std::vector<std::string> listBlobs();
+  virtual void putBlob(const std::string& name, ByteView bytes) = 0;
+  virtual std::optional<ByteVec> getBlob(const std::string& name) = 0;
+  virtual bool eraseBlob(const std::string& name) = 0;
+  [[nodiscard]] virtual std::vector<std::string> listBlobs() = 0;
 
-  /// Seals the open container and persists it (persistent mode).
-  void flush();
+  /// Records a completed backup: persists a manifest of the ciphertext
+  /// fingerprints the backup references (one entry per chunk occurrence) and
+  /// increments their reference counts. Re-recording an existing name first
+  /// releases the old manifest. Seals the open container so every referenced
+  /// chunk is indexed. Throws if a referenced chunk is not stored.
+  virtual void recordBackup(const std::string& name,
+                            std::span<const Fp> chunkRefs) = 0;
 
-  [[nodiscard]] const BackupStoreStats& stats() const { return stats_; }
-  [[nodiscard]] size_t containerCount() const { return nextContainerId_; }
+  /// Deletes a backup's manifest and decrements the reference counts it
+  /// held. Returns false if no such backup was recorded. Chunk data is only
+  /// reclaimed by the next collectGarbage().
+  virtual bool releaseBackup(const std::string& name) = 0;
 
- private:
-  struct ChunkLocation {
-    uint32_t containerId = 0;
-    uint32_t entryIndex = 0;
-  };
+  /// Names of all recorded backups.
+  [[nodiscard]] virtual std::vector<std::string> listBackups() = 0;
 
-  void loadPersistentState();
-  void sealOpenContainer();
-  [[nodiscard]] std::string containerPath(uint32_t id) const;
-  const Container& loadContainer(uint32_t id);
-  static ByteVec chunkKey(Fp fp);
+  /// The manifest of a recorded backup (its chunk references, in recipe
+  /// order), or nullopt if no such backup exists.
+  virtual std::optional<std::vector<Fp>> backupRefs(
+      const std::string& name) = 0;
 
-  std::string dir_;  // empty in in-memory mode
-  uint64_t containerBytes_;
-  std::unique_ptr<KvStore> index_;
-  ContainerBuilder builder_;
-  std::unordered_map<Fp, ByteVec, FpHash> openChunks_;  // not yet sealed
-  std::unordered_map<uint32_t, Container> containers_;  // in-memory / cache
-  uint32_t nextContainerId_ = 0;
-  BackupStoreStats stats_;
+  /// Reclaims every chunk whose reference count is zero, compacting the
+  /// containers that held them (live chunks are copied forward) and the
+  /// persistent index log.
+  virtual GcStats collectGarbage() = 0;
+
+  /// fsck-style consistency check: every index entry resolves to a matching
+  /// container entry, every manifest reference resolves to a stored chunk,
+  /// and reference counts equal the manifest occurrence sums.
+  virtual StoreCheckReport verify() = 0;
+
+  /// Seals the open container and persists all state (persistent mode).
+  virtual void flush() = 0;
+
+  [[nodiscard]] virtual const BackupStoreStats& stats() const = 0;
+
+  /// Number of sealed, live containers.
+  [[nodiscard]] virtual size_t containerCount() const = 0;
 };
+
+/// Creates a store of the chosen backend. `dir` is required for (and only
+/// used by) StoreBackend::kFile.
+std::unique_ptr<BackupStore> makeBackupStore(
+    StoreBackend backend, const std::string& dir = {},
+    uint64_t containerBytes = kDefaultContainerBytes);
 
 }  // namespace freqdedup

@@ -40,35 +40,55 @@ Container parseContainer(ByteView bytes) {
   const size_t bodySize = bytes.size() - 4;
   if (crc32c(bytes.subspan(0, bodySize)) != getU32(bytes, bodySize))
     throw std::runtime_error("container: checksum mismatch");
+  // All structural reads stay within the CRC-covered body.
+  const ByteView body = bytes.subspan(0, bodySize);
 
   size_t offset = 0;
-  if (getU32(bytes, offset) != kContainerMagic)
+  if (getU32(body, offset) != kContainerMagic)
     throw std::runtime_error("container: bad magic");
   offset += 4;
   Container container;
-  container.id = getU32(bytes, offset);
+  container.id = getU32(body, offset);
   offset += 4;
-  const auto entryCount = getVarint(bytes, offset);
+  const auto entryCount = getVarint(body, offset);
   if (!entryCount) throw std::runtime_error("container: truncated header");
+  // Validate the count against the remaining input (every entry occupies at
+  // least 13 bytes) before allocating, so a corrupt count cannot trigger a
+  // huge reserve. Division avoids overflow on adversarial counts.
+  if (*entryCount > (bodySize - offset) / 13)
+    throw std::runtime_error("container: entry count exceeds input");
   container.entries.reserve(static_cast<size_t>(*entryCount));
   for (uint64_t i = 0; i < *entryCount; ++i) {
     ContainerEntry e;
     if (offset + 12 > bodySize)
       throw std::runtime_error("container: truncated entry");
-    e.fp = getU64(bytes, offset);
+    e.fp = getU64(body, offset);
     offset += 8;
-    e.size = getU32(bytes, offset);
+    e.size = getU32(body, offset);
     offset += 4;
-    const auto dataOffset = getVarint(bytes, offset);
+    const auto dataOffset = getVarint(body, offset);
     if (!dataOffset) throw std::runtime_error("container: truncated entry");
     e.dataOffset = *dataOffset;
     container.entries.push_back(e);
   }
-  const auto dataLen = getVarint(bytes, offset);
-  if (!dataLen || offset + *dataLen > bodySize)
+  const auto dataLen = getVarint(body, offset);
+  if (!dataLen || *dataLen > bodySize - offset)
     throw std::runtime_error("container: truncated data");
-  container.data.assign(bytes.begin() + static_cast<ptrdiff_t>(offset),
-                        bytes.begin() + static_cast<ptrdiff_t>(offset + *dataLen));
+  container.data.assign(body.begin() + static_cast<ptrdiff_t>(offset),
+                        body.begin() + static_cast<ptrdiff_t>(offset + *dataLen));
+  offset += static_cast<size_t>(*dataLen);
+  if (offset != bodySize)
+    throw std::runtime_error("container: trailing garbage");
+  // Every entry's payload must lie within the data section. Trace-mode
+  // containers carry sizes but no bytes (data empty), so the bound is only
+  // enforceable when a payload is present.
+  if (!container.data.empty()) {
+    for (const ContainerEntry& e : container.entries) {
+      if (e.size > container.data.size() ||
+          e.dataOffset > container.data.size() - e.size)
+        throw std::runtime_error("container: entry payload out of range");
+    }
+  }
   return container;
 }
 

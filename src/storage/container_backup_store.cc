@@ -1,0 +1,625 @@
+#include "storage/container_backup_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/varint.h"
+#include "kvstore/logkv.h"
+#include "kvstore/memkv.h"
+
+namespace freqdedup {
+
+namespace {
+
+constexpr char kChunkKeyPrefix = 'C';
+constexpr char kBlobKeyPrefix = 'B';
+constexpr char kManifestKeyPrefix = 'M';
+
+/// Parsed containers kept hot in file mode; each is up to containerBytes.
+constexpr size_t kContainerCacheEntries = 16;
+
+ByteVec prefixedKey(char prefix, const std::string& name) {
+  ByteVec key;
+  key.reserve(1 + name.size());
+  key.push_back(static_cast<uint8_t>(prefix));
+  appendBytes(key, ByteView(reinterpret_cast<const uint8_t*>(name.data()),
+                            name.size()));
+  return key;
+}
+
+ByteVec manifestKey(const std::string& name) {
+  return prefixedKey(kManifestKeyPrefix, name);
+}
+
+ByteVec blobKey(const std::string& name) {
+  return prefixedKey(kBlobKeyPrefix, name);
+}
+
+/// Manifest payload: varint count, count * fp(u64), trailing CRC-32C.
+ByteVec serializeManifest(std::span<const Fp> refs) {
+  ByteVec out;
+  putVarint(out, refs.size());
+  for (const Fp fp : refs) putU64(out, fp);
+  putU32(out, crc32c(out));
+  return out;
+}
+
+std::vector<Fp> parseManifest(ByteView bytes) {
+  if (bytes.size() < 5)
+    throw std::runtime_error("manifest: input too short");
+  const size_t bodySize = bytes.size() - 4;
+  if (crc32c(bytes.subspan(0, bodySize)) != getU32(bytes, bodySize))
+    throw std::runtime_error("manifest: checksum mismatch");
+  const ByteView body = bytes.subspan(0, bodySize);
+  size_t offset = 0;
+  const auto count = getVarint(body, offset);
+  if (!count) throw std::runtime_error("manifest: truncated header");
+  if (*count > (bodySize - offset) / 8)
+    throw std::runtime_error("manifest: truncated refs");
+  std::vector<Fp> refs;
+  refs.reserve(static_cast<size_t>(*count));
+  for (uint64_t i = 0; i < *count; ++i) {
+    refs.push_back(getU64(body, offset));
+    offset += 8;
+  }
+  if (offset != bodySize)
+    throw std::runtime_error("manifest: trailing garbage");
+  return refs;
+}
+
+/// Container file ids; files that are not <8 digits>.fdc are ignored.
+std::optional<uint32_t> containerIdFromPath(const std::filesystem::path& p) {
+  if (p.extension() != ".fdc") return std::nullopt;
+  const std::string stem = p.stem().string();
+  if (stem.empty() || stem.size() > 10) return std::nullopt;
+  uint64_t id = 0;
+  for (const char c : stem) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (id > UINT32_MAX) return std::nullopt;
+  return static_cast<uint32_t>(id);
+}
+
+}  // namespace
+
+ByteVec ContainerBackupStore::chunkKey(Fp fp) {
+  ByteVec key;
+  key.push_back(static_cast<uint8_t>(kChunkKeyPrefix));
+  putU64(key, fp);
+  return key;
+}
+
+ByteVec ContainerBackupStore::encodeChunkEntry(const ChunkEntry& e) {
+  ByteVec value;
+  putU32(value, e.containerId);
+  putU32(value, e.entryIndex);
+  putU32(value, e.size);
+  putU32(value, e.refs);
+  return value;
+}
+
+ContainerBackupStore::ChunkEntry ContainerBackupStore::decodeChunkEntry(
+    ByteView value) {
+  if (value.size() != 16)
+    throw std::runtime_error("BackupStore: malformed index entry");
+  return ChunkEntry{getU32(value, 0), getU32(value, 4), getU32(value, 8),
+                    getU32(value, 12)};
+}
+
+ContainerBackupStore::ContainerBackupStore(std::unique_ptr<KvStore> index,
+                                           std::string dir,
+                                           uint64_t containerBytes)
+    : dir_(std::move(dir)),
+      index_(std::move(index)),
+      builder_(containerBytes),
+      containerCache_(kContainerCacheEntries) {}
+
+ContainerBackupStore::~ContainerBackupStore() {
+  if (!dir_.empty()) {
+    try {
+      flush();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // Destructors must not throw; an unflushed open container is the same
+      // state as a crash before flush(), which recovery tolerates.
+    }
+  }
+}
+
+std::string ContainerBackupStore::containerPath(uint32_t id) const {
+  char name[32];
+  snprintf(name, sizeof(name), "%08u.fdc", id);
+  return dir_ + "/containers/" + name;
+}
+
+bool ContainerBackupStore::hasChunk(Fp cipherFp) const {
+  if (openChunks_.contains(cipherFp)) return true;
+  return index_->contains(chunkKey(cipherFp));
+}
+
+uint32_t ContainerBackupStore::chunkRefCount(Fp cipherFp) const {
+  const auto it = openChunks_.find(cipherFp);
+  if (it != openChunks_.end()) return it->second.refs;
+  const auto value = index_->get(chunkKey(cipherFp));
+  if (!value) return 0;
+  return decodeChunkEntry(*value).refs;
+}
+
+bool ContainerBackupStore::putChunk(Fp cipherFp, ByteView bytes) {
+  ++stats_.logicalPuts;
+  stats_.logicalBytes += bytes.size();
+  if (hasChunk(cipherFp)) return false;
+  stageChunk(cipherFp, bytes, /*refs=*/0);
+  ++stats_.uniqueChunks;
+  stats_.storedBytes += bytes.size();
+  return true;
+}
+
+void ContainerBackupStore::stageChunk(Fp fp, ByteView bytes, uint32_t refs) {
+  if (builder_.wouldOverflow(static_cast<uint32_t>(bytes.size())))
+    sealOpenContainer();
+  builder_.add(fp, static_cast<uint32_t>(bytes.size()), bytes);
+  openChunks_.emplace(fp,
+                      OpenChunk{ByteVec(bytes.begin(), bytes.end()), refs});
+}
+
+void ContainerBackupStore::sealOpenContainer() {
+  if (builder_.empty()) return;
+  const uint32_t id = nextContainerId_++;
+  Container container = builder_.seal(id);
+  // Persist the container before its index entries: a crash in between
+  // leaves only an orphan container file, which recovery deletes.
+  if (!dir_.empty()) writeContainerFile(container);
+  for (uint32_t i = 0; i < container.entries.size(); ++i) {
+    const Fp fp = container.entries[i].fp;
+    const ChunkEntry e{id, i, container.entries[i].size,
+                       openChunks_.at(fp).refs};
+    index_->put(chunkKey(fp), encodeChunkEntry(e));
+  }
+  liveContainerIds_.insert(id);
+  auto shared = std::make_shared<const Container>(std::move(container));
+  if (dir_.empty()) {
+    containers_.emplace(id, std::move(shared));
+  } else {
+    containerCache_.put(id, std::move(shared));
+  }
+  openChunks_.clear();
+}
+
+void ContainerBackupStore::writeContainerFile(
+    const Container& container) const {
+  // Atomic write: containers become visible under their final name only
+  // once fully written, so a torn write can never masquerade as a
+  // container. Recovery deletes stray .tmp files.
+  const std::string path = containerPath(container.id);
+  writeFile(path + ".tmp", serializeContainer(container));
+  std::filesystem::rename(path + ".tmp", path);
+}
+
+std::shared_ptr<const Container> ContainerBackupStore::loadContainer(
+    uint32_t id) {
+  if (dir_.empty()) {
+    const auto it = containers_.find(id);
+    if (it == containers_.end())
+      throw std::runtime_error("BackupStore: container missing: " +
+                               std::to_string(id));
+    return it->second;
+  }
+  if (auto cached = containerCache_.get(id)) return *cached;
+  auto container =
+      std::make_shared<const Container>(parseContainer(readFile(containerPath(id))));
+  if (container->id != id)
+    throw std::runtime_error("BackupStore: container id mismatch in " +
+                             containerPath(id));
+  containerCache_.put(id, container);
+  return container;
+}
+
+void ContainerBackupStore::dropContainer(uint32_t id) {
+  containers_.erase(id);
+  containerCache_.erase(id);
+  liveContainerIds_.erase(id);
+  if (!dir_.empty()) std::filesystem::remove(containerPath(id));
+}
+
+ByteVec ContainerBackupStore::getChunk(Fp cipherFp) {
+  const auto openIt = openChunks_.find(cipherFp);
+  if (openIt != openChunks_.end()) return openIt->second.bytes;
+
+  const auto value = index_->get(chunkKey(cipherFp));
+  if (!value)
+    throw std::runtime_error("BackupStore: chunk not found: " +
+                             fpToHex(cipherFp));
+  const ChunkEntry loc = decodeChunkEntry(*value);
+  const auto container = loadContainer(loc.containerId);
+  if (loc.entryIndex >= container->entries.size())
+    throw std::runtime_error("BackupStore: index entry out of range for " +
+                             fpToHex(cipherFp));
+  const ContainerEntry& entry = container->entries[loc.entryIndex];
+  if (entry.fp != cipherFp || entry.size != loc.size ||
+      entry.dataOffset + entry.size > container->data.size())
+    throw std::runtime_error("BackupStore: container/index mismatch for " +
+                             fpToHex(cipherFp));
+  const auto begin =
+      container->data.begin() + static_cast<ptrdiff_t>(entry.dataOffset);
+  return ByteVec(begin, begin + entry.size);
+}
+
+void ContainerBackupStore::putBlob(const std::string& name, ByteView bytes) {
+  index_->put(blobKey(name), bytes);
+}
+
+std::optional<ByteVec> ContainerBackupStore::getBlob(const std::string& name) {
+  return index_->get(blobKey(name));
+}
+
+bool ContainerBackupStore::eraseBlob(const std::string& name) {
+  return index_->erase(blobKey(name));
+}
+
+std::vector<std::string> ContainerBackupStore::listBlobs() {
+  std::vector<std::string> names;
+  index_->forEach([&names](ByteView key, ByteView) {
+    if (!key.empty() && key[0] == static_cast<uint8_t>(kBlobKeyPrefix)) {
+      names.emplace_back(reinterpret_cast<const char*>(key.data()) + 1,
+                         key.size() - 1);
+    }
+  });
+  return names;
+}
+
+void ContainerBackupStore::adjustRefs(Fp fp, int64_t delta) {
+  const auto value = index_->get(chunkKey(fp));
+  if (!value) {
+    // Dropping a reference to a chunk that no longer exists (e.g. lost to a
+    // corrupt container and already reported by recovery) is a no-op;
+    // adding one is a caller error.
+    if (delta <= 0) return;
+    throw std::runtime_error("BackupStore: reference to unknown chunk " +
+                             fpToHex(fp));
+  }
+  ChunkEntry e = decodeChunkEntry(*value);
+  const int64_t refs = static_cast<int64_t>(e.refs) + delta;
+  // Clamp defensively: an underflow means a corrupt manifest, and verify()
+  // reports the accounting mismatch rather than deletion failing halfway.
+  e.refs = refs < 0 ? 0 : static_cast<uint32_t>(refs);
+  index_->put(chunkKey(fp), encodeChunkEntry(e));
+}
+
+void ContainerBackupStore::recordBackup(const std::string& name,
+                                        std::span<const Fp> chunkRefs) {
+  sealOpenContainer();
+  std::unordered_map<Fp, int64_t, FpHash> deltas;
+  for (const Fp fp : chunkRefs) ++deltas[fp];
+  // Validate every reference before mutating anything, so a bad manifest
+  // cannot leave refcounts half-applied.
+  for (const auto& [fp, n] : deltas) {
+    if (!index_->contains(chunkKey(fp)))
+      throw std::runtime_error("recordBackup: chunk not stored: " +
+                               fpToHex(fp));
+  }
+  // Re-recording a name replaces its references. The old manifest is never
+  // erased first: refcounts move by delta and the manifest key is swapped in
+  // one put (atomic at the log-record level), so a crash at any point leaves
+  // either the old or the new manifest — never none. Refcount drift from a
+  // crash mid-delta is reconciled against the manifests on the next open.
+  for (const Fp fp : backupRefs(name).value_or(std::vector<Fp>{}))
+    --deltas[fp];
+  for (const auto& [fp, delta] : deltas)
+    if (delta != 0) adjustRefs(fp, delta);
+  index_->put(manifestKey(name), serializeManifest(chunkRefs));
+}
+
+std::optional<std::vector<Fp>> ContainerBackupStore::backupRefs(
+    const std::string& name) {
+  const auto blob = index_->get(manifestKey(name));
+  if (!blob) return std::nullopt;
+  return parseManifest(*blob);
+}
+
+bool ContainerBackupStore::releaseBackup(const std::string& name) {
+  const auto blob = index_->get(manifestKey(name));
+  if (!blob) return false;
+  std::unordered_map<Fp, uint32_t, FpHash> counts;
+  for (const Fp fp : parseManifest(*blob)) ++counts[fp];
+  for (const auto& [fp, n] : counts) adjustRefs(fp, -static_cast<int64_t>(n));
+  index_->erase(manifestKey(name));
+  return true;
+}
+
+std::vector<std::string> ContainerBackupStore::listBackups() {
+  std::vector<std::string> names;
+  index_->forEach([&names](ByteView key, ByteView) {
+    if (!key.empty() && key[0] == static_cast<uint8_t>(kManifestKeyPrefix)) {
+      names.emplace_back(reinterpret_cast<const char*>(key.data()) + 1,
+                         key.size() - 1);
+    }
+  });
+  return names;
+}
+
+std::unordered_map<uint32_t,
+                   std::vector<std::pair<Fp, ContainerBackupStore::ChunkEntry>>>
+ContainerBackupStore::chunkEntriesByContainer() {
+  std::unordered_map<uint32_t, std::vector<std::pair<Fp, ChunkEntry>>> result;
+  index_->forEach([&result](ByteView key, ByteView value) {
+    if (key.empty() || key[0] != static_cast<uint8_t>(kChunkKeyPrefix)) return;
+    const Fp fp = getU64(key, 1);
+    const ChunkEntry e = decodeChunkEntry(value);
+    result[e.containerId].emplace_back(fp, e);
+  });
+  return result;
+}
+
+void ContainerBackupStore::flushIndex() {
+  if (auto* logkv = dynamic_cast<LogKv*>(index_.get())) logkv->flush();
+}
+
+GcStats ContainerBackupStore::collectGarbage() {
+  // GC invariants:
+  //  (1) a chunk is reclaimed only when its reference count is zero — no
+  //      recorded backup manifest references it;
+  //  (2) relocated live chunks are sealed and indexed (phase 2) before any
+  //      old container is deleted (phase 3), so a crash at any point leaves
+  //      every live chunk reachable — at worst duplicated in a container
+  //      that recovery treats as orphaned and removes.
+  GcStats gc;
+  sealOpenContainer();
+  auto byContainer = chunkEntriesByContainer();
+
+  // Phase 1: copy live chunks out of every container that holds dead ones.
+  std::vector<uint32_t> doomed;
+  for (auto& [id, entries] : byContainer) {
+    bool anyDead = false;
+    for (const auto& [fp, e] : entries) anyDead |= e.refs == 0;
+    if (!anyDead) continue;
+    const auto container = loadContainer(id);
+    for (const auto& [fp, e] : entries) {
+      if (e.refs == 0) continue;
+      if (e.entryIndex >= container->entries.size() ||
+          container->entries[e.entryIndex].fp != fp)
+        throw std::runtime_error("gc: container/index mismatch for " +
+                                 fpToHex(fp));
+      const ContainerEntry& ce = container->entries[e.entryIndex];
+      if (ce.dataOffset + ce.size > container->data.size())
+        throw std::runtime_error("gc: chunk payload out of range for " +
+                                 fpToHex(fp));
+      stageChunk(fp,
+                 ByteView(container->data).subspan(ce.dataOffset, ce.size),
+                 e.refs);
+      ++gc.chunksRelocated;
+    }
+    doomed.push_back(id);
+  }
+
+  // Phase 2: persist the relocations before anything is deleted.
+  sealOpenContainer();
+  flushIndex();
+
+  // Phase 3: drop dead index entries and reclaim the doomed containers.
+  for (const uint32_t id : doomed) {
+    for (const auto& [fp, e] : byContainer[id]) {
+      if (e.refs != 0) continue;
+      index_->erase(chunkKey(fp));
+      --stats_.uniqueChunks;
+      stats_.storedBytes -= e.size;
+      ++gc.chunksReclaimed;
+      gc.bytesReclaimed += e.size;
+    }
+    dropContainer(id);
+    ++gc.containersCompacted;
+  }
+
+  // Phase 4: compact the index log itself to reclaim dead records.
+  if (auto* logkv = dynamic_cast<LogKv*>(index_.get())) {
+    logkv->flush();
+    logkv->compact();
+  }
+  return gc;
+}
+
+StoreCheckReport ContainerBackupStore::verify() {
+  StoreCheckReport report;
+  sealOpenContainer();
+  std::unordered_map<uint32_t, std::vector<std::pair<Fp, ChunkEntry>>>
+      byContainer;
+  try {
+    byContainer = chunkEntriesByContainer();
+  } catch (const std::exception& e) {
+    report.errors.emplace_back(std::string("index: ") + e.what());
+    return report;
+  }
+
+  // Manifest accounting: expected refcount per fingerprint.
+  std::unordered_map<Fp, uint64_t, FpHash> manifestRefs;
+  for (const std::string& name : listBackups()) {
+    const auto blob = index_->get(manifestKey(name));
+    if (!blob) continue;  // racing deletion; nothing to check
+    try {
+      for (const Fp fp : parseManifest(*blob)) ++manifestRefs[fp];
+      ++report.backupsChecked;
+    } catch (const std::exception& e) {
+      report.errors.emplace_back("backup '" + name + "': " + e.what());
+    }
+  }
+
+  // Every index entry must resolve to a matching container entry.
+  std::unordered_map<Fp, uint32_t, FpHash> indexedRefs;
+  for (const auto& [id, entries] : byContainer) {
+    std::shared_ptr<const Container> container;
+    try {
+      container = loadContainer(id);
+      ++report.containersChecked;
+    } catch (const std::exception& e) {
+      report.errors.emplace_back("container " + std::to_string(id) + ": " +
+                                 e.what());
+    }
+    for (const auto& [fp, e] : entries) {
+      ++report.chunksChecked;
+      indexedRefs[fp] = e.refs;
+      if (!container) continue;
+      if (e.entryIndex >= container->entries.size()) {
+        report.errors.emplace_back("chunk " + fpToHex(fp) +
+                                   ": entry index out of range");
+        continue;
+      }
+      const ContainerEntry& ce = container->entries[e.entryIndex];
+      if (ce.fp != fp) {
+        report.errors.emplace_back("chunk " + fpToHex(fp) +
+                                   ": fingerprint mismatch in container");
+      } else if (ce.size != e.size) {
+        report.errors.emplace_back("chunk " + fpToHex(fp) +
+                                   ": size mismatch in container");
+      } else if (ce.dataOffset + ce.size > container->data.size()) {
+        report.errors.emplace_back("chunk " + fpToHex(fp) +
+                                   ": payload out of range");
+      }
+    }
+  }
+
+  // Reference counts must equal the manifest occurrence sums.
+  for (const auto& [fp, n] : manifestRefs) {
+    if (!indexedRefs.contains(fp))
+      report.errors.emplace_back("manifest references missing chunk " +
+                                 fpToHex(fp));
+  }
+  for (const auto& [fp, refs] : indexedRefs) {
+    const auto it = manifestRefs.find(fp);
+    const uint64_t expected = it == manifestRefs.end() ? 0 : it->second;
+    if (refs != expected)
+      report.errors.emplace_back(
+          "refcount mismatch for " + fpToHex(fp) + ": index says " +
+          std::to_string(refs) + ", manifests say " + std::to_string(expected));
+  }
+
+  // File mode: every container file on disk must be referenced.
+  if (!dir_.empty()) {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_ + "/containers")) {
+      const auto id = containerIdFromPath(entry.path());
+      if (!id) continue;
+      if (!byContainer.contains(*id))
+        report.errors.emplace_back("orphan container file: " +
+                                   entry.path().string());
+    }
+  }
+  return report;
+}
+
+StoreRecoveryStats ContainerBackupStore::recoverPersistentState() {
+  FDD_CHECK_MSG(!dir_.empty(), "recovery only applies to persistent stores");
+  StoreRecoveryStats rs;
+  // The LogKv constructor already replayed the index log and truncated any
+  // torn tail; cross-check the container directory against that index.
+  const auto byContainer = chunkEntriesByContainer();
+  nextContainerId_ = 0;
+  for (const auto& [id, entries] : byContainer)
+    nextContainerId_ = std::max(nextContainerId_, id + 1);
+
+  std::vector<uint32_t> onDisk;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_ + "/containers")) {
+    if (entry.path().extension() == ".tmp") {
+      std::filesystem::remove(entry.path());  // torn atomic write
+      continue;
+    }
+    const auto id = containerIdFromPath(entry.path());
+    if (!id) continue;
+    onDisk.push_back(*id);
+    nextContainerId_ = std::max(nextContainerId_, *id + 1);
+  }
+
+  for (const uint32_t id : onDisk) {
+    if (!byContainer.contains(id)) {
+      // No index entry references it: a crash landed between the container
+      // write and its index puts, or mid-GC after relocation.
+      std::filesystem::remove(containerPath(id));
+      ++rs.orphanContainersRemoved;
+      continue;
+    }
+    bool valid = false;
+    try {
+      auto container = std::make_shared<const Container>(
+          parseContainer(readFile(containerPath(id))));
+      if (container->id == id) {
+        valid = true;
+        // The validation parse is the first read anyway; keep it hot so
+        // early getChunk calls don't re-read the file.
+        containerCache_.put(id, std::move(container));
+      }
+    } catch (const std::exception&) {
+    }
+    if (valid) {
+      ++rs.containersValidated;
+      liveContainerIds_.insert(id);
+    } else {
+      ++rs.corruptContainers;
+      // Keep the bytes for forensics, but out of the recovery path.
+      std::filesystem::rename(containerPath(id),
+                              containerPath(id) + ".corrupt");
+    }
+  }
+
+  // Drop index entries whose container is missing or failed validation;
+  // manifests referencing them now dangle, which verify() reports as the
+  // data loss it is.
+  for (const auto& [id, entries] : byContainer) {
+    if (liveContainerIds_.contains(id)) continue;
+    for (const auto& [fp, e] : entries) {
+      index_->erase(chunkKey(fp));
+      ++rs.entriesDropped;
+    }
+  }
+
+  // Reconcile reference counts against the manifests, which are the ground
+  // truth (each manifest swap is a single atomic log record, while the
+  // refcount deltas around it are not). A crash inside recordBackup /
+  // releaseBackup / commitBackup leaves drift that this repairs, so GC after
+  // reopen can never reclaim a chunk a surviving manifest references.
+  std::unordered_map<Fp, uint64_t, FpHash> expectedRefs;
+  for (const std::string& name : listBackups()) {
+    const auto refs = backupRefs(name);
+    if (!refs) continue;
+    for (const Fp fp : *refs) ++expectedRefs[fp];
+  }
+  std::vector<std::pair<Fp, ChunkEntry>> repairs;
+  index_->forEach([&](ByteView key, ByteView value) {
+    if (key.empty() || key[0] != static_cast<uint8_t>(kChunkKeyPrefix)) return;
+    const Fp fp = getU64(key, 1);
+    ChunkEntry e = decodeChunkEntry(value);
+    const auto it = expectedRefs.find(fp);
+    const uint64_t expected = it == expectedRefs.end() ? 0 : it->second;
+    if (e.refs != expected) {
+      e.refs = static_cast<uint32_t>(expected);
+      repairs.emplace_back(fp, e);
+    }
+  });
+  for (const auto& [fp, e] : repairs)
+    index_->put(chunkKey(fp), encodeChunkEntry(e));
+  rs.refcountsRepaired = repairs.size();
+
+  // Rebuild stats from the surviving index.
+  index_->forEach([this](ByteView key, ByteView value) {
+    if (!key.empty() && key[0] == static_cast<uint8_t>(kChunkKeyPrefix)) {
+      ++stats_.uniqueChunks;
+      stats_.storedBytes += decodeChunkEntry(value).size;
+    }
+  });
+  if (rs.entriesDropped > 0 || rs.orphanContainersRemoved > 0 ||
+      rs.refcountsRepaired > 0)
+    flushIndex();
+  return rs;
+}
+
+void ContainerBackupStore::flush() {
+  sealOpenContainer();
+  flushIndex();
+}
+
+MemBackupStore::MemBackupStore(uint64_t containerBytes)
+    : ContainerBackupStore(std::make_unique<MemKv>(), "", containerBytes) {}
+
+}  // namespace freqdedup

@@ -1,0 +1,125 @@
+// Shared engine behind both BackupStore backends.
+//
+// ContainerBackupStore implements the full BackupStore contract against an
+// injected KvStore: chunks accumulate in a ContainerBuilder, sealed
+// containers are kept in RAM (memory mode) or written as CRC-framed files
+// (file mode, `dir` non-empty), and the fingerprint index, blobs and backup
+// manifests all live in the KvStore under one-byte key prefixes:
+//
+//   'C' + fp(u64)   -> containerId u32, entryIndex u32, size u32, refs u32
+//   'B' + name      -> blob bytes (sealed recipes)
+//   'M' + name      -> manifest: varint count, count * fp(u64), crc32c
+//
+// GC invariants (see collectGarbage):
+//  (1) a chunk is reclaimed only when its reference count is zero, i.e. no
+//      recorded backup manifest references it;
+//  (2) live chunks are copied forward and their new container is sealed and
+//      indexed *before* any old container file is deleted, so a crash at any
+//      point leaves every live chunk reachable (at worst duplicated in an
+//      orphan container that recovery removes).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/lru_cache.h"
+#include "kvstore/kvstore.h"
+#include "storage/backup_store.h"
+
+namespace freqdedup {
+
+class ContainerBackupStore : public BackupStore {
+ public:
+  ~ContainerBackupStore() override;
+  ContainerBackupStore(const ContainerBackupStore&) = delete;
+  ContainerBackupStore& operator=(const ContainerBackupStore&) = delete;
+
+  [[nodiscard]] bool hasChunk(Fp cipherFp) const override;
+  bool putChunk(Fp cipherFp, ByteView bytes) override;
+  ByteVec getChunk(Fp cipherFp) override;
+  [[nodiscard]] uint32_t chunkRefCount(Fp cipherFp) const override;
+
+  void putBlob(const std::string& name, ByteView bytes) override;
+  std::optional<ByteVec> getBlob(const std::string& name) override;
+  bool eraseBlob(const std::string& name) override;
+  [[nodiscard]] std::vector<std::string> listBlobs() override;
+
+  void recordBackup(const std::string& name,
+                    std::span<const Fp> chunkRefs) override;
+  bool releaseBackup(const std::string& name) override;
+  [[nodiscard]] std::vector<std::string> listBackups() override;
+  std::optional<std::vector<Fp>> backupRefs(const std::string& name) override;
+
+  GcStats collectGarbage() override;
+  StoreCheckReport verify() override;
+  void flush() override;
+
+  [[nodiscard]] const BackupStoreStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] size_t containerCount() const override {
+    return liveContainerIds_.size();
+  }
+
+ protected:
+  ContainerBackupStore(std::unique_ptr<KvStore> index, std::string dir,
+                       uint64_t containerBytes);
+
+  /// File-mode recovery, run after the KvStore has replayed its log:
+  /// validates every container file's trailer (full CRC + structure parse),
+  /// deletes orphan containers and stray .tmp files, drops index entries
+  /// whose container is missing or corrupt (renamed to *.corrupt), and
+  /// rebuilds stats from the surviving index.
+  StoreRecoveryStats recoverPersistentState();
+
+ private:
+  /// Decoded 'C' index entry.
+  struct ChunkEntry {
+    uint32_t containerId = 0;
+    uint32_t entryIndex = 0;
+    uint32_t size = 0;
+    uint32_t refs = 0;
+  };
+
+  struct OpenChunk {
+    ByteVec bytes;
+    uint32_t refs = 0;  // carried refcount (non-zero only during GC)
+  };
+
+  static ByteVec chunkKey(Fp fp);
+  static ByteVec encodeChunkEntry(const ChunkEntry& e);
+  static ChunkEntry decodeChunkEntry(ByteView value);
+
+  void stageChunk(Fp fp, ByteView bytes, uint32_t refs);
+  void sealOpenContainer();
+  void adjustRefs(Fp fp, int64_t delta);
+  [[nodiscard]] std::string containerPath(uint32_t id) const;
+  void writeContainerFile(const Container& container) const;
+  std::shared_ptr<const Container> loadContainer(uint32_t id);
+  void dropContainer(uint32_t id);
+  /// All 'C' entries grouped by container id.
+  [[nodiscard]] std::unordered_map<
+      uint32_t, std::vector<std::pair<Fp, ChunkEntry>>>
+  chunkEntriesByContainer();
+  void flushIndex();
+
+  std::string dir_;  // empty in memory mode
+  std::unique_ptr<KvStore> index_;
+  ContainerBuilder builder_;
+  std::unordered_map<Fp, OpenChunk, FpHash> openChunks_;  // not yet sealed
+  // Memory mode: authoritative container storage. File mode: read cache.
+  std::unordered_map<uint32_t, std::shared_ptr<const Container>> containers_;
+  LruCache<uint32_t, std::shared_ptr<const Container>> containerCache_;
+  std::unordered_set<uint32_t> liveContainerIds_;
+  uint32_t nextContainerId_ = 0;
+  BackupStoreStats stats_;
+};
+
+/// In-memory backend: volatile, used by tests and experiments.
+class MemBackupStore final : public ContainerBackupStore {
+ public:
+  explicit MemBackupStore(uint64_t containerBytes = kDefaultContainerBytes);
+};
+
+}  // namespace freqdedup

@@ -1,0 +1,26 @@
+#include "storage/file_backup_store.h"
+
+#include <filesystem>
+
+#include "common/check.h"
+#include "kvstore/logkv.h"
+
+namespace freqdedup {
+
+namespace {
+
+std::unique_ptr<KvStore> openIndexLog(const std::string& dir) {
+  FDD_CHECK_MSG(!dir.empty(), "persistent store needs a directory");
+  std::filesystem::create_directories(dir + "/containers");
+  return std::make_unique<LogKv>(dir + "/index.log");
+}
+
+}  // namespace
+
+FileBackupStore::FileBackupStore(const std::string& dir,
+                                 uint64_t containerBytes)
+    : ContainerBackupStore(openIndexLog(dir), dir, containerBytes) {
+  recovery_ = recoverPersistentState();
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,37 @@
+// Persistent BackupStore backend.
+//
+// On-disk layout under the store directory:
+//   <dir>/index.log          LogKv: fingerprint index, blobs, manifests
+//   <dir>/containers/NNNNNNNN.fdc   CRC-framed chunk containers
+//
+// Containers are written atomically (tmp + rename) and *before* their index
+// entries, so the index never references bytes that are not durably on disk.
+// Opening the directory runs crash-safe recovery: the LogKv replays its log
+// (truncating any torn tail), every container trailer is validated, orphan
+// containers and stray .tmp files are deleted, and index entries whose
+// container is missing or corrupt are dropped.
+#pragma once
+
+#include <string>
+
+#include "storage/container_backup_store.h"
+
+namespace freqdedup {
+
+class FileBackupStore final : public ContainerBackupStore {
+ public:
+  /// Opens (creating if missing) the store rooted at `dir` and recovers any
+  /// existing state. Throws std::runtime_error on unrecoverable I/O failure.
+  explicit FileBackupStore(const std::string& dir,
+                           uint64_t containerBytes = kDefaultContainerBytes);
+
+  /// What recovery had to repair while opening this store.
+  [[nodiscard]] const StoreRecoveryStats& recoveryStats() const {
+    return recovery_;
+  }
+
+ private:
+  StoreRecoveryStats recovery_;
+};
+
+}  // namespace freqdedup

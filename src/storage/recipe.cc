@@ -9,38 +9,44 @@ namespace freqdedup {
 
 namespace {
 
-void putString(ByteVec& out, const std::string& s) {
-  putVarint(out, s.size());
-  appendBytes(out,
-              ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
-}
+constexpr uint32_t kFileRecipeMagic = 0x46445246;  // "FDRF"
+constexpr uint32_t kKeyRecipeMagic = 0x4644524B;   // "FDRK"
+constexpr uint32_t kRecipeVersion = 2;
+constexpr size_t kFileEntryBytes = 8 + 8 + 4;  // cipherFp, plainFp, size
 
-std::string getString(ByteView in, size_t& offset) {
-  const auto len = getVarint(in, offset);
-  if (!len || offset + *len > in.size())
-    throw std::runtime_error("recipe: truncated string");
-  std::string s(reinterpret_cast<const char*>(in.data() + offset),
-                static_cast<size_t>(*len));
-  offset += static_cast<size_t>(*len);
-  return s;
-}
-
-void checkTrailingCrc(ByteView bytes) {
-  if (bytes.size() < 4) throw std::runtime_error("recipe: input too short");
-  if (crc32c(bytes.subspan(0, bytes.size() - 4)) !=
-      getU32(bytes, bytes.size() - 4))
+/// Checks the trailing CRC and returns the covered body; every subsequent
+/// read is bounds-checked against the body only, never the CRC bytes.
+ByteView checkedBody(ByteView bytes) {
+  if (bytes.size() < 12) throw std::runtime_error("recipe: input too short");
+  const size_t bodySize = bytes.size() - 4;
+  if (crc32c(bytes.subspan(0, bodySize)) != getU32(bytes, bodySize))
     throw std::runtime_error("recipe: checksum mismatch");
+  return bytes.subspan(0, bodySize);
+}
+
+/// Validates magic and version; advances `offset` past them.
+void checkHeader(ByteView body, size_t& offset, uint32_t magic) {
+  if (body.size() < 8) throw std::runtime_error("recipe: truncated header");
+  if (getU32(body, offset) != magic)
+    throw std::runtime_error("recipe: bad magic");
+  offset += 4;
+  if (getU32(body, offset) != kRecipeVersion)
+    throw std::runtime_error("recipe: unsupported version");
+  offset += 4;
 }
 
 }  // namespace
 
 ByteVec serializeFileRecipe(const FileRecipe& recipe) {
   ByteVec out;
-  putString(out, recipe.fileName);
+  putU32(out, kFileRecipeMagic);
+  putU32(out, kRecipeVersion);
+  putLengthPrefixedString(out, recipe.fileName);
   putU64(out, recipe.fileSize);
   putVarint(out, recipe.entries.size());
   for (const auto& e : recipe.entries) {
     putU64(out, e.cipherFp);
+    putU64(out, e.plainFp);
     putU32(out, e.size);
   }
   putU32(out, crc32c(out));
@@ -48,29 +54,41 @@ ByteVec serializeFileRecipe(const FileRecipe& recipe) {
 }
 
 FileRecipe parseFileRecipe(ByteView bytes) {
-  checkTrailingCrc(bytes);
+  const ByteView body = checkedBody(bytes);
   size_t offset = 0;
+  checkHeader(body, offset, kFileRecipeMagic);
   FileRecipe recipe;
-  recipe.fileName = getString(bytes, offset);
-  recipe.fileSize = getU64(bytes, offset);
+  recipe.fileName = getLengthPrefixedString(body, offset);
+  if (offset + 8 > body.size())
+    throw std::runtime_error("recipe: truncated file size");
+  recipe.fileSize = getU64(body, offset);
   offset += 8;
-  const auto count = getVarint(bytes, offset);
-  if (!count || offset + *count * 12 + 4 > bytes.size())
+  const auto count = getVarint(body, offset);
+  if (!count) throw std::runtime_error("recipe: truncated entry count");
+  // Validate before allocating: a corrupt count must not trigger a huge
+  // reserve. Division avoids overflow on adversarial counts.
+  if (*count > (body.size() - offset) / kFileEntryBytes)
     throw std::runtime_error("recipe: truncated entries");
   recipe.entries.reserve(static_cast<size_t>(*count));
   for (uint64_t i = 0; i < *count; ++i) {
     RecipeEntry e;
-    e.cipherFp = getU64(bytes, offset);
+    e.cipherFp = getU64(body, offset);
     offset += 8;
-    e.size = getU32(bytes, offset);
+    e.plainFp = getU64(body, offset);
+    offset += 8;
+    e.size = getU32(body, offset);
     offset += 4;
     recipe.entries.push_back(e);
   }
+  if (offset != body.size())
+    throw std::runtime_error("recipe: trailing garbage");
   return recipe;
 }
 
 ByteVec serializeKeyRecipe(const KeyRecipe& recipe) {
   ByteVec out;
+  putU32(out, kKeyRecipeMagic);
+  putU32(out, kRecipeVersion);
   putVarint(out, recipe.keys.size());
   for (const auto& key : recipe.keys)
     appendBytes(out, ByteView(key.data(), key.size()));
@@ -79,21 +97,25 @@ ByteVec serializeKeyRecipe(const KeyRecipe& recipe) {
 }
 
 KeyRecipe parseKeyRecipe(ByteView bytes) {
-  checkTrailingCrc(bytes);
+  const ByteView body = checkedBody(bytes);
   size_t offset = 0;
-  const auto count = getVarint(bytes, offset);
-  if (!count || offset + *count * kAesKeyBytes + 4 > bytes.size())
+  checkHeader(body, offset, kKeyRecipeMagic);
+  const auto count = getVarint(body, offset);
+  if (!count) throw std::runtime_error("recipe: truncated key count");
+  if (*count > (body.size() - offset) / kAesKeyBytes)
     throw std::runtime_error("recipe: truncated keys");
   KeyRecipe recipe;
   recipe.keys.reserve(static_cast<size_t>(*count));
   for (uint64_t i = 0; i < *count; ++i) {
     AesKey key{};
-    std::copy(bytes.begin() + static_cast<ptrdiff_t>(offset),
-              bytes.begin() + static_cast<ptrdiff_t>(offset + kAesKeyBytes),
+    std::copy(body.begin() + static_cast<ptrdiff_t>(offset),
+              body.begin() + static_cast<ptrdiff_t>(offset + kAesKeyBytes),
               key.begin());
     offset += kAesKeyBytes;
     recipe.keys.push_back(key);
   }
+  if (offset != body.size())
+    throw std::runtime_error("recipe: trailing garbage");
   return recipe;
 }
 

@@ -21,7 +21,10 @@ namespace freqdedup {
 
 struct RecipeEntry {
   Fp cipherFp = 0;
-  uint32_t size = 0;
+  uint32_t size = 0;  // ciphertext size in bytes
+  /// Plaintext fingerprint, used by restore to verify each decrypted chunk
+  /// end-to-end. 0 means "unknown" (legacy recipes) and skips the check.
+  Fp plainFp = 0;
 
   friend bool operator==(const RecipeEntry&, const RecipeEntry&) = default;
 };
@@ -40,6 +43,9 @@ struct KeyRecipe {
   friend bool operator==(const KeyRecipe&, const KeyRecipe&) = default;
 };
 
+// Recipe wire format: magic u32, version u32, payload, trailing CRC-32C.
+// Parsers throw std::runtime_error on any malformed input and validate all
+// counts against the remaining input size before allocating.
 ByteVec serializeFileRecipe(const FileRecipe& recipe);
 FileRecipe parseFileRecipe(ByteView bytes);
 

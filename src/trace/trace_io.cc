@@ -13,32 +13,16 @@ namespace {
 constexpr uint32_t kMagic = 0x46445452;  // "FDTR"
 constexpr uint32_t kVersion = 1;
 
-void putString(ByteVec& out, const std::string& s) {
-  putVarint(out, s.size());
-  appendBytes(out, ByteView(reinterpret_cast<const uint8_t*>(s.data()),
-                            s.size()));
-}
-
-std::string getString(ByteView in, size_t& offset) {
-  const auto len = getVarint(in, offset);
-  if (!len || offset + *len > in.size())
-    throw std::runtime_error("trace_io: truncated string");
-  std::string s(reinterpret_cast<const char*>(in.data() + offset),
-                static_cast<size_t>(*len));
-  offset += static_cast<size_t>(*len);
-  return s;
-}
-
 }  // namespace
 
 ByteVec serializeDataset(const Dataset& dataset) {
   ByteVec out;
   putU32(out, kMagic);
   putU32(out, kVersion);
-  putString(out, dataset.name);
+  putLengthPrefixedString(out, dataset.name);
   putVarint(out, dataset.backups.size());
   for (const auto& backup : dataset.backups) {
-    putString(out, backup.label);
+    putLengthPrefixedString(out, backup.label);
     putVarint(out, backup.records.size());
     for (const auto& r : backup.records) {
       putU64(out, r.fp);
@@ -55,38 +39,49 @@ Dataset parseDataset(ByteView data) {
   const uint32_t storedCrc = getU32(data, bodySize);
   if (crc32c(data.subspan(0, bodySize)) != storedCrc)
     throw std::runtime_error("trace_io: checksum mismatch");
+  // All structural reads stay within the CRC-covered body: a crafted length
+  // must not let string or record reads spill into the CRC bytes.
+  const ByteView body = data.subspan(0, bodySize);
 
   size_t offset = 0;
-  if (getU32(data, offset) != kMagic)
+  if (getU32(body, offset) != kMagic)
     throw std::runtime_error("trace_io: bad magic");
   offset += 4;
-  if (getU32(data, offset) != kVersion)
+  if (getU32(body, offset) != kVersion)
     throw std::runtime_error("trace_io: unsupported version");
   offset += 4;
 
   Dataset dataset;
-  dataset.name = getString(data, offset);
-  const auto backupCount = getVarint(data, offset);
+  dataset.name = getLengthPrefixedString(body, offset);
+  const auto backupCount = getVarint(body, offset);
   if (!backupCount) throw std::runtime_error("trace_io: truncated header");
+  // Validate counts against the remaining input *before* allocating, so a
+  // corrupt count cannot trigger a huge reserve. Every backup occupies at
+  // least 2 bytes (empty label varint + record count varint); division
+  // avoids overflow on adversarial counts.
+  if (*backupCount > (bodySize - offset) / 2)
+    throw std::runtime_error("trace_io: backup count exceeds input");
   dataset.backups.reserve(static_cast<size_t>(*backupCount));
   for (uint64_t b = 0; b < *backupCount; ++b) {
     BackupTrace backup;
-    backup.label = getString(data, offset);
-    const auto recordCount = getVarint(data, offset);
+    backup.label = getLengthPrefixedString(body, offset);
+    const auto recordCount = getVarint(body, offset);
     if (!recordCount) throw std::runtime_error("trace_io: truncated backup");
-    if (offset + *recordCount * 12 > bodySize)
+    if (*recordCount > (bodySize - offset) / 12)
       throw std::runtime_error("trace_io: truncated records");
     backup.records.reserve(static_cast<size_t>(*recordCount));
     for (uint64_t i = 0; i < *recordCount; ++i) {
       ChunkRecord r;
-      r.fp = getU64(data, offset);
+      r.fp = getU64(body, offset);
       offset += 8;
-      r.size = getU32(data, offset);
+      r.size = getU32(body, offset);
       offset += 4;
       backup.records.push_back(r);
     }
     dataset.backups.push_back(std::move(backup));
   }
+  if (offset != bodySize)
+    throw std::runtime_error("trace_io: trailing garbage");
   return dataset;
 }
 

@@ -12,6 +12,7 @@
 #include "datagen/snapshot_gen.h"
 #include "datagen/vm_gen.h"
 #include "storage/backup_manager.h"
+#include "storage/container_backup_store.h"
 #include "storage/dedup_engine.h"
 #include "trace/trace_io.h"
 
@@ -129,7 +130,7 @@ TEST(ContentPipeline, SnapshotChainBacksUpAndRestores) {
 
   // Back the final snapshot's files up through the real encrypted-dedup
   // pipeline and restore them.
-  BackupStore store;
+  MemBackupStore store;
   KeyManager km(toBytes("integration-secret"));
   BackupOptions options;
   options.scheme = EncryptionScheme::kMinHashScrambled;

@@ -7,6 +7,7 @@
 
 #include "chunking/cdc_chunker.h"
 #include "common/rng.h"
+#include "storage/container_backup_store.h"
 
 namespace freqdedup {
 namespace {
@@ -40,7 +41,7 @@ class BackupManagerSchemes
     : public ::testing::TestWithParam<EncryptionScheme> {};
 
 TEST_P(BackupManagerSchemes, BackupRestoreRoundtrip) {
-  BackupStore store;
+  MemBackupStore store;
   KeyManager km(toBytes("secret"));
   CdcChunker chunker(smallCdc());
   BackupManager manager(store, km, chunker, minhashOptions(GetParam()));
@@ -53,7 +54,7 @@ TEST_P(BackupManagerSchemes, BackupRestoreRoundtrip) {
 }
 
 TEST_P(BackupManagerSchemes, SecondIdenticalBackupFullyDeduplicates) {
-  BackupStore store;
+  MemBackupStore store;
   KeyManager km(toBytes("secret"));
   CdcChunker chunker(smallCdc());
   BackupManager manager(store, km, chunker, minhashOptions(GetParam()));
@@ -68,7 +69,7 @@ TEST_P(BackupManagerSchemes, SecondIdenticalBackupFullyDeduplicates) {
 }
 
 TEST_P(BackupManagerSchemes, ModifiedBackupMostlyDeduplicates) {
-  BackupStore store;
+  MemBackupStore store;
   KeyManager km(toBytes("secret"));
   CdcChunker chunker(smallCdc());
   BackupManager manager(store, km, chunker, minhashOptions(GetParam()));
@@ -88,7 +89,7 @@ INSTANTIATE_TEST_SUITE_P(
                       EncryptionScheme::kMinHashScrambled));
 
 TEST(BackupManager, RecipePreservesOriginalOrderUnderScrambling) {
-  BackupStore store;
+  MemBackupStore store;
   KeyManager km(toBytes("secret"));
   CdcChunker chunker(smallCdc());
   BackupManager manager(
@@ -107,7 +108,7 @@ TEST(BackupManager, RecipePreservesOriginalOrderUnderScrambling) {
 }
 
 TEST(BackupManager, StoreAndRestoreByNameWithSealedRecipes) {
-  BackupStore store;
+  MemBackupStore store;
   KeyManager km(toBytes("secret"));
   CdcChunker chunker(smallCdc());
   BackupManager manager(store, km, chunker, {});
@@ -117,12 +118,12 @@ TEST(BackupManager, StoreAndRestoreByNameWithSealedRecipes) {
   Rng rng(5);
   const ByteVec content = randomContent(6, 100 * 1024);
   const BackupOutcome outcome = manager.backup("docs/thesis.tex", content);
-  manager.storeRecipes("docs/thesis.tex", outcome, userKey, rng);
+  manager.commitBackup("docs/thesis.tex", outcome, userKey, rng);
   EXPECT_EQ(manager.restoreByName("docs/thesis.tex", userKey), content);
 }
 
 TEST(BackupManager, RestoreByNameMissingThrows) {
-  BackupStore store;
+  MemBackupStore store;
   KeyManager km(toBytes("secret"));
   CdcChunker chunker(smallCdc());
   BackupManager manager(store, km, chunker, {});
@@ -131,7 +132,7 @@ TEST(BackupManager, RestoreByNameMissingThrows) {
 }
 
 TEST(BackupManager, WrongUserKeyFailsRecipeParsing) {
-  BackupStore store;
+  MemBackupStore store;
   KeyManager km(toBytes("secret"));
   CdcChunker chunker(smallCdc());
   BackupManager manager(store, km, chunker, {});
@@ -141,7 +142,7 @@ TEST(BackupManager, WrongUserKeyFailsRecipeParsing) {
   Rng rng(7);
   const BackupOutcome outcome =
       manager.backup("f", randomContent(8, 50 * 1024));
-  manager.storeRecipes("f", outcome, rightKey, rng);
+  manager.commitBackup("f", outcome, rightKey, rng);
   EXPECT_THROW(manager.restoreByName("f", wrongKey), std::runtime_error);
 }
 
@@ -150,11 +151,11 @@ TEST(BackupManager, MleAndMinHashProduceDifferentCiphertexts) {
   CdcChunker chunker(smallCdc());
   const ByteVec content = randomContent(9, 100 * 1024);
 
-  BackupStore storeA;
+  MemBackupStore storeA;
   BackupManager mleManager(storeA, km, chunker, {});
   const auto mleOutcome = mleManager.backup("f", content);
 
-  BackupStore storeB;
+  MemBackupStore storeB;
   BackupManager mhManager(storeB, km, chunker,
                           minhashOptions(EncryptionScheme::kMinHash));
   const auto mhOutcome = mhManager.backup("f", content);
@@ -213,7 +214,7 @@ TEST_P(BackupManagerParallelism, ParallelEncryptionIsBitIdenticalToSerial) {
   const ByteVec content = randomContent(9, 400 * 1024);
 
   const auto runBackup = [&](uint32_t parallelism) {
-    BackupStore store;
+    MemBackupStore store;
     KeyManager km(toBytes("secret"));
     CdcChunker chunker(smallCdc());
     BackupOptions options = minhashOptions(GetParam());
@@ -241,6 +242,128 @@ INSTANTIATE_TEST_SUITE_P(Schemes, BackupManagerParallelism,
                          ::testing::Values(EncryptionScheme::kMle,
                                            EncryptionScheme::kMinHash,
                                            EncryptionScheme::kMinHashScrambled));
+
+TEST(BackupManager, RecipesCarryPlaintextFingerprints) {
+  MemBackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, {});
+  const BackupOutcome outcome =
+      manager.backup("f", randomContent(11, 100 * 1024));
+  for (const RecipeEntry& e : outcome.fileRecipe.entries)
+    EXPECT_NE(e.plainFp, 0u);
+}
+
+TEST(BackupManager, RestoreDetectsSubstitutedCiphertext) {
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  const ByteVec content = randomContent(12, 60 * 1024);
+
+  MemBackupStore honest;
+  BackupManager manager(honest, km, chunker, {});
+  const BackupOutcome outcome = manager.backup("f", content);
+
+  // A tampering store that hands back garbage under the recipe's first
+  // ciphertext fingerprint.
+  const Fp victim = outcome.fileRecipe.entries[0].cipherFp;
+  MemBackupStore swapped;
+  BackupManager swappedManager(swapped, km, chunker, {});
+  for (const RecipeEntry& e : outcome.fileRecipe.entries) {
+    if (e.cipherFp == victim) {
+      swapped.putChunk(e.cipherFp, ByteVec(e.size, 0xEE));
+    } else {
+      swapped.putChunk(e.cipherFp, honest.getChunk(e.cipherFp));
+    }
+  }
+  EXPECT_THROW(
+      swappedManager.restore(outcome.fileRecipe, outcome.keyRecipe),
+      std::runtime_error);
+}
+
+TEST(BackupManager, RestoreDetectsWrongDecryptionKey) {
+  MemBackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, {});
+  const ByteVec content = randomContent(13, 60 * 1024);
+  const BackupOutcome outcome = manager.backup("f", content);
+
+  KeyRecipe tampered = outcome.keyRecipe;
+  tampered.keys[0][0] ^= 0x01;
+  // The ciphertext is authentic, but decryption under the wrong key yields
+  // a plaintext whose fingerprint no longer matches the recipe.
+  EXPECT_THROW(manager.restore(outcome.fileRecipe, tampered),
+               std::runtime_error);
+}
+
+TEST(BackupManager, DeleteBackupReleasesReferencesAndRecipes) {
+  MemBackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, {});
+  AesKey userKey{};
+  userKey.fill(0x11);
+  Rng rng(14);
+
+  const ByteVec content = randomContent(15, 80 * 1024);
+  const BackupOutcome outcome = manager.backup("doomed", content);
+  manager.commitBackup("doomed", outcome, userKey, rng);
+  ASSERT_EQ(manager.listBackups(), std::vector<std::string>{"doomed"});
+
+  EXPECT_TRUE(manager.deleteBackup("doomed"));
+  EXPECT_FALSE(manager.deleteBackup("doomed"));
+  EXPECT_TRUE(manager.listBackups().empty());
+  EXPECT_THROW(manager.restoreByName("doomed", userKey), std::runtime_error);
+
+  const GcStats gc = store.collectGarbage();
+  EXPECT_GT(gc.chunksReclaimed, 0u);
+  EXPECT_EQ(store.stats().uniqueChunks, 0u) << "all chunks were unreferenced";
+  EXPECT_TRUE(store.verify().ok());
+}
+
+TEST(BackupManager, RecommittingANameStaysRestorableAndGcSafe) {
+  MemBackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, {});
+  AesKey userKey{};
+  userKey.fill(0x33);
+  Rng rng(18);
+
+  ByteVec content = randomContent(19, 150 * 1024);
+  manager.commitBackup("x", manager.backup("x", content), userKey, rng);
+  for (size_t i = 10'000; i < 14'000; ++i) content[i] ^= 0xAA;
+  manager.commitBackup("x", manager.backup("x", content), userKey, rng);
+
+  const GcStats gc = store.collectGarbage();
+  EXPECT_GT(gc.chunksReclaimed, 0u) << "v1-only chunks become unreferenced";
+  EXPECT_EQ(manager.restoreByName("x", userKey), content);
+  EXPECT_EQ(manager.listBackups(), std::vector<std::string>{"x"});
+  EXPECT_TRUE(store.verify().ok());
+}
+
+TEST(BackupManager, DeleteOneOfTwoSharingBackupsKeepsSharedChunks) {
+  MemBackupStore store;
+  KeyManager km(toBytes("secret"));
+  CdcChunker chunker(smallCdc());
+  BackupManager manager(store, km, chunker, {});
+  AesKey userKey{};
+  userKey.fill(0x22);
+  Rng rng(16);
+
+  ByteVec content = randomContent(17, 200 * 1024);
+  const BackupOutcome first = manager.backup("v1", content);
+  manager.commitBackup("v1", first, userKey, rng);
+  for (size_t i = 50'000; i < 54'000; ++i) content[i] ^= 0xFF;
+  const BackupOutcome second = manager.backup("v2", content);
+  manager.commitBackup("v2", second, userKey, rng);
+
+  EXPECT_TRUE(manager.deleteBackup("v1"));
+  store.collectGarbage();
+  EXPECT_EQ(manager.restoreByName("v2", userKey), content)
+      << "shared chunks must survive deleting the other backup";
+  EXPECT_TRUE(store.verify().ok());
+}
 
 }  // namespace
 }  // namespace freqdedup

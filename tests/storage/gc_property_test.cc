@@ -1,0 +1,183 @@
+// Property test for the GC safety invariant: after ANY sequence of
+// backup/delete/gc operations, garbage collection never reclaims a chunk
+// still referenced by a live manifest, reference counts always equal the
+// occurrence sums of a naive model, and reclaimed space matches the model's
+// dead set. Randomized op sequences with fixed RNG seeds, checked against a
+// naive reference counter, on both backends (the file backend with periodic
+// close/reopen).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "common/rng.h"
+#include "storage/container_backup_store.h"
+#include "storage/file_backup_store.h"
+
+namespace freqdedup {
+namespace {
+
+constexpr uint64_t kSmallContainerBytes = 8 * 1024;
+
+struct NaiveModel {
+  std::map<Fp, ByteVec> chunks;            // everything ever put (until GC'd)
+  std::map<Fp, uint64_t> refs;             // naive reference counter
+  std::map<std::string, std::vector<Fp>> manifests;
+
+  void recordBackup(const std::string& name, const std::vector<Fp>& fps) {
+    releaseBackup(name);
+    for (const Fp fp : fps) ++refs[fp];
+    manifests[name] = fps;
+  }
+
+  bool releaseBackup(const std::string& name) {
+    const auto it = manifests.find(name);
+    if (it == manifests.end()) return false;
+    for (const Fp fp : it->second) --refs[fp];
+    manifests.erase(it);
+    return true;
+  }
+
+  void gc() {
+    std::erase_if(chunks, [this](const auto& kv) {
+      const auto it = refs.find(kv.first);
+      return it == refs.end() || it->second == 0;
+    });
+  }
+
+  [[nodiscard]] uint64_t liveBytes() const {
+    uint64_t total = 0;
+    for (const auto& [fp, bytes] : chunks) total += bytes.size();
+    return total;
+  }
+};
+
+/// One randomized run against `store`; `reopen` (may be null) closes and
+/// reopens the store, returning the fresh instance.
+void runOps(uint64_t seed, BackupStore* store,
+            const std::function<BackupStore*()>& reopen) {
+  Rng rng(seed);
+  NaiveModel model;
+  std::vector<std::pair<Fp, ByteVec>> pool;  // shared chunk pool
+  uint64_t nextBackupId = 0;
+
+  const auto randomChunk = [&rng]() {
+    ByteVec bytes(512 + rng.pickIndex(1536));
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.next());
+    return bytes;
+  };
+
+  const auto checkInvariants = [&] {
+    // Refcounts equal the naive occurrence sums; every live chunk is intact.
+    for (const auto& [fp, n] : model.refs) {
+      EXPECT_EQ(store->chunkRefCount(fp), n) << "fp " << fpToHex(fp);
+      if (n > 0) {
+        ASSERT_TRUE(store->hasChunk(fp));
+        EXPECT_EQ(store->getChunk(fp), model.chunks.at(fp));
+      }
+    }
+    EXPECT_EQ(store->listBackups().size(), model.manifests.size());
+  };
+
+  for (int step = 0; step < 60; ++step) {
+    const uint64_t dice = rng.pickIndex(10);
+    if (dice < 5 || model.manifests.empty()) {
+      // Backup: a mix of fresh chunks and re-used pool chunks, with an
+      // occasional intra-backup duplicate reference.
+      const std::string name = "b" + std::to_string(nextBackupId++);
+      std::vector<Fp> fps;
+      const size_t fresh = 1 + rng.pickIndex(4);
+      for (size_t i = 0; i < fresh; ++i) {
+        const ByteVec bytes = randomChunk();
+        const Fp fp = fpOfContent(bytes);
+        store->putChunk(fp, bytes);
+        model.chunks[fp] = bytes;
+        pool.emplace_back(fp, bytes);
+        fps.push_back(fp);
+      }
+      const size_t reused = rng.pickIndex(4);
+      for (size_t i = 0; i < reused && !pool.empty(); ++i) {
+        const auto& [fp, bytes] = pool[rng.pickIndex(pool.size())];
+        if (!store->hasChunk(fp)) {
+          store->putChunk(fp, bytes);
+          model.chunks[fp] = bytes;
+        }
+        fps.push_back(fp);
+      }
+      if (!fps.empty() && rng.pickIndex(3) == 0) fps.push_back(fps[0]);
+      store->recordBackup(name, fps);
+      model.recordBackup(name, fps);
+    } else if (dice < 8) {
+      // Delete a random live backup.
+      auto it = model.manifests.begin();
+      std::advance(it, static_cast<long>(
+                           rng.pickIndex(model.manifests.size())));
+      const std::string name = it->first;
+      EXPECT_TRUE(store->releaseBackup(name));
+      EXPECT_TRUE(model.releaseBackup(name));
+    } else {
+      // Garbage-collect and compare against the model's dead set.
+      const GcStats gc = store->collectGarbage();
+      const uint64_t liveBefore = model.liveBytes();
+      model.gc();
+      EXPECT_EQ(gc.bytesReclaimed, liveBefore - model.liveBytes());
+      EXPECT_EQ(store->stats().uniqueChunks, model.chunks.size());
+      EXPECT_EQ(store->stats().storedBytes, model.liveBytes());
+      for (const auto& [fp, n] : model.refs) {
+        if (n == 0)
+          EXPECT_FALSE(store->hasChunk(fp))
+              << "GC must reclaim unreferenced " << fpToHex(fp);
+      }
+      const StoreCheckReport report = store->verify();
+      EXPECT_TRUE(report.ok()) << (report.errors.empty()
+                                       ? ""
+                                       : report.errors.front());
+    }
+    checkInvariants();
+
+    if (reopen && step % 12 == 11) {
+      store = reopen();
+      checkInvariants();
+    }
+  }
+
+  // Final sweep: GC everything deletable and re-verify.
+  for (const auto& [name, fps] : model.manifests) store->releaseBackup(name);
+  while (!model.manifests.empty()) model.releaseBackup(model.manifests.begin()->first);
+  store->collectGarbage();
+  model.gc();
+  EXPECT_EQ(store->stats().uniqueChunks, model.chunks.size());
+  EXPECT_TRUE(store->verify().ok());
+}
+
+class GcProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GcProperty, MemoryBackendMatchesNaiveModel) {
+  MemBackupStore store(kSmallContainerBytes);
+  runOps(GetParam(), &store, nullptr);
+}
+
+TEST_P(GcProperty, FileBackendMatchesNaiveModelAcrossReopens) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("gc_property_" + std::to_string(GetParam())))
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    auto store =
+        std::make_unique<FileBackupStore>(dir, kSmallContainerBytes);
+    runOps(GetParam(), store.get(), [&]() -> BackupStore* {
+      store.reset();  // close (destructor flushes)
+      store = std::make_unique<FileBackupStore>(dir, kSmallContainerBytes);
+      EXPECT_EQ(store->recoveryStats().entriesDropped, 0u);
+      return store.get();
+    });
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 42u));
+
+}  // namespace
+}  // namespace freqdedup

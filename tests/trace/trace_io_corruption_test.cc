@@ -1,0 +1,121 @@
+// Corruption/fuzz-style suite for the dataset deserializer: parseDataset
+// must reject every malformed input with std::runtime_error — never crash,
+// over-allocate, or read out of bounds (run under ASan/UBSan in CI).
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/varint.h"
+#include "trace/trace_io.h"
+
+namespace freqdedup {
+namespace {
+
+constexpr uint32_t kMagic = 0x46445452;  // "FDTR"
+
+ByteVec withCrc(ByteVec body) {
+  putU32(body, crc32c(body));
+  return body;
+}
+
+ByteVec bodyOf(const ByteVec& framed) {
+  return ByteVec(framed.begin(), framed.end() - 4);
+}
+
+Dataset sampleDataset() {
+  Dataset dataset;
+  dataset.name = "fuzz-sample";
+  for (int b = 0; b < 2; ++b) {
+    BackupTrace backup;
+    backup.label = "backup-" + std::to_string(b);
+    for (uint64_t i = 0; i < 5; ++i)
+      backup.records.push_back({0x1000 * (b + 1) + i, 4096 + 17 * (uint32_t)i});
+    dataset.backups.push_back(std::move(backup));
+  }
+  return dataset;
+}
+
+TEST(TraceIoCorruption, EveryTruncationRejected) {
+  const ByteVec bytes = serializeDataset(sampleDataset());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const ByteVec cut(bytes.begin(),
+                      bytes.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_THROW(parseDataset(cut), std::runtime_error) << "length " << len;
+  }
+}
+
+TEST(TraceIoCorruption, EveryBitFlipRejected) {
+  const ByteVec bytes = serializeDataset(sampleDataset());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (const uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
+      ByteVec flipped = bytes;
+      flipped[i] ^= mask;
+      EXPECT_THROW(parseDataset(flipped), std::runtime_error)
+          << "byte " << i << " mask " << int(mask);
+    }
+  }
+}
+
+TEST(TraceIoCorruption, BadMagicWithValidCrcRejected) {
+  ByteVec body = bodyOf(serializeDataset(sampleDataset()));
+  body[0] ^= 0xFF;
+  EXPECT_THROW(parseDataset(withCrc(body)), std::runtime_error);
+}
+
+TEST(TraceIoCorruption, UnsupportedVersionWithValidCrcRejected) {
+  ByteVec body = bodyOf(serializeDataset(sampleDataset()));
+  body[4] ^= 0xFF;
+  EXPECT_THROW(parseDataset(withCrc(body)), std::runtime_error);
+}
+
+TEST(TraceIoCorruption, HugeBackupCountRejectedBeforeAllocating) {
+  // Counts must be validated against the remaining input before reserve():
+  // a 2^56 backup count in a 30-byte input must throw, not allocate.
+  ByteVec body;
+  putU32(body, kMagic);
+  putU32(body, 1);  // version
+  putVarint(body, 4);
+  appendBytes(body, toBytes("name"));
+  putVarint(body, uint64_t{0xFFFFFFFFFFFFFF});
+  EXPECT_THROW(parseDataset(withCrc(body)), std::runtime_error);
+}
+
+TEST(TraceIoCorruption, HugeRecordCountRejectedBeforeAllocating) {
+  ByteVec body;
+  putU32(body, kMagic);
+  putU32(body, 1);
+  putVarint(body, 0);  // empty dataset name
+  putVarint(body, 1);  // one backup
+  putVarint(body, 1);  // label "x"
+  body.push_back('x');
+  putVarint(body, uint64_t{0xFFFFFFFFFFFFFF});  // record count
+  EXPECT_THROW(parseDataset(withCrc(body)), std::runtime_error);
+}
+
+TEST(TraceIoCorruption, LabelLengthSpillingIntoCrcRejected) {
+  // A label length pointing past the CRC-covered body must not let the
+  // parser consume the checksum bytes as content.
+  ByteVec body;
+  putU32(body, kMagic);
+  putU32(body, 1);
+  putVarint(body, 0);     // dataset name
+  putVarint(body, 1);     // one backup
+  putVarint(body, 1000);  // label claims 1000 bytes
+  EXPECT_THROW(parseDataset(withCrc(body)), std::runtime_error);
+}
+
+TEST(TraceIoCorruption, TrailingGarbageRejected) {
+  ByteVec body = bodyOf(serializeDataset(sampleDataset()));
+  body.push_back(0x00);
+  EXPECT_THROW(parseDataset(withCrc(body)), std::runtime_error);
+}
+
+TEST(TraceIoCorruption, ValidInputStillParses) {
+  const Dataset original = sampleDataset();
+  const Dataset parsed = parseDataset(serializeDataset(original));
+  ASSERT_EQ(parsed.backups.size(), original.backups.size());
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.backups[1].records, original.backups[1].records);
+}
+
+}  // namespace
+}  // namespace freqdedup
