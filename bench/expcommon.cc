@@ -1,9 +1,12 @@
 #include "expcommon.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 
 #include "chunking/cdc_chunker.h"
 #include "datagen/fsl_gen.h"
@@ -13,15 +16,59 @@
 
 namespace freqdedup::exp {
 
+double benchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("FDD_BENCH_SCALE");
+    if (env == nullptr) return kDefaultBenchScale;
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !(parsed >= 0.1) || parsed > 1000.0) {
+      fprintf(stderr, "warning: invalid FDD_BENCH_SCALE '%s'; using %.1f\n",
+              env, kDefaultBenchScale);
+      return kDefaultBenchScale;
+    }
+    return parsed;
+  }();
+  return scale;
+}
+
+uint32_t attackThreads() {
+  static const uint32_t threads = [] {
+    const char* env = std::getenv("FDD_ATTACK_THREADS");
+    if (env != nullptr) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1 && parsed <= 1024)
+        return static_cast<uint32_t>(parsed);
+      fprintf(stderr, "warning: invalid FDD_ATTACK_THREADS '%s'\n", env);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+  }();
+  return threads;
+}
+
+namespace {
+
+size_t scaleCount(size_t base) {
+  return static_cast<size_t>(std::llround(base * benchScale()));
+}
+
+}  // namespace
+
+size_t scaledW() { return scaleCount(2000); }
+size_t scaledWKnownPlaintext() { return scaleCount(5000); }
+
 namespace {
 
 // Bump when generator parameters change so stale caches are not reused.
-constexpr const char* kCacheVersion = "v3";
+constexpr const char* kCacheVersion = "v4";
 
 std::string cachePath(const std::string& name) {
   const auto dir = std::filesystem::temp_directory_path() / "fdd_bench_cache";
   std::filesystem::create_directories(dir);
-  return (dir / (name + "-" + kCacheVersion + ".fdtr")).string();
+  char scaleTag[32];
+  snprintf(scaleTag, sizeof(scaleTag), "s%.2f", benchScale());
+  return (dir / (name + "-" + scaleTag + "-" + kCacheVersion + ".fdtr"))
+      .string();
 }
 
 Dataset loadOrGenerate(const std::string& name,
@@ -43,12 +90,28 @@ Dataset loadOrGenerate(const std::string& name,
   return dataset;
 }
 
-Dataset makeFsl() { return generateFslDataset(); }
-Dataset makeVm() { return generateVmDataset(); }
+Dataset makeFsl() {
+  FslGenParams params;
+  params.filesPerUser =
+      static_cast<int>(scaleCount(static_cast<size_t>(params.filesPerUser)));
+  params.sharedTemplateFiles = scaleCount(params.sharedTemplateFiles);
+  return generateFslDataset(params);
+}
+
+Dataset makeVm() {
+  VmGenParams params;
+  params.baseImageChunks = scaleCount(params.baseImageChunks);
+  return generateVmDataset(params);
+}
+
 Dataset makeSyn() {
   const CdcChunker chunker;  // 2 KB / 8 KB / 16 KB
-  return generateSyntheticDataset(CorpusParams{}, SnapshotGenParams{},
-                                  chunker);
+  CorpusParams corpus;
+  corpus.fileCount =
+      static_cast<int>(scaleCount(static_cast<size_t>(corpus.fileCount)));
+  corpus.targetBytes = static_cast<uint64_t>(
+      std::llround(static_cast<double>(corpus.targetBytes) * benchScale()));
+  return generateSyntheticDataset(corpus, SnapshotGenParams{}, chunker);
 }
 
 }  // namespace
@@ -78,12 +141,15 @@ uint64_t avgChunkBytesFor(const Dataset& dataset) {
 
 EncryptedTrace encryptTarget(const Dataset& dataset, size_t backupIndex) {
   return mleEncryptTrace(dataset.backups.at(backupIndex).records,
-                         fpBitsFor(dataset));
+                         fpBitsFor(dataset), attackThreads());
 }
 
 double basicRatePct(const EncryptedTrace& target,
                     const std::vector<ChunkRecord>& aux) {
-  return 100.0 * inferenceRate(basicAttack(target.records, aux), target);
+  return 100.0 *
+         inferenceRate(basicAttack(target.records, aux, /*sizeAware=*/false,
+                                   attackThreads()),
+                       target);
 }
 
 double localityRatePct(const EncryptedTrace& target,
@@ -97,8 +163,9 @@ AttackConfig ciphertextOnlyConfig(bool sizeAware) {
   AttackConfig config;
   config.u = 1;
   config.v = 15;
-  config.w = kScaledW;
+  config.w = scaledW();
   config.sizeAware = sizeAware;
+  config.threads = attackThreads();
   return config;
 }
 
@@ -107,8 +174,9 @@ AttackConfig knownPlaintextConfig(bool sizeAware, const EncryptedTrace& target,
   AttackConfig config;
   config.mode = AttackMode::kKnownPlaintext;
   config.v = 15;
-  config.w = kScaledWKnownPlaintext;
+  config.w = scaledWKnownPlaintext();
   config.sizeAware = sizeAware;
+  config.threads = attackThreads();
   Rng rng(seed);
   config.leakedPairs = sampleLeakedPairs(target, leakagePct / 100.0, rng);
   return config;
@@ -156,6 +224,15 @@ uint32_t threadsFlag(int argc, char** argv, uint32_t fallback) {
       return fallback;
     }
     return static_cast<uint32_t>(parsed);
+  }
+  return fallback;
+}
+
+std::string stringFlag(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
   }
   return fallback;
 }

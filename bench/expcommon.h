@@ -2,10 +2,16 @@
 // fixed seeds (cached on disk so the suite does not regenerate them per
 // binary), attack wrappers, and aligned table printing.
 //
-// Scaling note (see EXPERIMENTS.md): datasets are scaled to ~10^5 unique
-// chunks per backup so every figure regenerates in minutes. The locality
-// attack's w parameter and the DDFS fingerprint-cache sizes are scaled by
-// the same factor relative to the paper's 10^7-unique-chunk backups.
+// Scaling note (see EXPERIMENTS.md): the seed datasets were sized to ~10^5
+// unique chunks per backup. Now that the COUNT and neighbor-analysis phases
+// run on the parallel analysis engine, the default bench scale is
+// kDefaultBenchScale x that; override with the FDD_BENCH_SCALE environment
+// variable (e.g. FDD_BENCH_SCALE=1 for the historical size, =20 to approach
+// the paper's 10^7-unique-chunk backups on a big machine). The locality
+// attack's w parameter scales by the same factor relative to the paper's
+// parameters, as do the DDFS fingerprint-cache sizes. Attack index builds
+// use FDD_ATTACK_THREADS workers (default: all hardware threads); results
+// are bit-identical at every thread count.
 #pragma once
 
 #include <string>
@@ -18,10 +24,21 @@
 
 namespace freqdedup::exp {
 
+/// Default multiplier on the seed dataset scale (~10^5 unique chunks).
+inline constexpr double kDefaultBenchScale = 2.0;
+
+/// Dataset scale factor: FDD_BENCH_SCALE or kDefaultBenchScale.
+double benchScale();
+
+/// Worker threads for attack index builds: FDD_ATTACK_THREADS or all
+/// hardware threads.
+uint32_t attackThreads();
+
 /// The paper's default attack parameters (Section 5.3), with w scaled by the
-/// dataset-size ratio (paper: 200k of ~30M unique chunks; here ~100k unique).
-inline constexpr size_t kScaledW = 2000;
-inline constexpr size_t kScaledWKnownPlaintext = 5000;  // paper: 500k
+/// dataset-size ratio (paper: 200k of ~30M unique chunks; here ~100k unique
+/// at scale 1, times benchScale()).
+size_t scaledW();
+size_t scaledWKnownPlaintext();  // paper: 500k
 
 /// FSL-like dataset (6 users, 5 monthly backups). Cached after first call.
 const Dataset& fslDataset();
@@ -49,7 +66,7 @@ double localityRatePct(const EncryptedTrace& target,
                        const std::vector<ChunkRecord>& aux,
                        const AttackConfig& config);
 
-/// Standard ciphertext-only config (u=1, v=15, scaled w).
+/// Standard ciphertext-only config (u=1, v=15, scaled w, parallel builds).
 AttackConfig ciphertextOnlyConfig(bool sizeAware);
 
 /// Standard known-plaintext config with freshly sampled leaked pairs.
@@ -68,6 +85,10 @@ std::string fmtDouble(double v, int precision = 2);
 /// Parses `--threads N` from argv; returns `fallback` when absent. Ignores
 /// unrelated arguments so benches can layer their own flags.
 uint32_t threadsFlag(int argc, char** argv, uint32_t fallback = 1);
+
+/// Parses `--<name> VALUE` from argv; returns `fallback` when absent.
+std::string stringFlag(int argc, char** argv, const std::string& name,
+                       const std::string& fallback);
 
 /// Wall-clock stopwatch (steady clock).
 class Stopwatch {

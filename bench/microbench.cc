@@ -1,10 +1,12 @@
 // google-benchmark microbenchmarks for the building blocks: hashing, Rabin
 // rolling hash, content-defined chunking, AES-CTR / MLE encryption, the
-// persistent key-value store, the DDFS dedup engine, and the attack kernels.
+// persistent key-value store, the DDFS dedup engine, and the attack-analysis
+// engine's index builds.
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
 
+#include "analysis/attack_engine.h"
 #include "chunking/cdc_chunker.h"
 #include "chunking/rabin.h"
 #include "common/hash.h"
@@ -124,17 +126,39 @@ BENCHMARK(BM_ParallelPipelineIngest)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
-void BM_CountChunksWithNeighbors(benchmark::State& state) {
+void BM_FrequencyIndexBuild(benchmark::State& state) {
   Rng rng(7);
   std::vector<ChunkRecord> records(50'000);
   for (auto& r : records) r = {rng.uniformInt(0, 20'000), 8192};
+  const auto stream = analysis::ChunkStreamIndex::build(records);
+  const auto threads = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(countChunks(records, true));
+    // Threshold 0 forces the parallel plan so Arg(4) measures it.
+    benchmark::DoNotOptimize(
+        analysis::FrequencyIndex::build(stream, threads,
+                                        /*parallelThreshold=*/0));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(records.size()));
 }
-BENCHMARK(BM_CountChunksWithNeighbors)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrequencyIndexBuild)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_NeighborIndexBuild(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<ChunkRecord> records(50'000);
+  for (auto& r : records) r = {rng.uniformInt(0, 20'000), 8192};
+  const auto stream = analysis::ChunkStreamIndex::build(records);
+  const auto threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::NeighborIndex::build(
+        stream, analysis::NeighborIndex::Side::kLeft, threads));
+    benchmark::DoNotOptimize(analysis::NeighborIndex::build(
+        stream, analysis::NeighborIndex::Side::kRight, threads));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_NeighborIndexBuild)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_LocalityAttack(benchmark::State& state) {
   // Two synthetic backups with realistic churn for a small attack kernel.

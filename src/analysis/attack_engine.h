@@ -1,0 +1,122 @@
+// The attack-analysis engine: the paper's basic, locality-based, and
+// advanced inference attacks (and the MinHash-defense evaluations built on
+// them) over columnar, sharded per-stream indexes.
+//
+// An engine is constructed from the interned ciphertext and plaintext
+// streams. Frequency columns and CSR neighbor indexes are built lazily (the
+// basic attack needs no neighbor tables) with the configured number of
+// threads and cached across attack runs on the same engine.
+//
+// Determinism contract: every result is bit-identical to the legacy serial
+// map-based implementation at every thread count. All ranking ties break by
+// ascending fingerprint (never by internal chunk ID), parallel builds
+// canonicalize intermediate orders by sorting, and the locality walk is the
+// algorithm's own FIFO order. The walk itself parallelizes by generation:
+// each pair's neighbor analysis is a pure function of the (immutable) CSR
+// indexes, so the pending queue's analyses run concurrently while the
+// state updates (inference set, queue admission) are applied serially in
+// exact FIFO order — the same instruction-level outcome as the serial walk.
+// tests/analysis/engine_equivalence_test.cc pins this against a frozen copy
+// of the legacy implementation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "analysis/frequency_index.h"
+#include "analysis/neighbor_index.h"
+#include "analysis/stream_index.h"
+#include "core/attacks.h"
+
+namespace freqdedup {
+class ThreadPool;
+}
+
+namespace freqdedup::analysis {
+
+struct AnalysisOptions {
+  /// Worker threads for index builds. Results do not depend on this value.
+  uint32_t threads = 1;
+};
+
+class AttackEngine {
+ public:
+  AttackEngine(ChunkStreamIndex cipher, ChunkStreamIndex plain,
+               AnalysisOptions options = {});
+
+  /// Interns both record streams and wraps them in an engine.
+  static AttackEngine fromRecords(std::span<const ChunkRecord> cipher,
+                                  std::span<const ChunkRecord> plain,
+                                  AnalysisOptions options = {});
+
+  /// Algorithm 1 (sizeAware = the size-classified variant).
+  AttackResult basicAttack(bool sizeAware);
+
+  /// Algorithms 2 and 3 (config.sizeAware selects; config.threads is
+  /// ignored — the engine's own options govern index builds).
+  AttackResult localityAttack(const AttackConfig& config);
+
+  /// Phase builders, exposed so bench/attack_throughput can time the COUNT
+  /// and neighbor-build phases in isolation. Idempotent.
+  void buildFrequencies();
+  void buildNeighbors();
+
+  [[nodiscard]] const ChunkStreamIndex& cipherStream() const {
+    return cipher_;
+  }
+  [[nodiscard]] const ChunkStreamIndex& plainStream() const { return plain_; }
+
+  ~AttackEngine();
+  AttackEngine(AttackEngine&&) noexcept;
+  AttackEngine& operator=(AttackEngine&&) noexcept;
+
+ private:
+  struct IdPair {
+    ChunkId cipher;
+    ChunkId plain;
+  };
+
+  /// Per-worker scratch for the sized neighbor analysis.
+  struct Scratch {
+    std::vector<std::pair<uint32_t, ChunkId>> cipher;
+    std::vector<std::pair<uint32_t, ChunkId>> plain;
+  };
+
+  /// Rank-pairs the top-x chunks of both streams by global frequency
+  /// (Algorithm 1), or per size class when sizeAware (Algorithm 3's
+  /// CLASSIFY + per-class pairing, classes ascending).
+  std::vector<IdPair> rankPairs(size_t x, bool sizeAware);
+
+  /// One neighbor-table frequency analysis of the walk: zips the pre-ranked
+  /// CSR neighbor lists of an inferred pair (per size class when
+  /// sizeAware), appending at most v pairs per class to `out`. Pure:
+  /// depends only on the indexes, so walk batches can compute it in
+  /// parallel.
+  void neighborPairs(std::span<const NeighborIndex::Entry> cipherList,
+                     std::span<const NeighborIndex::Entry> plainList,
+                     size_t v, bool sizeAware, Scratch& scratch,
+                     std::vector<IdPair>& out) const;
+
+  /// The engine's lazily created worker pool (nullptr when threads <= 1),
+  /// shared by index builds and walk batches.
+  ThreadPool* workerPool();
+
+  /// Runs body(begin, end) over [0, n) on the engine's worker pool (inline
+  /// when single-threaded or n is tiny).
+  void runParallel(size_t n, const std::function<void(size_t, size_t)>& body);
+
+  ChunkStreamIndex cipher_;
+  ChunkStreamIndex plain_;
+  AnalysisOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created when threads > 1
+
+  std::optional<FrequencyIndex> cipherFreq_;
+  std::optional<FrequencyIndex> plainFreq_;
+  std::optional<NeighborIndex> cipherLeft_;
+  std::optional<NeighborIndex> cipherRight_;
+  std::optional<NeighborIndex> plainLeft_;
+  std::optional<NeighborIndex> plainRight_;
+};
+
+}  // namespace freqdedup::analysis

@@ -1,0 +1,104 @@
+#include "analysis/frequency_index.h"
+
+#include <algorithm>
+
+#include "pipeline/thread_pool.h"
+
+namespace freqdedup::analysis {
+
+FrequencyIndex FrequencyIndex::build(const ChunkStreamIndex& stream,
+                                     uint32_t threads,
+                                     size_t parallelThreshold,
+                                     ThreadPool* pool) {
+  const std::vector<ChunkId>& ids = stream.ids();
+  const size_t unique = stream.uniqueCount();
+  FrequencyIndex index;
+  index.counts.assign(unique, 0);
+  if (ids.empty()) return index;
+
+  // A serial counting pass is a single streaming read with one increment
+  // per record — allocating per-worker partial columns only pays for itself
+  // on streams in the multi-million-record range. Below that the engine
+  // picks the serial plan regardless of the thread budget (the counts are
+  // identical either way).
+  if (threads <= 1 || ids.size() < parallelThreshold) {
+    for (const ChunkId id : ids) ++index.counts[id];
+    return index;
+  }
+
+  // Slice-and-reduce: private count column per slice (uint32 is plenty for
+  // a slice's worth of occurrences), then a parallel sum over disjoint ID
+  // ranges. Addition commutes, so any slicing yields the same counts. The
+  // slice count is capped: each slice costs a full-width column, and past a
+  // handful of slices the reduce dominates anyway.
+  const size_t slices = std::min<size_t>(threads, 16);
+  const size_t sliceSize = (ids.size() + slices - 1) / slices;
+  std::vector<std::vector<uint32_t>> partial(
+      slices, std::vector<uint32_t>(unique, 0));
+  parallelFor(pool, threads, slices, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      const size_t lo = s * sliceSize;
+      const size_t hi = std::min(ids.size(), lo + sliceSize);
+      std::vector<uint32_t>& local = partial[s];
+      for (size_t i = lo; i < hi; ++i) ++local[ids[i]];
+    }
+  });
+  parallelFor(pool, threads, unique, [&](size_t begin, size_t end) {
+    for (const std::vector<uint32_t>& local : partial) {
+      for (size_t id = begin; id < end; ++id)
+        index.counts[id] += local[id];
+    }
+  });
+  return index;
+}
+
+std::vector<ChunkId> rankByFrequency(const FrequencyIndex& freq,
+                                     const ChunkStreamIndex& stream,
+                                     size_t k) {
+  std::vector<ChunkId> ids(stream.uniqueCount());
+  for (ChunkId id = 0; id < ids.size(); ++id) ids[id] = id;
+  const auto cmp = [&](ChunkId a, ChunkId b) {
+    if (freq.counts[a] != freq.counts[b])
+      return freq.counts[a] > freq.counts[b];
+    return stream.fpOf(a) < stream.fpOf(b);
+  };
+  k = std::min(k, ids.size());
+  if (k < ids.size()) {
+    std::partial_sort(ids.begin(),
+                      ids.begin() + static_cast<ptrdiff_t>(k), ids.end(),
+                      cmp);
+    ids.resize(k);
+  } else {
+    std::sort(ids.begin(), ids.end(), cmp);
+  }
+  return ids;
+}
+
+SizeClassRanking rankBySizeClass(const FrequencyIndex& freq,
+                                 const ChunkStreamIndex& stream) {
+  SizeClassRanking ranking;
+  ranking.ids.resize(stream.uniqueCount());
+  for (ChunkId id = 0; id < ranking.ids.size(); ++id) ranking.ids[id] = id;
+  std::sort(ranking.ids.begin(), ranking.ids.end(),
+            [&](ChunkId a, ChunkId b) {
+              const uint32_t ca = sizeClassOf(stream.sizeOf(a));
+              const uint32_t cb = sizeClassOf(stream.sizeOf(b));
+              if (ca != cb) return ca < cb;
+              if (freq.counts[a] != freq.counts[b])
+                return freq.counts[a] > freq.counts[b];
+              return stream.fpOf(a) < stream.fpOf(b);
+            });
+  for (uint32_t i = 0; i < ranking.ids.size();) {
+    const uint32_t sizeClass = sizeClassOf(stream.sizeOf(ranking.ids[i]));
+    uint32_t j = i + 1;
+    while (j < ranking.ids.size() &&
+           sizeClassOf(stream.sizeOf(ranking.ids[j])) == sizeClass) {
+      ++j;
+    }
+    ranking.classes.push_back({sizeClass, i, j});
+    i = j;
+  }
+  return ranking;
+}
+
+}  // namespace freqdedup::analysis

@@ -1,0 +1,66 @@
+// The COUNT step of the attacks in columnar form: per-ChunkId occurrence
+// counts plus the deterministic rankings frequency analysis pairs by.
+//
+// Counting parallelizes as slice-and-reduce: each worker accumulates a
+// private count column over a contiguous slice of the stream, then the
+// columns are summed per ID range. Integer addition commutes, so the result
+// is bit-identical at every thread count.
+//
+// Rankings order IDs by (count desc, fingerprint asc) — the same tie-break
+// the legacy map-based sortByFrequency used, so rank pairing over these
+// arrays reproduces the legacy attacks exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/stream_index.h"
+
+namespace freqdedup {
+class ThreadPool;
+}
+
+namespace freqdedup::analysis {
+
+struct FrequencyIndex {
+  /// Occurrence count of every ChunkId of the stream.
+  std::vector<uint64_t> counts;
+
+  /// Streams shorter than this count serially even with a thread budget:
+  /// a single streaming pass beats allocating per-worker partial columns.
+  static constexpr size_t kDefaultParallelThreshold = 2u << 20;
+
+  /// `pool` (optional) reuses a caller-owned worker pool instead of
+  /// spawning threads for this call; `parallelThreshold` exists for tests
+  /// that must force the parallel plan on small streams.
+  static FrequencyIndex build(
+      const ChunkStreamIndex& stream, uint32_t threads,
+      size_t parallelThreshold = kDefaultParallelThreshold,
+      ThreadPool* pool = nullptr);
+};
+
+/// Top-k IDs by (count desc, fingerprint asc). k is capped at the unique
+/// count; uses a partial sort when k is a strict prefix.
+std::vector<ChunkId> rankByFrequency(const FrequencyIndex& freq,
+                                     const ChunkStreamIndex& stream,
+                                     size_t k);
+
+/// All IDs of a stream ranked within size classes: ordered by
+/// (size class asc, count desc, fingerprint asc), with one ClassRange per
+/// distinct size class. This is the columnar form of the Algorithm-3
+/// CLASSIFY step (class = ceil(size / 16), see core/freq_analysis.h).
+struct ClassRange {
+  uint32_t sizeClass = 0;
+  uint32_t begin = 0;  // index range into SizeClassRanking::ids
+  uint32_t end = 0;
+};
+
+struct SizeClassRanking {
+  std::vector<ChunkId> ids;
+  std::vector<ClassRange> classes;  // ascending by sizeClass
+};
+
+SizeClassRanking rankBySizeClass(const FrequencyIndex& freq,
+                                 const ChunkStreamIndex& stream);
+
+}  // namespace freqdedup::analysis

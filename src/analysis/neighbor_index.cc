@@ -1,0 +1,115 @@
+#include "analysis/neighbor_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "pipeline/thread_pool.h"
+
+namespace freqdedup::analysis {
+
+namespace {
+
+constexpr uint64_t pack(ChunkId key, ChunkId val) {
+  return (static_cast<uint64_t>(key) << 32) | val;
+}
+constexpr ChunkId packedKey(uint64_t p) {
+  return static_cast<ChunkId>(p >> 32);
+}
+constexpr ChunkId packedVal(uint64_t p) {
+  return static_cast<ChunkId>(p & 0xFFFFFFFFu);
+}
+
+}  // namespace
+
+NeighborIndex NeighborIndex::build(const ChunkStreamIndex& stream, Side side,
+                                   uint32_t threads, ThreadPool* pool) {
+  const std::vector<ChunkId>& ids = stream.ids();
+  const size_t unique = stream.uniqueCount();
+  NeighborIndex index;
+  index.offsets_.assign(unique + 1, 0);
+  if (ids.size() < 2) return index;
+
+  // Pair j of the stream, j in [0, n-1): the adjacent occurrence
+  // (ids[j], ids[j+1]). For the right table the key is the earlier chunk;
+  // for the left table the key is the later one.
+  const size_t pairs = ids.size() - 1;
+  const bool keyIsLater = side == Side::kLeft;
+
+  const size_t shards = std::max<size_t>(1, std::min<size_t>(threads, 64));
+  const size_t tasks = shards;
+  const size_t taskSize = (pairs + tasks - 1) / tasks;
+
+  // Phase 1: route packed pairs to their key's shard (shard = key % N).
+  std::vector<std::vector<std::vector<uint64_t>>> buckets(
+      tasks, std::vector<std::vector<uint64_t>>(shards));
+  parallelFor(pool, threads, tasks, [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      const size_t lo = t * taskSize;
+      const size_t hi = std::min(pairs, lo + taskSize);
+      std::vector<std::vector<uint64_t>>& mine = buckets[t];
+      for (std::vector<uint64_t>& b : mine)
+        b.reserve((hi - lo) / shards + 1);
+      for (size_t j = lo; j < hi; ++j) {
+        const ChunkId key = keyIsLater ? ids[j + 1] : ids[j];
+        const ChunkId val = keyIsLater ? ids[j] : ids[j + 1];
+        mine[key % shards].push_back(pack(key, val));
+      }
+    }
+  });
+
+  // Phase 2: per shard, canonicalize (sort) and run-length encode to find
+  // per-ID degrees. Shards own disjoint ID sets, so the degree writes are
+  // race-free.
+  std::vector<std::vector<uint64_t>> shardPairs(shards);
+  std::vector<uint32_t> degree(unique, 0);
+  parallelFor(pool, threads, shards, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      std::vector<uint64_t>& mine = shardPairs[s];
+      size_t total = 0;
+      for (const auto& task : buckets) total += task[s].size();
+      mine.reserve(total);
+      for (const auto& task : buckets)
+        mine.insert(mine.end(), task[s].begin(), task[s].end());
+      std::sort(mine.begin(), mine.end());
+      for (size_t i = 0; i < mine.size();) {
+        size_t j = i + 1;
+        while (j < mine.size() && mine[j] == mine[i]) ++j;
+        ++degree[packedKey(mine[i])];
+        i = j;
+      }
+    }
+  });
+
+  // Phase 3: serial prefix sum fixes the CSR offsets ...
+  for (size_t id = 0; id < unique; ++id)
+    index.offsets_[id + 1] = index.offsets_[id] + degree[id];
+  index.entries_.resize(index.offsets_[unique]);
+
+  // ... then each shard scatters its IDs' entries and ranks each slice by
+  // (count desc, neighbor fingerprint asc) — the order every neighbor-table
+  // frequency analysis consumes.
+  parallelFor(pool, threads, shards, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      const std::vector<uint64_t>& mine = shardPairs[s];
+      for (size_t i = 0; i < mine.size();) {
+        const ChunkId key = packedKey(mine[i]);
+        Entry* out = index.entries_.data() + index.offsets_[key];
+        size_t written = 0;
+        while (i < mine.size() && packedKey(mine[i]) == key) {
+          size_t j = i + 1;
+          while (j < mine.size() && mine[j] == mine[i]) ++j;
+          out[written++] = {packedVal(mine[i]),
+                            static_cast<uint32_t>(j - i)};
+          i = j;
+        }
+        std::sort(out, out + written, [&](const Entry& a, const Entry& b) {
+          if (a.count != b.count) return a.count > b.count;
+          return stream.fpOf(a.id) < stream.fpOf(b.id);
+        });
+      }
+    }
+  });
+  return index;
+}
+
+}  // namespace freqdedup::analysis

@@ -1,0 +1,68 @@
+// CSR-style co-occurrence index: for every chunk of a stream, the counts of
+// the chunks that directly precede (left) or follow (right) it.
+//
+// This replaces the legacy NeighborTable (unordered_map of unordered_maps)
+// with two flat columns per direction — offsets[id] .. offsets[id+1] slices
+// an entries array of (neighbor id, count) pairs. Each slice is pre-ranked
+// by (count desc, neighbor fingerprint asc), which is exactly the order a
+// neighbor-table frequency analysis consumes: the locality walk's per-pair
+// analysis degenerates to zipping two prefixes, moving all ranking work into
+// the parallel build.
+//
+// Build (shard = id % N, the PR 1 sharding precedent):
+//   1. partition — workers scan disjoint stream slices and route each
+//      adjacent (id, neighbor) pair, packed into a uint64, to the owning
+//      shard's bucket;
+//   2. per shard — concatenate, sort, and run-length encode the packed
+//      pairs, producing per-ID degrees;
+//   3. scatter — serial prefix sum over degrees fixes the CSR offsets, then
+//      each shard writes its IDs' entries and ranks each slice.
+// Sorting canonicalizes every intermediate order, so the index is
+// bit-identical at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/stream_index.h"
+
+namespace freqdedup {
+class ThreadPool;
+}
+
+namespace freqdedup::analysis {
+
+class NeighborIndex {
+ public:
+  enum class Side {
+    kLeft,   // neighbors(x) = chunks seen directly before occurrences of x
+    kRight,  // neighbors(x) = chunks seen directly after occurrences of x
+  };
+
+  struct Entry {
+    ChunkId id = 0;       // the neighboring chunk
+    uint32_t count = 0;   // co-occurrence count
+  };
+
+  NeighborIndex() = default;
+
+  /// `pool` (optional) reuses a caller-owned worker pool instead of
+  /// spawning threads for this call.
+  static NeighborIndex build(const ChunkStreamIndex& stream, Side side,
+                             uint32_t threads, ThreadPool* pool = nullptr);
+
+  /// The neighbor list of `id`, ranked by (count desc, fingerprint asc).
+  [[nodiscard]] std::span<const Entry> neighbors(ChunkId id) const {
+    return {entries_.data() + offsets_[id],
+            entries_.data() + offsets_[id + 1]};
+  }
+
+  [[nodiscard]] size_t entryCount() const { return entries_.size(); }
+
+ private:
+  std::vector<uint32_t> offsets_;  // uniqueCount + 1
+  std::vector<Entry> entries_;
+};
+
+}  // namespace freqdedup::analysis

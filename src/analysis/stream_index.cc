@@ -1,0 +1,44 @@
+#include "analysis/stream_index.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace freqdedup::analysis {
+
+ChunkId FpInterner::intern(Fp fp) {
+  const auto [it, inserted] =
+      ids_.try_emplace(fp, static_cast<ChunkId>(fps_.size()));
+  if (inserted) fps_.push_back(fp);
+  return it->second;
+}
+
+std::optional<ChunkId> FpInterner::idOf(Fp fp) const {
+  const auto it = ids_.find(fp);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void FpInterner::reserve(size_t expected) {
+  ids_.reserve(expected);
+  fps_.reserve(expected);
+}
+
+ChunkStreamIndex ChunkStreamIndex::build(
+    std::span<const ChunkRecord> records) {
+  // ChunkIds and CSR offsets are 32-bit; the trace scales this library
+  // targets (<= a few 10^8 logical chunks) fit comfortably.
+  FDD_CHECK(records.size() < std::numeric_limits<uint32_t>::max());
+  ChunkStreamIndex index;
+  index.interner_.reserve(records.size());
+  index.ids_.reserve(records.size());
+  index.sizes_.reserve(records.size());
+  for (const ChunkRecord& r : records) {
+    const ChunkId id = index.interner_.intern(r.fp);
+    if (id == index.sizes_.size()) index.sizes_.push_back(r.size);
+    index.ids_.push_back(id);
+  }
+  return index;
+}
+
+}  // namespace freqdedup::analysis

@@ -1,0 +1,78 @@
+// Fingerprint interning and the columnar chunk-stream representation the
+// attack-analysis engine operates on.
+//
+// The legacy attack core keyed every table by 64-bit fingerprints in
+// unordered_maps. At the paper's scale (10^7 unique chunks per backup) that
+// layout is hostile to both cache and parallelism. The analysis subsystem
+// instead interns each stream's fingerprints into dense uint32_t chunk IDs
+// (first-appearance order) and stores the stream as contiguous columns:
+//   ids    — one ChunkId per logical record (the stream itself);
+//   fps    — per-ID fingerprint (the inverse of the interner);
+//   sizes  — per-ID chunk size, taken from the ID's first occurrence.
+// Every downstream index (frequency counts, CSR neighbor tables) is then a
+// flat array indexed by ChunkId. IDs are internal: all deterministic
+// tie-breaking is done on fingerprints, never on IDs, so results do not
+// depend on interning order or thread count.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/fingerprint.h"
+
+namespace freqdedup::analysis {
+
+/// Dense per-stream chunk identifier. Streams are interned independently:
+/// the same fingerprint gets unrelated IDs in two different streams.
+using ChunkId = uint32_t;
+
+/// Maps fingerprints to dense ChunkIds in first-appearance order.
+class FpInterner {
+ public:
+  /// Returns the ID of `fp`, assigning the next dense ID on first sight.
+  ChunkId intern(Fp fp);
+
+  [[nodiscard]] std::optional<ChunkId> idOf(Fp fp) const;
+  [[nodiscard]] Fp fpOf(ChunkId id) const { return fps_[id]; }
+  [[nodiscard]] uint32_t uniqueCount() const {
+    return static_cast<uint32_t>(fps_.size());
+  }
+  /// All interned fingerprints, in first-appearance order.
+  [[nodiscard]] const std::vector<Fp>& fps() const { return fps_; }
+
+  void reserve(size_t expected);
+
+ private:
+  std::unordered_map<Fp, ChunkId, FpHash> ids_;
+  std::vector<Fp> fps_;
+};
+
+/// A logical chunk stream in columnar form: the interned ID sequence plus
+/// per-ID fingerprint and size columns.
+class ChunkStreamIndex {
+ public:
+  ChunkStreamIndex() = default;
+
+  /// Interns a record stream. Single pass; sizes keep the value of each
+  /// fingerprint's first occurrence (duplicate records agree by
+  /// construction, see trace/backup_trace.h).
+  static ChunkStreamIndex build(std::span<const ChunkRecord> records);
+
+  [[nodiscard]] const std::vector<ChunkId>& ids() const { return ids_; }
+  [[nodiscard]] size_t recordCount() const { return ids_.size(); }
+  [[nodiscard]] uint32_t uniqueCount() const { return interner_.uniqueCount(); }
+  [[nodiscard]] Fp fpOf(ChunkId id) const { return interner_.fpOf(id); }
+  [[nodiscard]] uint32_t sizeOf(ChunkId id) const { return sizes_[id]; }
+  [[nodiscard]] std::optional<ChunkId> idOf(Fp fp) const {
+    return interner_.idOf(fp);
+  }
+  [[nodiscard]] const FpInterner& interner() const { return interner_; }
+
+ private:
+  FpInterner interner_;
+  std::vector<ChunkId> ids_;
+  std::vector<uint32_t> sizes_;
+};
+
+}  // namespace freqdedup::analysis

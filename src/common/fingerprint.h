@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 
 #include "common/hash.h"
 
@@ -47,6 +48,19 @@ struct FpHash {
     return static_cast<size_t>(mix64(fp));
   }
 };
+
+// Canonical fingerprint-keyed map aliases. FrequencyMap doubles as the
+// co-occurrence map of a single chunk's neighbor table (both map fingerprints
+// to occurrence counts); SizeMap records each unique chunk's size in bytes.
+using FrequencyMap = std::unordered_map<Fp, uint64_t, FpHash>;
+using SizeMap = std::unordered_map<Fp, uint32_t, FpHash>;
+
+/// Size class of a chunk: number of 16-byte AES blocks (Algorithm 3 line 18).
+/// Deterministic block-cipher encryption preserves a chunk's block count, so
+/// the advanced attack rank-pairs within these classes.
+[[nodiscard]] constexpr uint32_t sizeClassOf(uint32_t sizeBytes) {
+  return (sizeBytes + 15) / 16;
+}
 
 /// One logical chunk occurrence as seen in a backup stream: its fingerprint
 /// and its (plaintext or ciphertext) size in bytes. This is the unit every

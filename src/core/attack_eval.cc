@@ -2,18 +2,18 @@
 
 #include <cmath>
 
+#include "analysis/stream_index.h"
 #include "common/check.h"
 
 namespace freqdedup {
 
 std::vector<Fp> uniqueFingerprints(std::span<const ChunkRecord> records) {
-  std::unordered_map<Fp, char, FpHash> seen;
-  seen.reserve(records.size());
-  std::vector<Fp> unique;
-  for (const ChunkRecord& r : records) {
-    if (seen.emplace(r.fp, 0).second) unique.push_back(r.fp);
-  }
-  return unique;
+  // The interner's fingerprint column is exactly the unique fingerprints in
+  // first-appearance order.
+  analysis::FpInterner interner;
+  interner.reserve(records.size());
+  for (const ChunkRecord& r : records) interner.intern(r.fp);
+  return interner.fps();
 }
 
 uint64_t correctInferences(const AttackResult& result,

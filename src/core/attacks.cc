@@ -1,100 +1,23 @@
 #include "core/attacks.h"
 
-#include <deque>
-
-#include "common/check.h"
+#include "analysis/attack_engine.h"
 
 namespace freqdedup {
 
 AttackResult basicAttack(std::span<const ChunkRecord> cipher,
-                         std::span<const ChunkRecord> plain, bool sizeAware) {
-  const FrequencyTables fc = countChunks(cipher, /*withNeighbors=*/false);
-  const FrequencyTables fm = countChunks(plain, /*withNeighbors=*/false);
-  const size_t all = std::max(fc.freq.size(), fm.freq.size());
-  const std::vector<InferredPair> pairs =
-      sizeAware ? freqAnalysisSized(fc.freq, fm.freq, all, fc.sizeOf,
-                                    fm.sizeOf)
-                : freqAnalysis(fc.freq, fm.freq, all);
-  AttackResult result;
-  result.inferred.reserve(pairs.size());
-  for (const InferredPair& p : pairs) result.inferred.emplace(p.cipher, p.plain);
-  return result;
+                         std::span<const ChunkRecord> plain, bool sizeAware,
+                         uint32_t threads) {
+  analysis::AttackEngine engine =
+      analysis::AttackEngine::fromRecords(cipher, plain, {threads});
+  return engine.basicAttack(sizeAware);
 }
-
-namespace {
-
-/// Runs one neighbor-table frequency analysis (plain or size-classified).
-std::vector<InferredPair> neighborAnalysis(const NeighborTable& cipherTable,
-                                           const NeighborTable& plainTable,
-                                           Fp cipherFp, Fp plainFp, size_t v,
-                                           bool sizeAware,
-                                           const SizeMap& cipherSizes,
-                                           const SizeMap& plainSizes) {
-  const auto cIt = cipherTable.find(cipherFp);
-  const auto mIt = plainTable.find(plainFp);
-  if (cIt == cipherTable.end() || mIt == plainTable.end()) return {};
-  if (sizeAware) {
-    return freqAnalysisSized(cIt->second, mIt->second, v, cipherSizes,
-                             plainSizes);
-  }
-  return freqAnalysis(cIt->second, mIt->second, v);
-}
-
-}  // namespace
 
 AttackResult localityAttack(std::span<const ChunkRecord> cipher,
                             std::span<const ChunkRecord> plain,
                             const AttackConfig& config) {
-  FDD_CHECK_MSG(config.mode == AttackMode::kKnownPlaintext ||
-                    config.u >= 1,
-                "ciphertext-only mode needs u >= 1");
-  const FrequencyTables fc = countChunks(cipher, /*withNeighbors=*/true);
-  const FrequencyTables fm = countChunks(plain, /*withNeighbors=*/true);
-
-  AttackResult result;
-  std::deque<InferredPair> g;  // the inferred FIFO set G
-
-  // Initialization of G (Algorithm 2, lines 4-8).
-  if (config.mode == AttackMode::kCiphertextOnly) {
-    const std::vector<InferredPair> seeds =
-        config.sizeAware ? freqAnalysisSized(fc.freq, fm.freq, config.u,
-                                             fc.sizeOf, fm.sizeOf)
-                         : freqAnalysis(fc.freq, fm.freq, config.u);
-    for (const InferredPair& p : seeds) g.push_back(p);
-  } else {
-    for (const InferredPair& p : config.leakedPairs) {
-      if (!fc.freq.contains(p.cipher)) continue;
-      // Every leaked pair about C counts as known/inferred (Section 5.3.3:
-      // the reported inference rate includes the leaked chunks), but only
-      // pairs whose plaintext chunk also appears in M can seed the walk
-      // (Algorithm 2, line 7).
-      result.inferred.emplace(p.cipher, p.plain);
-      if (fm.freq.contains(p.plain)) g.push_back(p);
-    }
-  }
-  for (const InferredPair& p : g) result.inferred.emplace(p.cipher, p.plain);
-
-  // Main loop (Algorithm 2, lines 10-22).
-  while (!g.empty()) {
-    const InferredPair current = g.front();
-    g.pop_front();
-    ++result.processedPairs;
-
-    for (const bool leftSide : {true, false}) {
-      const NeighborTable& cipherTable = leftSide ? fc.left : fc.right;
-      const NeighborTable& plainTable = leftSide ? fm.left : fm.right;
-      const std::vector<InferredPair> found = neighborAnalysis(
-          cipherTable, plainTable, current.cipher, current.plain, config.v,
-          config.sizeAware, fc.sizeOf, fm.sizeOf);
-      for (const InferredPair& p : found) {
-        // Only accept the first inference for any ciphertext chunk.
-        if (result.inferred.emplace(p.cipher, p.plain).second) {
-          if (g.size() <= config.w) g.push_back(p);
-        }
-      }
-    }
-  }
-  return result;
+  analysis::AttackEngine engine =
+      analysis::AttackEngine::fromRecords(cipher, plain, {config.threads});
+  return engine.localityAttack(config);
 }
 
 }  // namespace freqdedup

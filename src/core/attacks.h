@@ -13,6 +13,12 @@
 //    returns the top-v pairs.
 //  - Advanced locality-based attack (Algorithm 3): same control flow with
 //    every frequency-analysis call replaced by the size-classified variant.
+//
+// These entry points are thin wrappers over analysis::AttackEngine
+// (src/analysis/), which runs the COUNT and neighbor-table steps over
+// columnar, sharded per-stream indexes. Results are bit-identical at every
+// thread count: all tie-breaking is by (count desc, fingerprint asc) and the
+// walk order is fixed by the algorithm, never by scheduling.
 #pragma once
 
 #include <span>
@@ -20,7 +26,6 @@
 #include <vector>
 
 #include "core/freq_analysis.h"
-#include "core/freq_tables.h"
 
 namespace freqdedup {
 
@@ -35,6 +40,9 @@ struct AttackConfig {
   size_t w = 200'000;  // maximum size of the inferred FIFO set G
   AttackMode mode = AttackMode::kCiphertextOnly;
   bool sizeAware = false;  // true = advanced locality-based attack
+  /// Worker threads for the COUNT / neighbor-index build phases. The
+  /// inference result does not depend on this value.
+  uint32_t threads = 1;
   /// Known-plaintext mode: leaked pairs about the target backup. Pairs whose
   /// ciphertext chunk is absent from C or whose plaintext chunk is absent
   /// from M are ignored (Algorithm 2, line 7).
@@ -52,7 +60,7 @@ struct AttackResult {
 /// global frequency maps (size-classified basic attack).
 AttackResult basicAttack(std::span<const ChunkRecord> cipher,
                          std::span<const ChunkRecord> plain,
-                         bool sizeAware = false);
+                         bool sizeAware = false, uint32_t threads = 1);
 
 /// Algorithms 2 and 3 (select with config.sizeAware).
 AttackResult localityAttack(std::span<const ChunkRecord> cipher,

@@ -1,9 +1,12 @@
 #include "core/defense.h"
 
 #include <deque>
+#include <limits>
 
+#include "analysis/stream_index.h"
 #include "common/check.h"
 #include "common/hash.h"
+#include "pipeline/thread_pool.h"
 
 namespace freqdedup {
 
@@ -26,18 +29,28 @@ Fp cipherFpMinHash(Fp minFp, Fp plainFp, int fpBits) {
 
 }  // namespace
 
-EncryptedTrace mleEncryptTrace(std::span<const ChunkRecord> plain,
-                               int fpBits) {
+EncryptedTrace mleEncryptTrace(std::span<const ChunkRecord> plain, int fpBits,
+                               uint32_t threads) {
+  // MLE is one-to-one per unique plaintext fingerprint: intern the stream,
+  // derive each unique chunk's ciphertext fingerprint in parallel, then emit
+  // the stream through the dense column.
+  const analysis::ChunkStreamIndex stream =
+      analysis::ChunkStreamIndex::build(plain);
+  std::vector<Fp> cipherFps(stream.uniqueCount());
+  parallelFor(threads, cipherFps.size(), [&](size_t begin, size_t end) {
+    for (size_t id = begin; id < end; ++id) {
+      cipherFps[id] =
+          cipherFpMle(stream.fpOf(static_cast<analysis::ChunkId>(id)), fpBits);
+    }
+  });
+
   EncryptedTrace out;
   out.records.reserve(plain.size());
-  out.truth.reserve(plain.size());
-  std::unordered_map<Fp, Fp, FpHash> cache;
-  cache.reserve(plain.size());
-  for (const ChunkRecord& r : plain) {
-    auto [it, inserted] = cache.try_emplace(r.fp, 0);
-    if (inserted) it->second = cipherFpMle(r.fp, fpBits);
-    out.records.push_back({it->second, r.size});
-    out.truth.emplace(it->second, r.fp);
+  out.truth.reserve(stream.uniqueCount());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    const analysis::ChunkId id = stream.ids()[i];
+    out.records.push_back({cipherFps[id], plain[i].size});
+    out.truth.emplace(cipherFps[id], plain[i].fp);
   }
   return out;
 }
@@ -67,17 +80,22 @@ std::vector<ChunkRecord> scrambleTrace(std::span<const ChunkRecord> records,
 
 EncryptedTrace minHashEncryptTrace(std::span<const ChunkRecord> plain,
                                    const DefenseConfig& config) {
+  // Record indices are stored as uint32 (same bound the stream interner
+  // enforces).
+  FDD_CHECK(plain.size() < std::numeric_limits<uint32_t>::max());
   // Segmentation is computed on the original order; scrambling permutes only
   // within segments, so the segment boundaries and minima are unchanged
   // (Section 6.2: "to be compatible with MinHash encryption, scrambling
   // works on a per-segment basis").
-  const std::vector<Segment> segments =
-      segmentRecords(plain, config.segment);
+  const std::vector<Segment> segments = segmentRecords(plain, config.segment);
   Rng rng(config.scrambleSeed);
 
-  EncryptedTrace out;
-  out.records.reserve(plain.size());
-  out.truth.reserve(plain.size());
+  // Serial pass: fix the output order (the scramble RNG stream is strictly
+  // sequential) and each output position's segment minimum.
+  std::vector<uint32_t> source;  // output position -> plain record index
+  std::vector<Fp> minFpAt;       // output position -> segment minimum
+  source.reserve(plain.size());
+  minFpAt.reserve(plain.size());
   std::deque<size_t> order;
   for (const Segment& seg : segments) {
     const Fp minFp = segmentMinFingerprint(plain, seg);
@@ -90,12 +108,30 @@ EncryptedTrace minHashEncryptTrace(std::span<const ChunkRecord> plain,
       }
     }
     for (const size_t i : order) {
-      const Fp cfp = cipherFpMinHash(minFp, plain[i].fp, config.fpBits);
-      out.records.push_back({cfp, plain[i].size});
-      out.truth.emplace(cfp, plain[i].fp);
+      source.push_back(static_cast<uint32_t>(i));
+      minFpAt.push_back(minFp);
     }
   }
-  FDD_CHECK(out.records.size() == plain.size());
+  FDD_CHECK(source.size() == plain.size());
+
+  // Parallel pass: the per-chunk SHA-256 re-keying, which dominates the
+  // cost, is independent per output position.
+  std::vector<Fp> cipherFps(plain.size());
+  parallelFor(config.threads, plain.size(), [&](size_t begin, size_t end) {
+    for (size_t pos = begin; pos < end; ++pos) {
+      cipherFps[pos] = cipherFpMinHash(minFpAt[pos], plain[source[pos]].fp,
+                                       config.fpBits);
+    }
+  });
+
+  EncryptedTrace out;
+  out.records.reserve(plain.size());
+  out.truth.reserve(plain.size());
+  for (size_t pos = 0; pos < plain.size(); ++pos) {
+    const ChunkRecord& src = plain[source[pos]];
+    out.records.push_back({cipherFps[pos], src.size});
+    out.truth.emplace(cipherFps[pos], src.fp);
+  }
   return out;
 }
 

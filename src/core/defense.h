@@ -31,15 +31,22 @@ struct EncryptedTrace {
   std::unordered_map<Fp, Fp, FpHash> truth;  // cipher fp -> plain fp
 };
 
-/// Deterministic MLE at trace level: one-to-one fingerprint mapping.
+/// Deterministic MLE at trace level: one-to-one fingerprint mapping. The
+/// per-unique-chunk fingerprint derivations run on `threads` workers; the
+/// output is identical at every thread count.
 EncryptedTrace mleEncryptTrace(std::span<const ChunkRecord> plain,
-                               int fpBits = kFslFpBits);
+                               int fpBits = kFslFpBits,
+                               uint32_t threads = 1);
 
 struct DefenseConfig {
   SegmentParams segment;
   bool scramble = false;  // apply Algorithm 5 within each segment
   uint64_t scrambleSeed = 1;
   int fpBits = kFslFpBits;
+  /// Worker threads for the per-chunk fingerprint derivations (the
+  /// segmentation and scramble order stay serial so the RNG stream — and
+  /// hence the output — is identical at every thread count).
+  uint32_t threads = 1;
 };
 
 /// MinHash encryption (optionally preceded by per-segment scrambling).

@@ -1,30 +1,51 @@
 #include "core/freq_analysis.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace freqdedup {
 
-std::vector<std::pair<Fp, uint64_t>> sortByFrequency(
-    const CoOccurrenceMap& freq) {
-  std::vector<std::pair<Fp, uint64_t>> sorted(freq.begin(), freq.end());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) {
-              if (a.second != b.second) return a.second > b.second;
-              return a.first < b.first;
-            });
-  return sorted;
+namespace {
+
+constexpr auto kByFrequency = [](const std::pair<Fp, uint64_t>& a,
+                                 const std::pair<Fp, uint64_t>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+};
+
+}  // namespace
+
+std::vector<std::pair<Fp, uint64_t>> topByFrequency(const FrequencyMap& freq,
+                                                    size_t k) {
+  std::vector<std::pair<Fp, uint64_t>> entries(freq.begin(), freq.end());
+  if (k < entries.size()) {
+    // Only the top-k prefix is consumed: a partial sort with the same
+    // (count desc, fp asc) tie-break yields it in O(n log k).
+    std::partial_sort(entries.begin(),
+                      entries.begin() + static_cast<ptrdiff_t>(k),
+                      entries.end(), kByFrequency);
+    entries.resize(k);
+  } else {
+    std::sort(entries.begin(), entries.end(), kByFrequency);
+  }
+  return entries;
 }
 
-std::vector<InferredPair> freqAnalysis(const CoOccurrenceMap& cipherFreq,
-                                       const CoOccurrenceMap& plainFreq,
+std::vector<std::pair<Fp, uint64_t>> sortByFrequency(
+    const FrequencyMap& freq) {
+  return topByFrequency(freq, freq.size());
+}
+
+std::vector<InferredPair> freqAnalysis(const FrequencyMap& cipherFreq,
+                                       const FrequencyMap& plainFreq,
                                        size_t x) {
-  const auto cipherSorted = sortByFrequency(cipherFreq);
-  const auto plainSorted = sortByFrequency(plainFreq);
-  const size_t n = std::min({x, cipherSorted.size(), plainSorted.size()});
+  const size_t n = std::min({x, cipherFreq.size(), plainFreq.size()});
+  const auto cipherTop = topByFrequency(cipherFreq, n);
+  const auto plainTop = topByFrequency(plainFreq, n);
   std::vector<InferredPair> pairs;
   pairs.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    pairs.push_back({cipherSorted[i].first, plainSorted[i].first});
+    pairs.push_back({cipherTop[i].first, plainTop[i].first});
   }
   return pairs;
 }
@@ -32,9 +53,9 @@ std::vector<InferredPair> freqAnalysis(const CoOccurrenceMap& cipherFreq,
 namespace {
 
 /// Buckets a frequency map by size class (Algorithm 3, CLASSIFY).
-std::unordered_map<uint32_t, CoOccurrenceMap> classifyBySize(
-    const CoOccurrenceMap& freq, const SizeMap& sizes) {
-  std::unordered_map<uint32_t, CoOccurrenceMap> buckets;
+std::unordered_map<uint32_t, FrequencyMap> classifyBySize(
+    const FrequencyMap& freq, const SizeMap& sizes) {
+  std::unordered_map<uint32_t, FrequencyMap> buckets;
   for (const auto& [fp, count] : freq) {
     const auto it = sizes.find(fp);
     if (it == sizes.end()) continue;  // size unknown: cannot classify
@@ -45,8 +66,8 @@ std::unordered_map<uint32_t, CoOccurrenceMap> classifyBySize(
 
 }  // namespace
 
-std::vector<InferredPair> freqAnalysisSized(const CoOccurrenceMap& cipherFreq,
-                                            const CoOccurrenceMap& plainFreq,
+std::vector<InferredPair> freqAnalysisSized(const FrequencyMap& cipherFreq,
+                                            const FrequencyMap& plainFreq,
                                             size_t x,
                                             const SizeMap& cipherSizes,
                                             const SizeMap& plainSizes) {

@@ -2,20 +2,26 @@
 //
 // Sorts ciphertext-side and plaintext-side frequency maps and pairs entries
 // of equal rank (Algorithm 1/2). The advanced variant (Algorithm 3) first
-// classifies chunks by size in AES blocks (ceil(size/16)) and rank-pairs
-// within each size class, exploiting that deterministic block-cipher
-// encryption preserves the block count of a chunk.
+// classifies chunks by size in AES blocks (ceil(size/16), see
+// common/fingerprint.h) and rank-pairs within each size class, exploiting
+// that deterministic block-cipher encryption preserves the block count of a
+// chunk.
 //
 // Ties (equal frequency) are broken by ascending fingerprint. This makes
 // every attack deterministic and mirrors the practical reality the paper
 // notes in Section 4.1: tie order is arbitrary with respect to the true
 // ciphertext-plaintext correspondence, so ties genuinely hurt accuracy.
+//
+// These map-based helpers remain the generic, small-input API (and the
+// reference the analysis engine's golden tests check against); bulk attack
+// runs go through src/analysis/, which does the same rank pairing over
+// columnar per-stream indexes.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "core/freq_tables.h"
+#include "common/fingerprint.h"
 
 namespace freqdedup {
 
@@ -27,28 +33,27 @@ struct InferredPair {
   friend bool operator==(const InferredPair&, const InferredPair&) = default;
 };
 
-/// Frequency-map entries sorted by (count desc, fingerprint asc).
-std::vector<std::pair<Fp, uint64_t>> sortByFrequency(
-    const CoOccurrenceMap& freq);
+/// The top-k frequency-map entries by (count desc, fingerprint asc), via a
+/// partial sort (k is capped at the map size; k >= size is a full sort).
+std::vector<std::pair<Fp, uint64_t>> topByFrequency(const FrequencyMap& freq,
+                                                    size_t k);
+
+/// All frequency-map entries sorted by (count desc, fingerprint asc).
+std::vector<std::pair<Fp, uint64_t>> sortByFrequency(const FrequencyMap& freq);
 
 /// Pairs the top-x ciphertext and plaintext chunks rank by rank
 /// (x capped at min{|cipher|, |plain|}).
-std::vector<InferredPair> freqAnalysis(const CoOccurrenceMap& cipherFreq,
-                                       const CoOccurrenceMap& plainFreq,
+std::vector<InferredPair> freqAnalysis(const FrequencyMap& cipherFreq,
+                                       const FrequencyMap& plainFreq,
                                        size_t x);
 
 /// Size-aware frequency analysis (Algorithm 3): rank-pairs the top-x chunks
 /// within each size class of ceil(size/16) blocks. Chunks whose size is
 /// unknown to the given size map are skipped.
-std::vector<InferredPair> freqAnalysisSized(const CoOccurrenceMap& cipherFreq,
-                                            const CoOccurrenceMap& plainFreq,
+std::vector<InferredPair> freqAnalysisSized(const FrequencyMap& cipherFreq,
+                                            const FrequencyMap& plainFreq,
                                             size_t x,
                                             const SizeMap& cipherSizes,
                                             const SizeMap& plainSizes);
-
-/// Size class of a chunk: number of 16-byte AES blocks (Algorithm 3 line 18).
-[[nodiscard]] constexpr uint32_t sizeClassOf(uint32_t sizeBytes) {
-  return (sizeBytes + 15) / 16;
-}
 
 }  // namespace freqdedup

@@ -86,4 +86,13 @@ void parallelFor(ThreadPool& pool, size_t n,
   pool.wait();
 }
 
+void parallelFor(ThreadPool* pool, size_t threads, size_t n,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (pool != nullptr) {
+    parallelFor(*pool, n, body);
+  } else {
+    parallelFor(threads, n, body);
+  }
+}
+
 }  // namespace freqdedup

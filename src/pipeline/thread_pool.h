@@ -65,4 +65,10 @@ void parallelFor(size_t threads, size_t n,
 void parallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t, size_t)>& body);
 
+/// Pool-or-spawn dispatch: reuses `pool` when one is provided, otherwise
+/// spawns `threads` workers for this call. Lets components accept an
+/// optional caller-owned pool without duplicating the choice everywhere.
+void parallelFor(ThreadPool* pool, size_t threads, size_t n,
+                 const std::function<void(size_t, size_t)>& body);
+
 }  // namespace freqdedup

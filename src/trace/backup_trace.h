@@ -16,9 +16,6 @@
 
 namespace freqdedup {
 
-using FrequencyMap = std::unordered_map<Fp, uint64_t, FpHash>;
-using SizeMap = std::unordered_map<Fp, uint32_t, FpHash>;
-
 struct BackupTrace {
   std::string label;  // e.g. "Jan 22", "week 3"
   std::vector<ChunkRecord> records;

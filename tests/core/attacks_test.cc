@@ -54,9 +54,10 @@ TEST(LocalityAttack, PaperFigure3Example) {
 
 TEST(LocalityAttack, Figure3SeedIsMostFrequentPair) {
   // Frequency analysis finds (C2, M2) as the most frequent pair first.
-  const auto fc = countChunks(paperC(), false);
-  const auto fm = countChunks(paperM(), false);
-  const auto seeds = freqAnalysis(fc.freq, fm.freq, 1);
+  FrequencyMap fc, fm;
+  for (const ChunkRecord& r : paperC()) ++fc[r.fp];
+  for (const ChunkRecord& r : paperM()) ++fm[r.fp];
+  const auto seeds = freqAnalysis(fc, fm, 1);
   ASSERT_EQ(seeds.size(), 1u);
   EXPECT_EQ(seeds[0], (InferredPair{kC2, kM2}));
 }

@@ -1,12 +1,14 @@
 #include "core/freq_analysis.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace freqdedup {
 namespace {
 
 TEST(FreqAnalysis, SortByFrequencyDescending) {
-  CoOccurrenceMap freq{{10, 5}, {20, 9}, {30, 1}};
+  FrequencyMap freq{{10, 5}, {20, 9}, {30, 1}};
   const auto sorted = sortByFrequency(freq);
   ASSERT_EQ(sorted.size(), 3u);
   EXPECT_EQ(sorted[0].first, 20u);
@@ -15,16 +17,27 @@ TEST(FreqAnalysis, SortByFrequencyDescending) {
 }
 
 TEST(FreqAnalysis, TiesBrokenByAscendingFingerprint) {
-  CoOccurrenceMap freq{{30, 5}, {10, 5}, {20, 5}};
+  FrequencyMap freq{{30, 5}, {10, 5}, {20, 5}};
   const auto sorted = sortByFrequency(freq);
   EXPECT_EQ(sorted[0].first, 10u);
   EXPECT_EQ(sorted[1].first, 20u);
   EXPECT_EQ(sorted[2].first, 30u);
 }
 
+TEST(FreqAnalysis, TopByFrequencyMatchesFullSortPrefix) {
+  FrequencyMap freq;
+  for (Fp fp = 0; fp < 100; ++fp) freq[fp] = (fp * 13) % 7;  // many ties
+  const auto full = sortByFrequency(freq);
+  for (const size_t k : {0u, 1u, 5u, 50u, 99u, 100u, 200u}) {
+    const auto top = topByFrequency(freq, k);
+    ASSERT_EQ(top.size(), std::min<size_t>(k, freq.size()));
+    for (size_t i = 0; i < top.size(); ++i) EXPECT_EQ(top[i], full[i]);
+  }
+}
+
 TEST(FreqAnalysis, PairsByRank) {
-  CoOccurrenceMap cipher{{101, 9}, {102, 5}, {103, 1}};
-  CoOccurrenceMap plain{{201, 80}, {202, 40}, {203, 2}};
+  FrequencyMap cipher{{101, 9}, {102, 5}, {103, 1}};
+  FrequencyMap plain{{201, 80}, {202, 40}, {203, 2}};
   const auto pairs = freqAnalysis(cipher, plain, 10);
   ASSERT_EQ(pairs.size(), 3u);
   EXPECT_EQ(pairs[0], (InferredPair{101, 201}));
@@ -33,15 +46,15 @@ TEST(FreqAnalysis, PairsByRank) {
 }
 
 TEST(FreqAnalysis, XLimitsPairCount) {
-  CoOccurrenceMap cipher{{1, 3}, {2, 2}, {3, 1}};
-  CoOccurrenceMap plain{{4, 3}, {5, 2}, {6, 1}};
+  FrequencyMap cipher{{1, 3}, {2, 2}, {3, 1}};
+  FrequencyMap plain{{4, 3}, {5, 2}, {6, 1}};
   EXPECT_EQ(freqAnalysis(cipher, plain, 2).size(), 2u);
   EXPECT_EQ(freqAnalysis(cipher, plain, 0).size(), 0u);
 }
 
 TEST(FreqAnalysis, CappedByShorterSide) {
-  CoOccurrenceMap cipher{{1, 3}};
-  CoOccurrenceMap plain{{4, 3}, {5, 2}};
+  FrequencyMap cipher{{1, 3}};
+  FrequencyMap plain{{4, 3}, {5, 2}};
   EXPECT_EQ(freqAnalysis(cipher, plain, 10).size(), 1u);
 }
 
@@ -60,8 +73,8 @@ TEST(SizeClass, SixteenByteBlocks) {
 
 TEST(FreqAnalysisSized, PairsWithinSizeClassesOnly) {
   // Cipher: two 1-block chunks and one 2-block chunk; same on plain side.
-  CoOccurrenceMap cipher{{1, 10}, {2, 5}, {3, 7}};
-  CoOccurrenceMap plain{{11, 20}, {12, 8}, {13, 9}};
+  FrequencyMap cipher{{1, 10}, {2, 5}, {3, 7}};
+  FrequencyMap plain{{11, 20}, {12, 8}, {13, 9}};
   SizeMap cipherSizes{{1, 16}, {2, 10}, {3, 32}};
   SizeMap plainSizes{{11, 16}, {12, 12}, {13, 20}};
   const auto pairs = freqAnalysisSized(cipher, plain, 10, cipherSizes,
@@ -75,8 +88,8 @@ TEST(FreqAnalysisSized, PairsWithinSizeClassesOnly) {
 }
 
 TEST(FreqAnalysisSized, MismatchedClassesProduceNothing) {
-  CoOccurrenceMap cipher{{1, 10}};
-  CoOccurrenceMap plain{{11, 10}};
+  FrequencyMap cipher{{1, 10}};
+  FrequencyMap plain{{11, 10}};
   SizeMap cipherSizes{{1, 16}};
   SizeMap plainSizes{{11, 160}};  // different block count
   EXPECT_TRUE(
@@ -84,8 +97,8 @@ TEST(FreqAnalysisSized, MismatchedClassesProduceNothing) {
 }
 
 TEST(FreqAnalysisSized, UnknownSizesSkipped) {
-  CoOccurrenceMap cipher{{1, 10}, {2, 10}};
-  CoOccurrenceMap plain{{11, 10}};
+  FrequencyMap cipher{{1, 10}, {2, 10}};
+  FrequencyMap plain{{11, 10}};
   SizeMap cipherSizes{{1, 16}};  // chunk 2's size unknown
   SizeMap plainSizes{{11, 16}};
   const auto pairs = freqAnalysisSized(cipher, plain, 10, cipherSizes,
@@ -96,8 +109,8 @@ TEST(FreqAnalysisSized, UnknownSizesSkipped) {
 
 TEST(FreqAnalysisSized, XAppliesPerClass) {
   // Algorithm 3 returns up to x pairs for EACH size class.
-  CoOccurrenceMap cipher{{1, 10}, {2, 5}, {3, 7}, {4, 6}};
-  CoOccurrenceMap plain{{11, 20}, {12, 8}, {13, 9}, {14, 2}};
+  FrequencyMap cipher{{1, 10}, {2, 5}, {3, 7}, {4, 6}};
+  FrequencyMap plain{{11, 20}, {12, 8}, {13, 9}, {14, 2}};
   SizeMap cipherSizes{{1, 16}, {2, 16}, {3, 32}, {4, 32}};
   SizeMap plainSizes{{11, 16}, {12, 16}, {13, 32}, {14, 32}};
   const auto pairs =
