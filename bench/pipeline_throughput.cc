@@ -1,7 +1,7 @@
 // Throughput of the parallel ingest pipeline vs. the serial DedupEngine on
 // the synthetic FSL-like and VM-like corpora.
 //
-//   pipeline_throughput [--threads N]
+//   pipeline_throughput [--threads N] [--stream-chunk-bytes M]
 //
 // Two workloads per corpus:
 //  - dedup-only: the raw trace streamed straight into the dedup stage;
@@ -12,13 +12,25 @@
 // The pipeline must reproduce the serial engine's dedup ratio and
 // unique-chunk count exactly (shard routing is per-fingerprint); the bench
 // verifies that on every run and reports wall-clock MB/s and speedup.
+//
+// With --stream-chunk-bytes M, additionally benchmarks the real-bytes
+// session client (DedupClient/BackupSession) against the one-shot
+// BackupManager::backup path: a synthetic object is streamed through a
+// session in M-byte appends, recipes are verified identical to the one-shot
+// run, and both paths' MB/s are reported.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "chunking/cdc_chunker.h"
+#include "client/dedup_client.h"
 #include "common/hash.h"
 #include "expcommon.h"
 #include "pipeline/parallel_ingest_pipeline.h"
+#include "storage/backup_manager.h"
+#include "storage/container_backup_store.h"
 #include "storage/dedup_engine.h"
 
 namespace freqdedup {
@@ -101,12 +113,102 @@ void benchCorpus(const Dataset& dataset, uint32_t threads, bool withCrypto) {
   }
 }
 
+/// Synthetic object with clustered cross-region duplication, large enough
+/// for throughput to stabilize.
+ByteVec sessionBenchContent() {
+  constexpr size_t kBytes = 64 << 20;
+  Rng rng(42);
+  ByteVec data(kBytes / 2);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+  data.insert(data.end(), data.begin(), data.begin() + kBytes / 2);  // dups
+  return data;
+}
+
+void benchSession(size_t appendBytes, uint32_t threads,
+                  EncryptionScheme scheme, const char* schemeName) {
+  const ByteVec content = sessionBenchContent();
+  KeyManager km(toBytes("bench-secret"));
+  CdcChunker chunker;
+  BackupOptions options;
+  options.scheme = scheme;
+  options.parallelism = threads;
+
+  exp::printTitle("pipeline_throughput",
+                  std::string("session streaming vs one-shot (") +
+                      schemeName + ", " + std::to_string(appendBytes) +
+                      "-byte appends, threads=" + std::to_string(threads) +
+                      ")");
+  exp::printRow({"path", "wall", "throughput", "chunks"});
+
+  // One-shot: the whole buffer through BackupManager::backup.
+  BackupOutcome oneShot;
+  double oneShotSeconds = 0;
+  {
+    MemBackupStore store;
+    BackupManager manager(store, km, chunker, options);
+    exp::Stopwatch watch;
+    oneShot = manager.backup("bench-object", content);
+    oneShotSeconds = watch.elapsedSeconds();
+  }
+  exp::printRow({"one-shot", exp::fmtDouble(oneShotSeconds, 3) + " s",
+                 exp::fmtDouble(
+                     exp::throughputMBps(content.size(), oneShotSeconds), 1) +
+                     " MB/s",
+                 std::to_string(oneShot.chunkCount)});
+
+  // Streaming: the same bytes through one session in appendBytes pieces.
+  BackupOutcome streamed;
+  double streamSeconds = 0;
+  {
+    MemBackupStore store;
+    DedupClient client(store, km, chunker, options);
+    exp::Stopwatch watch;
+    BackupSession session = client.beginBackup("bench-object");
+    for (size_t off = 0; off < content.size(); off += appendBytes)
+      session.append(ByteView(content.data() + off,
+                              std::min(appendBytes, content.size() - off)));
+    streamed = session.finish();
+    streamSeconds = watch.elapsedSeconds();
+  }
+  exp::printRow({"session", exp::fmtDouble(streamSeconds, 3) + " s",
+                 exp::fmtDouble(
+                     exp::throughputMBps(content.size(), streamSeconds), 1) +
+                     " MB/s",
+                 std::to_string(streamed.chunkCount)});
+
+  if (streamed.fileRecipe != oneShot.fileRecipe ||
+      streamed.keyRecipe != oneShot.keyRecipe) {
+    printf("ERROR: streaming session diverged from the one-shot path\n");
+    exit(1);
+  }
+}
+
 }  // namespace
 }  // namespace freqdedup
 
 int main(int argc, char** argv) {
   using namespace freqdedup;
   const uint32_t threads = exp::threadsFlag(argc, argv, 4);
+  const std::string streamChunk =
+      exp::stringFlag(argc, argv, "stream-chunk-bytes", "");
+  if (!streamChunk.empty()) {
+    size_t appendBytes = 0;
+    try {
+      appendBytes = std::stoull(streamChunk);
+    } catch (const std::exception&) {
+    }
+    if (appendBytes == 0) {
+      fprintf(stderr,
+              "invalid --stream-chunk-bytes '%s' (need a positive "
+              "byte count)\n",
+              streamChunk.c_str());
+      return 2;
+    }
+    benchSession(appendBytes, threads, EncryptionScheme::kMle, "MLE");
+    benchSession(appendBytes, threads, EncryptionScheme::kMinHashScrambled,
+                 "MinHash+scramble");
+    return 0;
+  }
   benchCorpus(exp::fslDataset(), threads, /*withCrypto=*/false);
   benchCorpus(exp::fslDataset(), threads, /*withCrypto=*/true);
   benchCorpus(exp::vmDataset(), threads, /*withCrypto=*/false);

@@ -2,6 +2,10 @@
 // directory tree, using the persistent store (containers on disk + log-
 // structured fingerprint index) and the combined MinHash + scrambling scheme.
 //
+// Built on the session-based streaming client: files are streamed through
+// BackupSession / RestoreSession in fixed-size I/O buffers, so arbitrarily
+// large files back up and restore in bounded memory.
+//
 // Usage:
 //   backup_system backup  <store-dir> <source-dir> <passphrase>
 //   backup_system restore <store-dir> <dest-dir>  <passphrase>
@@ -14,12 +18,12 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "chunking/cdc_chunker.h"
-#include "common/hash.h"
+#include "client/dedup_client.h"
 #include "common/rng.h"
-#include "storage/backup_manager.h"
 #include "storage/file_backup_store.h"
 
 using namespace freqdedup;
@@ -27,12 +31,9 @@ namespace fs = std::filesystem;
 
 namespace {
 
-AesKey keyFromPassphrase(const std::string& passphrase) {
-  const Digest d = sha256(toBytes("user-key:" + passphrase));
-  AesKey key{};
-  std::copy(d.bytes.begin(), d.bytes.begin() + kAesKeyBytes, key.begin());
-  return key;
-}
+/// I/O buffer for streaming files through sessions — the largest piece of a
+/// file this tool ever holds.
+constexpr size_t kIoBufferBytes = 1 << 20;
 
 BackupOptions defenseOptions() {
   BackupOptions options;
@@ -52,14 +53,36 @@ void printRecovery(const FileBackupStore& store) {
          static_cast<unsigned long long>(rs.entriesDropped));
 }
 
+/// Streams one file from disk through a backup session in kIoBufferBytes
+/// reads (never loads the file whole).
+BackupOutcome backupFile(DedupClient& client, const std::string& name,
+                         const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  BackupSession session = client.beginBackup(name);
+  ByteVec buffer(kIoBufferBytes);
+  while (in) {
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+    const auto got = static_cast<size_t>(in.gcount());
+    if (got == 0) break;
+    session.append(ByteView(buffer.data(), got));
+  }
+  // A mid-file read error must not be mistaken for EOF: committing a
+  // silently truncated backup would be data loss.
+  if (in.bad() || (in.fail() && !in.eof()))
+    throw std::runtime_error("read error on " + path.string());
+  return session.finish();
+}
+
 int doBackup(const std::string& storeDir, const std::string& sourceDir,
              const std::string& passphrase) {
   FileBackupStore store(storeDir);
   printRecovery(store);
   KeyManager keyManager(toBytes("backup-system-global-secret"));
   CdcChunker chunker;
-  BackupManager manager(store, keyManager, chunker, defenseOptions());
-  const AesKey userKey = keyFromPassphrase(passphrase);
+  DedupClient client(store, keyManager, chunker, defenseOptions());
+  const AesKey userKey = userKeyFromPassphrase(passphrase);
   Rng rng(static_cast<uint64_t>(
       std::hash<std::string>{}(storeDir + sourceDir)));
 
@@ -68,9 +91,8 @@ int doBackup(const std::string& storeDir, const std::string& sourceDir,
     if (!entry.is_regular_file()) continue;
     const std::string rel =
         fs::relative(entry.path(), sourceDir).generic_string();
-    const ByteVec content = readFile(entry.path().string());
-    const BackupOutcome outcome = manager.backup(rel, content);
-    manager.commitBackup(rel, outcome, userKey, rng);
+    const BackupOutcome outcome = backupFile(client, rel, entry.path());
+    client.commitBackup(rel, outcome, userKey, rng);
     ++files;
     newChunks += outcome.newChunks;
     dupChunks += outcome.duplicateChunks;
@@ -87,17 +109,27 @@ int doRestore(const std::string& storeDir, const std::string& destDir,
               const std::string& passphrase) {
   FileBackupStore store(storeDir);
   printRecovery(store);
-  KeyManager keyManager(toBytes("backup-system-global-secret"));
-  CdcChunker chunker;
-  BackupManager manager(store, keyManager, chunker, defenseOptions());
-  const AesKey userKey = keyFromPassphrase(passphrase);
+  DedupClient client(store);  // restore-only: no chunker or key manager
+  const AesKey userKey = userKeyFromPassphrase(passphrase);
 
   size_t files = 0;
-  for (const std::string& name : manager.listBackups()) {
-    const ByteVec content = manager.restoreByName(name, userKey);
+  for (const std::string& name : client.listBackups()) {
+    RestoreSession session = client.beginRestore(name, userKey);
     const fs::path out = fs::path(destDir) / name;
     fs::create_directories(out.parent_path());
-    writeFile(out.string(), content);
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot create " + out.string());
+    // Chunks stream straight to disk; the file never materializes in memory.
+    session.streamTo([&file](ByteView bytes) {
+      file.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+      if (!file) throw std::runtime_error("short write");
+    });
+    // Flush explicitly: destructor-time flush errors are swallowed and
+    // would let a truncated restore count as success.
+    file.close();
+    if (file.fail())
+      throw std::runtime_error("failed to finish writing " + out.string());
     ++files;
   }
   printf("restored %zu files into %s\n", files, destDir.c_str());
@@ -106,10 +138,8 @@ int doRestore(const std::string& storeDir, const std::string& destDir,
 
 int doDelete(const std::string& storeDir, const std::string& name) {
   FileBackupStore store(storeDir);
-  KeyManager keyManager(toBytes("backup-system-global-secret"));
-  CdcChunker chunker;
-  BackupManager manager(store, keyManager, chunker, defenseOptions());
-  if (!manager.deleteBackup(name)) {
+  DedupClient client(store);
+  if (!client.deleteBackup(name)) {
     fprintf(stderr, "no backup named '%s'\n", name.c_str());
     return 1;
   }

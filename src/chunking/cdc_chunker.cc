@@ -1,19 +1,82 @@
 #include "chunking/cdc_chunker.h"
 
 #include <bit>
-
-#include "common/check.h"
+#include <stdexcept>
+#include <utility>
 
 namespace freqdedup {
 
+namespace {
+
+/// Incremental CDC: the rolling window and the current chunk's bytes carry
+/// across push() calls, so boundaries land exactly where split() puts them
+/// regardless of append granularity.
+class CdcChunkStream final : public ChunkStream {
+ public:
+  CdcChunkStream(const CdcParams& params, uint64_t mask, ChunkSink sink)
+      : params_(params),
+        mask_(mask),
+        sink_(std::move(sink)),
+        window_(params.windowSize, params.poly) {
+    pending_.reserve(params_.maxSize);
+  }
+
+  void push(ByteView data) override {
+    // Boundary detection scans the caller's buffer directly; only the
+    // carry-over partial chunk at the end of the push is copied. A chunk
+    // that completes within one push and has no carried prefix is emitted
+    // as a view straight into `data` (zero-copy).
+    size_t start = 0;  // begin of the not-yet-emitted run within `data`
+    for (size_t pos = 0; pos < data.size(); ++pos) {
+      const uint64_t fp = window_.slide(data[pos]);
+      const size_t len = pending_.size() + (pos + 1 - start);
+      const bool atPattern = len >= params_.minSize && (fp & mask_) == mask_;
+      if (atPattern || len >= params_.maxSize) {
+        if (pending_.empty()) {
+          sink_(data.subspan(start, pos + 1 - start));
+        } else {
+          appendBytes(pending_, data.subspan(start, pos + 1 - start));
+          sink_(ByteView(pending_.data(), pending_.size()));
+          pending_.clear();
+        }
+        start = pos + 1;
+        window_.reset();
+      }
+    }
+    if (start < data.size()) appendBytes(pending_, data.subspan(start));
+  }
+
+  void flush() override {
+    if (!pending_.empty()) {
+      sink_(ByteView(pending_.data(), pending_.size()));
+      pending_.clear();
+    }
+    window_.reset();  // a fresh object starts from a clean window
+  }
+
+ private:
+
+  CdcParams params_;
+  uint64_t mask_;
+  ChunkSink sink_;
+  RabinWindow window_;
+  ByteVec pending_;  // bytes of the chunk under construction (<= maxSize)
+};
+
+}  // namespace
+
 CdcChunker::CdcChunker(const CdcParams& params) : params_(params) {
-  FDD_CHECK_MSG(std::has_single_bit(params_.avgSize),
-                "avgSize must be a power of two");
-  FDD_CHECK_MSG(params_.minSize >= params_.windowSize,
-                "minSize must cover the Rabin window");
-  FDD_CHECK_MSG(params_.minSize <= params_.avgSize &&
-                    params_.avgSize <= params_.maxSize,
-                "require minSize <= avgSize <= maxSize");
+  if (params_.windowSize == 0)
+    throw std::invalid_argument("CdcParams: windowSize must be > 0");
+  if (params_.avgSize == 0 || !std::has_single_bit(params_.avgSize))
+    throw std::invalid_argument(
+        "CdcParams: avgSize must be a non-zero power of two");
+  if (params_.minSize < params_.windowSize)
+    throw std::invalid_argument(
+        "CdcParams: minSize must cover the Rabin window");
+  if (params_.minSize > params_.avgSize || params_.avgSize > params_.maxSize)
+    throw std::invalid_argument(
+        "CdcParams: require minSize <= avgSize <= maxSize");
   mask_ = params_.avgSize - 1;
 }
 
@@ -42,6 +105,10 @@ std::vector<ChunkSpan> CdcChunker::split(ByteView data) const {
     chunks.push_back({start, static_cast<uint32_t>(data.size() - start)});
   }
   return chunks;
+}
+
+std::unique_ptr<ChunkStream> CdcChunker::makeStream(ChunkSink sink) const {
+  return std::make_unique<CdcChunkStream>(params_, mask_, std::move(sink));
 }
 
 }  // namespace freqdedup

@@ -24,9 +24,14 @@ struct CdcParams {
 
 class CdcChunker final : public Chunker {
  public:
+  /// Throws std::invalid_argument on out-of-range parameters (zero sizes,
+  /// non-power-of-two avgSize, minSize below the window, min > avg > max).
   explicit CdcChunker(const CdcParams& params = {});
 
   [[nodiscard]] std::vector<ChunkSpan> split(ByteView data) const override;
+
+  [[nodiscard]] std::unique_ptr<ChunkStream> makeStream(
+      ChunkSink sink) const override;
 
   [[nodiscard]] const CdcParams& params() const { return params_; }
 

@@ -4,9 +4,17 @@
 // on chunk granularity (Section 2.1). Two families are provided, matching the
 // paper's datasets: content-defined chunking with min/avg/max bounds (FSL,
 // synthetic) and fixed-size chunking (VM).
+//
+// Chunking comes in two equivalent forms: the one-shot split() over a
+// complete buffer, and an incremental ChunkStream (makeStream()) that accepts
+// the same bytes in arbitrary-granularity appends and emits the identical
+// chunk sequence — the basis of the session-based streaming client, which
+// never holds a whole object in memory.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/bytes.h"
@@ -21,6 +29,29 @@ struct ChunkSpan {
   friend bool operator==(const ChunkSpan&, const ChunkSpan&) = default;
 };
 
+/// Receives each completed chunk's bytes. The view is only valid for the
+/// duration of the call; copy it to retain the chunk.
+using ChunkSink = std::function<void(ByteView chunk)>;
+
+/// Incremental chunking over an append-only byte stream.
+///
+/// Guarantee: for any partition of a buffer into push() calls (including one
+/// byte at a time), the emitted chunk sequence is byte-identical to
+/// Chunker::split() over the whole buffer. flush() emits the trailing partial
+/// chunk (ending the current object) and resets the stream so it can chunk
+/// the next object.
+class ChunkStream {
+ public:
+  virtual ~ChunkStream() = default;
+
+  /// Appends bytes; invokes the sink once per completed chunk.
+  virtual void push(ByteView data) = 0;
+
+  /// Ends the object: emits the final partial chunk, if any, and resets the
+  /// stream state for the next object.
+  virtual void flush() = 0;
+};
+
 class Chunker {
  public:
   virtual ~Chunker() = default;
@@ -28,6 +59,10 @@ class Chunker {
   /// Splits `data` into consecutive, exhaustive, non-overlapping chunks.
   /// An empty input yields no chunks.
   [[nodiscard]] virtual std::vector<ChunkSpan> split(ByteView data) const = 0;
+
+  /// Creates an incremental stream equivalent to split() (see ChunkStream).
+  [[nodiscard]] virtual std::unique_ptr<ChunkStream> makeStream(
+      ChunkSink sink) const = 0;
 };
 
 /// Extracts the bytes of one chunk.

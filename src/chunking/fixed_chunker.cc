@@ -1,11 +1,56 @@
 #include "chunking/fixed_chunker.h"
 
-#include "common/check.h"
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace freqdedup {
 
+namespace {
+
+class FixedChunkStream final : public ChunkStream {
+ public:
+  FixedChunkStream(uint32_t chunkSize, ChunkSink sink)
+      : chunkSize_(chunkSize), sink_(std::move(sink)) {
+    pending_.reserve(chunkSize_);
+  }
+
+  void push(ByteView data) override {
+    while (!data.empty()) {
+      if (pending_.empty() && data.size() >= chunkSize_) {
+        // Full chunk available in the caller's buffer: emit without copying.
+        sink_(data.first(chunkSize_));
+        data = data.subspan(chunkSize_);
+        continue;
+      }
+      const size_t take =
+          std::min<size_t>(chunkSize_ - pending_.size(), data.size());
+      appendBytes(pending_, data.first(take));
+      data = data.subspan(take);
+      if (pending_.size() == chunkSize_) emit();
+    }
+  }
+
+  void flush() override {
+    if (!pending_.empty()) emit();
+  }
+
+ private:
+  void emit() {
+    sink_(ByteView(pending_.data(), pending_.size()));
+    pending_.clear();
+  }
+
+  uint32_t chunkSize_;
+  ChunkSink sink_;
+  ByteVec pending_;
+};
+
+}  // namespace
+
 FixedChunker::FixedChunker(uint32_t chunkSize) : chunkSize_(chunkSize) {
-  FDD_CHECK(chunkSize > 0);
+  if (chunkSize == 0)
+    throw std::invalid_argument("FixedChunker: chunkSize must be > 0");
 }
 
 std::vector<ChunkSpan> FixedChunker::split(ByteView data) const {
@@ -17,6 +62,10 @@ std::vector<ChunkSpan> FixedChunker::split(ByteView data) const {
     chunks.push_back({off, size});
   }
   return chunks;
+}
+
+std::unique_ptr<ChunkStream> FixedChunker::makeStream(ChunkSink sink) const {
+  return std::make_unique<FixedChunkStream>(chunkSize_, std::move(sink));
 }
 
 }  // namespace freqdedup

@@ -7,9 +7,13 @@ namespace freqdedup {
 
 class FixedChunker final : public Chunker {
  public:
+  /// Throws std::invalid_argument when chunkSize is zero.
   explicit FixedChunker(uint32_t chunkSize = 4096);
 
   [[nodiscard]] std::vector<ChunkSpan> split(ByteView data) const override;
+
+  [[nodiscard]] std::unique_ptr<ChunkStream> makeStream(
+      ChunkSink sink) const override;
 
   [[nodiscard]] uint32_t chunkSize() const { return chunkSize_; }
 

@@ -1,34 +1,56 @@
 #include "chunking/segmenter.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 #include "common/check.h"
 
 namespace freqdedup {
 
+void SegmentParams::validate() const {
+  if (minBytes == 0)
+    throw std::invalid_argument("SegmentParams: minBytes must be > 0");
+  if (avgChunkBytes == 0)
+    throw std::invalid_argument("SegmentParams: avgChunkBytes must be > 0");
+  if (minBytes > avgBytes || avgBytes > maxBytes)
+    throw std::invalid_argument(
+        "SegmentParams: require minBytes <= avgBytes <= maxBytes");
+}
+
+StreamSegmenter::StreamSegmenter(const SegmentParams& params, SegmentSink sink)
+    : params_(params), sink_(std::move(sink)) {
+  params_.validate();
+  divisor_ = params_.divisor();
+}
+
+void StreamSegmenter::push(const ChunkRecord& record) {
+  // Close before admitting a record that would overflow maxBytes — the
+  // stream form of the batch rule's one-record lookahead.
+  if (next_ > begin_ && acc_ + record.size > params_.maxBytes) close();
+  acc_ += record.size;
+  ++next_;
+  if (acc_ >= params_.minBytes && (record.fp % divisor_) == divisor_ - 1)
+    close();
+}
+
+void StreamSegmenter::finish() {
+  if (next_ > begin_) close();
+}
+
+void StreamSegmenter::close() {
+  sink_({begin_, next_});
+  begin_ = next_;
+  acc_ = 0;
+}
+
 std::vector<Segment> segmentRecords(std::span<const ChunkRecord> records,
                                     const SegmentParams& params) {
-  FDD_CHECK(params.minBytes > 0);
-  FDD_CHECK(params.minBytes <= params.avgBytes &&
-            params.avgBytes <= params.maxBytes);
-  const uint64_t divisor = params.divisor();
-
   std::vector<Segment> segments;
-  size_t begin = 0;
-  uint64_t acc = 0;
-  for (size_t i = 0; i < records.size(); ++i) {
-    acc += records[i].size;
-    const bool atPattern =
-        acc >= params.minBytes && (records[i].fp % divisor) == divisor - 1;
-    const bool nextOverflows =
-        i + 1 < records.size() && acc + records[i + 1].size > params.maxBytes;
-    const bool last = i + 1 == records.size();
-    if (atPattern || nextOverflows || last) {
-      segments.push_back({begin, i + 1});
-      begin = i + 1;
-      acc = 0;
-    }
-  }
+  StreamSegmenter segmenter(
+      params, [&segments](const Segment& seg) { segments.push_back(seg); });
+  for (const ChunkRecord& record : records) segmenter.push(record);
+  segmenter.finish();
   return segments;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,10 @@ struct SegmentParams {
     const uint64_t d = avgBytes / avgChunkBytes;
     return d == 0 ? 1 : d;
   }
+
+  /// Throws std::invalid_argument on out-of-range parameters (zero sizes or
+  /// minBytes <= avgBytes <= maxBytes violated).
+  void validate() const;
 };
 
 /// A segment as a half-open range [begin, end) of record indices.
@@ -39,6 +44,45 @@ struct Segment {
 
   [[nodiscard]] size_t count() const { return end - begin; }
   friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Receives each completed segment. Segments arrive in order and exhaustively
+/// cover the pushed records.
+using SegmentSink = std::function<void(const Segment&)>;
+
+/// Incremental segmentation over an append-only record stream.
+///
+/// Applies the same Sparse-Indexing boundary rule as segmentRecords() (which
+/// is implemented on top of this class), so pushing records one at a time
+/// yields exactly the batch segmentation. A single push() can emit up to two
+/// segments: the open segment is closed *before* admitting a record that
+/// would overflow maxBytes, and *after* admitting a record that matches the
+/// fingerprint pattern. finish() closes the final segment; record indices
+/// keep counting across finish() so one segmenter can span multiple flushes.
+class StreamSegmenter {
+ public:
+  /// Throws std::invalid_argument on invalid params (see
+  /// SegmentParams::validate).
+  StreamSegmenter(const SegmentParams& params, SegmentSink sink);
+
+  void push(const ChunkRecord& record);
+
+  /// Closes the open segment, if any.
+  void finish();
+
+  /// Total records pushed so far (== end of the last emitted segment once
+  /// finish() has run).
+  [[nodiscard]] size_t recordCount() const { return next_; }
+
+ private:
+  void close();
+
+  SegmentParams params_;
+  uint64_t divisor_;
+  SegmentSink sink_;
+  size_t begin_ = 0;   // first record of the open segment
+  size_t next_ = 0;    // index the next pushed record will get
+  uint64_t acc_ = 0;   // bytes accumulated in the open segment
 };
 
 /// Splits `records` into consecutive, exhaustive segments.

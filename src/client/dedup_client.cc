@@ -1,0 +1,152 @@
+#include "client/dedup_client.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/varint.h"
+#include "pipeline/thread_pool.h"
+
+namespace freqdedup {
+
+DedupClient::DedupClient(BackupStore& store, const KeyManager& keyManager,
+                         const Chunker& chunker, BackupOptions options)
+    : store_(&store),
+      keyManager_(&keyManager),
+      chunker_(&chunker),
+      options_(options) {
+  if (options_.parallelism == 0)
+    throw std::invalid_argument("BackupOptions: parallelism must be >= 1");
+  options_.segmentParams.validate();
+  if (options_.parallelism > 1)
+    pool_ = std::make_unique<ThreadPool>(options_.parallelism);
+}
+
+DedupClient::DedupClient(BackupStore& store)
+    : store_(&store), keyManager_(nullptr), chunker_(nullptr) {}
+
+DedupClient::~DedupClient() = default;
+
+BackupSession DedupClient::beginBackup(std::string name) {
+  FDD_CHECK_MSG(chunker_ != nullptr && keyManager_ != nullptr,
+                "beginBackup on a restore-only DedupClient");
+  return BackupSession(*this, std::move(name));
+}
+
+RestoreSession DedupClient::beginRestore(FileRecipe fileRecipe,
+                                         KeyRecipe keyRecipe) {
+  return RestoreSession(*this, std::move(fileRecipe), std::move(keyRecipe));
+}
+
+namespace {
+
+/// The recipe blob packs both sealed recipes into one value so the pair is
+/// swapped by a single (atomic) log record and can never tear: varint
+/// lengths prefix each sealed section.
+ByteVec packSealedRecipes(ByteView sealedFile, ByteView sealedKeys) {
+  ByteVec out;
+  putVarint(out, sealedFile.size());
+  appendBytes(out, sealedFile);
+  putVarint(out, sealedKeys.size());
+  appendBytes(out, sealedKeys);
+  return out;
+}
+
+std::pair<ByteVec, ByteVec> unpackSealedRecipes(ByteView blob) {
+  size_t offset = 0;
+  const auto fileLen = getVarint(blob, offset);
+  if (!fileLen || *fileLen > blob.size() - offset)
+    throw std::runtime_error("recipe blob: truncated file section");
+  ByteVec sealedFile(blob.begin() + static_cast<ptrdiff_t>(offset),
+                     blob.begin() + static_cast<ptrdiff_t>(offset + *fileLen));
+  offset += static_cast<size_t>(*fileLen);
+  const auto keyLen = getVarint(blob, offset);
+  if (!keyLen || *keyLen != blob.size() - offset)
+    throw std::runtime_error("recipe blob: truncated key section");
+  ByteVec sealedKeys(blob.begin() + static_cast<ptrdiff_t>(offset),
+                     blob.end());
+  return {std::move(sealedFile), std::move(sealedKeys)};
+}
+
+}  // namespace
+
+RestoreSession DedupClient::beginRestore(const std::string& name,
+                                         const AesKey& userKey) {
+  std::optional<ByteVec> blob;
+  {
+    std::lock_guard lock(storeMu_);
+    blob = store_->getBlob(recipeBlobName(name));
+  }
+  if (!blob) throw std::runtime_error("beginRestore: no recipes for " + name);
+  const auto [sealedFile, sealedKeys] = unpackSealedRecipes(*blob);
+  FileRecipe fileRecipe = parseFileRecipe(openWithUserKey(userKey, sealedFile));
+  KeyRecipe keyRecipe = parseKeyRecipe(openWithUserKey(userKey, sealedKeys));
+  return RestoreSession(*this, std::move(fileRecipe), std::move(keyRecipe));
+}
+
+std::string DedupClient::recipeBlobName(const std::string& name) {
+  return "recipe:" + name;
+}
+
+void DedupClient::commitBackup(const std::string& name,
+                               const BackupOutcome& outcome,
+                               const AesKey& userKey, Rng& rng) {
+  std::vector<Fp> refs;
+  refs.reserve(outcome.fileRecipe.entries.size());
+  for (const RecipeEntry& e : outcome.fileRecipe.entries)
+    refs.push_back(e.cipherFp);
+
+  // The whole three-phase commit holds the store lock so concurrent
+  // sessions never observe a half-swapped recipe/manifest pair.
+  std::lock_guard lock(storeMu_);
+
+  // Phase 1: widen the manifest to old ∪ new, so chunks of both the current
+  // blob and the incoming one stay protected through the swap.
+  const auto oldRefs = store_->backupRefs(name);
+  if (oldRefs) {
+    std::vector<Fp> unionRefs = refs;
+    unionRefs.insert(unionRefs.end(), oldRefs->begin(), oldRefs->end());
+    store_->recordBackup(name, unionRefs);
+  } else {
+    store_->recordBackup(name, refs);
+  }
+
+  // Phase 2: swap the sealed recipe pair in one atomic blob put.
+  store_->putBlob(
+      recipeBlobName(name),
+      packSealedRecipes(
+          sealWithUserKey(userKey, serializeFileRecipe(outcome.fileRecipe),
+                          rng),
+          sealWithUserKey(userKey, serializeKeyRecipe(outcome.keyRecipe),
+                          rng)));
+
+  // Phase 3: shrink the manifest to the new references only.
+  if (oldRefs) store_->recordBackup(name, refs);
+}
+
+bool DedupClient::deleteBackup(const std::string& name) {
+  // Blob first: a crash in between leaves the manifest (safe over-retention
+  // that a re-run or re-commit clears), never recipes whose chunks GC could
+  // reclaim underneath them.
+  std::lock_guard lock(storeMu_);
+  const bool hadBlob = store_->eraseBlob(recipeBlobName(name));
+  const bool hadManifest = store_->releaseBackup(name);
+  return hadBlob || hadManifest;
+}
+
+std::vector<std::string> DedupClient::listBackups() {
+  std::lock_guard lock(storeMu_);
+  return store_->listBackups();
+}
+
+AesKey userKeyFromPassphrase(std::string_view passphrase) {
+  const Digest d =
+      sha256(toBytes("user-key:" + std::string(passphrase)));
+  AesKey key{};
+  std::copy(d.bytes.begin(), d.bytes.begin() + kAesKeyBytes, key.begin());
+  return key;
+}
+
+}  // namespace freqdedup

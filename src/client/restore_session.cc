@@ -1,0 +1,61 @@
+#include "client/restore_session.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "client/dedup_client.h"
+#include "crypto/mle.h"
+
+namespace freqdedup {
+
+RestoreSession::RestoreSession(DedupClient& client, FileRecipe fileRecipe,
+                               KeyRecipe keyRecipe)
+    : client_(&client),
+      fileRecipe_(std::move(fileRecipe)),
+      keyRecipe_(std::move(keyRecipe)) {
+  if (fileRecipe_.entries.size() != keyRecipe_.keys.size())
+    throw std::invalid_argument("RestoreSession: file and key recipes "
+                                "disagree on chunk count");
+}
+
+RestoreSession::~RestoreSession() = default;
+
+uint64_t RestoreSession::streamTo(const ByteSink& sink) {
+  uint64_t streamed = 0;
+  for (size_t i = 0; i < fileRecipe_.entries.size(); ++i) {
+    const RecipeEntry& entry = fileRecipe_.entries[i];
+    ByteVec cipher;
+    {
+      std::lock_guard lock(client_->storeMu_);
+      cipher = client_->store_->getChunk(entry.cipherFp);
+    }
+    // End-to-end verification: the store must hand back exactly the
+    // ciphertext the recipe names, and decryption must reproduce the
+    // plaintext the recipe fingerprinted at backup time.
+    if (fpOfContent(cipher) != entry.cipherFp)
+      throw std::runtime_error(
+          "restore: ciphertext fingerprint mismatch for " +
+          fpToHex(entry.cipherFp));
+    const ByteVec plain =
+        MleScheme::decryptWithKey(keyRecipe_.keys[i], cipher);
+    if (entry.plainFp != 0 && fpOfContent(plain) != entry.plainFp)
+      throw std::runtime_error(
+          "restore: plaintext fingerprint mismatch for " +
+          fpToHex(entry.cipherFp));
+    streamed += plain.size();
+    sink(ByteView(plain.data(), plain.size()));
+  }
+  if (streamed != fileRecipe_.fileSize)
+    throw std::runtime_error("restore: size mismatch for " +
+                             fileRecipe_.fileName);
+  return streamed;
+}
+
+ByteVec RestoreSession::readAll() {
+  ByteVec content;
+  content.reserve(fileRecipe_.fileSize);
+  streamTo([&content](ByteView bytes) { appendBytes(content, bytes); });
+  return content;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,62 @@
+// Streaming restore session (one per in-flight object).
+//
+// Streams a backed-up object to a caller-supplied sink one chunk at a time,
+// verifying every chunk end-to-end (ciphertext fingerprint against the file
+// recipe, decrypted plaintext fingerprint against the recipe's plaintext
+// fingerprint) — so a restore or an fsck-style deep verify never holds more
+// than one chunk of the object in memory.
+//
+// Sessions are vended by DedupClient and are not thread-safe individually,
+// but distinct sessions of one client may run concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "storage/recipe.h"
+
+namespace freqdedup {
+
+class DedupClient;
+
+/// Receives the next plaintext bytes of the object, in order. The view is
+/// only valid for the duration of the call.
+using ByteSink = std::function<void(ByteView)>;
+
+class RestoreSession {
+ public:
+  RestoreSession(const RestoreSession&) = delete;
+  RestoreSession& operator=(const RestoreSession&) = delete;
+  ~RestoreSession();
+
+  /// Streams the whole object to `sink`, one verified chunk at a time.
+  /// Returns the number of bytes streamed (== size()). Throws
+  /// std::runtime_error on any fingerprint or size mismatch. Repeatable:
+  /// each call performs a full pass.
+  uint64_t streamTo(const ByteSink& sink);
+
+  /// Convenience: materializes the whole object (for callers that need it in
+  /// memory; prefer streamTo for large objects).
+  [[nodiscard]] ByteVec readAll();
+
+  [[nodiscard]] const std::string& objectName() const {
+    return fileRecipe_.fileName;
+  }
+  [[nodiscard]] uint64_t size() const { return fileRecipe_.fileSize; }
+  [[nodiscard]] size_t chunkCount() const { return fileRecipe_.entries.size(); }
+
+ private:
+  friend class DedupClient;
+
+  /// Throws std::invalid_argument when the recipes disagree on chunk count.
+  RestoreSession(DedupClient& client, FileRecipe fileRecipe,
+                 KeyRecipe keyRecipe);
+
+  DedupClient* client_;
+  FileRecipe fileRecipe_;
+  KeyRecipe keyRecipe_;
+};
+
+}  // namespace freqdedup

@@ -86,6 +86,47 @@ void parallelFor(ThreadPool& pool, size_t n,
   pool.wait();
 }
 
+void parallelForShared(ThreadPool& pool, size_t n,
+                       const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {
+    body(0, 1);
+    return;
+  }
+  const size_t blocks = std::min(n, pool.threadCount() * 4);
+  const size_t blockSize = (n + blocks - 1) / blocks;
+
+  // Per-call completion latch: concurrent callers each wait only for their
+  // own blocks, never for the pool to drain.
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining = 0;
+    std::exception_ptr error;
+  } sync;
+  sync.remaining = (n + blockSize - 1) / blockSize;
+
+  for (size_t begin = 0; begin < n; begin += blockSize) {
+    const size_t end = std::min(n, begin + blockSize);
+    const bool accepted = pool.submit([&sync, &body, begin, end] {
+      std::exception_ptr error;
+      try {
+        body(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard lock(sync.mu);
+      if (error && !sync.error) sync.error = error;
+      if (--sync.remaining == 0) sync.done.notify_all();
+    });
+    FDD_CHECK_MSG(accepted, "parallelForShared on a shut-down pool");
+  }
+
+  std::unique_lock lock(sync.mu);
+  sync.done.wait(lock, [&sync] { return sync.remaining == 0; });
+  if (sync.error) std::rethrow_exception(sync.error);
+}
+
 void parallelFor(ThreadPool* pool, size_t threads, size_t n,
                  const std::function<void(size_t, size_t)>& body) {
   if (pool != nullptr) {

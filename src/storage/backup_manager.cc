@@ -1,358 +1,44 @@
 #include "storage/backup_manager.h"
 
-#include <algorithm>
-#include <deque>
-#include <stdexcept>
-
-#include "common/check.h"
-#include "common/varint.h"
-#include "pipeline/thread_pool.h"
-
 namespace freqdedup {
-
-namespace {
-
-/// One chunk after the (parallelizable) encrypt stage.
-struct EncryptedChunk {
-  AesKey key;
-  ByteVec cipher;
-  Fp cipherFp = 0;
-  Fp plainFp = 0;
-};
-
-/// Ciphertexts in flight on the parallel paths: encryption runs at most this
-/// many chunks ahead of the serial store loop, bounding extra memory to
-/// O(window * chunk size) regardless of file size.
-constexpr size_t kEncryptWindowChunks = 1024;
-
-}  // namespace
-
-std::vector<size_t> scrambleOrder(size_t recordCount,
-                                  std::span<const Segment> segments,
-                                  Rng& rng) {
-  std::vector<size_t> order;
-  order.reserve(recordCount);
-  for (const Segment& seg : segments) {
-    FDD_CHECK(seg.end <= recordCount);
-    std::deque<size_t> scrambled;
-    for (size_t i = seg.begin; i < seg.end; ++i) {
-      // Algorithm 5, lines 7-12: odd random number -> front, else back.
-      if (rng.next() & 1) {
-        scrambled.push_front(i);
-      } else {
-        scrambled.push_back(i);
-      }
-    }
-    order.insert(order.end(), scrambled.begin(), scrambled.end());
-  }
-  FDD_CHECK_MSG(order.size() == recordCount,
-                "segments must cover all records");
-  return order;
-}
 
 BackupManager::BackupManager(BackupStore& store, const KeyManager& keyManager,
                              const Chunker& chunker, BackupOptions options)
-    : store_(&store),
-      keyManager_(&keyManager),
-      chunker_(&chunker),
-      options_(options) {
-  if (options_.parallelism > 1)
-    pool_ = std::make_unique<ThreadPool>(options_.parallelism);
-}
-
-BackupManager::~BackupManager() = default;
+    : client_(store, keyManager, chunker, options) {}
 
 BackupOutcome BackupManager::backup(const std::string& name,
                                     ByteView content) {
-  const std::vector<ChunkSpan> spans = chunker_->split(content);
-  switch (options_.scheme) {
-    case EncryptionScheme::kMle:
-      return backupMle(name, content, spans);
-    case EncryptionScheme::kMinHash:
-      return backupMinHash(name, content, spans, /*scramble=*/false);
-    case EncryptionScheme::kMinHashScrambled:
-      return backupMinHash(name, content, spans, /*scramble=*/true);
-  }
-  FDD_CHECK_MSG(false, "unreachable");
-  return {};
-}
-
-BackupOutcome BackupManager::backupMle(const std::string& name,
-                                       ByteView content,
-                                       const std::vector<ChunkSpan>& spans) {
-  BackupOutcome outcome;
-  outcome.fileRecipe.fileName = name;
-  outcome.fileRecipe.fileSize = content.size();
-  outcome.chunkCount = spans.size();
-
-  if (!pool_) {
-    // Serial path: one ciphertext in flight at a time (bounded memory).
-    for (const ChunkSpan& span : spans) {
-      const ByteView plain = chunkBytes(content, span);
-      const Fp plainFp = fpOfContent(plain);
-      const AesKey key = keyManager_->deriveChunkKey(plainFp);
-      const ByteVec cipher = MleScheme::encryptWithKey(key, plain);
-      const Fp cipherFp = fpOfContent(cipher);
-      if (store_->putChunk(cipherFp, cipher)) {
-        ++outcome.newChunks;
-      } else {
-        ++outcome.duplicateChunks;
-      }
-      outcome.fileRecipe.entries.push_back(
-          {cipherFp, static_cast<uint32_t>(cipher.size()), plainFp});
-      outcome.keyRecipe.keys.push_back(key);
-    }
-    return outcome;
-  }
-
-  // Encrypt stage: parallel across a bounded window of chunks (key
-  // derivation and AES are pure); the store stage runs serially in logical
-  // order, so the outcome is identical for every parallelism level.
-  std::vector<EncryptedChunk> window;
-  for (size_t base = 0; base < spans.size(); base += kEncryptWindowChunks) {
-    const size_t count =
-        std::min(kEncryptWindowChunks, spans.size() - base);
-    window.assign(count, {});
-    parallelFor(*pool_, count, [&](size_t begin, size_t end) {
-      for (size_t k = begin; k < end; ++k) {
-        const ByteView plain = chunkBytes(content, spans[base + k]);
-        const Fp plainFp = fpOfContent(plain);
-        const AesKey key = keyManager_->deriveChunkKey(plainFp);
-        ByteVec cipher = MleScheme::encryptWithKey(key, plain);
-        const Fp cipherFp = fpOfContent(cipher);
-        window[k] = {key, std::move(cipher), cipherFp, plainFp};
-      }
-    });
-    for (const EncryptedChunk& e : window) {
-      if (store_->putChunk(e.cipherFp, e.cipher)) {
-        ++outcome.newChunks;
-      } else {
-        ++outcome.duplicateChunks;
-      }
-      outcome.fileRecipe.entries.push_back(
-          {e.cipherFp, static_cast<uint32_t>(e.cipher.size()), e.plainFp});
-      outcome.keyRecipe.keys.push_back(e.key);
-    }
-  }
-  return outcome;
-}
-
-BackupOutcome BackupManager::backupMinHash(
-    const std::string& name, ByteView content,
-    const std::vector<ChunkSpan>& spans, bool scramble) {
-  // Materialize plaintext chunks in logical order.
-  std::vector<ByteVec> plainChunks;
-  plainChunks.reserve(spans.size());
-  for (const ChunkSpan& span : spans) {
-    const ByteView bytes = chunkBytes(content, span);
-    plainChunks.emplace_back(bytes.begin(), bytes.end());
-  }
-
-  // Segment on (fingerprint, size) records of the original order.
-  std::vector<ChunkRecord> records;
-  records.reserve(plainChunks.size());
-  for (const auto& chunk : plainChunks)
-    records.push_back(
-        {fpOfContent(chunk), static_cast<uint32_t>(chunk.size())});
-  const std::vector<Segment> segments =
-      segmentRecords(records, options_.segmentParams);
-
-  // Scrambling permutes the upload/storage order within each segment; the
-  // recipes keep the original order so restore is unaffected (Section 6.2).
-  std::vector<size_t> order;
-  if (scramble) {
-    Rng rng(options_.scrambleSeed);
-    order = scrambleOrder(records.size(), segments, rng);
-  } else {
-    order.resize(records.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  }
-
-  // Per-segment keys from the segment's minimum fingerprint (Algorithm 4).
-  std::vector<AesKey> keyOf(plainChunks.size());
-  for (const Segment& seg : segments) {
-    const Fp minFp = segmentMinFingerprint(records, seg);
-    const AesKey segKey = keyManager_->deriveSegmentKey(minFp);
-    for (size_t i = seg.begin; i < seg.end; ++i) keyOf[i] = segKey;
-  }
-
-  BackupOutcome outcome;
-  outcome.fileRecipe.fileName = name;
-  outcome.fileRecipe.fileSize = content.size();
-  outcome.fileRecipe.entries.resize(plainChunks.size());
-  outcome.keyRecipe.keys.resize(plainChunks.size());
-  outcome.chunkCount = plainChunks.size();
-
-  if (!pool_) {
-    // Serial path: encrypt in upload order, one ciphertext in flight.
-    for (const size_t i : order) {
-      const ByteVec cipher =
-          MleScheme::encryptWithKey(keyOf[i], plainChunks[i]);
-      const Fp cipherFp = fpOfContent(cipher);
-      if (store_->putChunk(cipherFp, cipher)) {
-        ++outcome.newChunks;
-      } else {
-        ++outcome.duplicateChunks;
-      }
-      outcome.fileRecipe.entries[i] = {
-          cipherFp, static_cast<uint32_t>(cipher.size()), records[i].fp};
-      outcome.keyRecipe.keys[i] = keyOf[i];
-    }
-    return outcome;
-  }
-
-  // Encrypt stage: parallel across a bounded window of the upload order.
-  // The store stage keeps the (possibly scrambled) upload order, so
-  // parallelism never changes what the server observes.
-  std::vector<EncryptedChunk> window;
-  for (size_t base = 0; base < order.size(); base += kEncryptWindowChunks) {
-    const size_t count = std::min(kEncryptWindowChunks, order.size() - base);
-    window.assign(count, {});
-    parallelFor(*pool_, count, [&](size_t begin, size_t end) {
-      for (size_t k = begin; k < end; ++k) {
-        const size_t i = order[base + k];
-        ByteVec cipher = MleScheme::encryptWithKey(keyOf[i], plainChunks[i]);
-        const Fp cipherFp = fpOfContent(cipher);
-        window[k] = {keyOf[i], std::move(cipher), cipherFp};
-      }
-    });
-    for (size_t k = 0; k < count; ++k) {
-      const size_t i = order[base + k];
-      const EncryptedChunk& e = window[k];
-      if (store_->putChunk(e.cipherFp, e.cipher)) {
-        ++outcome.newChunks;
-      } else {
-        ++outcome.duplicateChunks;
-      }
-      outcome.fileRecipe.entries[i] = {
-          e.cipherFp, static_cast<uint32_t>(e.cipher.size()), records[i].fp};
-      outcome.keyRecipe.keys[i] = e.key;
-    }
-  }
-  return outcome;
+  BackupSession session = client_.beginBackup(name);
+  session.append(content);
+  return session.finish();
 }
 
 ByteVec BackupManager::restore(const FileRecipe& fileRecipe,
                                const KeyRecipe& keyRecipe) {
-  FDD_CHECK_MSG(fileRecipe.entries.size() == keyRecipe.keys.size(),
-                "file and key recipes disagree");
-  ByteVec content;
-  content.reserve(fileRecipe.fileSize);
-  for (size_t i = 0; i < fileRecipe.entries.size(); ++i) {
-    const RecipeEntry& entry = fileRecipe.entries[i];
-    const ByteVec cipher = store_->getChunk(entry.cipherFp);
-    // End-to-end verification: the store must hand back exactly the
-    // ciphertext the recipe names, and decryption must reproduce the
-    // plaintext the recipe fingerprinted at backup time.
-    if (fpOfContent(cipher) != entry.cipherFp)
-      throw std::runtime_error(
-          "restore: ciphertext fingerprint mismatch for " +
-          fpToHex(entry.cipherFp));
-    const ByteVec plain =
-        MleScheme::decryptWithKey(keyRecipe.keys[i], cipher);
-    if (entry.plainFp != 0 && fpOfContent(plain) != entry.plainFp)
-      throw std::runtime_error(
-          "restore: plaintext fingerprint mismatch for " +
-          fpToHex(entry.cipherFp));
-    appendBytes(content, plain);
-  }
-  if (content.size() != fileRecipe.fileSize)
-    throw std::runtime_error("restore: size mismatch for " +
-                             fileRecipe.fileName);
-  return content;
+  return client_.beginRestore(fileRecipe, keyRecipe).readAll();
 }
-
-std::string BackupManager::recipeBlobName(const std::string& name) {
-  return "recipe:" + name;
-}
-
-namespace {
-
-/// The recipe blob packs both sealed recipes into one value so the pair is
-/// swapped by a single (atomic) log record and can never tear: varint
-/// lengths prefix each sealed section.
-ByteVec packSealedRecipes(ByteView sealedFile, ByteView sealedKeys) {
-  ByteVec out;
-  putVarint(out, sealedFile.size());
-  appendBytes(out, sealedFile);
-  putVarint(out, sealedKeys.size());
-  appendBytes(out, sealedKeys);
-  return out;
-}
-
-std::pair<ByteVec, ByteVec> unpackSealedRecipes(ByteView blob) {
-  size_t offset = 0;
-  const auto fileLen = getVarint(blob, offset);
-  if (!fileLen || *fileLen > blob.size() - offset)
-    throw std::runtime_error("recipe blob: truncated file section");
-  ByteVec sealedFile(blob.begin() + static_cast<ptrdiff_t>(offset),
-                     blob.begin() + static_cast<ptrdiff_t>(offset + *fileLen));
-  offset += static_cast<size_t>(*fileLen);
-  const auto keyLen = getVarint(blob, offset);
-  if (!keyLen || *keyLen != blob.size() - offset)
-    throw std::runtime_error("recipe blob: truncated key section");
-  ByteVec sealedKeys(blob.begin() + static_cast<ptrdiff_t>(offset),
-                     blob.end());
-  return {std::move(sealedFile), std::move(sealedKeys)};
-}
-
-}  // namespace
 
 void BackupManager::commitBackup(const std::string& name,
                                  const BackupOutcome& outcome,
                                  const AesKey& userKey, Rng& rng) {
-  std::vector<Fp> refs;
-  refs.reserve(outcome.fileRecipe.entries.size());
-  for (const RecipeEntry& e : outcome.fileRecipe.entries)
-    refs.push_back(e.cipherFp);
-
-  // Phase 1: widen the manifest to old ∪ new, so chunks of both the current
-  // blob and the incoming one stay protected through the swap.
-  const auto oldRefs = store_->backupRefs(name);
-  if (oldRefs) {
-    std::vector<Fp> unionRefs = refs;
-    unionRefs.insert(unionRefs.end(), oldRefs->begin(), oldRefs->end());
-    store_->recordBackup(name, unionRefs);
-  } else {
-    store_->recordBackup(name, refs);
-  }
-
-  // Phase 2: swap the sealed recipe pair in one atomic blob put.
-  store_->putBlob(
-      recipeBlobName(name),
-      packSealedRecipes(
-          sealWithUserKey(userKey, serializeFileRecipe(outcome.fileRecipe),
-                          rng),
-          sealWithUserKey(userKey, serializeKeyRecipe(outcome.keyRecipe),
-                          rng)));
-
-  // Phase 3: shrink the manifest to the new references only.
-  if (oldRefs) store_->recordBackup(name, refs);
+  client_.commitBackup(name, outcome, userKey, rng);
 }
 
 bool BackupManager::deleteBackup(const std::string& name) {
-  // Blob first: a crash in between leaves the manifest (safe over-retention
-  // that a re-run or re-commit clears), never recipes whose chunks GC could
-  // reclaim underneath them.
-  const bool hadBlob = store_->eraseBlob(recipeBlobName(name));
-  const bool hadManifest = store_->releaseBackup(name);
-  return hadBlob || hadManifest;
+  return client_.deleteBackup(name);
 }
 
 std::vector<std::string> BackupManager::listBackups() {
-  return store_->listBackups();
+  return client_.listBackups();
 }
 
 ByteVec BackupManager::restoreByName(const std::string& name,
                                      const AesKey& userKey) {
-  const auto blob = store_->getBlob(recipeBlobName(name));
-  if (!blob) throw std::runtime_error("restoreByName: no recipes for " + name);
-  const auto [sealedFile, sealedKeys] = unpackSealedRecipes(*blob);
-  const FileRecipe fileRecipe =
-      parseFileRecipe(openWithUserKey(userKey, sealedFile));
-  const KeyRecipe keyRecipe =
-      parseKeyRecipe(openWithUserKey(userKey, sealedKeys));
-  return restore(fileRecipe, keyRecipe);
+  return client_.beginRestore(name, userKey).readAll();
+}
+
+std::string BackupManager::recipeBlobName(const std::string& name) {
+  return DedupClient::recipeBlobName(name);
 }
 
 }  // namespace freqdedup

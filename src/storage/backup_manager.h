@@ -1,86 +1,50 @@
-// End-to-end encrypted-deduplication backup pipeline over real bytes:
-// chunking -> (optional scrambling) -> MLE or MinHash encryption -> chunk
-// store, producing file/key recipes; plus the inverse restore path.
+// One-shot convenience facade over the session-based streaming client.
 //
-// This is the "client" of Figure 2 in the paper. The trace-level simulation
-// used for the figure reproductions lives in src/core; this class is the
-// real-bytes counterpart exercised by the content-pipeline tests, the
-// synthetic dataset, and the backup_system example.
+// This is the historic API of the Figure-2 client: backup(name, bytes) over
+// a complete in-memory buffer. Since PR 4 it is a thin wrapper over
+// DedupClient — each call runs one BackupSession / RestoreSession — and is
+// kept for callers whose objects already live in memory (tests, benches,
+// trace experiments). New code, and anything handling large objects or
+// concurrent clients, should use DedupClient directly (client/dedup_client.h):
+// sessions stream arbitrarily large objects in bounded memory and many
+// sessions can share one store.
+//
+// EncryptionScheme, BackupOptions and BackupOutcome now live in
+// client/backup_session.h; this header re-exports them via its includes.
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "chunking/chunker.h"
-#include "chunking/segmenter.h"
-#include "common/rng.h"
+#include "client/dedup_client.h"
 #include "crypto/key_manager.h"
-#include "crypto/minhash_encryption.h"
-#include "crypto/mle.h"
 #include "storage/backup_store.h"
 #include "storage/recipe.h"
 
 namespace freqdedup {
-
-class ThreadPool;
-
-enum class EncryptionScheme {
-  kMle,              // per-chunk server-aided MLE (deterministic)
-  kMinHash,          // segment-keyed MinHash encryption (Algorithm 4)
-  kMinHashScrambled  // MinHash + per-segment scrambling (Algorithms 4+5)
-};
-
-struct BackupOptions {
-  EncryptionScheme scheme = EncryptionScheme::kMle;
-  SegmentParams segmentParams;
-  uint64_t scrambleSeed = 1;
-  /// Worker threads for the per-chunk key-derivation + encryption stage.
-  /// 1 (the default) keeps the fully serial path. Any value produces
-  /// bit-identical recipes and store contents: chunks are encrypted in
-  /// parallel but stored in the same order as the serial path.
-  uint32_t parallelism = 1;
-};
-
-struct BackupOutcome {
-  FileRecipe fileRecipe;
-  KeyRecipe keyRecipe;
-  size_t chunkCount = 0;
-  size_t newChunks = 0;
-  size_t duplicateChunks = 0;
-};
 
 class BackupManager {
  public:
   /// All referenced collaborators must outlive the manager.
   BackupManager(BackupStore& store, const KeyManager& keyManager,
                 const Chunker& chunker, BackupOptions options = {});
-  ~BackupManager();
 
-  /// Backs up one logical object (file content) under `name`.
+  /// Backs up one logical object (file content) under `name`. Runs one
+  /// BackupSession over the whole buffer — recipes and store contents are
+  /// identical to streaming the same bytes through a session at any append
+  /// granularity.
   BackupOutcome backup(const std::string& name, ByteView content);
 
-  /// Restores content from recipes, verifying every chunk end-to-end: the
-  /// fetched ciphertext must match the recipe's ciphertext fingerprint and
-  /// the decrypted plaintext must match its plaintext fingerprint. Throws
-  /// std::runtime_error on any mismatch.
+  /// Restores content from recipes, verifying every chunk end-to-end (see
+  /// RestoreSession). Throws std::runtime_error on any mismatch.
   ByteVec restore(const FileRecipe& fileRecipe, const KeyRecipe& keyRecipe);
 
-  /// Commits a completed backup: seals both recipes under the user key,
-  /// stores them as one blob, and records the backup's chunk references in
-  /// the store so deletion and garbage collection can account for them.
-  ///
-  /// Crash-safe also when re-committing an existing name: the references are
-  /// first widened to the union of old and new (one atomic manifest swap),
-  /// then the recipe blob is swapped (one atomic put), then the references
-  /// shrink to the new set — so at every instant the stored blob's chunks
-  /// are covered by the manifest and GC can never reclaim them.
+  /// See DedupClient::commitBackup.
   void commitBackup(const std::string& name, const BackupOutcome& outcome,
                     const AesKey& userKey, Rng& rng);
 
-  /// Deletes a committed backup: releases its chunk references and removes
-  /// its sealed recipes. Returns false if no such backup exists. Unreferenced
-  /// chunks are reclaimed by the store's next collectGarbage().
+  /// See DedupClient::deleteBackup.
   bool deleteBackup(const std::string& name);
 
   /// Names of all committed backups.
@@ -92,25 +56,11 @@ class BackupManager {
   /// Blob name commitBackup uses for a backup's sealed recipe pair.
   static std::string recipeBlobName(const std::string& name);
 
+  /// The underlying session client (shared collaborators; vends sessions).
+  [[nodiscard]] DedupClient& client() { return client_; }
+
  private:
-  BackupOutcome backupMle(const std::string& name, ByteView content,
-                          const std::vector<ChunkSpan>& spans);
-  BackupOutcome backupMinHash(const std::string& name, ByteView content,
-                              const std::vector<ChunkSpan>& spans,
-                              bool scramble);
-
-  BackupStore* store_;
-  const KeyManager* keyManager_;
-  const Chunker* chunker_;
-  BackupOptions options_;
-  std::unique_ptr<ThreadPool> pool_;  // encrypt workers; null when serial
+  DedupClient client_;
 };
-
-/// Computes the per-segment scrambled visit order of Algorithm 5: for each
-/// chunk a random bit decides whether it is prepended or appended to the
-/// scrambled segment. Returns a permutation of [0, records) (indices into the
-/// original order).
-std::vector<size_t> scrambleOrder(size_t recordCount,
-                                  std::span<const Segment> segments, Rng& rng);
 
 }  // namespace freqdedup

@@ -1,0 +1,155 @@
+// ChunkStream equivalence: for CDC and fixed chunkers, pushing a buffer in
+// any append granularity (1 byte, odd sizes, whole) must emit exactly the
+// chunk sequence split() produces; plus construction-time parameter
+// validation for both chunkers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "chunking/cdc_chunker.h"
+#include "chunking/fixed_chunker.h"
+#include "common/rng.h"
+
+namespace freqdedup {
+namespace {
+
+ByteVec randomContent(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  ByteVec data(n);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+  return data;
+}
+
+CdcParams smallCdc() {
+  CdcParams p;
+  p.minSize = 128;
+  p.avgSize = 512;
+  p.maxSize = 2048;
+  p.windowSize = 48;
+  return p;
+}
+
+/// Chunks emitted by streaming `data` through `chunker` in `step`-byte
+/// appends (step 0 = one push of the whole buffer).
+std::vector<ByteVec> streamChunks(const Chunker& chunker, ByteView data,
+                                  size_t step) {
+  std::vector<ByteVec> chunks;
+  const auto stream = chunker.makeStream(
+      [&chunks](ByteView c) { chunks.emplace_back(c.begin(), c.end()); });
+  if (step == 0) {
+    stream->push(data);
+  } else {
+    for (size_t off = 0; off < data.size(); off += step)
+      stream->push(data.subspan(off, std::min(step, data.size() - off)));
+  }
+  stream->flush();
+  return chunks;
+}
+
+/// The oracle: split() spans materialized to chunk bytes.
+std::vector<ByteVec> splitChunks(const Chunker& chunker, ByteView data) {
+  std::vector<ByteVec> chunks;
+  for (const ChunkSpan& span : chunker.split(data)) {
+    const ByteView bytes = chunkBytes(data, span);
+    chunks.emplace_back(bytes.begin(), bytes.end());
+  }
+  return chunks;
+}
+
+class ChunkStreamEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChunkStreamEquivalence, CdcMatchesSplitAtAnyGranularity) {
+  const CdcChunker chunker(smallCdc());
+  for (const size_t contentBytes : {size_t{0}, size_t{1}, size_t{100},
+                                    size_t{50'000}}) {
+    const ByteVec content = randomContent(contentBytes + 1, contentBytes);
+    EXPECT_EQ(streamChunks(chunker, content, GetParam()),
+              splitChunks(chunker, content))
+        << "content " << contentBytes << "B, step " << GetParam();
+  }
+}
+
+TEST_P(ChunkStreamEquivalence, FixedMatchesSplitAtAnyGranularity) {
+  const FixedChunker chunker(512);
+  for (const size_t contentBytes :
+       {size_t{0}, size_t{511}, size_t{512}, size_t{50'000}}) {
+    const ByteVec content = randomContent(contentBytes + 2, contentBytes);
+    EXPECT_EQ(streamChunks(chunker, content, GetParam()),
+              splitChunks(chunker, content))
+        << "content " << contentBytes << "B, step " << GetParam();
+  }
+}
+
+// Granularities: 1 B, a prime, a power of two, larger than most chunks, and
+// 0 = whole-buffer single push.
+INSTANTIATE_TEST_SUITE_P(Granularities, ChunkStreamEquivalence,
+                         ::testing::Values(1, 7, 1024, 65536, 0));
+
+TEST(ChunkStream, FlushEndsTheObjectAndResetsForTheNext) {
+  const CdcChunker chunker(smallCdc());
+  const ByteVec a = randomContent(10, 10'000);
+  const ByteVec b = randomContent(11, 12'000);
+
+  // One stream, two objects separated by flush(): each object's chunks must
+  // equal its own split() — no state leaks across the flush.
+  std::vector<ByteVec> chunks;
+  const auto stream = chunker.makeStream(
+      [&chunks](ByteView c) { chunks.emplace_back(c.begin(), c.end()); });
+  stream->push(a);
+  stream->flush();
+  const std::vector<ByteVec> fromA = chunks;
+  chunks.clear();
+  stream->push(b);
+  stream->flush();
+
+  EXPECT_EQ(fromA, splitChunks(chunker, a));
+  EXPECT_EQ(chunks, splitChunks(chunker, b));
+}
+
+TEST(ChunkStream, EmptyObjectEmitsNoChunks) {
+  const FixedChunker chunker(512);
+  size_t emitted = 0;
+  const auto stream = chunker.makeStream([&emitted](ByteView) { ++emitted; });
+  stream->flush();
+  EXPECT_EQ(emitted, 0u);
+}
+
+TEST(CdcChunker, RejectsInvalidParamsWithClearErrors) {
+  {
+    CdcParams p;
+    p.avgSize = 1000;  // not a power of two
+    EXPECT_THROW(CdcChunker{p}, std::invalid_argument);
+  }
+  {
+    CdcParams p;
+    p.avgSize = 0;
+    EXPECT_THROW(CdcChunker{p}, std::invalid_argument);
+  }
+  {
+    CdcParams p;
+    p.windowSize = 0;
+    EXPECT_THROW(CdcChunker{p}, std::invalid_argument);
+  }
+  {
+    CdcParams p;
+    p.minSize = 16;  // below the Rabin window
+    EXPECT_THROW(CdcChunker{p}, std::invalid_argument);
+  }
+  {
+    CdcParams p;
+    p.minSize = p.maxSize * 2;  // min > avg
+    EXPECT_THROW(CdcChunker{p}, std::invalid_argument);
+  }
+  {
+    CdcParams p;
+    p.maxSize = p.avgSize / 2;  // avg > max
+    EXPECT_THROW(CdcChunker{p}, std::invalid_argument);
+  }
+}
+
+TEST(FixedChunker, RejectsZeroChunkSize) {
+  EXPECT_THROW(FixedChunker(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -134,5 +134,92 @@ TEST(Segmenter, RejectsInvalidParams) {
                std::logic_error);
 }
 
+TEST(SegmentParams, ValidateRejectsEachBadFieldWithInvalidArgument) {
+  EXPECT_NO_THROW(SegmentParams{}.validate());
+  {
+    SegmentParams p;
+    p.minBytes = 0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {
+    SegmentParams p;
+    p.avgChunkBytes = 0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {
+    SegmentParams p;
+    p.minBytes = p.avgBytes + 1;  // min > avg
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {
+    SegmentParams p;
+    p.avgBytes = p.maxBytes + 1;  // avg > max
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+}
+
+TEST(StreamSegmenter, RejectsInvalidParamsAtConstruction) {
+  SegmentParams p;
+  p.minBytes = 0;
+  EXPECT_THROW(StreamSegmenter(p, [](const Segment&) {}),
+               std::invalid_argument);
+}
+
+TEST_P(SegmenterProperty, StreamMatchesBatchRecordByRecord) {
+  const auto records = randomRecords(GetParam(), 5000);
+  const auto batch = segmentRecords(records, SegmentParams{});
+
+  std::vector<Segment> streamed;
+  StreamSegmenter segmenter(
+      SegmentParams{},
+      [&streamed](const Segment& seg) { streamed.push_back(seg); });
+  for (const auto& r : records) segmenter.push(r);
+  segmenter.finish();
+
+  EXPECT_EQ(streamed, batch);
+  EXPECT_EQ(segmenter.recordCount(), records.size());
+}
+
+TEST(StreamSegmenter, ClosesBeforeAdmittingAnOverflowingRecord) {
+  SegmentParams p;
+  p.minBytes = 100;
+  p.avgBytes = 200;
+  p.maxBytes = 300;
+  p.avgChunkBytes = 100;
+  // fp 0 never matches the pattern, so only the overflow rule fires.
+  std::vector<Segment> segments;
+  StreamSegmenter segmenter(
+      p, [&segments](const Segment& seg) { segments.push_back(seg); });
+  segmenter.push({0, 250});
+  EXPECT_TRUE(segments.empty());
+  segmenter.push({0, 250});  // 250 + 250 > 300: closes [0,1) first
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0], (Segment{0, 1}));
+  segmenter.finish();
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[1], (Segment{1, 2}));
+}
+
+TEST(StreamSegmenter, PatternCloseAfterOverflowCloseInOnePush) {
+  SegmentParams p;
+  p.minBytes = 100;
+  p.avgBytes = 100;
+  p.maxBytes = 300;
+  p.avgChunkBytes = 100;  // divisor 1: every fp matches the pattern
+  std::vector<Segment> segments;
+  StreamSegmenter segmenter(
+      p, [&segments](const Segment& seg) { segments.push_back(seg); });
+  segmenter.push({0, 99});  // below minBytes: pattern cannot fire
+  EXPECT_TRUE(segments.empty());
+  // Overflows (99+250 > 300) -> closes [0,1); then 250 >= minBytes and the
+  // pattern matches -> closes [1,2). Two segments from one push.
+  segmenter.push({0, 250});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0], (Segment{0, 1}));
+  EXPECT_EQ(segments[1], (Segment{1, 2}));
+  segmenter.finish();
+  EXPECT_EQ(segments.size(), 2u);  // nothing left open
+}
+
 }  // namespace
 }  // namespace freqdedup

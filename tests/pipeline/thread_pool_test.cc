@@ -132,5 +132,71 @@ TEST(ParallelFor, HandlesEmptyAndTinyRanges) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(ParallelForShared, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallelForShared(pool, kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelForShared, ConcurrentCallersShareOnePool) {
+  // The whole point of parallelForShared: several threads drive independent
+  // ranges through one pool simultaneously, each waiting only for its own
+  // blocks (parallelFor's pool.wait() would be racy here).
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 4;
+  constexpr size_t kN = 5'000;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kN);
+
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      parallelForShared(pool, kN, [&, c](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) ++hits[c][i];
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c)
+    for (size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[c][i], 1) << "caller " << c << " index " << i;
+}
+
+TEST(ParallelForShared, PropagatesBodyExceptionsToItsOwnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallelForShared(pool, 1000,
+                                 [](size_t begin, size_t end) {
+                                   for (size_t i = begin; i < end; ++i)
+                                     if (i == 577)
+                                       throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The error does not leak into the pool's own error slot: a later wait()
+  // (or another caller) must not see it.
+  pool.wait();
+  std::atomic<int> ran{0};
+  parallelForShared(pool, 16, [&](size_t begin, size_t end) {
+    ran += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(ran, 16);
+}
+
+TEST(ParallelForShared, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallelForShared(pool, 0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallelForShared(pool, 1, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
 }  // namespace
 }  // namespace freqdedup

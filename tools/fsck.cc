@@ -5,8 +5,13 @@
 // against its container, every backup manifest against the index, and every
 // reference count against the manifest occurrence sums.
 //
-// Usage: fsck <store-dir> [--gc]
-//   --gc   additionally reclaim unreferenced chunks and compact containers
+// Usage: fsck <store-dir> [--gc] [--deep <passphrase>]
+//   --gc     additionally reclaim unreferenced chunks and compact containers
+//   --deep   additionally stream-restore every backup through a discarding
+//            sink (RestoreSession), verifying each chunk's ciphertext and
+//            plaintext fingerprints end-to-end — without ever holding more
+//            than one chunk of an object in memory. Requires the passphrase
+//            the backups were committed with (backup_system-compatible).
 //
 // Exit code: 0 when the store is consistent, 1 when damage was found,
 // 2 on usage errors.
@@ -14,25 +19,65 @@
 #include <cstring>
 #include <string>
 
+#include "client/dedup_client.h"
 #include "storage/file_backup_store.h"
 
 using namespace freqdedup;
 
+namespace {
+
+/// Streams every committed backup through a counting sink; any fingerprint
+/// or size mismatch surfaces as a per-backup error. Returns the number of
+/// damaged backups.
+size_t deepVerify(FileBackupStore& store, const std::string& passphrase) {
+  DedupClient client(store);  // restore-only: no chunker or key manager
+  const AesKey userKey = userKeyFromPassphrase(passphrase);
+  size_t damaged = 0;
+  for (const std::string& name : client.listBackups()) {
+    try {
+      RestoreSession session = client.beginRestore(name, userKey);
+      uint64_t bytes = 0;
+      session.streamTo([&bytes](ByteView b) { bytes += b.size(); });
+      printf("deep: %s OK (%llu bytes, %zu chunks)\n", name.c_str(),
+             static_cast<unsigned long long>(bytes), session.chunkCount());
+    } catch (const std::exception& e) {
+      fprintf(stderr, "deep: %s FAILED: %s\n", name.c_str(), e.what());
+      ++damaged;
+    }
+  }
+  return damaged;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string dir;
+  std::string deepPassphrase;
   bool runGc = false;
+  bool runDeep = false;
+  bool usageError = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gc") == 0) {
       runGc = true;
-    } else if (dir.empty()) {
+    } else if (std::strcmp(argv[i], "--deep") == 0) {
+      // The passphrase must follow and must not look like a flag —
+      // otherwise `--deep --gc` would silently use "--gc" as the
+      // passphrase and report a clean store as DAMAGED.
+      if (i + 1 >= argc || argv[i + 1][0] == '-') {
+        usageError = true;
+        break;
+      }
+      runDeep = true;
+      deepPassphrase = argv[++i];
+    } else if (dir.empty() && argv[i][0] != '-') {
       dir = argv[i];
     } else {
-      dir.clear();
+      usageError = true;
       break;
     }
   }
-  if (dir.empty()) {
-    fprintf(stderr, "usage: fsck <store-dir> [--gc]\n");
+  if (dir.empty() || usageError) {
+    fprintf(stderr, "usage: fsck <store-dir> [--gc] [--deep <passphrase>]\n");
     return 2;
   }
 
@@ -54,6 +99,9 @@ int main(int argc, char** argv) {
     for (const std::string& error : report.errors)
       fprintf(stderr, "error: %s\n", error.c_str());
 
+    size_t deepDamaged = 0;
+    if (runDeep) deepDamaged = deepVerify(store, deepPassphrase);
+
     if (runGc) {
       const GcStats gc = store.collectGarbage();
       printf("gc: reclaimed %llu chunks (%llu bytes), compacted %llu "
@@ -64,8 +112,9 @@ int main(int argc, char** argv) {
              static_cast<unsigned long long>(gc.chunksRelocated));
     }
 
-    printf("%s\n", report.ok() ? "clean" : "DAMAGED");
-    return report.ok() ? 0 : 1;
+    const bool ok = report.ok() && deepDamaged == 0;
+    printf("%s\n", ok ? "clean" : "DAMAGED");
+    return ok ? 0 : 1;
   } catch (const std::exception& e) {
     fprintf(stderr, "fsck: %s\n", e.what());
     return 1;
