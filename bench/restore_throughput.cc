@@ -1,0 +1,248 @@
+// Throughput of the batched, pipelined restore engine against the pre-PR5
+// chunk-at-a-time baseline, on a container-local recipe (one object backed
+// up sequentially into a fresh persistent store).
+//
+//   restore_throughput [--threads N] [--mb M] [--json PATH]
+//
+// Measures MB/s at restore threads {1, N} x container read cache
+// {cold, warm} — cold reopens the store (the read cache starts empty by
+// contract), warm re-runs the restore on the same instance — plus the
+// chunk-at-a-time baseline (one getChunk + serial decrypt per recipe
+// entry) on its own cold open. N defaults to 8, M (object size) to 64.
+// --json writes a machine-readable summary (default BENCH_restore.json),
+// matching the BENCH_attack.json conventions; the recorded speedups
+// reflect the machine's real core count, which the JSON notes.
+//
+// Every restore pass is SHA-256-checked against the generated object
+// before any number is reported; a divergence aborts the bench.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "chunking/cdc_chunker.h"
+#include "client/dedup_client.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "crypto/mle.h"
+#include "expcommon.h"
+#include "storage/file_backup_store.h"
+
+namespace freqdedup {
+namespace {
+
+constexpr uint64_t kContainerBytes = 4 * 1024 * 1024;
+constexpr size_t kBenchReadCacheContainers = 64;
+
+ByteVec makeObject(size_t bytes) {
+  // Mostly unique content with a little cross-object-style duplication
+  // (every 16th MiB repeats), so dedup and duplicate-chunk reads are
+  // exercised without destroying container locality.
+  Rng rng(4242);
+  ByteVec data(bytes);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+  constexpr size_t kMiB = 1 << 20;
+  for (size_t off = 16 * kMiB; off + kMiB <= data.size(); off += 16 * kMiB)
+    std::copy(data.begin(), data.begin() + kMiB,
+              data.begin() + static_cast<ptrdiff_t>(off));
+  return data;
+}
+
+Digest digestOf(const ByteVec& bytes) {
+  Sha256Stream stream;
+  stream.update(bytes);
+  return stream.finish();
+}
+
+/// The pre-PR5 restore loop: one getChunk round trip and one serial
+/// decrypt per recipe entry (the baseline this engine replaces). Mirrors
+/// the frozen tests/client/legacy_restore_reference.h oracle (kept in sync
+/// by hand: bench/ deliberately does not include test headers) with bench
+/// policy — any divergence aborts instead of throwing.
+Digest chunkAtATimeRestore(BackupStore& store, const BackupOutcome& outcome,
+                           uint64_t& bytesOut) {
+  Sha256Stream stream;
+  bytesOut = 0;
+  for (size_t i = 0; i < outcome.fileRecipe.entries.size(); ++i) {
+    const RecipeEntry& entry = outcome.fileRecipe.entries[i];
+    const ByteVec cipher = store.getChunk(entry.cipherFp);
+    if (fpOfContent(cipher) != entry.cipherFp) {
+      fprintf(stderr, "baseline: ciphertext fingerprint mismatch\n");
+      exit(1);
+    }
+    const ByteVec plain =
+        MleScheme::decryptWithKey(outcome.keyRecipe.keys[i], cipher);
+    if (entry.plainFp != 0 && fpOfContent(plain) != entry.plainFp) {
+      fprintf(stderr, "baseline: plaintext fingerprint mismatch\n");
+      exit(1);
+    }
+    bytesOut += plain.size();
+    stream.update(plain);
+  }
+  if (bytesOut != outcome.fileRecipe.fileSize) {
+    fprintf(stderr, "baseline: size mismatch\n");
+    exit(1);
+  }
+  return stream.finish();
+}
+
+RestoreOptions benchRestoreOptions(uint32_t threads) {
+  RestoreOptions o;
+  o.parallelism = threads;
+  o.readAheadBatches = 4;
+  o.batchBytes = kContainerBytes;
+  return o;
+}
+
+/// One timed restore pass through the batched engine; checks the digest.
+double timedBatchedPass(DedupClient& client, const BackupOutcome& outcome,
+                        const Digest& expected) {
+  Sha256Stream stream;
+  RestoreSession session =
+      client.beginRestore(outcome.fileRecipe, outcome.keyRecipe);
+  exp::Stopwatch watch;
+  const uint64_t bytes =
+      session.streamTo([&stream](ByteView b) { stream.update(b); });
+  const double seconds = watch.elapsedSeconds();
+  if (stream.finish() != expected) {
+    fprintf(stderr, "ERROR: batched restore bytes diverged from the object\n");
+    exit(1);
+  }
+  return exp::throughputMBps(bytes, seconds);
+}
+
+struct CacheResult {
+  double coldMBps = 0;
+  double warmMBps = 0;
+};
+
+void writeJson(const std::string& path, size_t objectBytes, size_t chunks,
+               size_t containers, uint32_t threads, double baselineMBps,
+               const CacheResult& t1, const CacheResult& tN) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    exit(1);
+  }
+  fprintf(f, "{\n");
+  fprintf(f, "  \"object_bytes\": %zu,\n", objectBytes);
+  fprintf(f, "  \"container_bytes\": %llu,\n",
+          static_cast<unsigned long long>(kContainerBytes));
+  fprintf(f, "  \"chunk_count\": %zu,\n", chunks);
+  fprintf(f, "  \"container_count\": %zu,\n", containers);
+  fprintf(f, "  \"hardware_threads\": %u,\n",
+          std::thread::hardware_concurrency());
+  fprintf(f, "  \"parallel_threads\": %u,\n", threads);
+  fprintf(f, "  \"results_identical_bytes\": true,\n");
+  fprintf(f, "  \"baseline_chunk_at_a_time\": {\"cold_mbps\": %.1f},\n",
+          baselineMBps);
+  fprintf(f,
+          "  \"batched_threads1\": {\"cold_mbps\": %.1f, "
+          "\"warm_mbps\": %.1f},\n",
+          t1.coldMBps, t1.warmMBps);
+  // With --threads 1 the multi-thread column IS the 1-thread column;
+  // emitting it again would duplicate the "batched_threads1" JSON key.
+  if (threads != 1) {
+    fprintf(f,
+            "  \"batched_threads%u\": {\"cold_mbps\": %.1f, "
+            "\"warm_mbps\": %.1f},\n",
+            threads, tN.coldMBps, tN.warmMBps);
+  }
+  fprintf(f, "  \"speedup_warm_threads%u_vs_baseline\": %.2f\n", threads,
+          baselineMBps > 0 ? tN.warmMBps / baselineMBps : 0.0);
+  fprintf(f, "}\n");
+  fclose(f);
+  printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace freqdedup
+
+int main(int argc, char** argv) {
+  using namespace freqdedup;
+  const uint32_t threads = exp::threadsFlag(argc, argv, 8);
+  const size_t objectMb = static_cast<size_t>(
+      std::atol(exp::stringFlag(argc, argv, "mb", "64").c_str()));
+  const std::string jsonPath =
+      exp::stringFlag(argc, argv, "json", "BENCH_restore.json");
+  if (objectMb == 0) {
+    fprintf(stderr, "--mb must be >= 1\n");
+    return 1;
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "fdd_restore_bench").string();
+  std::filesystem::remove_all(dir);
+
+  const ByteVec object = makeObject(objectMb << 20);
+  const Digest expected = digestOf(object);
+
+  // Backup once: a sequential single-object store, i.e. a container-local
+  // recipe (duplicate chunks still point back into earlier containers).
+  KeyManager km(toBytes("restore-bench-secret"));
+  CdcChunker chunker;  // default 8 KiB average chunks
+  BackupOutcome outcome;
+  size_t containerCount = 0;
+  {
+    FileBackupStore store(dir, kContainerBytes, kBenchReadCacheContainers);
+    BackupOptions backup;
+    backup.parallelism = std::max(threads, 1u);
+    DedupClient client(store, km, chunker, backup);
+    BackupSession session = client.beginBackup("bench.img");
+    session.append(object);
+    outcome = session.finish();
+    store.flush();
+    containerCount = store.containerCount();
+  }
+
+  exp::printTitle("restore_throughput",
+                  "batched restore engine vs chunk-at-a-time, " +
+                      std::to_string(objectMb) + " MiB object, " +
+                      std::to_string(outcome.fileRecipe.entries.size()) +
+                      " chunks, " + std::to_string(containerCount) +
+                      " containers (" +
+                      std::to_string(std::thread::hardware_concurrency()) +
+                      " hardware threads)");
+  exp::printRow({"path", "cache", "MB/s"});
+
+  // Baseline: cold open, chunk-at-a-time.
+  double baselineMBps = 0;
+  {
+    FileBackupStore store(dir, kContainerBytes, kBenchReadCacheContainers);
+    uint64_t bytes = 0;
+    exp::Stopwatch watch;
+    const Digest got = chunkAtATimeRestore(store, outcome, bytes);
+    baselineMBps = exp::throughputMBps(bytes, watch.elapsedSeconds());
+    if (got != expected) {
+      fprintf(stderr, "ERROR: baseline restore bytes diverged\n");
+      return 1;
+    }
+  }
+  exp::printRow({"chunk-at-a-time (pre-PR5)", "cold",
+                 exp::fmtDouble(baselineMBps, 1)});
+
+  const auto runBatched = [&](uint32_t t) {
+    CacheResult r;
+    FileBackupStore store(dir, kContainerBytes, kBenchReadCacheContainers);
+    DedupClient client(store, benchRestoreOptions(t));
+    r.coldMBps = timedBatchedPass(client, outcome, expected);  // cache fills
+    r.warmMBps = timedBatchedPass(client, outcome, expected);  // cache hot
+    exp::printRow({"batched, " + std::to_string(t) + " thread(s)", "cold",
+                   exp::fmtDouble(r.coldMBps, 1)});
+    exp::printRow({"batched, " + std::to_string(t) + " thread(s)", "warm",
+                   exp::fmtDouble(r.warmMBps, 1)});
+    return r;
+  };
+  const CacheResult t1 = runBatched(1);
+  const CacheResult tN = threads == 1 ? t1 : runBatched(threads);
+
+  printf("\nwarm %u-thread batched vs chunk-at-a-time baseline: %.2fx "
+         "(all passes byte-identical)\n",
+         threads, baselineMBps > 0 ? tN.warmMBps / baselineMBps : 0.0);
+
+  writeJson(jsonPath, object.size(), outcome.fileRecipe.entries.size(),
+            containerCount, threads, baselineMBps, t1, tN);
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -15,11 +15,13 @@
 //   backup_system list    <store-dir>
 //   backup_system stats   <store-dir>
 //   backup_system demo                      # self-contained tmp-dir demo
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "chunking/cdc_chunker.h"
 #include "client/dedup_client.h"
@@ -109,7 +111,13 @@ int doRestore(const std::string& storeDir, const std::string& destDir,
               const std::string& passphrase) {
   FileBackupStore store(storeDir);
   printRecovery(store);
-  DedupClient client(store);  // restore-only: no chunker or key manager
+  // Restore-only client (no chunker or key manager) on the batched engine:
+  // parallel decrypt + container read-ahead, sized to the machine.
+  RestoreOptions restoreOptions;
+  restoreOptions.parallelism =
+      std::clamp(std::thread::hardware_concurrency(), 1u, 8u);
+  restoreOptions.readAheadBatches = 4;
+  DedupClient client(store, restoreOptions);
   const AesKey userKey = userKeyFromPassphrase(passphrase);
 
   size_t files = 0;

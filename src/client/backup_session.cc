@@ -112,8 +112,11 @@ void BackupSession::onChunk(ByteView chunk) {
     return;
   }
 
-  // MLE path, parallel: fill the encrypt window.
-  if (client_->pool_) {
+  // MLE path, parallel: fill the encrypt window. Gated on the backup
+  // options, not on pool existence — the pool is shared with the restore
+  // stages and may exist solely for them, while this backup is configured
+  // serial (one ciphertext in flight, no window buffering).
+  if (client_->options_.parallelism > 1) {
     mleWindow_.emplace_back(chunk.begin(), chunk.end());
     if (mleWindow_.size() == kEncryptWindowChunks) encryptMleWindow();
     return;
@@ -175,7 +178,8 @@ void BackupSession::onSegment(const Segment& seg) {
   }
 
   std::vector<RecipeEntry> entryOf(count);  // indexed by original position
-  if (!client_->pool_) {
+  // Same gating as the MLE path: a shared pool may exist for restore only.
+  if (client_->options_.parallelism <= 1) {
     // Serial: encrypt in upload order, one ciphertext in flight.
     for (const size_t i : order) {
       const ByteVec cipher = MleScheme::encryptWithKey(segKey, segChunks_[i]);

@@ -46,7 +46,11 @@ struct BackupOptions {
   SegmentParams segmentParams;
   uint64_t scrambleSeed = 1;
   /// Worker threads for the per-chunk key-derivation + encryption stage.
-  /// 1 keeps the fully serial path. Any value produces bit-identical recipes
+  /// 1 keeps the fully serial path (one ciphertext in flight); any larger
+  /// value selects the windowed parallel path, which fans out over the
+  /// client's worker pool — shared with the restore stages and sized to the
+  /// larger of the two parallelism settings, so this is a floor on pool
+  /// width, not a per-stage cap. Any value produces bit-identical recipes
   /// and store contents: chunks are encrypted in parallel but stored in the
   /// same order as the serial path.
   uint32_t parallelism = 1;

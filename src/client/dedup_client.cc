@@ -12,20 +12,31 @@
 namespace freqdedup {
 
 DedupClient::DedupClient(BackupStore& store, const KeyManager& keyManager,
-                         const Chunker& chunker, BackupOptions options)
+                         const Chunker& chunker, BackupOptions options,
+                         RestoreOptions restoreOptions)
     : store_(&store),
       keyManager_(&keyManager),
       chunker_(&chunker),
-      options_(options) {
+      options_(options),
+      restoreOptions_(restoreOptions) {
   if (options_.parallelism == 0)
     throw std::invalid_argument("BackupOptions: parallelism must be >= 1");
   options_.segmentParams.validate();
-  if (options_.parallelism > 1)
-    pool_ = std::make_unique<ThreadPool>(options_.parallelism);
+  restoreOptions_.validate();
+  const uint32_t poolThreads =
+      std::max(options_.parallelism, restoreOptions_.parallelism);
+  if (poolThreads > 1) pool_ = std::make_unique<ThreadPool>(poolThreads);
 }
 
-DedupClient::DedupClient(BackupStore& store)
-    : store_(&store), keyManager_(nullptr), chunker_(nullptr) {}
+DedupClient::DedupClient(BackupStore& store, RestoreOptions restoreOptions)
+    : store_(&store),
+      keyManager_(nullptr),
+      chunker_(nullptr),
+      restoreOptions_(restoreOptions) {
+  restoreOptions_.validate();
+  if (restoreOptions_.parallelism > 1)
+    pool_ = std::make_unique<ThreadPool>(restoreOptions_.parallelism);
+}
 
 DedupClient::~DedupClient() = default;
 

@@ -41,13 +41,18 @@ class DedupClient {
  public:
   /// Full client. All referenced collaborators must outlive the client;
   /// sessions must not outlive it either. Throws std::invalid_argument on
-  /// invalid options (zero parallelism, invalid segment params).
+  /// invalid options (zero parallelism, invalid segment params, invalid
+  /// restore options). One worker pool is shared by the backup encrypt
+  /// stage and the restore prefetch/decrypt stages, sized to the larger of
+  /// the two parallelism settings.
   DedupClient(BackupStore& store, const KeyManager& keyManager,
-              const Chunker& chunker, BackupOptions options = {});
+              const Chunker& chunker, BackupOptions options = {},
+              RestoreOptions restoreOptions = {});
 
   /// Restore/administration-only client: restore, delete, list and verify
   /// need neither a chunker nor a key manager. beginBackup() throws.
-  explicit DedupClient(BackupStore& store);
+  explicit DedupClient(BackupStore& store,
+                       RestoreOptions restoreOptions = {});
 
   ~DedupClient();
 
@@ -91,6 +96,9 @@ class DedupClient {
   static std::string recipeBlobName(const std::string& name);
 
   [[nodiscard]] const BackupOptions& options() const { return options_; }
+  [[nodiscard]] const RestoreOptions& restoreOptions() const {
+    return restoreOptions_;
+  }
   [[nodiscard]] BackupStore& store() { return *store_; }
 
  private:
@@ -101,8 +109,12 @@ class DedupClient {
   const KeyManager* keyManager_;  // null in restore-only clients
   const Chunker* chunker_;        // null in restore-only clients
   BackupOptions options_;
-  std::unique_ptr<ThreadPool> pool_;  // shared encrypt workers; null if serial
-  std::mutex storeMu_;  // serializes all store access across sessions
+  RestoreOptions restoreOptions_;
+  std::unique_ptr<ThreadPool> pool_;  // shared workers; null if fully serial
+  // Serializes writer/admin store access across sessions. Restore reads
+  // (getChunks/chunkLocator) deliberately bypass it — the store's read path
+  // is internally synchronized — so concurrent restores overlap their I/O.
+  std::mutex storeMu_;
 };
 
 /// Derives a user (recipe-sealing) key from a passphrase:

@@ -1,12 +1,84 @@
 #include "client/restore_session.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "client/dedup_client.h"
 #include "crypto/mle.h"
+#include "pipeline/ordered_completion.h"
+#include "pipeline/thread_pool.h"
 
 namespace freqdedup {
+
+void RestoreOptions::validate() const {
+  if (parallelism == 0)
+    throw std::invalid_argument("RestoreOptions: parallelism must be >= 1");
+  if (batchBytes == 0)
+    throw std::invalid_argument("RestoreOptions: batchBytes must be >= 1");
+  if (maxBatchContainers == 0)
+    throw std::invalid_argument(
+        "RestoreOptions: maxBatchContainers must be >= 1");
+}
+
+namespace {
+
+/// Half-open range of recipe entries fetched by one store round trip.
+struct Batch {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Chunks not yet sealed into a container share one pseudo-container for
+/// batching purposes (they are served from the open-chunk table anyway).
+constexpr uint32_t kUnplacedContainer = UINT32_MAX;
+
+/// Incremental container-locality batch planner: entries are fed in recipe
+/// order (with their container placement) and cut into batches when one
+/// would exceed the byte target or span too many distinct containers.
+/// Working state is O(containers per batch), so planning a multi-gigabyte
+/// recipe never materializes per-entry side tables.
+class BatchPlanner {
+ public:
+  explicit BatchPlanner(const RestoreOptions& options) : options_(options) {}
+
+  /// Feed entry `index` (consecutive from 0) of `sizeBytes` ciphertext
+  /// placed in `container`.
+  void add(size_t index, uint32_t sizeBytes, uint32_t container) {
+    bool newContainer =
+        std::find(containers_.begin(), containers_.end(), container) ==
+        containers_.end();
+    const bool cut =
+        current_.end > current_.begin &&
+        (batchBytes_ + sizeBytes > options_.batchBytes ||
+         (newContainer && containers_.size() >= options_.maxBatchContainers));
+    if (cut) {
+      batches_.push_back(current_);
+      current_.begin = index;
+      batchBytes_ = 0;
+      containers_.clear();
+      newContainer = true;
+    }
+    current_.end = index + 1;
+    batchBytes_ += sizeBytes;
+    if (newContainer) containers_.push_back(container);
+  }
+
+  std::vector<Batch> finish() {
+    if (current_.end > current_.begin) batches_.push_back(current_);
+    return std::move(batches_);
+  }
+
+ private:
+  const RestoreOptions& options_;
+  std::vector<Batch> batches_;
+  Batch current_;
+  uint64_t batchBytes_ = 0;
+  std::vector<uint32_t> containers_;  // distinct, small by construction
+};
+
+}  // namespace
 
 RestoreSession::RestoreSession(DedupClient& client, FileRecipe fileRecipe,
                                KeyRecipe keyRecipe)
@@ -21,30 +93,90 @@ RestoreSession::RestoreSession(DedupClient& client, FileRecipe fileRecipe,
 RestoreSession::~RestoreSession() = default;
 
 uint64_t RestoreSession::streamTo(const ByteSink& sink) {
-  uint64_t streamed = 0;
-  for (size_t i = 0; i < fileRecipe_.entries.size(); ++i) {
-    const RecipeEntry& entry = fileRecipe_.entries[i];
-    ByteVec cipher;
-    {
-      std::lock_guard lock(client_->storeMu_);
-      cipher = client_->store_->getChunk(entry.cipherFp);
+  const std::vector<RecipeEntry>& entries = fileRecipe_.entries;
+  // Deliberately NOT under the client's store mutex: the store's read path
+  // is internally synchronized, so concurrent restores (and a concurrent
+  // backup's store writes) overlap with this session's I/O.
+  BackupStore& store = client_->store();
+  const RestoreOptions& options = client_->restoreOptions();
+
+  // Placement is queried in bounded slices and fed straight into the
+  // incremental planner: chunkLocator holds the store's metadata lock for
+  // its whole span, and a multi-gigabyte recipe must stall concurrent
+  // writers/restores for neither one monolithic index scan nor O(entries)
+  // side tables. The placements only shape batches, so a write landing
+  // between slices is harmless.
+  constexpr size_t kLocatorSlice = 4096;
+  BatchPlanner planner(options);
+  {
+    std::vector<Fp> sliceFps;
+    sliceFps.reserve(std::min(kLocatorSlice, entries.size()));
+    for (size_t off = 0; off < entries.size(); off += kLocatorSlice) {
+      const size_t count = std::min(kLocatorSlice, entries.size() - off);
+      sliceFps.clear();
+      for (size_t k = 0; k < count; ++k)
+        sliceFps.push_back(entries[off + k].cipherFp);
+      const auto placements = store.chunkLocator(sliceFps);
+      for (size_t k = 0; k < count; ++k)
+        planner.add(off + k, entries[off + k].size,
+                    placements[k] ? placements[k]->containerId
+                                  : kUnplacedContainer);
     }
-    // End-to-end verification: the store must hand back exactly the
-    // ciphertext the recipe names, and decryption must reproduce the
-    // plaintext the recipe fingerprinted at backup time.
-    if (fpOfContent(cipher) != entry.cipherFp)
-      throw std::runtime_error(
-          "restore: ciphertext fingerprint mismatch for " +
-          fpToHex(entry.cipherFp));
-    const ByteVec plain =
-        MleScheme::decryptWithKey(keyRecipe_.keys[i], cipher);
-    if (entry.plainFp != 0 && fpOfContent(plain) != entry.plainFp)
-      throw std::runtime_error(
-          "restore: plaintext fingerprint mismatch for " +
-          fpToHex(entry.cipherFp));
-    streamed += plain.size();
-    sink(ByteView(plain.data(), plain.size()));
   }
+  const std::vector<Batch> batches = planner.finish();
+
+  ThreadPool* pool = client_->pool_.get();
+  uint64_t streamed = 0;
+
+  const std::function<std::vector<ByteVec>(size_t)> fetchBatch =
+      [&](size_t b) {
+        const Batch& batch = batches[b];
+        std::vector<Fp> fps;
+        fps.reserve(batch.end - batch.begin);
+        for (size_t i = batch.begin; i < batch.end; ++i)
+          fps.push_back(entries[i].cipherFp);
+        return store.getChunks(fps);
+      };
+  const std::function<void(size_t, std::vector<ByteVec>&&)> emitBatch =
+      [&](size_t b, std::vector<ByteVec>&& ciphers) {
+        const Batch& batch = batches[b];
+        const size_t count = batch.end - batch.begin;
+        std::vector<ByteVec> plains(count);
+        const auto decryptRange = [&](size_t begin, size_t end) {
+          for (size_t k = begin; k < end; ++k) {
+            const size_t i = batch.begin + k;
+            const RecipeEntry& entry = entries[i];
+            // End-to-end verification: the store must hand back exactly the
+            // ciphertext the recipe names, and decryption must reproduce the
+            // plaintext the recipe fingerprinted at backup time.
+            if (fpOfContent(ciphers[k]) != entry.cipherFp)
+              throw std::runtime_error(
+                  "restore: ciphertext fingerprint mismatch for " +
+                  fpToHex(entry.cipherFp));
+            plains[k] =
+                MleScheme::decryptWithKey(keyRecipe_.keys[i], ciphers[k]);
+            if (entry.plainFp != 0 && fpOfContent(plains[k]) != entry.plainFp)
+              throw std::runtime_error(
+                  "restore: plaintext fingerprint mismatch for " +
+                  fpToHex(entry.cipherFp));
+          }
+        };
+        if (pool != nullptr && options.parallelism > 1) {
+          parallelForShared(*pool, count, decryptRange);
+        } else {
+          decryptRange(0, count);
+        }
+        // Strictly in-order emission, batch by batch, chunk by chunk.
+        for (size_t k = 0; k < count; ++k) {
+          streamed += plains[k].size();
+          sink(ByteView(plains[k].data(), plains[k].size()));
+        }
+      };
+
+  orderedProduceConsume<std::vector<ByteVec>>(
+      options.readAheadBatches > 0 ? pool : nullptr, options.readAheadBatches,
+      batches.size(), fetchBatch, emitBatch);
+
   if (streamed != fileRecipe_.fileSize)
     throw std::runtime_error("restore: size mismatch for " +
                              fileRecipe_.fileName);

@@ -1,13 +1,31 @@
-// Streaming restore session (one per in-flight object).
+// Streaming restore session (one per in-flight object) — a locality-aware
+// batched, pipelined read engine.
 //
-// Streams a backed-up object to a caller-supplied sink one chunk at a time,
-// verifying every chunk end-to-end (ciphertext fingerprint against the file
-// recipe, decrypted plaintext fingerprint against the recipe's plaintext
-// fingerprint) — so a restore or an fsck-style deep verify never holds more
-// than one chunk of the object in memory.
+// A restore pass runs three stages:
+//  1. a planner walks the file recipe and cuts it into container-locality
+//     batches (consecutive entries, bounded bytes, bounded distinct
+//     containers — using BackupStore::chunkLocator placement);
+//  2. a prefetcher fetches up to RestoreOptions::readAheadBatches batches
+//     ahead through BackupStore::getChunks, which reads each container once
+//     and serves repeats from the store's container read cache;
+//  3. chunks are decrypted and fingerprint-verified (ciphertext fingerprint
+//     against the file recipe, decrypted plaintext fingerprint against the
+//     recipe's plaintext fingerprint) — in parallel when the client has a
+//     worker pool — and emitted to the sink strictly in recipe order.
+//
+// Output bytes and verification semantics (which checks run, with which
+// error messages) are identical to the historic chunk-at-a-time path at
+// every parallelism / read-ahead / cache setting. On failure the sink has
+// received an in-order strict prefix of the object; unlike the historic
+// path, that prefix ends at the preceding batch boundary rather than at
+// the failing chunk (batches verify before they emit). Peak chunk-data
+// memory is O((readAheadBatches + 1) * batchBytes) on top of the recipes
+// the session already holds.
 //
 // Sessions are vended by DedupClient and are not thread-safe individually,
-// but distinct sessions of one client may run concurrently.
+// but distinct sessions of one client may run concurrently — restore I/O
+// deliberately runs outside the client's store mutex (the store's read path
+// is internally synchronized), so concurrent restores overlap their I/O.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +39,33 @@ namespace freqdedup {
 
 class DedupClient;
 
+/// Read-path tuning for the sessions a DedupClient vends. Every setting
+/// produces byte-identical output; the knobs trade memory for overlap.
+struct RestoreOptions {
+  /// Worker threads for the decrypt + fingerprint-verify stage. 1 keeps the
+  /// fully serial path (no pool needed); any larger value selects the
+  /// parallel path, which fans out over the client's worker pool — shared
+  /// with the backup encrypt stage and sized to the larger of the two
+  /// parallelism settings, so this is a floor on pool width, not a per-stage
+  /// cap. Output is byte-identical at every setting.
+  uint32_t parallelism = 1;
+  /// How many locality batches the prefetcher may fetch beyond the batch
+  /// currently being decrypted and emitted. 0 disables read-ahead (fetch,
+  /// then decrypt, strictly alternating). Read-ahead needs a worker pool,
+  /// i.e. parallelism > 1 on this or the backup side.
+  uint32_t readAheadBatches = 2;
+  /// Target ciphertext bytes per locality batch — the unit of restore
+  /// memory and of store read amplification.
+  uint64_t batchBytes = 4 * 1024 * 1024;
+  /// A batch is cut early once it spans this many distinct containers, so
+  /// one slow batch never fans out across the whole store.
+  uint32_t maxBatchContainers = 8;
+
+  /// Throws std::invalid_argument on a zero parallelism, batchBytes or
+  /// maxBatchContainers.
+  void validate() const;
+};
+
 /// Receives the next plaintext bytes of the object, in order. The view is
 /// only valid for the duration of the call.
 using ByteSink = std::function<void(ByteView)>;
@@ -31,10 +76,11 @@ class RestoreSession {
   RestoreSession& operator=(const RestoreSession&) = delete;
   ~RestoreSession();
 
-  /// Streams the whole object to `sink`, one verified chunk at a time.
-  /// Returns the number of bytes streamed (== size()). Throws
-  /// std::runtime_error on any fingerprint or size mismatch. Repeatable:
-  /// each call performs a full pass.
+  /// Streams the whole object to `sink`, one verified chunk at a time, in
+  /// recipe order. Returns the number of bytes streamed (== size()). Throws
+  /// std::runtime_error on any fingerprint or size mismatch — the sink has
+  /// then received a strict prefix of the object, never silently wrong or
+  /// reordered bytes. Repeatable: each call performs a full pass.
   uint64_t streamTo(const ByteSink& sink);
 
   /// Convenience: materializes the whole object (for callers that need it in

@@ -6,14 +6,28 @@
 
 namespace freqdedup {
 
+std::vector<ByteVec> BackupStore::getChunks(std::span<const Fp> cipherFps) {
+  std::vector<ByteVec> out;
+  out.reserve(cipherFps.size());
+  for (const Fp fp : cipherFps) out.push_back(getChunk(fp));
+  return out;
+}
+
+std::vector<std::optional<ChunkPlacement>> BackupStore::chunkLocator(
+    std::span<const Fp> cipherFps) const {
+  return std::vector<std::optional<ChunkPlacement>>(cipherFps.size());
+}
+
 std::unique_ptr<BackupStore> makeBackupStore(StoreBackend backend,
                                              const std::string& dir,
-                                             uint64_t containerBytes) {
+                                             uint64_t containerBytes,
+                                             size_t readCacheContainers) {
   switch (backend) {
     case StoreBackend::kMemory:
       return std::make_unique<MemBackupStore>(containerBytes);
     case StoreBackend::kFile:
-      return std::make_unique<FileBackupStore>(dir, containerBytes);
+      return std::make_unique<FileBackupStore>(dir, containerBytes,
+                                               readCacheContainers);
   }
   FDD_CHECK_MSG(false, "unreachable");
   return nullptr;

@@ -72,6 +72,28 @@ struct StoreRecoveryStats {
   uint64_t refcountsRepaired = 0;  // refcounts reconciled against manifests
 };
 
+/// Container placement of a stored chunk, as exposed by chunkLocator(). The
+/// restore planner groups reads by containerId so each container is fetched
+/// once per locality batch.
+struct ChunkPlacement {
+  uint32_t containerId = 0;
+  uint32_t entryIndex = 0;  // position within the container's entry table
+  uint32_t size = 0;        // ciphertext size in bytes
+
+  friend bool operator==(const ChunkPlacement&,
+                         const ChunkPlacement&) = default;
+};
+
+/// Read-path counters, monotonic over the life of one store instance. Safe
+/// to sample while reads are in flight.
+struct StoreReadStats {
+  uint64_t chunkReads = 0;      // chunks served by getChunk/getChunks
+  uint64_t batchReads = 0;      // getChunks calls
+  uint64_t containerLoads = 0;  // container fetches that missed the cache
+  uint64_t cacheHits = 0;       // container fetches the read cache served
+  uint64_t readRetries = 0;     // chunk reads re-resolved after a GC race
+};
+
 class BackupStore {
  public:
   virtual ~BackupStore() = default;
@@ -86,6 +108,30 @@ class BackupStore {
 
   /// Retrieves a chunk's bytes; throws std::runtime_error if absent.
   virtual ByteVec getChunk(Fp cipherFp) = 0;
+
+  /// Batched retrieval: the chunks' bytes, in request order (duplicates
+  /// allowed). Throws std::runtime_error if any chunk is absent or fails
+  /// integrity checks. The base implementation loops getChunk; backends
+  /// override it with container-granular reads (every chunk a batch takes
+  /// from one container is served by a single container fetch).
+  ///
+  /// Read-path thread safety: getChunks, getChunk, chunkLocator and
+  /// readStats on the built-in backends are safe to call concurrently with
+  /// each other AND with writer operations (which the caller still
+  /// serializes, as DedupClient does) — restore I/O must not hold the
+  /// writer lock.
+  virtual std::vector<ByteVec> getChunks(std::span<const Fp> cipherFps);
+
+  /// Container placement of stored chunks for locality-aware read planning:
+  /// result[i] describes cipherFps[i], nullopt when the store has no sealed
+  /// placement for it (chunk absent, or still in the open container). The
+  /// base implementation knows nothing about placement and returns
+  /// all-nullopt, which degrades the restore planner to byte-sized batches.
+  [[nodiscard]] virtual std::vector<std::optional<ChunkPlacement>>
+  chunkLocator(std::span<const Fp> cipherFps) const;
+
+  /// Read-path counters; the base implementation reports all zeros.
+  [[nodiscard]] virtual StoreReadStats readStats() const { return {}; }
 
   /// Current reference count of a chunk (0 if absent or unreferenced).
   [[nodiscard]] virtual uint32_t chunkRefCount(Fp cipherFp) const = 0;
@@ -136,10 +182,19 @@ class BackupStore {
   [[nodiscard]] virtual size_t containerCount() const = 0;
 };
 
+/// Default capacity (in containers) of the file backend's read cache.
+inline constexpr size_t kDefaultReadCacheContainers = 16;
+
+/// Read-cache capacity meaning "never evict".
+inline constexpr size_t kUnboundedReadCache = SIZE_MAX;
+
 /// Creates a store of the chosen backend. `dir` is required for (and only
-/// used by) StoreBackend::kFile.
+/// used by) StoreBackend::kFile. `readCacheContainers` bounds the file
+/// backend's container read cache (0 disables it, kUnboundedReadCache never
+/// evicts); the memory backend keeps containers resident and ignores it.
 std::unique_ptr<BackupStore> makeBackupStore(
     StoreBackend backend, const std::string& dir = {},
-    uint64_t containerBytes = kDefaultContainerBytes);
+    uint64_t containerBytes = kDefaultContainerBytes,
+    size_t readCacheContainers = kDefaultReadCacheContainers);
 
 }  // namespace freqdedup

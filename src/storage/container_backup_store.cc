@@ -1,5 +1,6 @@
 #include "storage/container_backup_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
@@ -18,8 +19,9 @@ constexpr char kChunkKeyPrefix = 'C';
 constexpr char kBlobKeyPrefix = 'B';
 constexpr char kManifestKeyPrefix = 'M';
 
-/// Parsed containers kept hot in file mode; each is up to containerBytes.
-constexpr size_t kContainerCacheEntries = 16;
+/// A read that races GC compaction re-resolves its fingerprint and retries
+/// this many times before the failure is treated as real corruption.
+constexpr int kReadRetryAttempts = 3;
 
 ByteVec prefixedKey(char prefix, const std::string& name) {
   ByteVec key;
@@ -112,11 +114,12 @@ ContainerBackupStore::ChunkEntry ContainerBackupStore::decodeChunkEntry(
 
 ContainerBackupStore::ContainerBackupStore(std::unique_ptr<KvStore> index,
                                            std::string dir,
-                                           uint64_t containerBytes)
+                                           uint64_t containerBytes,
+                                           size_t readCacheContainers)
     : dir_(std::move(dir)),
       index_(std::move(index)),
       builder_(containerBytes),
-      containerCache_(kContainerCacheEntries) {}
+      readCache_(readCacheContainers) {}
 
 ContainerBackupStore::~ContainerBackupStore() {
   if (!dir_.empty()) {
@@ -135,12 +138,18 @@ std::string ContainerBackupStore::containerPath(uint32_t id) const {
   return dir_ + "/containers/" + name;
 }
 
-bool ContainerBackupStore::hasChunk(Fp cipherFp) const {
+bool ContainerBackupStore::hasChunkLocked(Fp cipherFp) const {
   if (openChunks_.contains(cipherFp)) return true;
   return index_->contains(chunkKey(cipherFp));
 }
 
+bool ContainerBackupStore::hasChunk(Fp cipherFp) const {
+  std::lock_guard lock(mu_);
+  return hasChunkLocked(cipherFp);
+}
+
 uint32_t ContainerBackupStore::chunkRefCount(Fp cipherFp) const {
+  std::lock_guard lock(mu_);
   const auto it = openChunks_.find(cipherFp);
   if (it != openChunks_.end()) return it->second.refs;
   const auto value = index_->get(chunkKey(cipherFp));
@@ -149,24 +158,26 @@ uint32_t ContainerBackupStore::chunkRefCount(Fp cipherFp) const {
 }
 
 bool ContainerBackupStore::putChunk(Fp cipherFp, ByteView bytes) {
+  std::lock_guard lock(mu_);
   ++stats_.logicalPuts;
   stats_.logicalBytes += bytes.size();
-  if (hasChunk(cipherFp)) return false;
-  stageChunk(cipherFp, bytes, /*refs=*/0);
+  if (hasChunkLocked(cipherFp)) return false;
+  stageChunkLocked(cipherFp, bytes, /*refs=*/0);
   ++stats_.uniqueChunks;
   stats_.storedBytes += bytes.size();
   return true;
 }
 
-void ContainerBackupStore::stageChunk(Fp fp, ByteView bytes, uint32_t refs) {
+void ContainerBackupStore::stageChunkLocked(Fp fp, ByteView bytes,
+                                            uint32_t refs) {
   if (builder_.wouldOverflow(static_cast<uint32_t>(bytes.size())))
-    sealOpenContainer();
+    sealOpenContainerLocked();
   builder_.add(fp, static_cast<uint32_t>(bytes.size()), bytes);
   openChunks_.emplace(fp,
                       OpenChunk{ByteVec(bytes.begin(), bytes.end()), refs});
 }
 
-void ContainerBackupStore::sealOpenContainer() {
+void ContainerBackupStore::sealOpenContainerLocked() {
   if (builder_.empty()) return;
   const uint32_t id = nextContainerId_++;
   Container container = builder_.seal(id);
@@ -182,9 +193,13 @@ void ContainerBackupStore::sealOpenContainer() {
   liveContainerIds_.insert(id);
   auto shared = std::make_shared<const Container>(std::move(container));
   if (dir_.empty()) {
-    containers_.emplace(id, std::move(shared));
-  } else {
-    containerCache_.put(id, std::move(shared));
+    containers_.emplace(id, ContainerReadCache::makeEntry(std::move(shared)));
+  } else if (readCache_.capacity() > 0) {
+    // Keep the freshly sealed container hot. Admission CRCs its payloads
+    // while we hold the store lock — an O(container) pass on top of a seal
+    // that is already O(container) — and is skipped entirely when the
+    // cache cannot retain the entry anyway.
+    readCache_.admit(id, std::move(shared));
   }
   openChunks_.clear();
 }
@@ -199,71 +214,296 @@ void ContainerBackupStore::writeContainerFile(
   std::filesystem::rename(path + ".tmp", path);
 }
 
-std::shared_ptr<const Container> ContainerBackupStore::loadContainer(
+std::shared_ptr<const Container> ContainerBackupStore::loadContainerLocked(
     uint32_t id) {
   if (dir_.empty()) {
     const auto it = containers_.find(id);
     if (it == containers_.end())
       throw std::runtime_error("BackupStore: container missing: " +
                                std::to_string(id));
-    return it->second;
+    return it->second.container;
   }
-  if (auto cached = containerCache_.get(id)) return *cached;
-  auto container =
-      std::make_shared<const Container>(parseContainer(readFile(containerPath(id))));
+  if (auto cached = readCache_.get(id)) return cached->container;
+  // Deliberately not admitted: admin scans (GC, verify) visit each
+  // container once, so admission would only pay the CRC-table pass and
+  // evict the restore working set from the bounded cache.
+  return parseContainerFile(id);
+}
+
+std::shared_ptr<const Container> ContainerBackupStore::parseContainerFile(
+    uint32_t id) const {
+  auto container = std::make_shared<const Container>(
+      parseContainer(readFile(containerPath(id))));
   if (container->id != id)
     throw std::runtime_error("BackupStore: container id mismatch in " +
                              containerPath(id));
-  containerCache_.put(id, container);
   return container;
 }
 
-void ContainerBackupStore::dropContainer(uint32_t id) {
+ContainerReadCache::Entry ContainerBackupStore::loadAndAdmit(uint32_t id) {
+  if (readCache_.capacity() == 0) {
+    // Cache disabled: nothing a loader admits could serve a waiter, so
+    // single-flight coalescing would only serialize concurrent misses.
+    // Every miss loads independently, in parallel.
+    auto container = parseContainerFile(id);
+    reads_.containerLoads.fetch_add(1, std::memory_order_relaxed);
+    return ContainerReadCache::makeEntry(std::move(container));
+  }
+  {
+    std::unique_lock lock(loadMu_);
+    for (;;) {
+      // Re-check under loadMu_ on every pass: a loader that finished —
+      // whether we waited on it or it completed between our fetchContainer
+      // miss and this lock — has already admitted the container, and
+      // re-reading the file would both duplicate I/O and double-count
+      // containerLoads. (recordStats=false: fetchContainer already counted
+      // this logical lookup's miss.)
+      if (auto cached = readCache_.get(id, /*recordStats=*/false)) {
+        reads_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+        return *cached;
+      }
+      if (!loading_.contains(id)) break;
+      loadCv_.wait(lock);
+    }
+    loading_.insert(id);
+  }
+  const auto finishLoad = [&] {
+    {
+      std::lock_guard lock(loadMu_);
+      loading_.erase(id);
+    }
+    loadCv_.notify_all();
+  };
+  try {
+    auto container = parseContainerFile(id);
+    reads_.containerLoads.fetch_add(1, std::memory_order_relaxed);
+    ContainerReadCache::Entry entry =
+        readCache_.admit(id, std::move(container));
+    // Close the admit-vs-GC race: if GC compacted this container while we
+    // were reading it (its invalidate() ran before our admit()), drop the
+    // re-admitted entry so a dead container never pins a cache slot. GC
+    // holds mu_ for its whole pass, so this check is before-or-after, never
+    // interleaved; our local entry stays valid either way (ids are never
+    // reused and the bytes are correct for the placement we resolved).
+    {
+      std::lock_guard lock(mu_);
+      if (!liveContainerIds_.contains(id)) readCache_.invalidate(id);
+    }
+    finishLoad();
+    return entry;
+  } catch (...) {
+    finishLoad();
+    throw;
+  }
+}
+
+ContainerReadCache::Entry ContainerBackupStore::fetchContainer(uint32_t id) {
+  if (dir_.empty()) {
+    std::lock_guard lock(mu_);
+    const auto it = containers_.find(id);
+    if (it == containers_.end())
+      throw std::runtime_error("BackupStore: container missing: " +
+                               std::to_string(id));
+    // Resident containers are the memory backend's cache equivalent.
+    reads_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  if (auto cached = readCache_.get(id)) {
+    reads_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+    return *cached;
+  }
+  return loadAndAdmit(id);
+}
+
+void ContainerBackupStore::dropContainerLocked(uint32_t id) {
   containers_.erase(id);
-  containerCache_.erase(id);
+  readCache_.invalidate(id);
   liveContainerIds_.erase(id);
   if (!dir_.empty()) std::filesystem::remove(containerPath(id));
 }
 
-ByteVec ContainerBackupStore::getChunk(Fp cipherFp) {
-  const auto openIt = openChunks_.find(cipherFp);
-  if (openIt != openChunks_.end()) return openIt->second.bytes;
-
-  const auto value = index_->get(chunkKey(cipherFp));
-  if (!value)
-    throw std::runtime_error("BackupStore: chunk not found: " +
-                             fpToHex(cipherFp));
-  const ChunkEntry loc = decodeChunkEntry(*value);
-  const auto container = loadContainer(loc.containerId);
-  if (loc.entryIndex >= container->entries.size())
+ByteVec ContainerBackupStore::extractPayload(
+    const ContainerReadCache::Entry& cached, Fp fp, const ChunkEntry& e) {
+  const Container& container = *cached.container;
+  if (e.entryIndex >= container.entries.size())
     throw std::runtime_error("BackupStore: index entry out of range for " +
-                             fpToHex(cipherFp));
-  const ContainerEntry& entry = container->entries[loc.entryIndex];
-  if (entry.fp != cipherFp || entry.size != loc.size ||
-      entry.dataOffset + entry.size > container->data.size())
+                             fpToHex(fp));
+  const ContainerEntry& entry = container.entries[e.entryIndex];
+  if (entry.fp != fp || entry.size != e.size ||
+      entry.dataOffset + entry.size > container.data.size())
     throw std::runtime_error("BackupStore: container/index mismatch for " +
-                             fpToHex(cipherFp));
-  const auto begin =
-      container->data.begin() + static_cast<ptrdiff_t>(entry.dataOffset);
-  return ByteVec(begin, begin + entry.size);
+                             fpToHex(fp));
+  const ByteView payload =
+      ByteView(container.data).subspan(entry.dataOffset, entry.size);
+  // Every serve — cache hit or fresh load — re-checks the payload against
+  // the CRC computed at admission, so a corrupted cached copy can never be
+  // served as valid bytes.
+  if (crc32c(payload) != (*cached.payloadCrcs)[e.entryIndex])
+    throw std::runtime_error("BackupStore: payload CRC mismatch for " +
+                             fpToHex(fp));
+  return ByteVec(payload.begin(), payload.end());
+}
+
+ByteVec ContainerBackupStore::serveChunk(Fp fp, ChunkEntry e) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return extractPayload(fetchContainer(e.containerId), fp, e);
+    } catch (const std::exception&) {
+      // A concurrent GC may have compacted the container between the index
+      // lookup and the container fetch (file deleted, chunk relocated).
+      // Re-resolve the fingerprint against the current index and retry;
+      // real corruption resolves to the same placement and rethrows.
+      if (attempt >= kReadRetryAttempts) throw;
+      readCache_.invalidate(e.containerId);
+      ChunkEntry fresh;
+      {
+        std::lock_guard lock(mu_);
+        const auto openIt = openChunks_.find(fp);
+        if (openIt != openChunks_.end()) return openIt->second.bytes;
+        const auto value = index_->get(chunkKey(fp));
+        if (!value)
+          throw std::runtime_error("BackupStore: chunk not found: " +
+                                   fpToHex(fp));
+        fresh = decodeChunkEntry(*value);
+      }
+      if (fresh.containerId == e.containerId &&
+          fresh.entryIndex == e.entryIndex)
+        throw;
+      e = fresh;
+      reads_.readRetries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+ByteVec ContainerBackupStore::getChunk(Fp cipherFp) {
+  reads_.chunkReads.fetch_add(1, std::memory_order_relaxed);
+  ChunkEntry e;
+  {
+    std::lock_guard lock(mu_);
+    const auto openIt = openChunks_.find(cipherFp);
+    if (openIt != openChunks_.end()) return openIt->second.bytes;
+    const auto value = index_->get(chunkKey(cipherFp));
+    if (!value)
+      throw std::runtime_error("BackupStore: chunk not found: " +
+                               fpToHex(cipherFp));
+    e = decodeChunkEntry(*value);
+  }
+  return serveChunk(cipherFp, e);
+}
+
+std::vector<ByteVec> ContainerBackupStore::getChunks(
+    std::span<const Fp> cipherFps) {
+  reads_.batchReads.fetch_add(1, std::memory_order_relaxed);
+  reads_.chunkReads.fetch_add(cipherFps.size(), std::memory_order_relaxed);
+  std::vector<ByteVec> out(cipherFps.size());
+
+  // Phase 1 (index, under the lock): resolve every fingerprint to its
+  // placement; open-container chunks are copied out directly.
+  struct Need {
+    size_t at = 0;  // position in the request / output
+    Fp fp = 0;
+    ChunkEntry entry;
+  };
+  std::vector<Need> needs;
+  needs.reserve(cipherFps.size());
+  {
+    std::lock_guard lock(mu_);
+    for (size_t i = 0; i < cipherFps.size(); ++i) {
+      const auto openIt = openChunks_.find(cipherFps[i]);
+      if (openIt != openChunks_.end()) {
+        out[i] = openIt->second.bytes;
+        continue;
+      }
+      const auto value = index_->get(chunkKey(cipherFps[i]));
+      if (!value)
+        throw std::runtime_error("BackupStore: chunk not found: " +
+                                 fpToHex(cipherFps[i]));
+      needs.push_back({i, cipherFps[i], decodeChunkEntry(*value)});
+    }
+  }
+
+  // Phase 2 (containers, no lock): serve container by container, so one
+  // fetch covers every chunk the batch takes from it. Containers are
+  // visited in first-appearance order — not ascending id — so a bounded
+  // read cache sees the same front-to-back locality the request had, and
+  // the stable sort keeps request order within a container.
+  std::unordered_map<uint32_t, size_t> groupRank;
+  for (const Need& need : needs)
+    groupRank.emplace(need.entry.containerId, groupRank.size());
+  std::stable_sort(needs.begin(), needs.end(),
+                   [&groupRank](const Need& a, const Need& b) {
+                     return groupRank.at(a.entry.containerId) <
+                            groupRank.at(b.entry.containerId);
+                   });
+  for (size_t i = 0; i < needs.size();) {
+    size_t j = i;
+    const uint32_t id = needs[i].entry.containerId;
+    while (j < needs.size() && needs[j].entry.containerId == id) ++j;
+    try {
+      const ContainerReadCache::Entry cached = fetchContainer(id);
+      for (size_t k = i; k < j; ++k)
+        out[needs[k].at] = extractPayload(cached, needs[k].fp, needs[k].entry);
+    } catch (const std::exception&) {
+      // GC race or corruption: fall back to per-chunk serving, which
+      // re-resolves each fingerprint and retries before giving up. A chunk
+      // whose retry still fails (genuine corruption) throws out of this
+      // loop immediately — the rest of the group is not re-attempted.
+      for (size_t k = i; k < j; ++k)
+        out[needs[k].at] = serveChunk(needs[k].fp, needs[k].entry);
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::optional<ChunkPlacement>> ContainerBackupStore::chunkLocator(
+    std::span<const Fp> cipherFps) const {
+  std::vector<std::optional<ChunkPlacement>> out(cipherFps.size());
+  std::lock_guard lock(mu_);
+  for (size_t i = 0; i < cipherFps.size(); ++i) {
+    const auto value = index_->get(chunkKey(cipherFps[i]));
+    if (!value) continue;  // absent, or still in the open container
+    const ChunkEntry e = decodeChunkEntry(*value);
+    out[i] = ChunkPlacement{e.containerId, e.entryIndex, e.size};
+  }
+  return out;
+}
+
+StoreReadStats ContainerBackupStore::readStats() const {
+  StoreReadStats s;
+  s.chunkReads = reads_.chunkReads.load(std::memory_order_relaxed);
+  s.batchReads = reads_.batchReads.load(std::memory_order_relaxed);
+  s.containerLoads = reads_.containerLoads.load(std::memory_order_relaxed);
+  s.cacheHits = reads_.cacheHits.load(std::memory_order_relaxed);
+  s.readRetries = reads_.readRetries.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t ContainerBackupStore::containerCount() const {
+  std::lock_guard lock(mu_);
+  return liveContainerIds_.size();
 }
 
 void ContainerBackupStore::putBlob(const std::string& name, ByteView bytes) {
+  std::lock_guard lock(mu_);
   index_->put(blobKey(name), bytes);
 }
 
 std::optional<ByteVec> ContainerBackupStore::getBlob(const std::string& name) {
+  std::lock_guard lock(mu_);
   return index_->get(blobKey(name));
 }
 
 bool ContainerBackupStore::eraseBlob(const std::string& name) {
+  std::lock_guard lock(mu_);
   return index_->erase(blobKey(name));
 }
 
-std::vector<std::string> ContainerBackupStore::listBlobs() {
+std::vector<std::string> ContainerBackupStore::listNamesLocked(
+    char prefix) const {
   std::vector<std::string> names;
-  index_->forEach([&names](ByteView key, ByteView) {
-    if (!key.empty() && key[0] == static_cast<uint8_t>(kBlobKeyPrefix)) {
+  index_->forEach([&names, prefix](ByteView key, ByteView) {
+    if (!key.empty() && key[0] == static_cast<uint8_t>(prefix)) {
       names.emplace_back(reinterpret_cast<const char*>(key.data()) + 1,
                          key.size() - 1);
     }
@@ -271,7 +511,12 @@ std::vector<std::string> ContainerBackupStore::listBlobs() {
   return names;
 }
 
-void ContainerBackupStore::adjustRefs(Fp fp, int64_t delta) {
+std::vector<std::string> ContainerBackupStore::listBlobs() {
+  std::lock_guard lock(mu_);
+  return listNamesLocked(kBlobKeyPrefix);
+}
+
+void ContainerBackupStore::adjustRefsLocked(Fp fp, int64_t delta) {
   const auto value = index_->get(chunkKey(fp));
   if (!value) {
     // Dropping a reference to a chunk that no longer exists (e.g. lost to a
@@ -291,7 +536,8 @@ void ContainerBackupStore::adjustRefs(Fp fp, int64_t delta) {
 
 void ContainerBackupStore::recordBackup(const std::string& name,
                                         std::span<const Fp> chunkRefs) {
-  sealOpenContainer();
+  std::lock_guard lock(mu_);
+  sealOpenContainerLocked();
   std::unordered_map<Fp, int64_t, FpHash> deltas;
   for (const Fp fp : chunkRefs) ++deltas[fp];
   // Validate every reference before mutating anything, so a bad manifest
@@ -306,44 +552,46 @@ void ContainerBackupStore::recordBackup(const std::string& name,
   // one put (atomic at the log-record level), so a crash at any point leaves
   // either the old or the new manifest — never none. Refcount drift from a
   // crash mid-delta is reconciled against the manifests on the next open.
-  for (const Fp fp : backupRefs(name).value_or(std::vector<Fp>{}))
+  for (const Fp fp : backupRefsLocked(name).value_or(std::vector<Fp>{}))
     --deltas[fp];
   for (const auto& [fp, delta] : deltas)
-    if (delta != 0) adjustRefs(fp, delta);
+    if (delta != 0) adjustRefsLocked(fp, delta);
   index_->put(manifestKey(name), serializeManifest(chunkRefs));
 }
 
-std::optional<std::vector<Fp>> ContainerBackupStore::backupRefs(
+std::optional<std::vector<Fp>> ContainerBackupStore::backupRefsLocked(
     const std::string& name) {
   const auto blob = index_->get(manifestKey(name));
   if (!blob) return std::nullopt;
   return parseManifest(*blob);
 }
 
+std::optional<std::vector<Fp>> ContainerBackupStore::backupRefs(
+    const std::string& name) {
+  std::lock_guard lock(mu_);
+  return backupRefsLocked(name);
+}
+
 bool ContainerBackupStore::releaseBackup(const std::string& name) {
+  std::lock_guard lock(mu_);
   const auto blob = index_->get(manifestKey(name));
   if (!blob) return false;
   std::unordered_map<Fp, uint32_t, FpHash> counts;
   for (const Fp fp : parseManifest(*blob)) ++counts[fp];
-  for (const auto& [fp, n] : counts) adjustRefs(fp, -static_cast<int64_t>(n));
+  for (const auto& [fp, n] : counts)
+    adjustRefsLocked(fp, -static_cast<int64_t>(n));
   index_->erase(manifestKey(name));
   return true;
 }
 
 std::vector<std::string> ContainerBackupStore::listBackups() {
-  std::vector<std::string> names;
-  index_->forEach([&names](ByteView key, ByteView) {
-    if (!key.empty() && key[0] == static_cast<uint8_t>(kManifestKeyPrefix)) {
-      names.emplace_back(reinterpret_cast<const char*>(key.data()) + 1,
-                         key.size() - 1);
-    }
-  });
-  return names;
+  std::lock_guard lock(mu_);
+  return listNamesLocked(kManifestKeyPrefix);
 }
 
 std::unordered_map<uint32_t,
                    std::vector<std::pair<Fp, ContainerBackupStore::ChunkEntry>>>
-ContainerBackupStore::chunkEntriesByContainer() {
+ContainerBackupStore::chunkEntriesByContainerLocked() {
   std::unordered_map<uint32_t, std::vector<std::pair<Fp, ChunkEntry>>> result;
   index_->forEach([&result](ByteView key, ByteView value) {
     if (key.empty() || key[0] != static_cast<uint8_t>(kChunkKeyPrefix)) return;
@@ -354,7 +602,7 @@ ContainerBackupStore::chunkEntriesByContainer() {
   return result;
 }
 
-void ContainerBackupStore::flushIndex() {
+void ContainerBackupStore::flushIndexLocked() {
   if (auto* logkv = dynamic_cast<LogKv*>(index_.get())) logkv->flush();
 }
 
@@ -366,9 +614,15 @@ GcStats ContainerBackupStore::collectGarbage() {
   //      old container is deleted (phase 3), so a crash at any point leaves
   //      every live chunk reachable — at worst duplicated in a container
   //      that recovery treats as orphaned and removes.
+  //
+  // The whole pass holds the metadata lock, so a concurrent batched read
+  // observes either the pre-GC index (old containers still on disk until
+  // phase 3; a vanished file triggers its re-resolve + retry path) or the
+  // fully compacted one — never a half-applied relocation.
   GcStats gc;
-  sealOpenContainer();
-  auto byContainer = chunkEntriesByContainer();
+  std::lock_guard lock(mu_);
+  sealOpenContainerLocked();
+  auto byContainer = chunkEntriesByContainerLocked();
 
   // Phase 1: copy live chunks out of every container that holds dead ones.
   std::vector<uint32_t> doomed;
@@ -376,7 +630,7 @@ GcStats ContainerBackupStore::collectGarbage() {
     bool anyDead = false;
     for (const auto& [fp, e] : entries) anyDead |= e.refs == 0;
     if (!anyDead) continue;
-    const auto container = loadContainer(id);
+    const auto container = loadContainerLocked(id);
     for (const auto& [fp, e] : entries) {
       if (e.refs == 0) continue;
       if (e.entryIndex >= container->entries.size() ||
@@ -387,17 +641,18 @@ GcStats ContainerBackupStore::collectGarbage() {
       if (ce.dataOffset + ce.size > container->data.size())
         throw std::runtime_error("gc: chunk payload out of range for " +
                                  fpToHex(fp));
-      stageChunk(fp,
-                 ByteView(container->data).subspan(ce.dataOffset, ce.size),
-                 e.refs);
+      stageChunkLocked(fp,
+                       ByteView(container->data).subspan(ce.dataOffset,
+                                                         ce.size),
+                       e.refs);
       ++gc.chunksRelocated;
     }
     doomed.push_back(id);
   }
 
   // Phase 2: persist the relocations before anything is deleted.
-  sealOpenContainer();
-  flushIndex();
+  sealOpenContainerLocked();
+  flushIndexLocked();
 
   // Phase 3: drop dead index entries and reclaim the doomed containers.
   for (const uint32_t id : doomed) {
@@ -409,7 +664,7 @@ GcStats ContainerBackupStore::collectGarbage() {
       ++gc.chunksReclaimed;
       gc.bytesReclaimed += e.size;
     }
-    dropContainer(id);
+    dropContainerLocked(id);
     ++gc.containersCompacted;
   }
 
@@ -423,11 +678,12 @@ GcStats ContainerBackupStore::collectGarbage() {
 
 StoreCheckReport ContainerBackupStore::verify() {
   StoreCheckReport report;
-  sealOpenContainer();
+  std::lock_guard lock(mu_);
+  sealOpenContainerLocked();
   std::unordered_map<uint32_t, std::vector<std::pair<Fp, ChunkEntry>>>
       byContainer;
   try {
-    byContainer = chunkEntriesByContainer();
+    byContainer = chunkEntriesByContainerLocked();
   } catch (const std::exception& e) {
     report.errors.emplace_back(std::string("index: ") + e.what());
     return report;
@@ -435,7 +691,7 @@ StoreCheckReport ContainerBackupStore::verify() {
 
   // Manifest accounting: expected refcount per fingerprint.
   std::unordered_map<Fp, uint64_t, FpHash> manifestRefs;
-  for (const std::string& name : listBackups()) {
+  for (const std::string& name : listNamesLocked(kManifestKeyPrefix)) {
     const auto blob = index_->get(manifestKey(name));
     if (!blob) continue;  // racing deletion; nothing to check
     try {
@@ -451,7 +707,7 @@ StoreCheckReport ContainerBackupStore::verify() {
   for (const auto& [id, entries] : byContainer) {
     std::shared_ptr<const Container> container;
     try {
-      container = loadContainer(id);
+      container = loadContainerLocked(id);
       ++report.containersChecked;
     } catch (const std::exception& e) {
       report.errors.emplace_back("container " + std::to_string(id) + ": " +
@@ -512,9 +768,10 @@ StoreCheckReport ContainerBackupStore::verify() {
 StoreRecoveryStats ContainerBackupStore::recoverPersistentState() {
   FDD_CHECK_MSG(!dir_.empty(), "recovery only applies to persistent stores");
   StoreRecoveryStats rs;
+  std::lock_guard lock(mu_);
   // The LogKv constructor already replayed the index log and truncated any
   // torn tail; cross-check the container directory against that index.
-  const auto byContainer = chunkEntriesByContainer();
+  const auto byContainer = chunkEntriesByContainerLocked();
   nextContainerId_ = 0;
   for (const auto& [id, entries] : byContainer)
     nextContainerId_ = std::max(nextContainerId_, id + 1);
@@ -542,14 +799,11 @@ StoreRecoveryStats ContainerBackupStore::recoverPersistentState() {
     }
     bool valid = false;
     try {
-      auto container = std::make_shared<const Container>(
-          parseContainer(readFile(containerPath(id))));
-      if (container->id == id) {
-        valid = true;
-        // The validation parse is the first read anyway; keep it hot so
-        // early getChunk calls don't re-read the file.
-        containerCache_.put(id, std::move(container));
-      }
+      const Container container = parseContainer(readFile(containerPath(id)));
+      valid = container.id == id;
+      // Deliberately NOT admitted to the read cache: a freshly opened store
+      // starts with a cold cache, so read-count accounting and cold-cache
+      // benchmarks measure the read path, not recovery's validation pass.
     } catch (const std::exception&) {
     }
     if (valid) {
@@ -580,8 +834,8 @@ StoreRecoveryStats ContainerBackupStore::recoverPersistentState() {
   // releaseBackup / commitBackup leaves drift that this repairs, so GC after
   // reopen can never reclaim a chunk a surviving manifest references.
   std::unordered_map<Fp, uint64_t, FpHash> expectedRefs;
-  for (const std::string& name : listBackups()) {
-    const auto refs = backupRefs(name);
+  for (const std::string& name : listNamesLocked(kManifestKeyPrefix)) {
+    const auto refs = backupRefsLocked(name);
     if (!refs) continue;
     for (const Fp fp : *refs) ++expectedRefs[fp];
   }
@@ -610,16 +864,18 @@ StoreRecoveryStats ContainerBackupStore::recoverPersistentState() {
   });
   if (rs.entriesDropped > 0 || rs.orphanContainersRemoved > 0 ||
       rs.refcountsRepaired > 0)
-    flushIndex();
+    flushIndexLocked();
   return rs;
 }
 
 void ContainerBackupStore::flush() {
-  sealOpenContainer();
-  flushIndex();
+  std::lock_guard lock(mu_);
+  sealOpenContainerLocked();
+  flushIndexLocked();
 }
 
 MemBackupStore::MemBackupStore(uint64_t containerBytes)
-    : ContainerBackupStore(std::make_unique<MemKv>(), "", containerBytes) {}
+    : ContainerBackupStore(std::make_unique<MemKv>(), "", containerBytes,
+                           /*readCacheContainers=*/0) {}
 
 }  // namespace freqdedup

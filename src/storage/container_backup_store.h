@@ -10,6 +10,16 @@
 //   'B' + name      -> blob bytes (sealed recipes)
 //   'M' + name      -> manifest: varint count, count * fp(u64), crc32c
 //
+// Locking: a single internal mutex guards all metadata (index, open
+// container, stats). Writer operations are additionally serialized by the
+// caller (DedupClient), as before. The read path (getChunk/getChunks/
+// chunkLocator) holds the mutex only for index lookups — container file
+// reads, parses and payload copies run outside it, so concurrent restores
+// make overlapping I/O progress. Sealed containers are immutable and their
+// ids are never reused; a read that races GC compaction (container file
+// deleted, chunk relocated) re-resolves the fingerprint against the index
+// and retries.
+//
 // GC invariants (see collectGarbage):
 //  (1) a chunk is reclaimed only when its reference count is zero, i.e. no
 //      recorded backup manifest references it;
@@ -19,13 +29,16 @@
 //      orphan container that recovery removes).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
-#include "common/lru_cache.h"
 #include "kvstore/kvstore.h"
 #include "storage/backup_store.h"
+#include "storage/container_read_cache.h"
 
 namespace freqdedup {
 
@@ -38,6 +51,9 @@ class ContainerBackupStore : public BackupStore {
   [[nodiscard]] bool hasChunk(Fp cipherFp) const override;
   bool putChunk(Fp cipherFp, ByteView bytes) override;
   ByteVec getChunk(Fp cipherFp) override;
+  std::vector<ByteVec> getChunks(std::span<const Fp> cipherFps) override;
+  [[nodiscard]] std::vector<std::optional<ChunkPlacement>> chunkLocator(
+      std::span<const Fp> cipherFps) const override;
   [[nodiscard]] uint32_t chunkRefCount(Fp cipherFp) const override;
 
   void putBlob(const std::string& name, ByteView bytes) override;
@@ -58,13 +74,18 @@ class ContainerBackupStore : public BackupStore {
   [[nodiscard]] const BackupStoreStats& stats() const override {
     return stats_;
   }
-  [[nodiscard]] size_t containerCount() const override {
-    return liveContainerIds_.size();
+  [[nodiscard]] StoreReadStats readStats() const override;
+  [[nodiscard]] size_t containerCount() const override;
+
+  /// The container read cache's own counters (hits/admissions/evictions/
+  /// invalidations), for tests and diagnostics.
+  [[nodiscard]] ContainerReadCache::Stats readCacheStats() const {
+    return readCache_.stats();
   }
 
  protected:
   ContainerBackupStore(std::unique_ptr<KvStore> index, std::string dir,
-                       uint64_t containerBytes);
+                       uint64_t containerBytes, size_t readCacheContainers);
 
   /// File-mode recovery, run after the KvStore has replayed its log:
   /// validates every container file's trailer (full CRC + structure parse),
@@ -91,29 +112,71 @@ class ContainerBackupStore : public BackupStore {
   static ByteVec encodeChunkEntry(const ChunkEntry& e);
   static ChunkEntry decodeChunkEntry(ByteView value);
 
-  void stageChunk(Fp fp, ByteView bytes, uint32_t refs);
-  void sealOpenContainer();
-  void adjustRefs(Fp fp, int64_t delta);
-  [[nodiscard]] std::string containerPath(uint32_t id) const;
-  void writeContainerFile(const Container& container) const;
-  std::shared_ptr<const Container> loadContainer(uint32_t id);
-  void dropContainer(uint32_t id);
+  // Metadata helpers; all require mu_ to be held by the caller.
+  [[nodiscard]] bool hasChunkLocked(Fp cipherFp) const;
+  void stageChunkLocked(Fp fp, ByteView bytes, uint32_t refs);
+  void sealOpenContainerLocked();
+  void adjustRefsLocked(Fp fp, int64_t delta);
+  std::optional<std::vector<Fp>> backupRefsLocked(const std::string& name);
+  [[nodiscard]] std::vector<std::string> listNamesLocked(char prefix) const;
+  /// Container for admin paths (GC/verify) that already hold mu_. Serves
+  /// from the cache when present but never admits (single-visit scans).
+  std::shared_ptr<const Container> loadContainerLocked(uint32_t id);
+  void dropContainerLocked(uint32_t id);
   /// All 'C' entries grouped by container id.
   [[nodiscard]] std::unordered_map<
       uint32_t, std::vector<std::pair<Fp, ChunkEntry>>>
-  chunkEntriesByContainer();
-  void flushIndex();
+  chunkEntriesByContainerLocked();
+  void flushIndexLocked();
+
+  [[nodiscard]] std::string containerPath(uint32_t id) const;
+  void writeContainerFile(const Container& container) const;
+  /// Reads + parses a container file and validates its id; throws
+  /// std::runtime_error on any mismatch or I/O/parse failure.
+  [[nodiscard]] std::shared_ptr<const Container> parseContainerFile(
+      uint32_t id) const;
+
+  // Read path; must NOT be called with mu_ held.
+  ContainerReadCache::Entry fetchContainer(uint32_t id);
+  ContainerReadCache::Entry loadAndAdmit(uint32_t id);
+  ByteVec serveChunk(Fp fp, ChunkEntry e);
+  /// Extracts one chunk's payload after re-checking placement, fingerprint,
+  /// bounds and the admission-time payload CRC. Throws on any mismatch.
+  static ByteVec extractPayload(const ContainerReadCache::Entry& cached,
+                                Fp fp, const ChunkEntry& e);
 
   std::string dir_;  // empty in memory mode
   std::unique_ptr<KvStore> index_;
   ContainerBuilder builder_;
   std::unordered_map<Fp, OpenChunk, FpHash> openChunks_;  // not yet sealed
-  // Memory mode: authoritative container storage. File mode: read cache.
-  std::unordered_map<uint32_t, std::shared_ptr<const Container>> containers_;
-  LruCache<uint32_t, std::shared_ptr<const Container>> containerCache_;
+  // Memory mode: authoritative container storage (with admission-time CRC
+  // tables, so cached-read integrity checks behave identically to file mode).
+  std::unordered_map<uint32_t, ContainerReadCache::Entry> containers_;
   std::unordered_set<uint32_t> liveContainerIds_;
   uint32_t nextContainerId_ = 0;
   BackupStoreStats stats_;
+
+  /// Guards every member above. The read cache and read counters below are
+  /// internally synchronized and safe to touch without it.
+  mutable std::mutex mu_;
+  mutable ContainerReadCache readCache_;  // file-mode container read cache
+
+  // Single-flight miss handling: concurrent read-path misses for one
+  // container coalesce into a single file read; waiters are served from the
+  // cache the loader admits to (or load themselves when the cache retains
+  // nothing). Guarded by loadMu_, never held across file I/O.
+  std::mutex loadMu_;
+  std::condition_variable loadCv_;
+  std::unordered_set<uint32_t> loading_;
+
+  struct ReadCounters {
+    std::atomic<uint64_t> chunkReads{0};
+    std::atomic<uint64_t> batchReads{0};
+    std::atomic<uint64_t> containerLoads{0};
+    std::atomic<uint64_t> cacheHits{0};
+    std::atomic<uint64_t> readRetries{0};
+  };
+  mutable ReadCounters reads_;
 };
 
 /// In-memory backend: volatile, used by tests and experiments.

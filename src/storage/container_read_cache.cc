@@ -1,0 +1,77 @@
+#include "storage/container_read_cache.h"
+
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace freqdedup {
+
+ContainerReadCache::ContainerReadCache(size_t capacityContainers)
+    : capacity_(capacityContainers) {
+  if (capacity_ > 0) lru_.emplace(capacity_);
+}
+
+ContainerReadCache::Entry ContainerReadCache::makeEntry(
+    std::shared_ptr<const Container> container) {
+  auto crcs = std::make_shared<std::vector<uint32_t>>();
+  crcs->reserve(container->entries.size());
+  const ByteView data(container->data);
+  for (const ContainerEntry& e : container->entries)
+    crcs->push_back(crc32c(data.subspan(e.dataOffset, e.size)));
+  return Entry{std::move(container), std::move(crcs)};
+}
+
+std::optional<ContainerReadCache::Entry> ContainerReadCache::get(
+    uint32_t id, bool recordStats) {
+  std::lock_guard lock(mu_);
+  if (!lru_) {
+    if (recordStats) ++stats_.misses;
+    return std::nullopt;
+  }
+  auto entry = lru_->get(id);
+  if (recordStats) {
+    if (entry) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  return entry;
+}
+
+ContainerReadCache::Entry ContainerReadCache::admit(
+    uint32_t id, std::shared_ptr<const Container> container) {
+  // The CRC table is computed before taking the cache's lock: admission
+  // cost scales with container size and must not serialize concurrent
+  // cache readers. (The caller may still hold its own store lock; see
+  // sealOpenContainerLocked for that trade-off.)
+  Entry entry = makeEntry(std::move(container));
+  std::lock_guard lock(mu_);
+  if (lru_) {
+    ++stats_.admissions;
+    if (lru_->put(id, entry)) ++stats_.evictions;
+  }
+  return entry;
+}
+
+void ContainerReadCache::invalidate(uint32_t id) {
+  std::lock_guard lock(mu_);
+  if (lru_ && lru_->erase(id)) ++stats_.invalidations;
+}
+
+void ContainerReadCache::clear() {
+  std::lock_guard lock(mu_);
+  if (lru_) lru_->clear();
+}
+
+ContainerReadCache::Stats ContainerReadCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+size_t ContainerReadCache::size() const {
+  std::lock_guard lock(mu_);
+  return lru_ ? lru_->size() : 0;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,82 @@
+// Thread-safe bounded LRU cache of parsed, immutable containers for the
+// restore read path, keyed by container id.
+//
+// Container ids are never reused (ContainerBackupStore allocates them
+// monotonically, and recovery resumes past the on-disk maximum), so a cached
+// container can never alias different bytes under the same id; entries are
+// invalidated when GC compaction deletes their container purely to release
+// memory and to keep the retry path from re-serving a doomed copy.
+//
+// Every admitted container carries a per-chunk payload CRC table computed at
+// admission, so each chunk served from a cache hit is re-checked (CRC here,
+// ciphertext fingerprint in the store) before its bytes leave the store —
+// in-memory corruption of a cached copy surfaces as an error, never as
+// silently wrong bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "storage/container.h"
+
+namespace freqdedup {
+
+class ContainerReadCache {
+ public:
+  /// A parsed container plus the CRC-32C of each chunk payload, computed
+  /// once at admission. Both members are shared and immutable, so entries
+  /// stay valid for in-flight readers after invalidation or eviction.
+  struct Entry {
+    std::shared_ptr<const Container> container;
+    std::shared_ptr<const std::vector<uint32_t>> payloadCrcs;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t admissions = 0;
+    uint64_t invalidations = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `capacityContainers` bounds the cache in containers: 0 disables caching
+  /// (admit still returns usable entries, nothing is retained) and
+  /// kUnboundedReadCache (SIZE_MAX) never evicts.
+  explicit ContainerReadCache(size_t capacityContainers);
+
+  /// Cached entry for a container id, promoting it to most-recently-used.
+  /// `recordStats` = false makes the lookup an internal probe (still
+  /// promoting) that leaves the hit/miss counters untouched — used by the
+  /// single-flight loader's re-check so one logical miss is not counted
+  /// twice.
+  std::optional<Entry> get(uint32_t id, bool recordStats = true);
+
+  /// Builds the entry (computing the payload CRC table) and retains it when
+  /// capacity allows. Returns the entry either way.
+  Entry admit(uint32_t id, std::shared_ptr<const Container> container);
+
+  /// Drops a container (GC compaction/delete). No-op when absent.
+  void invalidate(uint32_t id);
+
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  [[nodiscard]] size_t size() const;
+
+  /// The per-chunk payload CRC table admit() computes; exposed so the
+  /// memory backend can build identical entries for resident containers.
+  static Entry makeEntry(std::shared_ptr<const Container> container);
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::optional<LruCache<uint32_t, Entry>> lru_;  // absent when capacity 0
+  Stats stats_;
+};
+
+}  // namespace freqdedup

@@ -18,8 +18,10 @@ std::unique_ptr<KvStore> openIndexLog(const std::string& dir) {
 }  // namespace
 
 FileBackupStore::FileBackupStore(const std::string& dir,
-                                 uint64_t containerBytes)
-    : ContainerBackupStore(openIndexLog(dir), dir, containerBytes) {
+                                 uint64_t containerBytes,
+                                 size_t readCacheContainers)
+    : ContainerBackupStore(openIndexLog(dir), dir, containerBytes,
+                           readCacheContainers) {
   recovery_ = recoverPersistentState();
 }
 

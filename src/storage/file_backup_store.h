@@ -22,8 +22,13 @@ class FileBackupStore final : public ContainerBackupStore {
  public:
   /// Opens (creating if missing) the store rooted at `dir` and recovers any
   /// existing state. Throws std::runtime_error on unrecoverable I/O failure.
-  explicit FileBackupStore(const std::string& dir,
-                           uint64_t containerBytes = kDefaultContainerBytes);
+  /// `readCacheContainers` bounds the container read cache (0 disables it,
+  /// kUnboundedReadCache never evicts); a freshly opened store always starts
+  /// with a cold cache.
+  explicit FileBackupStore(
+      const std::string& dir,
+      uint64_t containerBytes = kDefaultContainerBytes,
+      size_t readCacheContainers = kDefaultReadCacheContainers);
 
   /// What recovery had to repair while opening this store.
   [[nodiscard]] const StoreRecoveryStats& recoveryStats() const {

@@ -1,0 +1,283 @@
+// Batched-vs-chunk-at-a-time restore equivalence matrix: the pipelined
+// restore engine must reproduce the frozen pre-PR5 path across schemes
+// {MLE, MinHash, Scrambled} x chunkers {CDC, fixed} x restore threads
+// {1, 2, 8} x container read-cache sizes {0, 1, unbounded}:
+//  - restored bytes bit-identical (and equal to the original content);
+//  - verification behavior identical (same checks, same error messages, on
+//    tampered recipes/keys both paths fail the same way);
+//  - store read counts pinned: the batched path never loads more containers
+//    than the legacy path, and with an unbounded cache it loads each
+//    container exactly once.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <tuple>
+
+#include "chunking/cdc_chunker.h"
+#include "chunking/fixed_chunker.h"
+#include "client/dedup_client.h"
+#include "common/rng.h"
+#include "legacy_restore_reference.h"
+#include "storage/container_backup_store.h"
+#include "storage/file_backup_store.h"
+
+namespace freqdedup {
+namespace {
+
+enum class ChunkerKind { kCdc, kFixed };
+
+// (scheme, chunker, restore threads, read-cache capacity in containers)
+using MatrixParam =
+    std::tuple<EncryptionScheme, ChunkerKind, uint32_t, size_t>;
+
+constexpr uint64_t kContainerBytes = 64 * 1024;
+
+ByteVec testContent() {
+  // 192 KiB random + a repeat of the first 64 KiB: duplicate chunks point
+  // back into earlier containers, so locality batches are not purely
+  // sequential and the planner's container grouping is exercised.
+  Rng rng(55);
+  ByteVec data(192 * 1024);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+  data.insert(data.end(), data.begin(), data.begin() + 64 * 1024);
+  return data;
+}
+
+CdcParams smallCdc() {
+  CdcParams p;
+  p.minSize = 256;
+  p.avgSize = 1024;
+  p.maxSize = 4096;
+  return p;
+}
+
+BackupOptions backupOptionsFor(EncryptionScheme scheme) {
+  BackupOptions o;
+  o.scheme = scheme;
+  o.parallelism = 2;
+  o.segmentParams.minBytes = 8 * 1024;
+  o.segmentParams.avgBytes = 16 * 1024;
+  o.segmentParams.maxBytes = 32 * 1024;
+  o.segmentParams.avgChunkBytes = 1024;
+  o.scrambleSeed = 7;
+  return o;
+}
+
+RestoreOptions restoreOptionsFor(uint32_t threads) {
+  RestoreOptions o;
+  o.parallelism = threads;
+  o.readAheadBatches = 2;
+  o.batchBytes = 32 * 1024;  // several batches, several containers each
+  o.maxBatchContainers = 4;
+  return o;
+}
+
+class RestoreEquivalence : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  void SetUp() override {
+    const auto& info = *::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = "restore_equiv_" + std::string(info.name());
+    for (char& c : name)
+      if (c == '/') c = '_';
+    dir_ = (std::filesystem::temp_directory_path() / name).string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] EncryptionScheme scheme() const {
+    return std::get<0>(GetParam());
+  }
+  [[nodiscard]] uint32_t threads() const { return std::get<2>(GetParam()); }
+  [[nodiscard]] size_t cacheSize() const { return std::get<3>(GetParam()); }
+
+  [[nodiscard]] std::unique_ptr<Chunker> makeChunker() const {
+    if (std::get<1>(GetParam()) == ChunkerKind::kCdc)
+      return std::make_unique<CdcChunker>(smallCdc());
+    return std::make_unique<FixedChunker>(1024);
+  }
+
+  std::string dir_;
+};
+
+TEST_P(RestoreEquivalence, BatchedPathMatchesChunkAtATimeBitIdentically) {
+  const ByteVec content = testContent();
+  const std::unique_ptr<Chunker> chunker = makeChunker();
+  KeyManager km(toBytes("restore-equivalence-secret"));
+
+  // Backup once; both restore passes then read the same on-disk store.
+  BackupOutcome outcome;
+  {
+    FileBackupStore store(dir_, kContainerBytes);
+    DedupClient client(store, km, *chunker, backupOptionsFor(scheme()));
+    BackupSession session = client.beginBackup("obj");
+    session.append(content);
+    outcome = session.finish();
+    store.flush();
+  }
+
+  // Oracle: the frozen chunk-at-a-time loop on a freshly opened (cold) store.
+  ByteVec legacyBytes;
+  StoreReadStats legacyReads;
+  size_t containerCount = 0;
+  {
+    FileBackupStore store(dir_, kContainerBytes, cacheSize());
+    const uint64_t n = legacy::chunkAtATimeRestore(
+        store, outcome.fileRecipe, outcome.keyRecipe,
+        [&](ByteView b) { appendBytes(legacyBytes, b); });
+    EXPECT_EQ(n, content.size());
+    legacyReads = store.readStats();
+    containerCount = store.containerCount();
+  }
+
+  // Under test: the batched engine on an equally fresh store.
+  ByteVec batchedBytes;
+  StoreReadStats batchedReads;
+  {
+    FileBackupStore store(dir_, kContainerBytes, cacheSize());
+    DedupClient client(store, restoreOptionsFor(threads()));
+    RestoreSession session =
+        client.beginRestore(outcome.fileRecipe, outcome.keyRecipe);
+    const uint64_t n =
+        session.streamTo([&](ByteView b) { appendBytes(batchedBytes, b); });
+    EXPECT_EQ(n, content.size());
+    batchedReads = store.readStats();
+  }
+
+  // Bytes: bit-identical to the legacy path and to the original content.
+  EXPECT_EQ(batchedBytes, legacyBytes);
+  EXPECT_EQ(batchedBytes, content);
+
+  // Read accounting: both paths read every recipe entry exactly once...
+  const uint64_t entryCount = outcome.fileRecipe.entries.size();
+  EXPECT_EQ(legacyReads.chunkReads, entryCount);
+  EXPECT_EQ(batchedReads.chunkReads, entryCount);
+  EXPECT_GT(batchedReads.batchReads, 0u);
+  // ...but the batched path fetches far fewer containers when the cache is
+  // disabled (one getChunk = one container fetch vs. one fetch per distinct
+  // container per batch), and with a bounded cache it pays at most one
+  // boundary re-load per batch over the sequential legacy scan.
+  ASSERT_GT(containerCount, 2u) << "matrix needs a multi-container store";
+  if (cacheSize() == 0) {
+    EXPECT_EQ(legacyReads.containerLoads, legacyReads.chunkReads);
+    EXPECT_LT(batchedReads.containerLoads, legacyReads.containerLoads);
+  } else {
+    EXPECT_LE(batchedReads.containerLoads,
+              legacyReads.containerLoads + batchedReads.batchReads);
+  }
+  // With an unbounded cache nothing is ever evicted or re-read: each live
+  // container is parsed from disk exactly once.
+  if (cacheSize() == kUnboundedReadCache) {
+    EXPECT_EQ(batchedReads.containerLoads, containerCount);
+    EXPECT_EQ(legacyReads.containerLoads, containerCount);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RestoreEquivalence,
+    ::testing::Combine(
+        ::testing::Values(EncryptionScheme::kMle, EncryptionScheme::kMinHash,
+                          EncryptionScheme::kMinHashScrambled),
+        ::testing::Values(ChunkerKind::kCdc, ChunkerKind::kFixed),
+        ::testing::Values(1u, 2u, 8u),
+        ::testing::Values(size_t{0}, size_t{1}, kUnboundedReadCache)),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case EncryptionScheme::kMle: name = "Mle"; break;
+        case EncryptionScheme::kMinHash: name = "MinHash"; break;
+        case EncryptionScheme::kMinHashScrambled: name = "Scrambled"; break;
+      }
+      name += std::get<1>(info.param) == ChunkerKind::kCdc ? "_Cdc" : "_Fixed";
+      name += "_t" + std::to_string(std::get<2>(info.param));
+      const size_t cache = std::get<3>(info.param);
+      name += cache == kUnboundedReadCache ? "_cacheUnbounded"
+                                           : "_cache" + std::to_string(cache);
+      return name;
+    });
+
+// --- Verification-behavior equivalence: tampered inputs must fail both
+// paths with the same exception type and message. ---
+
+class RestoreVerificationBehavior : public ::testing::Test {
+ protected:
+  RestoreVerificationBehavior()
+      : store_(/*containerBytes=*/kContainerBytes),
+        km_(toBytes("behavior-secret")),
+        chunker_(smallCdc()),
+        content_(testContent()) {
+    DedupClient client(store_, km_, chunker_,
+                       backupOptionsFor(EncryptionScheme::kMle));
+    BackupSession session = client.beginBackup("obj");
+    session.append(content_);
+    outcome_ = session.finish();
+  }
+
+  /// Error message the legacy path produces for the given recipes ("" when
+  /// it succeeds).
+  std::string legacyError(const FileRecipe& file, const KeyRecipe& keys) {
+    try {
+      legacy::chunkAtATimeRestore(store_, file, keys, [](ByteView) {});
+      return "";
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+  }
+
+  /// Same, through the batched engine at the given thread count.
+  std::string batchedError(const FileRecipe& file, const KeyRecipe& keys,
+                           uint32_t threads) {
+    DedupClient client(store_, restoreOptionsFor(threads));
+    try {
+      client.beginRestore(file, keys).streamTo([](ByteView) {});
+      return "";
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+  }
+
+  void expectSameBehavior(const FileRecipe& file, const KeyRecipe& keys) {
+    const std::string expected = legacyError(file, keys);
+    EXPECT_FALSE(expected.empty()) << "tampering must fail the legacy path";
+    EXPECT_EQ(batchedError(file, keys, 1), expected);
+    EXPECT_EQ(batchedError(file, keys, 4), expected);
+  }
+
+  MemBackupStore store_;
+  KeyManager km_;
+  CdcChunker chunker_;
+  ByteVec content_;
+  BackupOutcome outcome_;
+};
+
+TEST_F(RestoreVerificationBehavior, UnknownCipherFpFailsIdentically) {
+  FileRecipe file = outcome_.fileRecipe;
+  file.entries[file.entries.size() / 2].cipherFp ^= 0xDEAD;
+  expectSameBehavior(file, outcome_.keyRecipe);
+}
+
+TEST_F(RestoreVerificationBehavior, WrongPlainFpFailsIdentically) {
+  FileRecipe file = outcome_.fileRecipe;
+  file.entries[file.entries.size() / 2].plainFp ^= 0xBEEF;
+  expectSameBehavior(file, outcome_.keyRecipe);
+}
+
+TEST_F(RestoreVerificationBehavior, WrongKeyFailsIdentically) {
+  KeyRecipe keys = outcome_.keyRecipe;
+  keys.keys[keys.keys.size() / 2][0] ^= 0x01;
+  expectSameBehavior(outcome_.fileRecipe, keys);
+}
+
+TEST_F(RestoreVerificationBehavior, WrongFileSizeFailsIdentically) {
+  FileRecipe file = outcome_.fileRecipe;
+  file.fileSize += 1;
+  expectSameBehavior(file, outcome_.keyRecipe);
+}
+
+TEST_F(RestoreVerificationBehavior, UntamperedInputSucceedsOnBothPaths) {
+  EXPECT_EQ(legacyError(outcome_.fileRecipe, outcome_.keyRecipe), "");
+  EXPECT_EQ(batchedError(outcome_.fileRecipe, outcome_.keyRecipe, 1), "");
+  EXPECT_EQ(batchedError(outcome_.fileRecipe, outcome_.keyRecipe, 8), "");
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,134 @@
+// orderedProduceConsume: strict in-order consumption, bounded look-ahead
+// window, and clean error propagation from both stages.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "pipeline/ordered_completion.h"
+
+namespace freqdedup {
+namespace {
+
+TEST(OrderedCompletion, ConsumesInOrderDespiteOutOfOrderProduction) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 64;
+  std::vector<size_t> consumed;
+  orderedProduceConsume<size_t>(
+      &pool, /*lookahead=*/3, kN,
+      [](size_t i) {
+        // Earlier indices take longer, so production completes out of order.
+        std::this_thread::sleep_for(std::chrono::microseconds((kN - i) * 50));
+        return i * 10;
+      },
+      [&](size_t i, size_t&& r) {
+        EXPECT_EQ(r, i * 10);
+        consumed.push_back(i);
+      });
+  ASSERT_EQ(consumed.size(), kN);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(consumed[i], i);
+}
+
+TEST(OrderedCompletion, WindowBoundsInFlightProduction) {
+  ThreadPool pool(8);
+  constexpr size_t kLookahead = 2;
+  std::atomic<size_t> inFlight{0};
+  std::atomic<size_t> highWater{0};
+  orderedProduceConsume<size_t>(
+      &pool, kLookahead, 48,
+      [&](size_t i) {
+        const size_t now = ++inFlight;
+        size_t seen = highWater.load();
+        while (now > seen && !highWater.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        --inFlight;
+        return i;
+      },
+      [&](size_t i, size_t&& r) { EXPECT_EQ(r, i); });
+  // At most the result being awaited plus `lookahead` ahead — the refill
+  // happens after consumption, so the window never exceeds this.
+  EXPECT_LE(highWater.load(), kLookahead + 1);
+  EXPECT_GE(highWater.load(), 1u);
+}
+
+TEST(OrderedCompletion, ProducerErrorStopsConsumptionAtTheFailure) {
+  ThreadPool pool(4);
+  std::vector<size_t> consumed;
+  EXPECT_THROW(
+      orderedProduceConsume<size_t>(
+          &pool, 3, 32,
+          [](size_t i) -> size_t {
+            if (i == 10) throw std::runtime_error("produce failed");
+            return i;
+          },
+          [&](size_t i, size_t&&) { consumed.push_back(i); }),
+      std::runtime_error);
+  // Everything before the failed index was consumed in order; nothing after.
+  ASSERT_EQ(consumed.size(), 10u);
+  for (size_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
+}
+
+TEST(OrderedCompletion, ConsumerErrorPropagatesAfterDrainingProducers) {
+  ThreadPool pool(4);
+  std::atomic<size_t> produced{0};
+  EXPECT_THROW(
+      orderedProduceConsume<size_t>(
+          &pool, 3, 32,
+          [&](size_t i) {
+            ++produced;
+            return i;
+          },
+          [](size_t i, size_t&&) {
+            if (i == 5) throw std::runtime_error("consume failed");
+          }),
+      std::runtime_error);
+  // The pool is reusable afterwards: no task of the failed call lingers.
+  std::atomic<size_t> after{0};
+  orderedProduceConsume<size_t>(
+      &pool, 2, 8, [](size_t i) { return i; },
+      [&](size_t, size_t&&) { ++after; });
+  EXPECT_EQ(after.load(), 8u);
+}
+
+TEST(OrderedCompletion, RunsInlineWithoutPoolOrLookahead) {
+  std::vector<size_t> consumed;
+  orderedProduceConsume<size_t>(
+      nullptr, 4, 5, [](size_t i) { return i + 1; },
+      [&](size_t i, size_t&& r) {
+        EXPECT_EQ(r, i + 1);
+        consumed.push_back(i);
+      });
+  EXPECT_EQ(consumed.size(), 5u);
+
+  ThreadPool pool(2);
+  consumed.clear();
+  orderedProduceConsume<size_t>(
+      &pool, 0, 5, [](size_t i) { return i; },
+      [&](size_t i, size_t&&) { consumed.push_back(i); });
+  EXPECT_EQ(consumed.size(), 5u);
+  for (size_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
+}
+
+TEST(OrderedCompletion, HandlesZeroAndOneItem) {
+  ThreadPool pool(2);
+  size_t calls = 0;
+  orderedProduceConsume<int>(
+      &pool, 2, 0, [](size_t) { return 0; },
+      [&](size_t, int&&) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  orderedProduceConsume<int>(
+      &pool, 2, 1, [](size_t) { return 7; },
+      [&](size_t i, int&& r) {
+        EXPECT_EQ(i, 0u);
+        EXPECT_EQ(r, 7);
+        ++calls;
+      });
+  EXPECT_EQ(calls, 1u);
+}
+
+}  // namespace
+}  // namespace freqdedup

@@ -1,0 +1,95 @@
+// ContainerReadCache: capacity semantics (0 = disabled, 1, unbounded),
+// LRU eviction, GC invalidation, and the admission-time payload CRC table
+// that lets every cache hit be integrity-re-checked.
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "storage/backup_store.h"
+#include "storage/container_read_cache.h"
+
+namespace freqdedup {
+namespace {
+
+std::shared_ptr<const Container> makeContainer(uint32_t id, int chunks) {
+  ContainerBuilder builder(1 << 20);
+  for (int i = 0; i < chunks; ++i) {
+    ByteVec bytes(64 + i, static_cast<uint8_t>(id * 31 + i));
+    builder.add(/*fp=*/id * 100 + static_cast<uint32_t>(i),
+                static_cast<uint32_t>(bytes.size()), bytes);
+  }
+  return std::make_shared<const Container>(builder.seal(id));
+}
+
+TEST(ContainerReadCache, DisabledCacheRetainsNothingButStillServes) {
+  ContainerReadCache cache(0);
+  const auto entry = cache.admit(1, makeContainer(1, 3));
+  ASSERT_NE(entry.container, nullptr);
+  EXPECT_EQ(entry.payloadCrcs->size(), 3u);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().admissions, 0u);
+}
+
+TEST(ContainerReadCache, SizeOneEvictsLeastRecentlyUsed) {
+  ContainerReadCache cache(1);
+  cache.admit(1, makeContainer(1, 2));
+  EXPECT_TRUE(cache.get(1).has_value());
+  cache.admit(2, makeContainer(2, 2));
+  EXPECT_FALSE(cache.get(1).has_value()) << "capacity 1: admitting 2 evicts 1";
+  EXPECT_TRUE(cache.get(2).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ContainerReadCache, UnboundedNeverEvicts) {
+  ContainerReadCache cache(kUnboundedReadCache);
+  for (uint32_t id = 0; id < 200; ++id) cache.admit(id, makeContainer(id, 1));
+  EXPECT_EQ(cache.size(), 200u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (uint32_t id = 0; id < 200; ++id) EXPECT_TRUE(cache.get(id).has_value());
+}
+
+TEST(ContainerReadCache, InvalidateDropsEntryButKeepsInFlightCopiesValid) {
+  ContainerReadCache cache(8);
+  cache.admit(7, makeContainer(7, 2));
+  const auto held = cache.get(7);  // an in-flight reader's copy
+  ASSERT_TRUE(held.has_value());
+  cache.invalidate(7);
+  EXPECT_FALSE(cache.get(7).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  // The evicted shared state stays intact for the reader that holds it.
+  EXPECT_EQ(held->container->id, 7u);
+  EXPECT_EQ(held->payloadCrcs->size(), 2u);
+}
+
+TEST(ContainerReadCache, PayloadCrcsMatchEveryChunkAndDetectCorruption) {
+  ContainerReadCache cache(4);
+  const auto entry = cache.admit(3, makeContainer(3, 4));
+  const Container& c = *entry.container;
+  ASSERT_EQ(entry.payloadCrcs->size(), c.entries.size());
+  for (size_t i = 0; i < c.entries.size(); ++i) {
+    const ByteView payload =
+        ByteView(c.data).subspan(c.entries[i].dataOffset, c.entries[i].size);
+    EXPECT_EQ(crc32c(payload), (*entry.payloadCrcs)[i]);
+  }
+  // A flipped bit in a (hypothetically corrupted) copy no longer matches —
+  // this is the re-check ContainerBackupStore applies on every serve.
+  ByteVec corrupted(c.data.begin(), c.data.end());
+  corrupted[c.entries[1].dataOffset] ^= 0x80;
+  const ByteView badPayload = ByteView(corrupted).subspan(
+      c.entries[1].dataOffset, c.entries[1].size);
+  EXPECT_NE(crc32c(badPayload), (*entry.payloadCrcs)[1]);
+}
+
+TEST(ContainerReadCache, CountsHitsAndMisses) {
+  ContainerReadCache cache(2);
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.admit(1, makeContainer(1, 1));
+  EXPECT_TRUE(cache.get(1).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.admissions, 1u);
+}
+
+}  // namespace
+}  // namespace freqdedup
