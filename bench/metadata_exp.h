@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdio>
+#include <utility>
 
 #include "expcommon.h"
+#include "obs/metrics.h"
 #include "storage/dedup_engine.h"
 
 namespace freqdedup::exp {
@@ -47,7 +49,9 @@ inline void runMetadataExperiment(const char* figure, uint64_t cacheBytes,
 
     printf("\n[%s]\n", combinedScheme ? "combined" : "MLE");
     printRow({"backup", "update MB", "index MB", "loading MB", "total MB"});
-    MetadataAccessStats previous;
+    // Per-backup intervals come straight from the engine's metrics registry:
+    // snapshot before/after and diff, instead of hand-copied stat structs.
+    obs::MetricsSnapshot previous = engine.metricsSnapshot();
     for (const auto& backup : fsl.backups) {
       if (combinedScheme) {
         engine.ingestBackup(
@@ -55,9 +59,10 @@ inline void runMetadataExperiment(const char* figure, uint64_t cacheBytes,
       } else {
         engine.ingestBackup(mleEncryptTrace(backup.records).records);
       }
+      obs::MetricsSnapshot now = engine.metricsSnapshot();
       const MetadataAccessStats delta =
-          engine.stats().metadata - previous;
-      previous = engine.stats().metadata;
+          MetadataAccessStats::fromSnapshot(now.delta(previous));
+      previous = std::move(now);
       printRow({backup.label, fmtDouble(delta.updateBytes / 1e6, 2),
                 fmtDouble(delta.indexBytes / 1e6, 2),
                 fmtDouble(delta.loadingBytes / 1e6, 2),

@@ -1,7 +1,13 @@
 // Throughput of the parallel ingest pipeline vs. the serial DedupEngine on
 // the synthetic FSL-like and VM-like corpora.
 //
-//   pipeline_throughput [--threads N] [--stream-chunk-bytes M]
+//   pipeline_throughput [--threads N] [--stream-chunk-bytes M] [--json PATH]
+//
+// Every run notes whether the metrics registry is live or compiled out
+// (FREQDEDUP_OBS=OFF) — comparing MB/s across the two builds is the
+// observability overhead measurement. --json writes one JSON object per
+// corpus/config row, with the counters taken from the pipeline's metrics
+// snapshot rather than ad-hoc stats structs.
 //
 // Two workloads per corpus:
 //  - dedup-only: the raw trace streamed straight into the dedup stage;
@@ -60,6 +66,39 @@ struct RunResult {
   DedupEngineStats stats;
 };
 
+/// Logical bytes of the corpus, from the trace itself. Throughput must not
+/// depend on registry counters: under FREQDEDUP_OBS=OFF the snapshot reads
+/// zero, yet the MB/s comparison against that build is the whole point.
+uint64_t datasetLogicalBytes(const Dataset& dataset) {
+  uint64_t bytes = 0;
+  for (const auto& backup : dataset.backups)
+    for (const auto& r : backup.records) bytes += r.size;
+  return bytes;
+}
+
+/// JSON rows accumulated across corpora when --json is set.
+FILE* g_json = nullptr;
+bool g_jsonFirstRow = true;
+
+void jsonRow(const Dataset& dataset, bool withCrypto, const char* config,
+             uint32_t threads, const RunResult& r) {
+  if (g_json == nullptr) return;
+  fprintf(g_json, "%s  {\"corpus\": \"%s\", \"workload\": \"%s\", "
+          "\"config\": \"%s\", \"threads\": %u, \"seconds\": %.4f, "
+          "\"mbps\": %.1f, \"logical_chunks\": %llu, "
+          "\"logical_bytes\": %llu, \"unique_chunks\": %llu, "
+          "\"unique_bytes\": %llu}",
+          g_jsonFirstRow ? "" : ",\n", dataset.name.c_str(),
+          withCrypto ? "crypto+dedup" : "dedup-only", config, threads,
+          r.seconds,
+          exp::throughputMBps(datasetLogicalBytes(dataset), r.seconds),
+          static_cast<unsigned long long>(r.stats.logicalChunks),
+          static_cast<unsigned long long>(r.stats.logicalBytes),
+          static_cast<unsigned long long>(r.stats.uniqueChunks),
+          static_cast<unsigned long long>(r.stats.uniqueBytes));
+  g_jsonFirstRow = false;
+}
+
 RunResult run(const Dataset& dataset, uint32_t threads, bool withCrypto) {
   PipelineOptions options;
   options.parallelism = threads;
@@ -69,7 +108,10 @@ RunResult run(const Dataset& dataset, uint32_t threads, bool withCrypto) {
   for (const auto& backup : dataset.backups)
     pipeline.ingestBackup(backup.records);
   pipeline.finish();
-  return {watch.elapsedSeconds(), pipeline.stats()};
+  const double seconds = watch.elapsedSeconds();
+  // Counters come from the engines' registries — same snapshots the CLI
+  // stats dump reads — not from a separately maintained stats struct.
+  return {seconds, DedupEngineStats::fromSnapshot(pipeline.metricsSnapshot())};
 }
 
 void benchCorpus(const Dataset& dataset, uint32_t threads, bool withCrypto) {
@@ -79,32 +121,37 @@ void benchCorpus(const Dataset& dataset, uint32_t threads, bool withCrypto) {
   exp::printRow({"config", "wall", "throughput", "speedup", "dedup-ratio",
                  "unique"});
 
+  const uint64_t logicalBytes = datasetLogicalBytes(dataset);
   const RunResult serial = run(dataset, 1, withCrypto);
   exp::printRow({"serial",
                  exp::fmtDouble(serial.seconds, 3) + " s",
-                 exp::fmtDouble(exp::throughputMBps(serial.stats.logicalBytes,
+                 exp::fmtDouble(exp::throughputMBps(logicalBytes,
                                                     serial.seconds),
                                 1) +
                      " MB/s",
                  "1.00x", exp::fmtDouble(serial.stats.dedupRatio()),
                  std::to_string(serial.stats.uniqueChunks)});
+  jsonRow(dataset, withCrypto, "serial", 1, serial);
 
   const RunResult parallel = run(dataset, threads, withCrypto);
+  jsonRow(dataset, withCrypto, "parallel", threads, parallel);
   const double speedup =
       parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0.0;
   exp::printRow({"threads=" + std::to_string(threads),
                  exp::fmtDouble(parallel.seconds, 3) + " s",
-                 exp::fmtDouble(
-                     exp::throughputMBps(parallel.stats.logicalBytes,
-                                         parallel.seconds),
-                     1) +
+                 exp::fmtDouble(exp::throughputMBps(logicalBytes,
+                                                    parallel.seconds),
+                                1) +
                      " MB/s",
                  exp::fmtDouble(speedup) + "x",
                  exp::fmtDouble(parallel.stats.dedupRatio()),
                  std::to_string(parallel.stats.uniqueChunks)});
 
-  if (parallel.stats.uniqueChunks != serial.stats.uniqueChunks ||
-      parallel.stats.uniqueBytes != serial.stats.uniqueBytes) {
+  // The counter-based divergence check only means something when the
+  // registry is live; the OFF build reads zeros on both sides.
+  if (obs::kObsEnabled &&
+      (parallel.stats.uniqueChunks != serial.stats.uniqueChunks ||
+       parallel.stats.uniqueBytes != serial.stats.uniqueBytes)) {
     printf("ERROR: parallel dedup diverged from serial "
            "(unique %llu vs %llu)\n",
            static_cast<unsigned long long>(parallel.stats.uniqueChunks),
@@ -191,6 +238,20 @@ int main(int argc, char** argv) {
   const uint32_t threads = exp::threadsFlag(argc, argv, 4);
   const std::string streamChunk =
       exp::stringFlag(argc, argv, "stream-chunk-bytes", "");
+  const std::string jsonPath = exp::stringFlag(argc, argv, "json", "");
+  // The registry-on vs FREQDEDUP_OBS=OFF MB/s delta of this bench is the
+  // hot-path overhead measurement; every output says which build ran.
+  printf("metrics registry: %s\n",
+         obs::kObsEnabled ? "enabled" : "compiled out (FREQDEDUP_OBS=OFF)");
+  if (!jsonPath.empty()) {
+    g_json = fopen(jsonPath.c_str(), "w");
+    if (g_json == nullptr) {
+      fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    fprintf(g_json, "{\n\"obs_enabled\": %s,\n\"rows\": [\n",
+            obs::kObsEnabled ? "true" : "false");
+  }
   if (!streamChunk.empty()) {
     size_t appendBytes = 0;
     try {
@@ -213,5 +274,10 @@ int main(int argc, char** argv) {
   benchCorpus(exp::fslDataset(), threads, /*withCrypto=*/true);
   benchCorpus(exp::vmDataset(), threads, /*withCrypto=*/false);
   benchCorpus(exp::vmDataset(), threads, /*withCrypto=*/true);
+  if (g_json != nullptr) {
+    fprintf(g_json, "\n]\n}\n");
+    fclose(g_json);
+    printf("\nwrote %s\n", jsonPath.c_str());
+  }
   return 0;
 }

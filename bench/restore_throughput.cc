@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "crypto/mle.h"
 #include "expcommon.h"
+#include "obs/metrics.h"
 #include "storage/file_backup_store.h"
 
 namespace freqdedup {
@@ -115,6 +116,12 @@ double timedBatchedPass(DedupClient& client, const BackupOutcome& outcome,
 struct CacheResult {
   double coldMBps = 0;
   double warmMBps = 0;
+  // Store-registry counters after both passes: the warm pass's read
+  // locality (loads vs cache hits) in the same snapshot the CLI reads.
+  uint64_t containerLoads = 0;
+  uint64_t readCacheHits = 0;
+  uint64_t chunkReads = 0;
+  uint64_t batchReads = 0;
 };
 
 void writeJson(const std::string& path, size_t objectBytes, size_t chunks,
@@ -149,8 +156,17 @@ void writeJson(const std::string& path, size_t objectBytes, size_t chunks,
             "\"warm_mbps\": %.1f},\n",
             threads, tN.coldMBps, tN.warmMBps);
   }
-  fprintf(f, "  \"speedup_warm_threads%u_vs_baseline\": %.2f\n", threads,
+  fprintf(f, "  \"speedup_warm_threads%u_vs_baseline\": %.2f,\n", threads,
           baselineMBps > 0 ? tN.warmMBps / baselineMBps : 0.0);
+  fprintf(f,
+          "  \"store_reads_threads%u\": {\"container_loads\": %llu, "
+          "\"read_cache_hits\": %llu, \"chunk_reads\": %llu, "
+          "\"batch_reads\": %llu},\n",
+          threads, static_cast<unsigned long long>(tN.containerLoads),
+          static_cast<unsigned long long>(tN.readCacheHits),
+          static_cast<unsigned long long>(tN.chunkReads),
+          static_cast<unsigned long long>(tN.batchReads));
+  fprintf(f, "  \"obs_enabled\": %s\n", obs::kObsEnabled ? "true" : "false");
   fprintf(f, "}\n");
   fclose(f);
   printf("\nwrote %s\n", path.c_str());
@@ -228,6 +244,11 @@ int main(int argc, char** argv) {
     DedupClient client(store, benchRestoreOptions(t));
     r.coldMBps = timedBatchedPass(client, outcome, expected);  // cache fills
     r.warmMBps = timedBatchedPass(client, outcome, expected);  // cache hot
+    const obs::MetricsSnapshot snap = store.metricsSnapshot();
+    r.containerLoads = snap.counter("store.container_loads");
+    r.readCacheHits = snap.counter("store.read_cache_hits");
+    r.chunkReads = snap.counter("store.chunk_reads");
+    r.batchReads = snap.counter("store.batch_reads");
     exp::printRow({"batched, " + std::to_string(t) + " thread(s)", "cold",
                    exp::fmtDouble(r.coldMBps, 1)});
     exp::printRow({"batched, " + std::to_string(t) + " thread(s)", "warm",

@@ -13,8 +13,13 @@
 //   backup_system gc      <store-dir>
 //   backup_system verify  <store-dir>
 //   backup_system list    <store-dir>
-//   backup_system stats   <store-dir>
+//   backup_system stats   <store-dir> [--json]
 //   backup_system demo                      # self-contained tmp-dir demo
+//
+// Every state-touching subcommand accepts a trailing `--stats` (human
+// text) or `--stats=json` (one JSON object per line) flag that dumps the
+// metrics registry — client/session counters plus the store's own
+// instance registry — after the operation finishes.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +31,7 @@
 #include "chunking/cdc_chunker.h"
 #include "client/dedup_client.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "storage/file_backup_store.h"
 
 using namespace freqdedup;
@@ -41,6 +47,39 @@ BackupOptions defenseOptions() {
   BackupOptions options;
   options.scheme = EncryptionScheme::kMinHashScrambled;
   return options;
+}
+
+enum class StatsFlag { kNone, kText, kJson };
+
+/// Consumes a trailing `--stats` / `--stats=json` anywhere in argv so the
+/// positional arguments stay where each subcommand expects them.
+StatsFlag extractStatsFlag(int& argc, char** argv) {
+  StatsFlag flag = StatsFlag::kNone;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      flag = StatsFlag::kText;
+    } else if (std::strcmp(argv[i], "--stats=json") == 0) {
+      flag = StatsFlag::kJson;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return flag;
+}
+
+/// Dumps the process-wide registry (sessions, pipeline, chunking) merged
+/// with the store's per-instance registry (cache, containers, GC).
+void dumpStats(const FileBackupStore& store, StatsFlag flag) {
+  if (flag == StatsFlag::kNone) return;
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  snapshot.merge(store.metricsSnapshot());
+  if (flag == StatsFlag::kJson) {
+    printf("%s\n", snapshot.toJson().c_str());
+  } else {
+    printf("--- stats ---\n%s", snapshot.toText().c_str());
+  }
 }
 
 void printRecovery(const FileBackupStore& store) {
@@ -78,7 +117,8 @@ BackupOutcome backupFile(DedupClient& client, const std::string& name,
 }
 
 int doBackup(const std::string& storeDir, const std::string& sourceDir,
-             const std::string& passphrase) {
+             const std::string& passphrase,
+             StatsFlag stats = StatsFlag::kNone) {
   FileBackupStore store(storeDir);
   printRecovery(store);
   KeyManager keyManager(toBytes("backup-system-global-secret"));
@@ -104,11 +144,13 @@ int doBackup(const std::string& storeDir, const std::string& sourceDir,
          "(dedup ratio %.2fx, %zu containers)\n",
          files, newChunks, dupChunks, store.stats().dedupRatio(),
          store.containerCount());
+  dumpStats(store, stats);
   return 0;
 }
 
 int doRestore(const std::string& storeDir, const std::string& destDir,
-              const std::string& passphrase) {
+              const std::string& passphrase,
+              StatsFlag stats = StatsFlag::kNone) {
   FileBackupStore store(storeDir);
   printRecovery(store);
   // Restore-only client (no chunker or key manager) on the batched engine:
@@ -141,10 +183,12 @@ int doRestore(const std::string& storeDir, const std::string& destDir,
     ++files;
   }
   printf("restored %zu files into %s\n", files, destDir.c_str());
+  dumpStats(store, stats);
   return 0;
 }
 
-int doDelete(const std::string& storeDir, const std::string& name) {
+int doDelete(const std::string& storeDir, const std::string& name,
+             StatsFlag stats = StatsFlag::kNone) {
   FileBackupStore store(storeDir);
   DedupClient client(store);
   if (!client.deleteBackup(name)) {
@@ -153,10 +197,11 @@ int doDelete(const std::string& storeDir, const std::string& name) {
   }
   printf("deleted '%s'; run `backup_system gc %s` to reclaim space\n",
          name.c_str(), storeDir.c_str());
+  dumpStats(store, stats);
   return 0;
 }
 
-int doGc(const std::string& storeDir) {
+int doGc(const std::string& storeDir, StatsFlag stats = StatsFlag::kNone) {
   FileBackupStore store(storeDir);
   const GcStats gc = store.collectGarbage();
   printf("gc: reclaimed %llu chunks (%.2f MB) from %llu containers, "
@@ -165,10 +210,12 @@ int doGc(const std::string& storeDir) {
          static_cast<double>(gc.bytesReclaimed) / 1e6,
          static_cast<unsigned long long>(gc.containersCompacted),
          static_cast<unsigned long long>(gc.chunksRelocated));
+  dumpStats(store, stats);
   return 0;
 }
 
-int doVerify(const std::string& storeDir) {
+int doVerify(const std::string& storeDir,
+             StatsFlag stats = StatsFlag::kNone) {
   FileBackupStore store(storeDir);
   printRecovery(store);
   const StoreCheckReport report = store.verify();
@@ -179,6 +226,7 @@ int doVerify(const std::string& storeDir) {
   for (const std::string& error : report.errors)
     fprintf(stderr, "  error: %s\n", error.c_str());
   printf("%s\n", report.ok() ? "store is consistent" : "STORE IS DAMAGED");
+  dumpStats(store, stats);
   return report.ok() ? 0 : 1;
 }
 
@@ -189,14 +237,20 @@ int doList(const std::string& storeDir) {
   return 0;
 }
 
-int doStats(const std::string& storeDir) {
+int doStats(const std::string& storeDir,
+            StatsFlag stats = StatsFlag::kText) {
   FileBackupStore store(storeDir);
+  if (stats == StatsFlag::kJson) {
+    dumpStats(store, stats);
+    return 0;
+  }
   printf("store %s: %llu unique chunks, %.2f MB stored, %zu containers, "
          "%zu backups\n",
          storeDir.c_str(),
          static_cast<unsigned long long>(store.stats().uniqueChunks),
          store.stats().storedBytes / 1e6, store.containerCount(),
          store.listBackups().size());
+  dumpStats(store, stats);
   return 0;
 }
 
@@ -250,17 +304,22 @@ int doDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  StatsFlag stats = extractStatsFlag(argc, argv);
   const std::string mode = argc > 1 ? argv[1] : "demo";
   try {
     if (mode == "backup" && argc == 5)
-      return doBackup(argv[2], argv[3], argv[4]);
+      return doBackup(argv[2], argv[3], argv[4], stats);
     if (mode == "restore" && argc == 5)
-      return doRestore(argv[2], argv[3], argv[4]);
-    if (mode == "delete" && argc == 4) return doDelete(argv[2], argv[3]);
-    if (mode == "gc" && argc == 3) return doGc(argv[2]);
-    if (mode == "verify" && argc == 3) return doVerify(argv[2]);
+      return doRestore(argv[2], argv[3], argv[4], stats);
+    if (mode == "delete" && argc == 4)
+      return doDelete(argv[2], argv[3], stats);
+    if (mode == "gc" && argc == 3) return doGc(argv[2], stats);
+    if (mode == "verify" && argc == 3) return doVerify(argv[2], stats);
     if (mode == "list" && argc == 3) return doList(argv[2]);
-    if (mode == "stats" && argc == 3) return doStats(argv[2]);
+    if (mode == "stats" && argc == 3)
+      return doStats(argv[2],
+                     stats == StatsFlag::kJson ? StatsFlag::kJson
+                                               : StatsFlag::kText);
     if (mode == "demo") return doDemo();
   } catch (const std::exception& e) {
     fprintf(stderr, "error: %s\n", e.what());
@@ -273,7 +332,9 @@ int main(int argc, char** argv) {
           "       backup_system gc <store>\n"
           "       backup_system verify <store>\n"
           "       backup_system list <store>\n"
-          "       backup_system stats <store>\n"
-          "       backup_system demo\n");
+          "       backup_system stats <store> [--stats=json]\n"
+          "       backup_system demo\n"
+          "flags: --stats | --stats=json   dump the metrics registry after\n"
+          "       any subcommand above\n");
   return 2;
 }

@@ -3,9 +3,30 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "pipeline/thread_pool.h"
 
 namespace freqdedup::analysis {
+
+namespace {
+
+/// Process-wide attack-phase metrics, resolved once.
+struct AttackMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Histogram& countUs = reg.histogram("attack.count_us");
+  obs::Histogram& neighborBuildUs = reg.histogram("attack.neighbor_build_us");
+  obs::Histogram& basicUs = reg.histogram("attack.basic_us");
+  obs::Histogram& localityUs = reg.histogram("attack.locality_us");
+  obs::Counter& pairsInferred = reg.counter("attack.pairs_inferred");
+  obs::Counter& rowsTouched = reg.counter("attack.rows_touched");
+
+  static AttackMetrics& get() {
+    static AttackMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 AttackEngine::AttackEngine(ChunkStreamIndex cipher, ChunkStreamIndex plain,
                            AnalysisOptions options)
@@ -42,6 +63,8 @@ void AttackEngine::runParallel(
 }
 
 void AttackEngine::buildFrequencies() {
+  if (cipherFreq_ && plainFreq_) return;
+  obs::ObsSpan span(&AttackMetrics::get().countUs, "attack.count", "attack");
   ThreadPool* pool = workerPool();
   if (!cipherFreq_) {
     cipherFreq_ = FrequencyIndex::build(
@@ -56,6 +79,9 @@ void AttackEngine::buildFrequencies() {
 }
 
 void AttackEngine::buildNeighbors() {
+  if (cipherLeft_ && cipherRight_ && plainLeft_ && plainRight_) return;
+  obs::ObsSpan span(&AttackMetrics::get().neighborBuildUs,
+                    "attack.neighbor_build", "attack");
   using Side = NeighborIndex::Side;
   ThreadPool* pool = workerPool();
   if (!cipherLeft_) {
@@ -177,6 +203,8 @@ void AttackEngine::neighborPairs(
 
 AttackResult AttackEngine::basicAttack(bool sizeAware) {
   buildFrequencies();
+  AttackMetrics& metrics = AttackMetrics::get();
+  obs::ObsSpan span(&metrics.basicUs, "attack.basic", "attack");
   // Algorithm 1 passes x = max{|F_C|, |F_M|}: no cap beyond the shorter
   // side (or the class sizes in the size-aware variant).
   const size_t all = std::max(cipher_.uniqueCount(), plain_.uniqueCount());
@@ -186,6 +214,8 @@ AttackResult AttackEngine::basicAttack(bool sizeAware) {
   for (const IdPair& p : pairs) {
     result.inferred.emplace(cipher_.fpOf(p.cipher), plain_.fpOf(p.plain));
   }
+  metrics.pairsInferred.add(result.inferred.size());
+  metrics.rowsTouched.add(pairs.size());
   return result;
 }
 
@@ -194,6 +224,8 @@ AttackResult AttackEngine::localityAttack(const AttackConfig& config) {
                 "ciphertext-only mode needs u >= 1");
   buildFrequencies();
   buildNeighbors();
+  AttackMetrics& metrics = AttackMetrics::get();
+  obs::ObsSpan span(&metrics.localityUs, "attack.locality", "attack");
 
   const uint32_t cipherUnique = cipher_.uniqueCount();
   // T as dense columns: taken[c] marks an inferred ciphertext chunk, and
@@ -279,6 +311,8 @@ AttackResult AttackEngine::localityAttack(const AttackConfig& config) {
   for (uint32_t c = 0; c < cipherUnique; ++c) {
     if (taken[c]) result.inferred.emplace(cipher_.fpOf(c), inferredPlain[c]);
   }
+  metrics.pairsInferred.add(result.inferred.size());
+  metrics.rowsTouched.add(result.processedPairs);
   return result;
 }
 

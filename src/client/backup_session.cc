@@ -8,11 +8,33 @@
 #include "client/dedup_client.h"
 #include "common/check.h"
 #include "crypto/mle.h"
+#include "obs/trace.h"
 #include "pipeline/thread_pool.h"
 
 namespace freqdedup {
 
 namespace {
+
+/// Process-wide backup/chunking metrics, resolved once. Sessions are
+/// transient, so their counters live in the global registry.
+struct BackupMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& sessionsOpened = reg.counter("backup.sessions_opened");
+  obs::Counter& bytesAppended = reg.counter("backup.bytes_appended");
+  obs::Counter& chunksNew = reg.counter("backup.chunks_new");
+  obs::Counter& chunksDuplicate = reg.counter("backup.chunks_duplicate");
+  obs::Histogram& appendUs = reg.histogram("backup.append_us");
+  obs::Histogram& finishUs = reg.histogram("backup.finish_us");
+  obs::Counter& chunksProduced = reg.counter("chunk.chunks_produced");
+  obs::Counter& chunkBytes = reg.counter("chunk.bytes_total");
+  obs::Histogram& chunkSizeBytes = reg.histogram("chunk.size_bytes");
+  obs::Counter& segmentsClosed = reg.counter("chunk.segments_closed");
+
+  static BackupMetrics& get() {
+    static BackupMetrics m;
+    return m;
+  }
+};
 
 /// Ciphertexts in flight on the parallel paths: encryption runs at most this
 /// many chunks ahead of the serial store loop, bounding extra memory to
@@ -58,6 +80,7 @@ BackupSession::BackupSession(DedupClient& client, std::string name)
     : client_(&client),
       name_(std::move(name)),
       scrambleRng_(client.options_.scrambleSeed) {
+  BackupMetrics::get().sessionsOpened.add();
   stream_ =
       client.chunker_->makeStream([this](ByteView chunk) { onChunk(chunk); });
   if (client.options_.scheme != EncryptionScheme::kMle) {
@@ -71,12 +94,16 @@ BackupSession::~BackupSession() = default;
 
 void BackupSession::append(ByteView data) {
   FDD_CHECK_MSG(!finished_, "append() on a finished BackupSession");
+  BackupMetrics& m = BackupMetrics::get();
+  obs::ObsSpan span(&m.appendUs, "backup.append", "backup");
+  m.bytesAppended.add(data.size());
   bytesAppended_ += data.size();
   stream_->push(data);
 }
 
 BackupOutcome BackupSession::finish() {
   FDD_CHECK_MSG(!finished_, "finish() called twice on a BackupSession");
+  obs::ObsSpan span(&BackupMetrics::get().finishUs, "backup.finish", "backup");
   finished_ = true;
   stream_->flush();  // emits the trailing partial chunk, if any
   if (segmenter_) {
@@ -92,15 +119,26 @@ BackupOutcome BackupSession::finish() {
 }
 
 void BackupSession::storeChunk(Fp cipherFp, ByteView cipher) {
-  std::lock_guard lock(client_->storeMu_);
-  if (client_->store_->putChunk(cipherFp, cipher)) {
+  bool isNew = false;
+  {
+    std::lock_guard lock(client_->storeMu_);
+    isNew = client_->store_->putChunk(cipherFp, cipher);
+  }
+  BackupMetrics& m = BackupMetrics::get();
+  if (isNew) {
     ++outcome_.newChunks;
+    m.chunksNew.add();
   } else {
     ++outcome_.duplicateChunks;
+    m.chunksDuplicate.add();
   }
 }
 
 void BackupSession::onChunk(ByteView chunk) {
+  BackupMetrics& m = BackupMetrics::get();
+  m.chunksProduced.add();
+  m.chunkBytes.add(chunk.size());
+  m.chunkSizeBytes.record(chunk.size());
   if (segmenter_) {
     // MinHash path: buffer the chunk, then let the segmenter decide whether
     // this record closes a segment (possibly before admitting it).
@@ -156,6 +194,7 @@ void BackupSession::encryptMleWindow() {
 
 void BackupSession::onSegment(const Segment& seg) {
   FDD_CHECK_MSG(seg.begin == segBase_, "segments must close in order");
+  BackupMetrics::get().segmentsClosed.add();
   const size_t count = seg.count();
   FDD_CHECK_MSG(count <= segChunks_.size(), "segment exceeds buffered chunks");
   const std::span<const ChunkRecord> records(segRecords_.data(), count);

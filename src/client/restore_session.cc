@@ -7,6 +7,7 @@
 
 #include "client/dedup_client.h"
 #include "crypto/mle.h"
+#include "obs/trace.h"
 #include "pipeline/ordered_completion.h"
 #include "pipeline/thread_pool.h"
 
@@ -33,6 +34,26 @@ struct Batch {
 /// Chunks not yet sealed into a container share one pseudo-container for
 /// batching purposes (they are served from the open-chunk table anyway).
 constexpr uint32_t kUnplacedContainer = UINT32_MAX;
+
+/// Process-wide restore metrics, resolved once.
+struct RestoreMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter& sessionsOpened = reg.counter("restore.sessions_opened");
+  obs::Counter& bytesStreamed = reg.counter("restore.bytes_streamed");
+  obs::Counter& chunksStreamed = reg.counter("restore.chunks_streamed");
+  obs::Counter& batchesPlanned = reg.counter("restore.batches_planned");
+  obs::Histogram& batchChunks = reg.histogram("restore.batch_chunks");
+  obs::Histogram& batchBytes = reg.histogram("restore.batch_bytes");
+  obs::Histogram& streamUs = reg.histogram("restore.stream_us");
+  obs::Histogram& fetchBatchUs = reg.histogram("restore.fetch_batch_us");
+  /// Batches fetched ahead of the in-order emitter but not yet emitted.
+  obs::Gauge& prefetchWindow = reg.gauge("restore.prefetch_window");
+
+  static RestoreMetrics& get() {
+    static RestoreMetrics m;
+    return m;
+  }
+};
 
 /// Incremental container-locality batch planner: entries are fed in recipe
 /// order (with their container placement) and cut into batches when one
@@ -88,11 +109,14 @@ RestoreSession::RestoreSession(DedupClient& client, FileRecipe fileRecipe,
   if (fileRecipe_.entries.size() != keyRecipe_.keys.size())
     throw std::invalid_argument("RestoreSession: file and key recipes "
                                 "disagree on chunk count");
+  RestoreMetrics::get().sessionsOpened.add();
 }
 
 RestoreSession::~RestoreSession() = default;
 
 uint64_t RestoreSession::streamTo(const ByteSink& sink) {
+  RestoreMetrics& m = RestoreMetrics::get();
+  obs::ObsSpan streamSpan(&m.streamUs, "restore.stream", "restore");
   const std::vector<RecipeEntry>& entries = fileRecipe_.entries;
   // Deliberately NOT under the client's store mutex: the store's read path
   // is internally synchronized, so concurrent restores (and a concurrent
@@ -124,6 +148,7 @@ uint64_t RestoreSession::streamTo(const ByteSink& sink) {
     }
   }
   const std::vector<Batch> batches = planner.finish();
+  m.batchesPlanned.add(batches.size());
 
   ThreadPool* pool = client_->pool_.get();
   uint64_t streamed = 0;
@@ -133,12 +158,23 @@ uint64_t RestoreSession::streamTo(const ByteSink& sink) {
         const Batch& batch = batches[b];
         std::vector<Fp> fps;
         fps.reserve(batch.end - batch.begin);
-        for (size_t i = batch.begin; i < batch.end; ++i)
+        uint64_t batchBytes = 0;
+        for (size_t i = batch.begin; i < batch.end; ++i) {
           fps.push_back(entries[i].cipherFp);
-        return store.getChunks(fps);
+          batchBytes += entries[i].size;
+        }
+        m.batchChunks.record(fps.size());
+        m.batchBytes.record(batchBytes);
+        obs::ObsSpan span(&m.fetchBatchUs, "restore.fetch_batch", "restore");
+        auto ciphers = store.getChunks(fps);
+        span.finish();
+        // Fetched, not yet handed to the in-order emitter.
+        m.prefetchWindow.add();
+        return ciphers;
       };
   const std::function<void(size_t, std::vector<ByteVec>&&)> emitBatch =
       [&](size_t b, std::vector<ByteVec>&& ciphers) {
+        m.prefetchWindow.sub();
         const Batch& batch = batches[b];
         const size_t count = batch.end - batch.begin;
         std::vector<ByteVec> plains(count);
@@ -167,10 +203,14 @@ uint64_t RestoreSession::streamTo(const ByteSink& sink) {
           decryptRange(0, count);
         }
         // Strictly in-order emission, batch by batch, chunk by chunk.
+        uint64_t emitted = 0;
         for (size_t k = 0; k < count; ++k) {
-          streamed += plains[k].size();
+          emitted += plains[k].size();
           sink(ByteView(plains[k].data(), plains[k].size()));
         }
+        streamed += emitted;
+        m.chunksStreamed.add(count);
+        m.bytesStreamed.add(emitted);
       };
 
   orderedProduceConsume<std::vector<ByteVec>>(

@@ -1,0 +1,293 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace freqdedup::obs {
+
+size_t threadSlot() noexcept {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+uint64_t HistogramData::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based; ceil without floating error on
+  // the boundary cases that matter (q=0 -> first sample, q=1 -> last).
+  const auto rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.5));
+  uint64_t seen = 0;
+  for (const auto& [lowerBound, n] : buckets) {
+    seen += n;
+    if (seen >= rank) return lowerBound;
+  }
+  return max;
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  std::array<uint64_t, kBuckets> totals{};
+  uint64_t min = UINT64_MAX;
+  for (const Cell& cell : cells_) {
+    for (size_t b = 0; b < kBuckets; ++b)
+      totals[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    d.count += cell.count.load(std::memory_order_relaxed);
+    d.sum += cell.sum.load(std::memory_order_relaxed);
+    min = std::min(min, cell.min.load(std::memory_order_relaxed));
+    d.max = std::max(d.max, cell.max.load(std::memory_order_relaxed));
+  }
+  d.min = d.count == 0 ? 0 : min;
+  for (size_t b = 0; b < kBuckets; ++b)
+    if (totals[b] != 0) d.buckets.emplace_back(bucketLowerBound(b), totals[b]);
+  return d;
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+HistogramData MetricsSnapshot::histogram(const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? HistogramData{} : it->second;
+}
+
+namespace {
+
+/// Saturating a - b for cumulative counters sampled at two points in time.
+uint64_t satSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+/// Bucket lists are sparse maps (lowerBound -> count) in vector clothing;
+/// combine merges or diffs them by lower bound.
+std::vector<std::pair<uint64_t, uint64_t>> combineBuckets(
+    const std::vector<std::pair<uint64_t, uint64_t>>& a,
+    const std::vector<std::pair<uint64_t, uint64_t>>& b, bool subtract) {
+  std::map<uint64_t, uint64_t> merged(a.begin(), a.end());
+  for (const auto& [lb, n] : b) {
+    if (subtract) {
+      merged[lb] = satSub(merged[lb], n);
+    } else {
+      merged[lb] += n;
+    }
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (const auto& [lb, n] : merged)
+    if (n != 0) out.emplace_back(lb, n);
+  return out;
+}
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void appendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void appendI64(std::string& out, int64_t v) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramData& mine = histograms[name];
+    if (mine.count == 0) {
+      mine = h;
+      continue;
+    }
+    if (h.count == 0) continue;
+    mine.min = std::min(mine.min, h.min);
+    mine.max = std::max(mine.max, h.max);
+    mine.count += h.count;
+    mine.sum += h.sum;
+    mine.buckets = combineBuckets(mine.buckets, h.buckets, /*subtract=*/false);
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d = *this;
+  for (const auto& [name, v] : earlier.counters)
+    d.counters[name] = satSub(d.counters[name], v);
+  for (const auto& [name, v] : earlier.gauges) d.gauges[name] -= v;
+  for (const auto& [name, h] : earlier.histograms) {
+    HistogramData& mine = d.histograms[name];
+    mine.count = satSub(mine.count, h.count);
+    mine.sum = satSub(mine.sum, h.sum);
+    mine.buckets = combineBuckets(mine.buckets, h.buckets, /*subtract=*/true);
+    // min/max stay the later snapshot's: cumulative extrema cannot be
+    // un-merged, and the later values at least bound the interval.
+  }
+  return d;
+}
+
+std::string MetricsSnapshot::toText() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    out += name;
+    out += " ";
+    appendU64(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    out += name;
+    out += " ";
+    appendI64(out, v);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name;
+    char buf[160];
+    snprintf(buf, sizeof(buf),
+             " count=%" PRIu64 " sum=%" PRIu64 " min=%" PRIu64 " mean=%" PRIu64
+             " max=%" PRIu64 " p50=%" PRIu64 " p99=%" PRIu64 "\n",
+             h.count, h.sum, h.min,
+             h.count == 0 ? 0 : h.sum / h.count, h.max, h.quantile(0.5),
+             h.quantile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    appendJsonString(out, name);
+    out.push_back(':');
+    appendU64(out, v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    appendJsonString(out, name);
+    out.push_back(':');
+    appendI64(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    appendJsonString(out, name);
+    out += ":{\"count\":";
+    appendU64(out, h.count);
+    out += ",\"sum\":";
+    appendU64(out, h.sum);
+    out += ",\"min\":";
+    appendU64(out, h.min);
+    out += ",\"max\":";
+    appendU64(out, h.max);
+    out += ",\"buckets\":[";
+    bool firstBucket = true;
+    for (const auto& [lb, n] : h.buckets) {
+      if (!firstBucket) out.push_back(',');
+      firstBucket = false;
+      out.push_back('[');
+      appendU64(out, lb);
+      out.push_back(',');
+      appendU64(out, n);
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot(const std::string& name,
+                                             Kind kind) {
+  std::lock_guard lock(mu_);
+  const auto it = slots_.find(name);
+  if (it != slots_.end()) {
+    if (it->second.kind != kind)
+      throw std::logic_error("MetricsRegistry: metric '" + name +
+                             "' already registered as a different kind");
+    return it->second;
+  }
+  Slot s{kind, nullptr, nullptr, nullptr};
+  switch (kind) {
+    case Kind::kCounter:
+      s.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      s.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      s.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return slots_.emplace(name, std::move(s)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *slot(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *slot(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *slot(name, Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mu_);
+  for (const auto& [name, s] : slots_) {
+    switch (s.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace(name, s.counter->value());
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace(name, s.gauge->value());
+        break;
+      case Kind::kHistogram:
+        snap.histograms.emplace(name, s.histogram->data());
+        break;
+    }
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace freqdedup::obs

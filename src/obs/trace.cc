@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+
+namespace freqdedup::obs {
+
+uint64_t nowMicros() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+namespace {
+
+/// Small stable id for the current thread, for the trace "tid" field.
+uint32_t traceTid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) {
+  file_ = fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    fprintf(stderr, "obs: cannot open trace file %s; tracing disabled\n",
+            path.c_str());
+    return;
+  }
+  fputs("[\n", file_);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::close() {
+  std::lock_guard lock(mu_);
+  if (file_ == nullptr) return;
+  // Final instant event carries no trailing comma, closing the array as
+  // strict JSON no matter how many events preceded it.
+  fprintf(file_,
+          "{\"name\":\"trace_end\",\"cat\":\"fdd\",\"ph\":\"i\",\"ts\":%" PRIu64
+          ",\"pid\":1,\"tid\":0,\"s\":\"g\"}\n]\n",
+          nowMicros());
+  fclose(file_);
+  file_ = nullptr;
+}
+
+void TraceWriter::emitComplete(std::string_view name, std::string_view category,
+                               uint64_t tsMicros, uint64_t durMicros) {
+  const uint32_t tid = traceTid();
+  std::lock_guard lock(mu_);
+  if (file_ == nullptr) return;
+  fprintf(file_,
+          "{\"name\":\"%.*s\",\"cat\":\"%.*s\",\"ph\":\"X\",\"ts\":%" PRIu64
+          ",\"dur\":%" PRIu64 ",\"pid\":1,\"tid\":%u},\n",
+          static_cast<int>(name.size()), name.data(),
+          static_cast<int>(category.size()), category.data(), tsMicros,
+          durMicros, tid);
+}
+
+TraceWriter* TraceWriter::global() {
+  // The writer is created on first use and destroyed at static-destruction
+  // time, which closes the JSON array for any normally-exiting process.
+  static const std::unique_ptr<TraceWriter> writer = [] {
+    const char* env = std::getenv("FDD_TRACE");
+    if (env == nullptr || *env == '\0') return std::unique_ptr<TraceWriter>();
+    const std::string path =
+        std::strcmp(env, "1") == 0 ? "fdd_trace.json" : env;
+    auto w = std::make_unique<TraceWriter>(path);
+    if (!w->ok()) w.reset();
+    return w;
+  }();
+  return writer.get();
+}
+
+uint64_t ObsSpan::finish() {
+  if (done_) return elapsed_;
+  done_ = true;
+  if (hist_ == nullptr && writer_ == nullptr) return 0;
+  const uint64_t end = nowMicros();
+  elapsed_ = end - start_;
+  if (hist_ != nullptr) hist_->record(elapsed_);
+  if (writer_ != nullptr)
+    writer_->emitComplete(name_, category_, start_, elapsed_);
+  return elapsed_;
+}
+
+}  // namespace freqdedup::obs

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "pipeline/bounded_queue.h"
 #include "pipeline/thread_pool.h"
 
@@ -23,7 +24,16 @@ struct ShardBatch {
 ParallelIngestPipeline::ParallelIngestPipeline(
     const DedupEngineParams& engineParams, PipelineOptions options,
     RecordTransform transform)
-    : options_(options), transform_(std::move(transform)) {
+    : options_(options),
+      transform_(std::move(transform)),
+      rawQueueDepth_(
+          obs::MetricsRegistry::global().gauge("pipeline.raw_queue_depth")),
+      shardQueueDepth_(
+          obs::MetricsRegistry::global().gauge("pipeline.shard_queue_depth")),
+      routeBatchUs_(
+          obs::MetricsRegistry::global().histogram("pipeline.route_batch_us")),
+      dedupBatchUs_(obs::MetricsRegistry::global().histogram(
+          "pipeline.dedup_batch_us")) {
   FDD_CHECK(options_.parallelism >= 1);
   FDD_CHECK(options_.batchRecords > 0);
   FDD_CHECK(options_.queueCapacity > 0);
@@ -94,15 +104,19 @@ void ParallelIngestPipeline::ingestParallel(
   for (uint32_t w = 0; w < routeWorkers_; ++w) {
     pool_->submit([&] {
       while (auto batch = rawQueue.pop()) {
+        rawQueueDepth_.sub();
         try {
+          obs::ObsSpan span(&routeBatchUs_, "pipeline.route_batch",
+                            "pipeline");
           std::vector<std::vector<ChunkRecord>> perShard(shards);
           for (const ChunkRecord& r : *batch) {
             const ChunkRecord out = transform_ ? transform_(r) : r;
             perShard[sharded_->shardOf(out.fp)].push_back(out);
           }
           for (uint32_t s = 0; s < shards; ++s) {
-            if (!perShard[s].empty())
-              shardQueue.push({s, std::move(perShard[s])});
+            if (!perShard[s].empty() &&
+                shardQueue.push({s, std::move(perShard[s])}))
+              shardQueueDepth_.add();
           }
         } catch (...) {
           abortWithCurrentException();
@@ -117,7 +131,10 @@ void ParallelIngestPipeline::ingestParallel(
   for (uint32_t w = 0; w < dedupWorkers_; ++w) {
     pool_->submit([&] {
       while (auto batch = shardQueue.pop()) {
+        shardQueueDepth_.sub();
         try {
+          obs::ObsSpan span(&dedupBatchUs_, "pipeline.dedup_batch",
+                            "pipeline");
           sharded_->ingestShardBatch(batch->shard, batch->records);
         } catch (...) {
           abortWithCurrentException();
@@ -135,14 +152,19 @@ void ParallelIngestPipeline::ingestParallel(
     batch.push_back(r);
     if (batch.size() == options_.batchRecords) {
       if (!rawQueue.push(std::move(batch))) break;
+      rawQueueDepth_.add();
       batch = {};
       batch.reserve(options_.batchRecords);
     }
   }
-  if (!batch.empty()) rawQueue.push(std::move(batch));
+  if (!batch.empty() && rawQueue.push(std::move(batch))) rawQueueDepth_.add();
   rawQueue.close();
 
   pool_->wait();
+  // An abort leaves undrained batches in the closed queues; settle the depth
+  // gauges so they read zero between ingests either way.
+  rawQueueDepth_.sub(static_cast<int64_t>(rawQueue.size()));
+  shardQueueDepth_.sub(static_cast<int64_t>(shardQueue.size()));
   if (error) std::rethrow_exception(error);
 }
 
@@ -156,6 +178,10 @@ void ParallelIngestPipeline::finish() {
 
 DedupEngineStats ParallelIngestPipeline::stats() const {
   return serial_ ? serial_->stats() : sharded_->mergedStats();
+}
+
+obs::MetricsSnapshot ParallelIngestPipeline::metricsSnapshot() const {
+  return serial_ ? serial_->metricsSnapshot() : sharded_->mergedSnapshot();
 }
 
 uint32_t ParallelIngestPipeline::shardCount() const {

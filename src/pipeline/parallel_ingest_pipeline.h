@@ -24,6 +24,7 @@
 #include <memory>
 #include <span>
 
+#include "obs/metrics.h"
 #include "pipeline/sharded_dedup_index.h"
 #include "pipeline/thread_pool.h"
 #include "storage/dedup_engine.h"
@@ -63,6 +64,10 @@ class ParallelIngestPipeline {
   /// Merged counters, comparable to DedupEngine::stats().
   [[nodiscard]] DedupEngineStats stats() const;
 
+  /// Merged ingest.* metrics of the underlying engine(s); pipeline.* queue
+  /// gauges and stage latency histograms live in the global registry.
+  [[nodiscard]] obs::MetricsSnapshot metricsSnapshot() const;
+
   [[nodiscard]] bool parallel() const { return sharded_ != nullptr; }
   [[nodiscard]] uint32_t shardCount() const;
   [[nodiscard]] size_t containerCount() const;
@@ -77,6 +82,11 @@ class ParallelIngestPipeline {
   std::unique_ptr<DedupEngine> serial_;         // parallelism == 1
   std::unique_ptr<ShardedDedupIndex> sharded_;  // parallelism > 1
   std::unique_ptr<ThreadPool> pool_;            // stage workers, reused
+  // Process-wide pipeline metrics (multiple pipelines sum into them).
+  obs::Gauge& rawQueueDepth_;
+  obs::Gauge& shardQueueDepth_;
+  obs::Histogram& routeBatchUs_;
+  obs::Histogram& dedupBatchUs_;
 };
 
 }  // namespace freqdedup

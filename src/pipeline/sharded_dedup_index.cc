@@ -48,17 +48,19 @@ void ShardedDedupIndex::flushOpenContainers() {
 }
 
 DedupEngineStats ShardedDedupIndex::mergedStats() const {
-  DedupEngineStats merged;
-  for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
-    merged += shard->engine.stats();
-  }
+  return DedupEngineStats::fromSnapshot(mergedSnapshot());
+}
+
+obs::MetricsSnapshot ShardedDedupIndex::mergedSnapshot() const {
+  // Engine registries are internally synchronized; no shard locks needed.
+  obs::MetricsSnapshot merged;
+  for (const auto& shard : shards_)
+    merged.merge(shard->engine.metricsSnapshot());
   return merged;
 }
 
 DedupEngineStats ShardedDedupIndex::shardStats(uint32_t shard) const {
   FDD_CHECK(shard < shards_.size());
-  std::lock_guard lock(shards_[shard]->mu);
   return shards_[shard]->engine.stats();
 }
 

@@ -51,10 +51,16 @@ class ShardedDedupIndex {
   void flushOpenContainers();
 
   /// Counters summed across shards; comparable to DedupEngine::stats().
+  /// A view over mergedSnapshot().
   [[nodiscard]] DedupEngineStats mergedStats() const;
 
   /// One shard's counters (shard < shardCount()).
   [[nodiscard]] DedupEngineStats shardStats(uint32_t shard) const;
+
+  /// Every shard's ingest.* metrics merged into one snapshot. Shard
+  /// registries are internally synchronized, so this takes no shard locks
+  /// and is safe to sample while ingest is in flight.
+  [[nodiscard]] obs::MetricsSnapshot mergedSnapshot() const;
 
   /// Total sealed containers across shards.
   [[nodiscard]] size_t containerCount() const;

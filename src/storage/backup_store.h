@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/fingerprint.h"
+#include "obs/metrics.h"
 #include "storage/container.h"
 
 namespace freqdedup {
@@ -176,7 +177,16 @@ class BackupStore {
   /// Seals the open container and persists all state (persistent mode).
   virtual void flush() = 0;
 
-  [[nodiscard]] virtual const BackupStoreStats& stats() const = 0;
+  /// Write-path accounting, synthesized from the store's metrics registry.
+  [[nodiscard]] virtual BackupStoreStats stats() const = 0;
+
+  /// Point-in-time snapshot of every metric the store instance maintains
+  /// (store.*, cache.*). A fresh open — including one that recovered
+  /// persistent state — starts all counters from zero. The base
+  /// implementation reports an empty snapshot.
+  [[nodiscard]] virtual obs::MetricsSnapshot metricsSnapshot() const {
+    return {};
+  }
 
   /// Number of sealed, live containers.
   [[nodiscard]] virtual size_t containerCount() const = 0;

@@ -10,6 +10,7 @@
 #include "common/varint.h"
 #include "kvstore/logkv.h"
 #include "kvstore/memkv.h"
+#include "obs/trace.h"
 
 namespace freqdedup {
 
@@ -119,7 +120,22 @@ ContainerBackupStore::ContainerBackupStore(std::unique_ptr<KvStore> index,
     : dir_(std::move(dir)),
       index_(std::move(index)),
       builder_(containerBytes),
-      readCache_(readCacheContainers) {}
+      putChunks_(registry_.counter("store.put_chunks")),
+      putBytes_(registry_.counter("store.put_bytes")),
+      uniqueChunks_(registry_.gauge("store.unique_chunks")),
+      storedBytes_(registry_.gauge("store.stored_bytes")),
+      chunkReads_(registry_.counter("store.chunk_reads")),
+      batchReads_(registry_.counter("store.batch_reads")),
+      containerLoads_(registry_.counter("store.container_loads")),
+      readCacheHits_(registry_.counter("store.read_cache_hits")),
+      readRetries_(registry_.counter("store.read_retries")),
+      containerWrites_(registry_.counter("store.container_writes")),
+      crcRecheckFailures_(registry_.counter("store.crc_recheck_failures")),
+      singleflightCoalesces_(
+          registry_.counter("store.singleflight_coalesces")),
+      containerLoadUs_(registry_.histogram("store.container_load_us")),
+      gcUs_(registry_.histogram("store.gc_us")),
+      readCache_(readCacheContainers, registry_) {}
 
 ContainerBackupStore::~ContainerBackupStore() {
   if (!dir_.empty()) {
@@ -159,12 +175,12 @@ uint32_t ContainerBackupStore::chunkRefCount(Fp cipherFp) const {
 
 bool ContainerBackupStore::putChunk(Fp cipherFp, ByteView bytes) {
   std::lock_guard lock(mu_);
-  ++stats_.logicalPuts;
-  stats_.logicalBytes += bytes.size();
+  putChunks_.add();
+  putBytes_.add(bytes.size());
   if (hasChunkLocked(cipherFp)) return false;
   stageChunkLocked(cipherFp, bytes, /*refs=*/0);
-  ++stats_.uniqueChunks;
-  stats_.storedBytes += bytes.size();
+  uniqueChunks_.add(1);
+  storedBytes_.add(static_cast<int64_t>(bytes.size()));
   return true;
 }
 
@@ -191,6 +207,7 @@ void ContainerBackupStore::sealOpenContainerLocked() {
     index_->put(chunkKey(fp), encodeChunkEntry(e));
   }
   liveContainerIds_.insert(id);
+  containerWrites_.add();
   auto shared = std::make_shared<const Container>(std::move(container));
   if (dir_.empty()) {
     containers_.emplace(id, ContainerReadCache::makeEntry(std::move(shared)));
@@ -245,12 +262,14 @@ ContainerReadCache::Entry ContainerBackupStore::loadAndAdmit(uint32_t id) {
     // Cache disabled: nothing a loader admits could serve a waiter, so
     // single-flight coalescing would only serialize concurrent misses.
     // Every miss loads independently, in parallel.
+    obs::ObsSpan span(&containerLoadUs_, "store.container_load", "store");
     auto container = parseContainerFile(id);
-    reads_.containerLoads.fetch_add(1, std::memory_order_relaxed);
+    containerLoads_.add();
     return ContainerReadCache::makeEntry(std::move(container));
   }
   {
     std::unique_lock lock(loadMu_);
+    bool waited = false;
     for (;;) {
       // Re-check under loadMu_ on every pass: a loader that finished —
       // whether we waited on it or it completed between our fetchContainer
@@ -259,10 +278,16 @@ ContainerReadCache::Entry ContainerBackupStore::loadAndAdmit(uint32_t id) {
       // containerLoads. (recordStats=false: fetchContainer already counted
       // this logical lookup's miss.)
       if (auto cached = readCache_.get(id, /*recordStats=*/false)) {
-        reads_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+        readCacheHits_.add();
         return *cached;
       }
       if (!loading_.contains(id)) break;
+      if (!waited) {
+        // This miss joined an in-flight load instead of issuing its own
+        // file read — the coalescing the single-flight gate exists for.
+        waited = true;
+        singleflightCoalesces_.add();
+      }
       loadCv_.wait(lock);
     }
     loading_.insert(id);
@@ -275,8 +300,10 @@ ContainerReadCache::Entry ContainerBackupStore::loadAndAdmit(uint32_t id) {
     loadCv_.notify_all();
   };
   try {
+    obs::ObsSpan span(&containerLoadUs_, "store.container_load", "store");
     auto container = parseContainerFile(id);
-    reads_.containerLoads.fetch_add(1, std::memory_order_relaxed);
+    span.finish();
+    containerLoads_.add();
     ContainerReadCache::Entry entry =
         readCache_.admit(id, std::move(container));
     // Close the admit-vs-GC race: if GC compacted this container while we
@@ -305,11 +332,11 @@ ContainerReadCache::Entry ContainerBackupStore::fetchContainer(uint32_t id) {
       throw std::runtime_error("BackupStore: container missing: " +
                                std::to_string(id));
     // Resident containers are the memory backend's cache equivalent.
-    reads_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+    readCacheHits_.add();
     return it->second;
   }
   if (auto cached = readCache_.get(id)) {
-    reads_.cacheHits.fetch_add(1, std::memory_order_relaxed);
+    readCacheHits_.add();
     return *cached;
   }
   return loadAndAdmit(id);
@@ -338,9 +365,11 @@ ByteVec ContainerBackupStore::extractPayload(
   // Every serve — cache hit or fresh load — re-checks the payload against
   // the CRC computed at admission, so a corrupted cached copy can never be
   // served as valid bytes.
-  if (crc32c(payload) != (*cached.payloadCrcs)[e.entryIndex])
+  if (crc32c(payload) != (*cached.payloadCrcs)[e.entryIndex]) {
+    crcRecheckFailures_.add();
     throw std::runtime_error("BackupStore: payload CRC mismatch for " +
                              fpToHex(fp));
+  }
   return ByteVec(payload.begin(), payload.end());
 }
 
@@ -370,13 +399,13 @@ ByteVec ContainerBackupStore::serveChunk(Fp fp, ChunkEntry e) {
           fresh.entryIndex == e.entryIndex)
         throw;
       e = fresh;
-      reads_.readRetries.fetch_add(1, std::memory_order_relaxed);
+      readRetries_.add();
     }
   }
 }
 
 ByteVec ContainerBackupStore::getChunk(Fp cipherFp) {
-  reads_.chunkReads.fetch_add(1, std::memory_order_relaxed);
+  chunkReads_.add();
   ChunkEntry e;
   {
     std::lock_guard lock(mu_);
@@ -393,8 +422,8 @@ ByteVec ContainerBackupStore::getChunk(Fp cipherFp) {
 
 std::vector<ByteVec> ContainerBackupStore::getChunks(
     std::span<const Fp> cipherFps) {
-  reads_.batchReads.fetch_add(1, std::memory_order_relaxed);
-  reads_.chunkReads.fetch_add(cipherFps.size(), std::memory_order_relaxed);
+  batchReads_.add();
+  chunkReads_.add(cipherFps.size());
   std::vector<ByteVec> out(cipherFps.size());
 
   // Phase 1 (index, under the lock): resolve every fingerprint to its
@@ -469,13 +498,22 @@ std::vector<std::optional<ChunkPlacement>> ContainerBackupStore::chunkLocator(
   return out;
 }
 
+BackupStoreStats ContainerBackupStore::stats() const {
+  BackupStoreStats s;
+  s.logicalPuts = putChunks_.value();
+  s.logicalBytes = putBytes_.value();
+  s.uniqueChunks = static_cast<uint64_t>(uniqueChunks_.value());
+  s.storedBytes = static_cast<uint64_t>(storedBytes_.value());
+  return s;
+}
+
 StoreReadStats ContainerBackupStore::readStats() const {
   StoreReadStats s;
-  s.chunkReads = reads_.chunkReads.load(std::memory_order_relaxed);
-  s.batchReads = reads_.batchReads.load(std::memory_order_relaxed);
-  s.containerLoads = reads_.containerLoads.load(std::memory_order_relaxed);
-  s.cacheHits = reads_.cacheHits.load(std::memory_order_relaxed);
-  s.readRetries = reads_.readRetries.load(std::memory_order_relaxed);
+  s.chunkReads = chunkReads_.value();
+  s.batchReads = batchReads_.value();
+  s.containerLoads = containerLoads_.value();
+  s.cacheHits = readCacheHits_.value();
+  s.readRetries = readRetries_.value();
   return s;
 }
 
@@ -557,6 +595,7 @@ void ContainerBackupStore::recordBackup(const std::string& name,
   for (const auto& [fp, delta] : deltas)
     if (delta != 0) adjustRefsLocked(fp, delta);
   index_->put(manifestKey(name), serializeManifest(chunkRefs));
+  registry_.counter("store.backups_recorded").add();
 }
 
 std::optional<std::vector<Fp>> ContainerBackupStore::backupRefsLocked(
@@ -581,6 +620,7 @@ bool ContainerBackupStore::releaseBackup(const std::string& name) {
   for (const auto& [fp, n] : counts)
     adjustRefsLocked(fp, -static_cast<int64_t>(n));
   index_->erase(manifestKey(name));
+  registry_.counter("store.backups_released").add();
   return true;
 }
 
@@ -620,6 +660,7 @@ GcStats ContainerBackupStore::collectGarbage() {
   // phase 3; a vanished file triggers its re-resolve + retry path) or the
   // fully compacted one — never a half-applied relocation.
   GcStats gc;
+  obs::ObsSpan span(&gcUs_, "store.gc", "store");
   std::lock_guard lock(mu_);
   sealOpenContainerLocked();
   auto byContainer = chunkEntriesByContainerLocked();
@@ -659,8 +700,8 @@ GcStats ContainerBackupStore::collectGarbage() {
     for (const auto& [fp, e] : byContainer[id]) {
       if (e.refs != 0) continue;
       index_->erase(chunkKey(fp));
-      --stats_.uniqueChunks;
-      stats_.storedBytes -= e.size;
+      uniqueChunks_.sub(1);
+      storedBytes_.sub(e.size);
       ++gc.chunksReclaimed;
       gc.bytesReclaimed += e.size;
     }
@@ -673,6 +714,12 @@ GcStats ContainerBackupStore::collectGarbage() {
     logkv->flush();
     logkv->compact();
   }
+  registry_.counter("store.gc_runs").add();
+  registry_.counter("store.gc_relocated_chunks").add(gc.chunksRelocated);
+  registry_.counter("store.gc_reclaimed_chunks").add(gc.chunksReclaimed);
+  registry_.counter("store.gc_reclaimed_bytes").add(gc.bytesReclaimed);
+  registry_.counter("store.gc_compacted_containers")
+      .add(gc.containersCompacted);
   return gc;
 }
 
@@ -855,11 +902,12 @@ StoreRecoveryStats ContainerBackupStore::recoverPersistentState() {
     index_->put(chunkKey(fp), encodeChunkEntry(e));
   rs.refcountsRepaired = repairs.size();
 
-  // Rebuild stats from the surviving index.
+  // Rebuild stats from the surviving index. The registry is fresh for this
+  // instance (reset-on-reopen), so the gauges start at zero here.
   index_->forEach([this](ByteView key, ByteView value) {
     if (!key.empty() && key[0] == static_cast<uint8_t>(kChunkKeyPrefix)) {
-      ++stats_.uniqueChunks;
-      stats_.storedBytes += decodeChunkEntry(value).size;
+      uniqueChunks_.add(1);
+      storedBytes_.add(decodeChunkEntry(value).size);
     }
   });
   if (rs.entriesDropped > 0 || rs.orphanContainersRemoved > 0 ||

@@ -29,7 +29,6 @@
 //      orphan container that recovery removes).
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -37,6 +36,7 @@
 #include <unordered_set>
 
 #include "kvstore/kvstore.h"
+#include "obs/metrics.h"
 #include "storage/backup_store.h"
 #include "storage/container_read_cache.h"
 
@@ -71,10 +71,11 @@ class ContainerBackupStore : public BackupStore {
   StoreCheckReport verify() override;
   void flush() override;
 
-  [[nodiscard]] const BackupStoreStats& stats() const override {
-    return stats_;
-  }
+  [[nodiscard]] BackupStoreStats stats() const override;
   [[nodiscard]] StoreReadStats readStats() const override;
+  [[nodiscard]] obs::MetricsSnapshot metricsSnapshot() const override {
+    return registry_.snapshot();
+  }
   [[nodiscard]] size_t containerCount() const override;
 
   /// The container read cache's own counters (hits/admissions/evictions/
@@ -141,9 +142,10 @@ class ContainerBackupStore : public BackupStore {
   ContainerReadCache::Entry loadAndAdmit(uint32_t id);
   ByteVec serveChunk(Fp fp, ChunkEntry e);
   /// Extracts one chunk's payload after re-checking placement, fingerprint,
-  /// bounds and the admission-time payload CRC. Throws on any mismatch.
-  static ByteVec extractPayload(const ContainerReadCache::Entry& cached,
-                                Fp fp, const ChunkEntry& e);
+  /// bounds and the admission-time payload CRC. Throws on any mismatch
+  /// (CRC failures also count store.crc_recheck_failures).
+  ByteVec extractPayload(const ContainerReadCache::Entry& cached, Fp fp,
+                         const ChunkEntry& e);
 
   std::string dir_;  // empty in memory mode
   std::unique_ptr<KvStore> index_;
@@ -154,10 +156,30 @@ class ContainerBackupStore : public BackupStore {
   std::unordered_map<uint32_t, ContainerReadCache::Entry> containers_;
   std::unordered_set<uint32_t> liveContainerIds_;
   uint32_t nextContainerId_ = 0;
-  BackupStoreStats stats_;
 
-  /// Guards every member above. The read cache and read counters below are
-  /// internally synchronized and safe to touch without it.
+  // Per-instance metrics. The registry lives for the store's lifetime, so a
+  // fresh open (including one that ran recovery) starts every counter from
+  // zero; the references below pre-resolve the hot-path metrics once.
+  // Declared before readCache_, which registers its cache.* counters here.
+  mutable obs::MetricsRegistry registry_;
+  obs::Counter& putChunks_;
+  obs::Counter& putBytes_;
+  obs::Gauge& uniqueChunks_;
+  obs::Gauge& storedBytes_;
+  obs::Counter& chunkReads_;
+  obs::Counter& batchReads_;
+  obs::Counter& containerLoads_;
+  obs::Counter& readCacheHits_;
+  obs::Counter& readRetries_;
+  obs::Counter& containerWrites_;
+  obs::Counter& crcRecheckFailures_;
+  obs::Counter& singleflightCoalesces_;
+  obs::Histogram& containerLoadUs_;
+  obs::Histogram& gcUs_;
+
+  /// Guards the metadata members above (index, open container, ids). The
+  /// read cache and registry counters are internally synchronized and safe
+  /// to touch without it.
   mutable std::mutex mu_;
   mutable ContainerReadCache readCache_;  // file-mode container read cache
 
@@ -168,15 +190,6 @@ class ContainerBackupStore : public BackupStore {
   std::mutex loadMu_;
   std::condition_variable loadCv_;
   std::unordered_set<uint32_t> loading_;
-
-  struct ReadCounters {
-    std::atomic<uint64_t> chunkReads{0};
-    std::atomic<uint64_t> batchReads{0};
-    std::atomic<uint64_t> containerLoads{0};
-    std::atomic<uint64_t> cacheHits{0};
-    std::atomic<uint64_t> readRetries{0};
-  };
-  mutable ReadCounters reads_;
 };
 
 /// In-memory backend: volatile, used by tests and experiments.

@@ -7,7 +7,24 @@
 namespace freqdedup {
 
 ContainerReadCache::ContainerReadCache(size_t capacityContainers)
-    : capacity_(capacityContainers) {
+    : ContainerReadCache(capacityContainers, nullptr) {}
+
+ContainerReadCache::ContainerReadCache(size_t capacityContainers,
+                                       obs::MetricsRegistry& registry)
+    : ContainerReadCache(capacityContainers, &registry) {}
+
+ContainerReadCache::ContainerReadCache(size_t capacityContainers,
+                                       obs::MetricsRegistry* registry)
+    : ownedRegistry_(registry == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      registry_(registry == nullptr ? *ownedRegistry_ : *registry),
+      hits_(registry_.counter("cache.hits")),
+      misses_(registry_.counter("cache.misses")),
+      admissions_(registry_.counter("cache.admissions")),
+      invalidations_(registry_.counter("cache.invalidations")),
+      evictions_(registry_.counter("cache.evictions")),
+      capacity_(capacityContainers) {
   if (capacity_ > 0) lru_.emplace(capacity_);
 }
 
@@ -23,19 +40,14 @@ ContainerReadCache::Entry ContainerReadCache::makeEntry(
 
 std::optional<ContainerReadCache::Entry> ContainerReadCache::get(
     uint32_t id, bool recordStats) {
-  std::lock_guard lock(mu_);
-  if (!lru_) {
-    if (recordStats) ++stats_.misses;
-    return std::nullopt;
+  std::optional<Entry> entry;
+  {
+    std::lock_guard lock(mu_);
+    if (lru_) entry = lru_->get(id);
   }
-  auto entry = lru_->get(id);
-  if (recordStats) {
-    if (entry) {
-      ++stats_.hits;
-    } else {
-      ++stats_.misses;
-    }
-  }
+  // Counters are wait-free registry atomics, updated outside the cache
+  // mutex so accounting never serializes concurrent readers.
+  if (recordStats) (entry ? hits_ : misses_).add();
   return entry;
 }
 
@@ -46,17 +58,27 @@ ContainerReadCache::Entry ContainerReadCache::admit(
   // cache readers. (The caller may still hold its own store lock; see
   // sealOpenContainerLocked for that trade-off.)
   Entry entry = makeEntry(std::move(container));
-  std::lock_guard lock(mu_);
-  if (lru_) {
-    ++stats_.admissions;
-    if (lru_->put(id, entry)) ++stats_.evictions;
+  bool admitted = false;
+  bool evicted = false;
+  {
+    std::lock_guard lock(mu_);
+    if (lru_) {
+      admitted = true;
+      evicted = lru_->put(id, entry);
+    }
   }
+  if (admitted) admissions_.add();
+  if (evicted) evictions_.add();
   return entry;
 }
 
 void ContainerReadCache::invalidate(uint32_t id) {
-  std::lock_guard lock(mu_);
-  if (lru_ && lru_->erase(id)) ++stats_.invalidations;
+  bool erased = false;
+  {
+    std::lock_guard lock(mu_);
+    erased = lru_ && lru_->erase(id);
+  }
+  if (erased) invalidations_.add();
 }
 
 void ContainerReadCache::clear() {
@@ -65,8 +87,8 @@ void ContainerReadCache::clear() {
 }
 
 ContainerReadCache::Stats ContainerReadCache::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  return Stats{hits_.value(), misses_.value(), admissions_.value(),
+               invalidations_.value(), evictions_.value()};
 }
 
 size_t ContainerReadCache::size() const {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/lru_cache.h"
+#include "obs/metrics.h"
 #include "storage/container.h"
 
 namespace freqdedup {
@@ -35,6 +36,8 @@ class ContainerReadCache {
     std::shared_ptr<const std::vector<uint32_t>> payloadCrcs;
   };
 
+  /// Point-in-time view of the cache's counters (which live in a
+  /// MetricsRegistry as `cache.*`; this struct is the legacy-shaped view).
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -45,8 +48,12 @@ class ContainerReadCache {
 
   /// `capacityContainers` bounds the cache in containers: 0 disables caching
   /// (admit still returns usable entries, nothing is retained) and
-  /// kUnboundedReadCache (SIZE_MAX) never evicts.
+  /// kUnboundedReadCache (SIZE_MAX) never evicts. The single-argument form
+  /// keeps counters in a private registry; pass the owning store's registry
+  /// to surface them as that store's `cache.*` metrics. Counter updates are
+  /// wait-free and never taken under the cache mutex.
   explicit ContainerReadCache(size_t capacityContainers);
+  ContainerReadCache(size_t capacityContainers, obs::MetricsRegistry& registry);
 
   /// Cached entry for a container id, promoting it to most-recently-used.
   /// `recordStats` = false makes the lookup an internal probe (still
@@ -73,10 +80,18 @@ class ContainerReadCache {
   static Entry makeEntry(std::shared_ptr<const Container> container);
 
  private:
+  ContainerReadCache(size_t capacityContainers, obs::MetricsRegistry* registry);
+
+  std::unique_ptr<obs::MetricsRegistry> ownedRegistry_;  // standalone ctor
+  obs::MetricsRegistry& registry_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& admissions_;
+  obs::Counter& invalidations_;
+  obs::Counter& evictions_;
   const size_t capacity_;
   mutable std::mutex mu_;
   std::optional<LruCache<uint32_t, Entry>> lru_;  // absent when capacity 0
-  Stats stats_;
 };
 
 }  // namespace freqdedup

@@ -108,11 +108,14 @@ class FailingStore : public BackupStore {
   GcStats collectGarbage() override { return inner_->collectGarbage(); }
   StoreCheckReport verify() override { return inner_->verify(); }
   void flush() override { inner_->flush(); }
-  [[nodiscard]] const BackupStoreStats& stats() const override {
+  [[nodiscard]] BackupStoreStats stats() const override {
     return inner_->stats();
   }
   [[nodiscard]] StoreReadStats readStats() const override {
     return inner_->readStats();
+  }
+  [[nodiscard]] obs::MetricsSnapshot metricsSnapshot() const override {
+    return inner_->metricsSnapshot();
   }
   [[nodiscard]] size_t containerCount() const override {
     return inner_->containerCount();

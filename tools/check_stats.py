@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Sanity-check a --stats=json dump from backup_system or fsck.
+
+Usage: check_stats.py <file> [<file>...]
+
+Each file is CLI output whose last '{'-prefixed line is the single-line
+JSON metrics snapshot (or a bare .json file). Checks, per file:
+  - the snapshot parses and has the counters/gauges/histograms sections;
+  - at least one work counter is nonzero (a backup that chunked nothing,
+    or a restore that streamed nothing, is a broken run);
+  - the container read cache hit rate is a real rate in [0, 1];
+  - settled gauges: restore.prefetch_window and queue depths read 0;
+  - every histogram's count/sum/bucket totals are internally consistent.
+
+Exit code 0 when every file passes, 1 otherwise.
+"""
+import json
+import sys
+
+WORK_COUNTERS = (
+    "chunk.chunks_produced",
+    "restore.chunks_streamed",
+    "store.chunk_reads",
+    "store.put_chunks",
+)
+SETTLED_GAUGES = (
+    "restore.prefetch_window",
+    "pipeline.raw_queue_depth",
+    "pipeline.shard_queue_depth",
+)
+
+
+def extract_snapshot(path):
+    text = open(path, encoding="utf-8").read().strip()
+    lines = [ln for ln in text.splitlines() if ln.startswith("{")]
+    if not lines:
+        raise ValueError("no JSON object line found")
+    return json.loads(lines[-1])
+
+
+def check(path):
+    errors = []
+    snap = extract_snapshot(path)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snap:
+            errors.append(f"missing section '{section}'")
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+
+    if not any(counters.get(name, 0) > 0 for name in WORK_COUNTERS):
+        errors.append(f"all work counters are zero ({', '.join(WORK_COUNTERS)})")
+
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    if hits < 0 or misses < 0:
+        errors.append("negative cache counters")
+    elif hits + misses > 0:
+        rate = hits / (hits + misses)
+        if not 0.0 <= rate <= 1.0:
+            errors.append(f"cache hit rate {rate} outside [0, 1]")
+
+    for name in SETTLED_GAUGES:
+        if gauges.get(name, 0) != 0:
+            errors.append(f"gauge {name} did not settle to 0: {gauges[name]}")
+
+    for name, h in snap.get("histograms", {}).items():
+        bucket_total = sum(count for _, count in h.get("buckets", []))
+        if bucket_total != h.get("count", 0):
+            errors.append(
+                f"histogram {name}: bucket counts {bucket_total} != "
+                f"count {h.get('count', 0)}"
+            )
+        if h.get("count", 0) > 0 and h.get("max", 0) < h.get("min", 0):
+            errors.append(f"histogram {name}: max < min")
+        if h.get("count", 0) == 0 and h.get("sum", 0) != 0:
+            errors.append(f"histogram {name}: empty but sum != 0")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            errors = check(path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            errors = [str(e)]
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"{path}: FAIL: {e}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

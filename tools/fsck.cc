@@ -6,6 +6,7 @@
 // reference count against the manifest occurrence sums.
 //
 // Usage: fsck <store-dir> [--gc] [--deep <passphrase>] [--threads N]
+//             [--stats[=json]]
 //   --gc      additionally reclaim unreferenced chunks and compact containers
 //   --deep    additionally stream-restore every backup through a discarding
 //             sink (RestoreSession), verifying each chunk's ciphertext and
@@ -13,11 +14,16 @@
 //             Requires the passphrase the backups were committed with
 //             (backup_system-compatible). Rides the batched restore engine:
 //             container-locality batches, read-ahead, parallel decrypt.
+//             Reports per-phase wall times and the store's container-read
+//             counters (loads, cache hits, batched reads) when done.
 //   --threads worker threads for --deep (default: all hardware threads).
+//   --stats   dump the full metrics registry after all phases (text, or one
+//             JSON object with --stats=json).
 //
 // Exit code: 0 when the store is consistent, 1 when damage was found,
 // 2 on usage errors.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,11 +31,26 @@
 #include <thread>
 
 #include "client/dedup_client.h"
+#include "obs/metrics.h"
 #include "storage/file_backup_store.h"
 
 using namespace freqdedup;
 
 namespace {
+
+/// Wall-clock milliseconds spent in one fsck phase.
+class PhaseTimer {
+ public:
+  PhaseTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Streams every committed backup through a counting sink; any fingerprint
 /// or size mismatch surfaces as a per-backup error. Returns the number of
@@ -62,6 +83,8 @@ size_t deepVerify(FileBackupStore& store, const std::string& passphrase,
 
 }  // namespace
 
+enum class StatsDump { kNone, kText, kJson };
+
 int main(int argc, char** argv) {
   std::string dir;
   std::string deepPassphrase;
@@ -69,9 +92,14 @@ int main(int argc, char** argv) {
   bool runGc = false;
   bool runDeep = false;
   bool usageError = false;
+  StatsDump statsFlag = StatsDump::kNone;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gc") == 0) {
       runGc = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      statsFlag = StatsDump::kText;
+    } else if (std::strcmp(argv[i], "--stats=json") == 0) {
+      statsFlag = StatsDump::kJson;
     } else if (std::strcmp(argv[i], "--deep") == 0) {
       // The passphrase must follow and must not look like a flag —
       // otherwise `--deep --gc` would silently use "--gc" as the
@@ -100,12 +128,14 @@ int main(int argc, char** argv) {
   if (dir.empty() || usageError) {
     fprintf(stderr,
             "usage: fsck <store-dir> [--gc] [--deep <passphrase>] "
-            "[--threads N]\n");
+            "[--threads N] [--stats[=json]]\n");
     return 2;
   }
 
   try {
+    const PhaseTimer openTimer;
     FileBackupStore store(dir);
+    const double openMs = openTimer.elapsedMs();
     const StoreRecoveryStats& rs = store.recoveryStats();
     printf("recovery: %llu containers validated, %llu orphans removed, "
            "%llu corrupt quarantined, %llu index entries dropped\n",
@@ -114,7 +144,9 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(rs.corruptContainers),
            static_cast<unsigned long long>(rs.entriesDropped));
 
+    const PhaseTimer verifyTimer;
     const StoreCheckReport report = store.verify();
+    const double verifyMs = verifyTimer.elapsedMs();
     printf("checked: %llu chunks, %llu containers, %llu backups\n",
            static_cast<unsigned long long>(report.chunksChecked),
            static_cast<unsigned long long>(report.containersChecked),
@@ -123,16 +155,52 @@ int main(int argc, char** argv) {
       fprintf(stderr, "error: %s\n", error.c_str());
 
     size_t deepDamaged = 0;
-    if (runDeep) deepDamaged = deepVerify(store, deepPassphrase, threads);
+    double deepMs = 0;
+    if (runDeep) {
+      const PhaseTimer deepTimer;
+      deepDamaged = deepVerify(store, deepPassphrase, threads);
+      deepMs = deepTimer.elapsedMs();
+    }
 
+    double gcMs = 0;
     if (runGc) {
+      const PhaseTimer gcTimer;
       const GcStats gc = store.collectGarbage();
+      gcMs = gcTimer.elapsedMs();
       printf("gc: reclaimed %llu chunks (%llu bytes), compacted %llu "
              "containers, relocated %llu live chunks\n",
              static_cast<unsigned long long>(gc.chunksReclaimed),
              static_cast<unsigned long long>(gc.bytesReclaimed),
              static_cast<unsigned long long>(gc.containersCompacted),
              static_cast<unsigned long long>(gc.chunksRelocated));
+    }
+
+    printf("phases: open %.1f ms, verify %.1f ms", openMs, verifyMs);
+    if (runDeep) printf(", deep %.1f ms", deepMs);
+    if (runGc) printf(", gc %.1f ms", gcMs);
+    printf("\n");
+    if (runDeep) {
+      // The deep pass is where read locality matters: loads vs cache hits
+      // shows how well backups shared containers across the sweep.
+      const obs::MetricsSnapshot ms = store.metricsSnapshot();
+      printf(
+          "deep reads: %llu container loads, %llu cache hits, "
+          "%llu chunk reads in %llu batches\n",
+          static_cast<unsigned long long>(ms.counter("store.container_loads")),
+          static_cast<unsigned long long>(
+              ms.counter("store.read_cache_hits")),
+          static_cast<unsigned long long>(ms.counter("store.chunk_reads")),
+          static_cast<unsigned long long>(ms.counter("store.batch_reads")));
+    }
+    if (statsFlag != StatsDump::kNone) {
+      obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::global().snapshot();
+      snapshot.merge(store.metricsSnapshot());
+      if (statsFlag == StatsDump::kJson) {
+        printf("%s\n", snapshot.toJson().c_str());
+      } else {
+        printf("--- stats ---\n%s", snapshot.toText().c_str());
+      }
     }
 
     const bool ok = report.ok() && deepDamaged == 0;
