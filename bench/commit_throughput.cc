@@ -1,0 +1,185 @@
+// Durable-commit throughput of the group-commit WAL against the per-op
+// fdatasync baseline, at several concurrent-committer counts.
+//
+//   commit_throughput [--commits N] [--json PATH]
+//
+// Each committer repeatedly appends one index-sized record to a fresh LogKv
+// and blocks until it is durable (put + sync — exactly what a backup commit
+// does to the metadata path). Modes:
+//   per-op  every append is written and fdatasynced individually (the
+//           pre-WAL behaviour a durable store would have had)
+//   group   appends join the current slot; one leader writes and fdatasyncs
+//           the whole group (WiredTiger-style group commit)
+// at committers {1, 8, 64}, with the TOTAL commit count fixed (default
+// 2048) so every cell does the same work. Reports commits/s, the actual
+// fdatasync count, and the mean records per sync group; writes a
+// machine-readable summary to --json (default BENCH_wal.json). Every cell
+// is verified: the store must hold every committed key afterwards.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "expcommon.h"
+#include "kvstore/logkv.h"
+#include "obs/metrics.h"
+
+namespace freqdedup {
+namespace {
+
+constexpr uint32_t kCommitterCounts[] = {1, 8, 64};
+
+struct CellResult {
+  uint32_t committers = 0;
+  bool group = false;
+  uint64_t commits = 0;
+  double seconds = 0;
+  uint64_t fsyncs = 0;
+  double meanGroupRecords = 0;
+};
+
+CellResult runCell(const std::string& dir, uint32_t committers, bool group,
+                   uint64_t totalCommits) {
+  const std::string path = dir + "/commit_bench.log";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".ckpt");
+
+  LogKvOptions options;
+  options.checkpointBytes = UINT64_MAX;  // measure the log, not checkpoints
+  options.wal.syncMode = group ? WalOptions::SyncMode::kGroup
+                               : WalOptions::SyncMode::kPerOp;
+  LogKv kv(path, options);
+  obs::MetricsRegistry registry;
+  kv.bindMetrics(registry);
+
+  const uint64_t perThread = totalCommits / committers;
+  // A ~64-byte value: the size class of a chunk-index or refcount record.
+  const ByteVec value(64, 0xAB);
+
+  std::vector<std::thread> threads;
+  threads.reserve(committers);
+  exp::Stopwatch watch;
+  for (uint32_t t = 0; t < committers; ++t) {
+    threads.emplace_back([&kv, &value, t, perThread] {
+      for (uint64_t i = 0; i < perThread; ++i) {
+        const ByteVec key =
+            toBytes("c" + std::to_string(t) + "/" + std::to_string(i));
+        kv.put(key, value);
+        // Block until this commit is durable. In group mode, concurrent
+        // committers parked here share one leader fdatasync.
+        kv.sync(kv.appendedLsn());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double seconds = watch.elapsedSeconds();
+
+  CellResult r;
+  r.committers = committers;
+  r.group = group;
+  r.commits = perThread * committers;
+  r.seconds = seconds;
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  r.fsyncs = snap.counter("wal.syncs");
+  r.meanGroupRecords = snap.histogram("wal.group_records").mean();
+
+  // Verify before reporting: every committed key must be present.
+  if (kv.size() != r.commits) {
+    fprintf(stderr, "ERROR: store holds %zu keys, expected %llu\n", kv.size(),
+            static_cast<unsigned long long>(r.commits));
+    exit(1);
+  }
+  return r;
+}
+
+void writeJson(const std::string& path, uint64_t totalCommits,
+               const std::vector<CellResult>& cells) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    exit(1);
+  }
+  fprintf(f, "{\n");
+  fprintf(f, "  \"total_commits\": %llu,\n",
+          static_cast<unsigned long long>(totalCommits));
+  fprintf(f, "  \"hardware_threads\": %u,\n",
+          std::thread::hardware_concurrency());
+  fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    fprintf(f,
+            "    {\"committers\": %u, \"mode\": \"%s\", \"commits\": %llu, "
+            "\"seconds\": %.4f, \"commits_per_sec\": %.1f, \"fsyncs\": %llu, "
+            "\"mean_group_records\": %.2f}%s\n",
+            r.committers, r.group ? "group" : "per_op",
+            static_cast<unsigned long long>(r.commits), r.seconds,
+            r.seconds > 0 ? static_cast<double>(r.commits) / r.seconds : 0.0,
+            static_cast<unsigned long long>(r.fsyncs), r.meanGroupRecords,
+            i + 1 < cells.size() ? "," : "");
+  }
+  fprintf(f, "  ],\n");
+  // Headline ratio: group vs per-op commits/s at the highest contention.
+  double perOp = 0;
+  double grouped = 0;
+  for (const CellResult& r : cells) {
+    if (r.committers != kCommitterCounts[std::size(kCommitterCounts) - 1])
+      continue;
+    const double rate =
+        r.seconds > 0 ? static_cast<double>(r.commits) / r.seconds : 0.0;
+    (r.group ? grouped : perOp) = rate;
+  }
+  fprintf(f, "  \"group_vs_per_op_at_max_committers\": %.2f,\n",
+          perOp > 0 ? grouped / perOp : 0.0);
+  fprintf(f, "  \"obs_enabled\": %s\n", obs::kObsEnabled ? "true" : "false");
+  fprintf(f, "}\n");
+  fclose(f);
+  printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace freqdedup
+
+int main(int argc, char** argv) {
+  using namespace freqdedup;
+  const uint64_t totalCommits = static_cast<uint64_t>(
+      std::atoll(exp::stringFlag(argc, argv, "commits", "2048").c_str()));
+  const std::string jsonPath =
+      exp::stringFlag(argc, argv, "json", "BENCH_wal.json");
+  if (totalCommits == 0) {
+    fprintf(stderr, "--commits must be >= 1\n");
+    return 1;
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "fdd_commit_bench").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  exp::printTitle("commit_throughput",
+                  "durable metadata commits: group-commit WAL vs per-op "
+                  "fdatasync, " + std::to_string(totalCommits) +
+                  " total commits per cell");
+  exp::printRow({"committers", "mode", "commits/s", "fsyncs", "recs/group"});
+
+  std::vector<CellResult> cells;
+  for (const uint32_t committers : kCommitterCounts) {
+    for (const bool group : {false, true}) {
+      const CellResult r = runCell(dir, committers, group, totalCommits);
+      cells.push_back(r);
+      exp::printRow(
+          {std::to_string(r.committers), r.group ? "group" : "per-op",
+           exp::fmtDouble(
+               r.seconds > 0
+                   ? static_cast<double>(r.commits) / r.seconds
+                   : 0.0,
+               1),
+           std::to_string(r.fsyncs), exp::fmtDouble(r.meanGroupRecords, 2)});
+    }
+  }
+
+  writeJson(jsonPath, totalCommits, cells);
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Crash-point fault injection for the durability path (WAL + checkpoints).
+//
+// Test-only instrumentation: durability-critical code calls
+// crashPoint("name") at each point where a power loss has a distinct
+// on-disk outcome (record buffered but unwritten, written but unsynced,
+// checkpoint tmp written / synced / renamed / directory-synced, log
+// rotated). A registered hook decides whether to "crash" there by throwing
+// CrashInjected; the thrower marks itself crashed so destructors perform no
+// further I/O, leaving the files in exactly the state a kill at that
+// instruction would. Tests then simulate page-cache loss by truncating to
+// the last durable watermark, reopen, and assert recovery invariants.
+//
+// The hook is a plain function pointer behind a relaxed atomic: zero
+// overhead when unset (one predictable-branch load per point) and no
+// allocation, so the instrumentation stays compiled into release builds.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace freqdedup::kvcrash {
+
+struct CrashInjected : std::runtime_error {
+  explicit CrashInjected(const char* point)
+      : std::runtime_error(std::string("crash injected at ") + point) {}
+};
+
+/// Returns true to crash at this point.
+using Hook = bool (*)(const char* point);
+
+inline std::atomic<Hook>& hookSlot() {
+  static std::atomic<Hook> hook{nullptr};
+  return hook;
+}
+
+/// Installs (or, with nullptr, clears) the process-wide crash hook.
+inline void setHook(Hook hook) {
+  hookSlot().store(hook, std::memory_order_release);
+}
+
+/// Throws CrashInjected when a hook is installed and elects this point.
+inline void crashPoint(const char* point) {
+  const Hook hook = hookSlot().load(std::memory_order_acquire);
+  if (hook != nullptr && hook(point)) throw CrashInjected(point);
+}
+
+}  // namespace freqdedup::kvcrash

@@ -1,5 +1,8 @@
 #include "kvstore/logkv.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -8,6 +11,9 @@
 #include "common/check.h"
 #include "common/crc32.h"
 #include "common/varint.h"
+#include "kvstore/crash_point.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace freqdedup {
 
@@ -17,174 +23,437 @@ std::string keyString(ByteView key) {
   return std::string(reinterpret_cast<const char*>(key.data()), key.size());
 }
 
-constexpr size_t kHeaderBytes = 8;  // crc32 + payloadLen
+// Checkpoint header: magic(8) + recordCount(u64) + watermarkLsn(u64) +
+// crc32c of the preceding 24 bytes.
+constexpr char kCkptMagic[8] = {'F', 'D', 'K', 'V', 'C', 'K', 'P', '1'};
+constexpr size_t kCkptHeaderBytes = 28;
+
+/// Write buffer size for checkpoint streaming (bounds RAM for large
+/// stores; values larger than this still write in one piece).
+constexpr size_t kCkptWriteBufBytes = 1 << 20;
+
+void pwriteFully(int fd, const uint8_t* data, size_t size, uint64_t offset,
+                 const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::pwrite(fd, data, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("LogKv: write failed on " + path + ": " +
+                               std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+}
+
+void preadExactly(int fd, uint8_t* out, size_t size, uint64_t offset,
+                  const std::string& path) {
+  size_t total = 0;
+  while (total < size) {
+    const ssize_t n = ::pread(fd, out + total, size - total,
+                              static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("LogKv: read failed on " + path + ": " +
+                               std::strerror(errno));
+    }
+    if (n == 0)
+      throw std::runtime_error("LogKv: short read on " + path);
+    total += static_cast<size_t>(n);
+  }
+}
+
+/// Closes a raw fd on scope exit unless released (ownership transferred).
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() {
+    const int out = fd;
+    fd = -1;
+    return out;
+  }
+};
 
 }  // namespace
 
-LogKv::LogKv(std::string path) : path_(std::move(path)), file_(nullptr, fclose) {
-  openLog();
-  replay();
+LogKv::LogKv(std::string path, LogKvOptions options)
+    : path_(std::move(path)), options_(options) {
+  open();
 }
 
 LogKv::~LogKv() {
-  if (file_) fflush(file_.get());
-}
-
-void LogKv::openLog() {
-  // "a+b" would force appends regardless of seek; use explicit r+b/w+b so we
-  // can truncate torn tails during recovery.
-  FILE* f = fopen(path_.c_str(), "r+b");
-  if (f == nullptr) f = fopen(path_.c_str(), "w+b");
-  if (f == nullptr)
-    throw std::runtime_error("LogKv: cannot open " + path_ + ": " +
-                             std::strerror(errno));
-  file_.reset(f);
-}
-
-void LogKv::replay() {
-  index_.clear();
-  writeOffset_ = 0;
-  deadRecords_ = 0;
-  FILE* f = file_.get();
-  fseek(f, 0, SEEK_END);
-  const long fileSize = ftell(f);
-  FDD_CHECK(fileSize >= 0);
-  fseek(f, 0, SEEK_SET);
-
-  ByteVec payload;
-  uint64_t offset = 0;
-  while (offset + kHeaderBytes <= static_cast<uint64_t>(fileSize)) {
-    uint8_t header[kHeaderBytes];
-    if (fread(header, 1, kHeaderBytes, f) != kHeaderBytes) break;
-    const uint32_t crc = getU32(ByteView(header, kHeaderBytes), 0);
-    const uint32_t len = getU32(ByteView(header, kHeaderBytes), 4);
-    if (offset + kHeaderBytes + len > static_cast<uint64_t>(fileSize)) break;
-    payload.resize(len);
-    if (len > 0 && fread(payload.data(), 1, len, f) != len) break;
-    if (crc32c(payload) != crc) break;  // corrupt record: stop at torn tail
-
-    size_t pos = 0;
-    if (payload.empty()) break;
-    const auto type = static_cast<RecordType>(payload[pos++]);
-    const auto keyLen = getVarint(payload, pos);
-    if (!keyLen || pos + *keyLen > payload.size()) break;
-    std::string key(reinterpret_cast<const char*>(payload.data() + pos),
-                    static_cast<size_t>(*keyLen));
-    pos += static_cast<size_t>(*keyLen);
-    if (type == RecordType::kPut) {
-      const auto valLen = getVarint(payload, pos);
-      if (!valLen || pos + *valLen != payload.size()) break;
-      if (index_.count(key) > 0) ++deadRecords_;
-      index_[key] = ValueLocation{
-          offset + kHeaderBytes + pos, static_cast<uint32_t>(*valLen)};
-    } else if (type == RecordType::kDelete) {
-      if (index_.erase(key) > 0) ++deadRecords_;
-      ++deadRecords_;  // the tombstone itself is dead space
-    } else {
-      break;  // unknown record type: treat as corruption
+  if (!crashed_) {
+    try {
+      wal_->syncAll();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // Destructors must not throw; an unsynced tail is the crash-before-
+      // flush state, which recovery handles.
     }
-    offset += kHeaderBytes + len;
   }
-
-  // Truncate any torn tail so subsequent appends start at a clean boundary.
-  if (offset < static_cast<uint64_t>(fileSize)) {
-    std::filesystem::resize_file(path_, offset);
-    // Reopen to refresh the stdio stream's view of the file.
-    file_.reset();
-    openLog();
-  }
-  writeOffset_ = offset;
-  fseek(file_.get(), static_cast<long>(writeOffset_), SEEK_SET);
+  if (ckptFd_ >= 0) ::close(ckptFd_);
 }
 
-uint64_t LogKv::appendRecord(RecordType type, ByteView key, ByteView value) {
+void LogKv::open() {
+  // Stray transients from a crash mid-checkpoint / mid-rotation: the tmp
+  // checkpoint was never renamed (so never valid) and the tmp log was never
+  // swapped in; both are dead bytes.
+  std::error_code ec;
+  std::filesystem::remove(ckptTmpPath(), ec);
+  std::filesystem::remove(path_ + ".new", ec);
+
+  loadCheckpoint();
+  // If the log is missing (first open, or a crash between checkpoint and
+  // log creation), it is created already based at the watermark.
+  wal_ = std::make_unique<Wal>(path_, options_.wal, watermark_);
+  replayTail();
+}
+
+void LogKv::loadCheckpoint() {
+  index_.clear();
+  watermark_ = 0;
+  ckptLoaded_ = false;
+  ckptRecordsLoaded_ = 0;
+  if (!std::filesystem::exists(ckptPath())) return;
+
+  bool valid = false;
+  try {
+    const ByteVec data = readFile(ckptPath());
+    do {
+      if (data.size() < kCkptHeaderBytes) break;
+      if (std::memcmp(data.data(), kCkptMagic, sizeof(kCkptMagic)) != 0)
+        break;
+      if (crc32c(ByteView(data.data(), 24)) != getU32(data, 24)) break;
+      const uint64_t count = getU64(data, 8);
+      const Lsn watermark = getU64(data, 16);
+      std::unordered_map<std::string, ValueLocation> loaded;
+      loaded.reserve(static_cast<size_t>(
+          std::min<uint64_t>(count, data.size() / Wal::kFrameBytes)));
+      uint64_t offset = kCkptHeaderBytes;
+      uint64_t i = 0;
+      for (; i < count; ++i) {
+        if (offset + Wal::kFrameBytes > data.size()) break;
+        const uint32_t crc = getU32(data, offset);
+        const uint32_t len = getU32(data, offset + 4);
+        if (offset + Wal::kFrameBytes + len > data.size()) break;
+        const ByteView payload(data.data() + offset + Wal::kFrameBytes, len);
+        if (crc32c(payload) != crc) break;
+        ParsedRecord record;
+        if (!parseRecordPayload(payload, record)) break;
+        // Checkpoints hold only live puts; anything else is corruption.
+        if (record.type != RecordType::kPut) break;
+        loaded[std::move(record.key)] = ValueLocation{
+            offset + Wal::kFrameBytes + record.valueOffsetInPayload,
+            record.valueSize, ValueFile::kCkpt};
+        offset += Wal::kFrameBytes + len;
+      }
+      if (i != count || offset != data.size() || loaded.size() != count)
+        break;
+      index_ = std::move(loaded);
+      watermark_ = watermark;
+      ckptRecordsLoaded_ = count;
+      valid = true;
+    } while (false);
+  } catch (const std::exception&) {
+    valid = false;
+  }
+
+  if (!valid) {
+    // Quarantine for forensics and fall back to replaying the whole log
+    // from its base (best effort: if the log was already rotated past this
+    // checkpoint, the loss is real and the caller's verify() reports it).
+    index_.clear();
+    watermark_ = 0;
+    std::error_code ec;
+    std::filesystem::rename(ckptPath(), ckptPath() + ".corrupt", ec);
+    return;
+  }
+  const int fd = ::open(ckptPath().c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    throw std::runtime_error("LogKv: cannot reopen checkpoint " +
+                             ckptPath() + ": " + std::strerror(errno));
+  ckptFd_ = fd;
+  ckptLoaded_ = true;
+}
+
+void LogKv::replayTail() {
+  deadRecords_ = 0;
+  tailRecordsReplayed_ = 0;
+  tailBytesReplayed_ = 0;
+  wal_->scan(watermark_, [this](const Wal::Record& record) {
+    ParsedRecord parsed;
+    if (!parseRecordPayload(record.payload, parsed))
+      return false;  // CRC-valid but malformed: treat as corruption, stop
+    if (parsed.type == RecordType::kPut) {
+      const auto it = index_.find(parsed.key);
+      if (it != index_.end()) ++deadRecords_;
+      index_[std::move(parsed.key)] = ValueLocation{
+          record.payloadLsn + parsed.valueOffsetInPayload, parsed.valueSize,
+          ValueFile::kWal};
+    } else {
+      if (index_.erase(parsed.key) > 0) ++deadRecords_;
+      ++deadRecords_;  // the tombstone itself is dead space
+    }
+    ++tailRecordsReplayed_;
+    tailBytesReplayed_ += record.end - record.start;
+    return true;
+  });
+}
+
+ByteVec LogKv::encodePutPayload(ByteView key, ByteView value,
+                                size_t& valueOffsetInPayload) {
   ByteVec payload;
   payload.reserve(1 + 10 + key.size() + 10 + value.size());
-  payload.push_back(static_cast<uint8_t>(type));
+  payload.push_back(static_cast<uint8_t>(RecordType::kPut));
   putVarint(payload, key.size());
   appendBytes(payload, key);
-  size_t valueOffsetInPayload = 0;
-  if (type == RecordType::kPut) {
-    putVarint(payload, value.size());
-    valueOffsetInPayload = payload.size();
-    appendBytes(payload, value);
-  }
-
-  ByteVec framed;
-  framed.reserve(kHeaderBytes + payload.size());
-  putU32(framed, crc32c(payload));
-  putU32(framed, static_cast<uint32_t>(payload.size()));
-  appendBytes(framed, payload);
-
-  FILE* f = file_.get();
-  fseek(f, static_cast<long>(writeOffset_), SEEK_SET);
-  if (fwrite(framed.data(), 1, framed.size(), f) != framed.size())
-    throw std::runtime_error("LogKv: append failed on " + path_);
-  const uint64_t valueFileOffset =
-      writeOffset_ + kHeaderBytes + valueOffsetInPayload;
-  writeOffset_ += framed.size();
-  return valueFileOffset;
+  putVarint(payload, value.size());
+  valueOffsetInPayload = payload.size();
+  appendBytes(payload, value);
+  return payload;
 }
 
-ByteVec LogKv::readValueAt(const ValueLocation& loc) {
-  FILE* f = file_.get();
-  fflush(f);  // make buffered appends visible to the read below
-  fseek(f, static_cast<long>(loc.offset), SEEK_SET);
+bool LogKv::parseRecordPayload(ByteView payload, ParsedRecord& out) {
+  if (payload.empty()) return false;
+  size_t pos = 0;
+  const uint8_t type = payload[pos++];
+  if (type != static_cast<uint8_t>(RecordType::kPut) &&
+      type != static_cast<uint8_t>(RecordType::kDelete))
+    return false;
+  out.type = static_cast<RecordType>(type);
+  const auto keyLen = getVarint(payload, pos);
+  if (!keyLen || pos + *keyLen > payload.size()) return false;
+  out.key.assign(reinterpret_cast<const char*>(payload.data() + pos),
+                 static_cast<size_t>(*keyLen));
+  pos += static_cast<size_t>(*keyLen);
+  if (out.type == RecordType::kPut) {
+    const auto valLen = getVarint(payload, pos);
+    if (!valLen || pos + *valLen != payload.size()) return false;
+    out.valueOffsetInPayload = pos;
+    out.valueSize = static_cast<uint32_t>(*valLen);
+  } else if (pos != payload.size()) {
+    return false;
+  }
+  return true;
+}
+
+ByteVec LogKv::readValueAtLocked(const ValueLocation& loc) {
+  if (loc.file == ValueFile::kWal) return wal_->readAt(loc.offset, loc.size);
   ByteVec value(loc.size);
-  if (loc.size > 0 && fread(value.data(), 1, value.size(), f) != value.size())
-    throw std::runtime_error("LogKv: value read failed on " + path_);
-  fseek(f, static_cast<long>(writeOffset_), SEEK_SET);
+  if (loc.size > 0)
+    preadExactly(ckptFd_, value.data(), value.size(), loc.offset,
+                 ckptPath());
   return value;
 }
 
+void LogKv::markCrashedLocked() {
+  crashed_ = true;
+  if (wal_) wal_->markCrashed();
+}
+
 void LogKv::put(ByteView key, ByteView value) {
-  const uint64_t valueOffset = appendRecord(RecordType::kPut, key, value);
-  auto [it, inserted] = index_.try_emplace(keyString(key));
-  if (!inserted) ++deadRecords_;
-  it->second = ValueLocation{valueOffset, static_cast<uint32_t>(value.size())};
+  std::lock_guard lock(mu_);
+  try {
+    size_t valueOffsetInPayload = 0;
+    const ByteVec payload = encodePutPayload(key, value,
+                                             valueOffsetInPayload);
+    const Lsn payloadLsn = wal_->append(payload);
+    auto [it, inserted] = index_.try_emplace(keyString(key));
+    if (!inserted) ++deadRecords_;
+    it->second = ValueLocation{payloadLsn + valueOffsetInPayload,
+                               static_cast<uint32_t>(value.size()),
+                               ValueFile::kWal};
+    maybeCheckpointLocked();
+  } catch (const kvcrash::CrashInjected&) {
+    markCrashedLocked();
+    throw;
+  }
 }
 
 std::optional<ByteVec> LogKv::get(ByteView key) {
+  std::lock_guard lock(mu_);
   const auto it = index_.find(keyString(key));
   if (it == index_.end()) return std::nullopt;
-  return readValueAt(it->second);
+  return readValueAtLocked(it->second);
 }
 
 bool LogKv::erase(ByteView key) {
+  std::lock_guard lock(mu_);
   const auto it = index_.find(keyString(key));
   if (it == index_.end()) return false;
-  appendRecord(RecordType::kDelete, key, {});
-  index_.erase(it);
-  ++deadRecords_;
+  try {
+    ByteVec payload;
+    payload.reserve(1 + 10 + key.size());
+    payload.push_back(static_cast<uint8_t>(RecordType::kDelete));
+    putVarint(payload, key.size());
+    appendBytes(payload, key);
+    wal_->append(payload);
+    index_.erase(it);
+    // Two dead records per erase — the erased put and the tombstone
+    // itself — matching what replay counts, so deadRecords() is stable
+    // across a reopen.
+    deadRecords_ += 2;
+    maybeCheckpointLocked();
+  } catch (const kvcrash::CrashInjected&) {
+    markCrashedLocked();
+    throw;
+  }
   return true;
 }
 
 bool LogKv::contains(ByteView key) const {
+  std::lock_guard lock(mu_);
   return index_.find(keyString(key)) != index_.end();
+}
+
+size_t LogKv::size() const {
+  std::lock_guard lock(mu_);
+  return index_.size();
 }
 
 void LogKv::forEach(
     const std::function<void(ByteView key, ByteView value)>& fn) {
+  std::lock_guard lock(mu_);
   for (const auto& [key, loc] : index_) {
-    const ByteVec value = readValueAt(loc);
+    const ByteVec value = readValueAtLocked(loc);
     fn(ByteView(reinterpret_cast<const uint8_t*>(key.data()), key.size()),
        value);
   }
 }
 
-void LogKv::flush() { fflush(file_.get()); }
+void LogKv::flush() { sync(wal_->appendedLsn()); }
 
-void LogKv::compact() {
-  const std::string tmpPath = path_ + ".compact";
-  {
-    LogKv fresh(tmpPath);
-    forEach([&fresh](ByteView key, ByteView value) { fresh.put(key, value); });
-    fresh.flush();
+Lsn LogKv::appendedLsn() const { return wal_->appendedLsn(); }
+
+void LogKv::sync(Lsn lsn) {
+  // Deliberately not under mu_: the durability wait is where concurrent
+  // committers coalesce into one group fdatasync.
+  try {
+    wal_->sync(lsn);
+  } catch (const kvcrash::CrashInjected&) {
+    std::lock_guard lock(mu_);
+    markCrashedLocked();
+    throw;
   }
-  file_.reset();
-  std::filesystem::rename(tmpPath, path_);
-  openLog();
-  replay();
+}
+
+Lsn LogKv::durableLsn() const { return wal_->durableLsn(); }
+
+uint64_t LogKv::logBytes() const { return wal_->tailBytes(); }
+
+uint64_t LogKv::deadRecords() const {
+  std::lock_guard lock(mu_);
+  return deadRecords_;
+}
+
+void LogKv::checkpoint() {
+  std::lock_guard lock(mu_);
+  try {
+    checkpointLocked();
+  } catch (const kvcrash::CrashInjected&) {
+    markCrashedLocked();
+    throw;
+  }
+}
+
+void LogKv::maybeCheckpointLocked() {
+  if (wal_->tailBytes() >= options_.checkpointBytes) checkpointLocked();
+}
+
+void LogKv::checkpointLocked() {
+  kvcrash::crashPoint("ckpt.begin");
+  obs::ObsSpan span(ckptWriteUsMetric_, "kv.checkpoint", "kv");
+  const Lsn watermark = wal_->appendedLsn();
+
+  // Stream every live key+value into the tmp checkpoint, remembering each
+  // value's future location so the in-memory index can be swapped over
+  // atomically once the file is durable.
+  FdCloser tmp;
+  tmp.fd = ::open(ckptTmpPath().c_str(),
+                  O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp.fd < 0)
+    throw std::runtime_error("LogKv: cannot create " + ckptTmpPath() + ": " +
+                             std::strerror(errno));
+  ByteVec buf;
+  buf.reserve(kCkptWriteBufBytes + (64 << 10));
+  uint64_t flushedBytes = 0;
+  const auto flushBuf = [&] {
+    if (buf.empty()) return;
+    pwriteFully(tmp.fd, buf.data(), buf.size(), flushedBytes, ckptTmpPath());
+    flushedBytes += buf.size();
+    buf.clear();
+  };
+
+  appendBytes(buf, ByteView(reinterpret_cast<const uint8_t*>(kCkptMagic),
+                            sizeof(kCkptMagic)));
+  putU64(buf, index_.size());
+  putU64(buf, watermark);
+  putU32(buf, crc32c(ByteView(buf.data(), 24)));
+
+  std::unordered_map<std::string, ValueLocation> fresh;
+  fresh.reserve(index_.size());
+  uint64_t records = 0;
+  for (const auto& [key, loc] : index_) {
+    const ByteVec value = readValueAtLocked(loc);
+    size_t valueOffsetInPayload = 0;
+    const ByteVec payload = encodePutPayload(
+        ByteView(reinterpret_cast<const uint8_t*>(key.data()), key.size()),
+        value, valueOffsetInPayload);
+    const uint64_t recordStart = flushedBytes + buf.size();
+    putU32(buf, crc32c(payload));
+    putU32(buf, static_cast<uint32_t>(payload.size()));
+    appendBytes(buf, payload);
+    fresh[key] = ValueLocation{
+        recordStart + Wal::kFrameBytes + valueOffsetInPayload,
+        static_cast<uint32_t>(value.size()), ValueFile::kCkpt};
+    ++records;
+    if (buf.size() >= kCkptWriteBufBytes) flushBuf();
+  }
+  flushBuf();
+  kvcrash::crashPoint("ckpt.after_tmp_write");
+
+  // Durable publish: fsync the tmp file BEFORE the rename (so the name
+  // never points at unsynced bytes) and fsync the directory AFTER (so the
+  // rename itself survives power loss).
+  if (::fdatasync(tmp.fd) != 0)
+    throw std::runtime_error("LogKv: fdatasync failed on " + ckptTmpPath() +
+                             ": " + std::strerror(errno));
+  kvcrash::crashPoint("ckpt.after_tmp_sync");
+  std::filesystem::rename(ckptTmpPath(), ckptPath());
+  kvcrash::crashPoint("ckpt.after_rename");
+  fsyncDir(std::filesystem::path(path_).parent_path().string());
+  kvcrash::crashPoint("ckpt.after_dir_sync");
+
+  // The checkpoint is durable: swap the live read fd and index over, then
+  // rotate the WAL so the replay tail restarts at the watermark. A crash
+  // before the rotation replays old records below the watermark — which
+  // the scan skips — so every point in this sequence recovers consistently.
+  if (ckptFd_ >= 0) ::close(ckptFd_);
+  ckptFd_ = tmp.release();
+  index_ = std::move(fresh);
+  watermark_ = watermark;
+  wal_->rotate(watermark);
+  kvcrash::crashPoint("ckpt.after_rotate");
+  deadRecords_ = 0;
+  if (ckptWritesMetric_ != nullptr) {
+    ckptWritesMetric_->add();
+    ckptRecordsMetric_->add(records);
+  }
+}
+
+void LogKv::bindMetrics(obs::MetricsRegistry& registry) {
+  wal_->bindMetrics(registry);
+  registry.counter("wal.replay.records").add(tailRecordsReplayed_);
+  registry.counter("wal.replay.bytes").add(tailBytesReplayed_);
+  if (ckptLoaded_) {
+    registry.counter("ckpt.loads").add();
+    registry.counter("ckpt.load_records").add(ckptRecordsLoaded_);
+  }
+  ckptWritesMetric_ = &registry.counter("ckpt.writes");
+  ckptRecordsMetric_ = &registry.counter("ckpt.records");
+  ckptWriteUsMetric_ = &registry.histogram("ckpt.write_us");
 }
 
 }  // namespace freqdedup

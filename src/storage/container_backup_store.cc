@@ -135,7 +135,12 @@ ContainerBackupStore::ContainerBackupStore(std::unique_ptr<KvStore> index,
           registry_.counter("store.singleflight_coalesces")),
       containerLoadUs_(registry_.histogram("store.container_load_us")),
       gcUs_(registry_.histogram("store.gc_us")),
-      readCache_(readCacheContainers, registry_) {}
+      readCache_(readCacheContainers, registry_) {
+  logKv_ = dynamic_cast<LogKv*>(index_.get());
+  // Surface the index's WAL/checkpoint/recovery activity (wal.*, ckpt.*)
+  // in this store's registry alongside the store.* metrics.
+  if (logKv_ != nullptr) logKv_->bindMetrics(registry_);
+}
 
 ContainerBackupStore::~ContainerBackupStore() {
   if (!dir_.empty()) {
@@ -574,28 +579,38 @@ void ContainerBackupStore::adjustRefsLocked(Fp fp, int64_t delta) {
 
 void ContainerBackupStore::recordBackup(const std::string& name,
                                         std::span<const Fp> chunkRefs) {
-  std::lock_guard lock(mu_);
-  sealOpenContainerLocked();
-  std::unordered_map<Fp, int64_t, FpHash> deltas;
-  for (const Fp fp : chunkRefs) ++deltas[fp];
-  // Validate every reference before mutating anything, so a bad manifest
-  // cannot leave refcounts half-applied.
-  for (const auto& [fp, n] : deltas) {
-    if (!index_->contains(chunkKey(fp)))
-      throw std::runtime_error("recordBackup: chunk not stored: " +
-                               fpToHex(fp));
+  Lsn commitLsn = 0;
+  {
+    std::lock_guard lock(mu_);
+    sealOpenContainerLocked();
+    std::unordered_map<Fp, int64_t, FpHash> deltas;
+    for (const Fp fp : chunkRefs) ++deltas[fp];
+    // Validate every reference before mutating anything, so a bad manifest
+    // cannot leave refcounts half-applied.
+    for (const auto& [fp, n] : deltas) {
+      if (!index_->contains(chunkKey(fp)))
+        throw std::runtime_error("recordBackup: chunk not stored: " +
+                                 fpToHex(fp));
+    }
+    // Re-recording a name replaces its references. The old manifest is never
+    // erased first: refcounts move by delta and the manifest key is swapped
+    // in one put (atomic at the log-record level), so a crash at any point
+    // leaves either the old or the new manifest — never none. Refcount drift
+    // from a crash mid-delta is reconciled against the manifests on the next
+    // open.
+    for (const Fp fp : backupRefsLocked(name).value_or(std::vector<Fp>{}))
+      --deltas[fp];
+    for (const auto& [fp, delta] : deltas)
+      if (delta != 0) adjustRefsLocked(fp, delta);
+    index_->put(manifestKey(name), serializeManifest(chunkRefs));
+    registry_.counter("store.backups_recorded").add();
+    if (logKv_ != nullptr) commitLsn = logKv_->appendedLsn();
   }
-  // Re-recording a name replaces its references. The old manifest is never
-  // erased first: refcounts move by delta and the manifest key is swapped in
-  // one put (atomic at the log-record level), so a crash at any point leaves
-  // either the old or the new manifest — never none. Refcount drift from a
-  // crash mid-delta is reconciled against the manifests on the next open.
-  for (const Fp fp : backupRefsLocked(name).value_or(std::vector<Fp>{}))
-    --deltas[fp];
-  for (const auto& [fp, delta] : deltas)
-    if (delta != 0) adjustRefsLocked(fp, delta);
-  index_->put(manifestKey(name), serializeManifest(chunkRefs));
-  registry_.counter("store.backups_recorded").add();
+  // Durable commit, outside the metadata lock: when recordBackup returns,
+  // the manifest survives power loss. Concurrent committers block here
+  // together and one group fdatasync covers all of them (the group-commit
+  // WAL's whole point) instead of serializing an fsync each under mu_.
+  if (logKv_ != nullptr) logKv_->sync(commitLsn);
 }
 
 std::optional<std::vector<Fp>> ContainerBackupStore::backupRefsLocked(
@@ -612,15 +627,21 @@ std::optional<std::vector<Fp>> ContainerBackupStore::backupRefs(
 }
 
 bool ContainerBackupStore::releaseBackup(const std::string& name) {
-  std::lock_guard lock(mu_);
-  const auto blob = index_->get(manifestKey(name));
-  if (!blob) return false;
-  std::unordered_map<Fp, uint32_t, FpHash> counts;
-  for (const Fp fp : parseManifest(*blob)) ++counts[fp];
-  for (const auto& [fp, n] : counts)
-    adjustRefsLocked(fp, -static_cast<int64_t>(n));
-  index_->erase(manifestKey(name));
-  registry_.counter("store.backups_released").add();
+  Lsn commitLsn = 0;
+  {
+    std::lock_guard lock(mu_);
+    const auto blob = index_->get(manifestKey(name));
+    if (!blob) return false;
+    std::unordered_map<Fp, uint32_t, FpHash> counts;
+    for (const Fp fp : parseManifest(*blob)) ++counts[fp];
+    for (const auto& [fp, n] : counts)
+      adjustRefsLocked(fp, -static_cast<int64_t>(n));
+    index_->erase(manifestKey(name));
+    registry_.counter("store.backups_released").add();
+    if (logKv_ != nullptr) commitLsn = logKv_->appendedLsn();
+  }
+  // Durable delete, group-committed outside the lock (see recordBackup).
+  if (logKv_ != nullptr) logKv_->sync(commitLsn);
   return true;
 }
 
@@ -643,7 +664,7 @@ ContainerBackupStore::chunkEntriesByContainerLocked() {
 }
 
 void ContainerBackupStore::flushIndexLocked() {
-  if (auto* logkv = dynamic_cast<LogKv*>(index_.get())) logkv->flush();
+  if (logKv_ != nullptr) logKv_->flush();
 }
 
 GcStats ContainerBackupStore::collectGarbage() {
@@ -709,11 +730,10 @@ GcStats ContainerBackupStore::collectGarbage() {
     ++gc.containersCompacted;
   }
 
-  // Phase 4: compact the index log itself to reclaim dead records.
-  if (auto* logkv = dynamic_cast<LogKv*>(index_.get())) {
-    logkv->flush();
-    logkv->compact();
-  }
+  // Phase 4: checkpoint the index. The checkpoint snapshots only live
+  // records (reclaiming the dead ones GC just created), makes everything
+  // durable, and rotates the WAL so the next open replays an empty tail.
+  if (logKv_ != nullptr) logKv_->checkpoint();
   registry_.counter("store.gc_runs").add();
   registry_.counter("store.gc_relocated_chunks").add(gc.chunksRelocated);
   registry_.counter("store.gc_reclaimed_chunks").add(gc.chunksReclaimed);

@@ -42,6 +42,8 @@
 
 namespace freqdedup {
 
+class LogKv;
+
 class ContainerBackupStore : public BackupStore {
  public:
   ~ContainerBackupStore() override;
@@ -149,6 +151,10 @@ class ContainerBackupStore : public BackupStore {
 
   std::string dir_;  // empty in memory mode
   std::unique_ptr<KvStore> index_;
+  /// index_ downcast when it is a LogKv (persistent backends), else null.
+  /// Lets commit paths use the WAL durability API (sync outside the store
+  /// mutex = group commit) without dynamic_cast on every operation.
+  LogKv* logKv_ = nullptr;
   ContainerBuilder builder_;
   std::unordered_map<Fp, OpenChunk, FpHash> openChunks_;  // not yet sealed
   // Memory mode: authoritative container storage (with admission-time CRC

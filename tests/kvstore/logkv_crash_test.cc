@@ -1,0 +1,245 @@
+// Crash-point fault-injection suite for the metadata durability path.
+//
+// Each scenario arms a crash hook at one named point in the WAL / checkpoint
+// machinery (see crash_point.h), drives commits until the injected
+// CrashInjected fires (poisoning the store so its destructor performs no
+// further I/O — exactly what a kill leaves behind), then recovers and
+// asserts the durability contract:
+//   - every commit whose flush() RETURNED before the crash is present;
+//   - every key present has the value some completed put wrote (never torn);
+//   - dead-record accounting is identical however many times the store is
+//     reopened.
+// Each scenario runs twice: once on the files exactly as the crash left
+// them, and once after truncating the WAL to the last durable LSN — the
+// page-cache-loss model, where everything written but not yet fdatasynced
+// vanishes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "kvstore/crash_point.h"
+#include "kvstore/logkv.h"
+
+namespace freqdedup {
+namespace {
+
+const char* g_crashPoint = nullptr;
+std::atomic<int> g_countdown{0};
+
+bool crashHook(const char* point) {
+  if (g_crashPoint == nullptr || std::strcmp(point, g_crashPoint) != 0)
+    return false;
+  return g_countdown.fetch_sub(1) == 1;
+}
+
+constexpr const char* kAllPoints[] = {
+    "wal.append",          // record buffered, nothing written
+    "wal.after_write",     // group written, not fdatasynced
+    "wal.after_sync",      // group fdatasynced, durable LSN not published
+    "ckpt.begin",          // before any checkpoint I/O
+    "ckpt.after_tmp_write",  // tmp written, not fdatasynced
+    "ckpt.after_tmp_sync",   // tmp durable, not renamed
+    "ckpt.after_rename",     // renamed, directory not synced
+    "ckpt.after_dir_sync",   // checkpoint durable, WAL not rotated
+    "ckpt.after_rotate",     // everything done but the in-memory epilogue
+};
+
+constexpr int kBaseKeys = 50;
+constexpr int kCrashPhaseOps = 20;
+constexpr int kCheckpointAtOp = 9;
+
+std::string baseKey(int i) { return "key-" + std::to_string(i); }
+std::string baseValue(int i) { return "base-" + std::to_string(i); }
+std::string newValue(int i) { return "new-" + std::to_string(i); }
+
+struct CrashOutcome {
+  bool crashed = false;
+  int opsCommitted = 0;  // puts whose flush() returned before the crash
+  Lsn durableLsn = 0;
+};
+
+/// Seeds kBaseKeys durable entries, then — with the hook armed at `point` —
+/// overwrites them one flushed commit at a time, checkpointing mid-way,
+/// until the injected crash fires.
+CrashOutcome runUntilCrash(const std::string& path, const char* point) {
+  {
+    LogKv kv(path);
+    for (int i = 0; i < kBaseKeys; ++i)
+      kv.put(toBytes(baseKey(i)), toBytes(baseValue(i)));
+    kv.flush();
+  }
+  CrashOutcome out;
+  LogKv kv(path);
+  g_crashPoint = point;
+  g_countdown.store(1);
+  kvcrash::setHook(crashHook);
+  try {
+    for (int i = 0; i < kCrashPhaseOps; ++i) {
+      kv.put(toBytes(baseKey(i)), toBytes(newValue(i)));
+      kv.flush();
+      out.opsCommitted = i + 1;
+      if (i == kCheckpointAtOp) kv.checkpoint();
+    }
+  } catch (const kvcrash::CrashInjected&) {
+    out.crashed = true;
+  }
+  kvcrash::setHook(nullptr);
+  g_crashPoint = nullptr;
+  out.durableLsn = kv.durableLsn();
+  return out;  // kv is poisoned: its destructor performs no I/O
+}
+
+/// Page-cache-loss model: everything the WAL wrote beyond the last durable
+/// LSN vanishes. (Bytes below it were fdatasynced and must survive.)
+void truncateWalToDurable(const std::string& path, Lsn durable) {
+  const ByteVec data = readFile(path);
+  uint64_t headerBytes = 0;
+  Lsn base = 0;
+  constexpr char kMagic[8] = {'F', 'D', 'W', 'A', 'L', '0', '0', '1'};
+  if (data.size() >= 20 && std::memcmp(data.data(), kMagic, 8) == 0) {
+    headerBytes = 20;
+    base = getU64(data, 8);
+  }
+  const uint64_t keep =
+      durable >= base ? headerBytes + (durable - base) : headerBytes;
+  if (keep < data.size()) std::filesystem::resize_file(path, keep);
+}
+
+void assertRecovered(const std::string& path, const CrashOutcome& out) {
+  uint64_t deadAfterFirstReopen = 0;
+  {
+    LogKv kv(path);
+    EXPECT_EQ(kv.size(), static_cast<size_t>(kBaseKeys));
+    for (int i = 0; i < kBaseKeys; ++i) {
+      const auto value = kv.get(toBytes(baseKey(i)));
+      ASSERT_TRUE(value.has_value()) << baseKey(i);
+      if (i < out.opsCommitted) {
+        // flush() returned for this overwrite: it MUST have survived.
+        EXPECT_EQ(toString(*value), newValue(i)) << baseKey(i);
+      } else {
+        // Never promised durable: either version is fine, torn is not.
+        EXPECT_TRUE(toString(*value) == baseValue(i) ||
+                    toString(*value) == newValue(i))
+            << baseKey(i) << " = " << toString(*value);
+      }
+    }
+    deadAfterFirstReopen = kv.deadRecords();
+    // The store stays writable after recovery.
+    kv.put(toBytes("post-crash"), toBytes("ok"));
+    kv.flush();
+    kv.erase(toBytes("post-crash"));
+    kv.flush();
+  }
+  // Reopen-equality pin: replay counts dead records exactly like the live
+  // mutations did (+2 for the erase above, +1 per overwrite).
+  LogKv again(path);
+  EXPECT_EQ(again.deadRecords(), deadAfterFirstReopen + 2);
+}
+
+class LogKvCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("logkv_crash_" +
+              std::to_string(
+                  ::testing::UnitTest::GetInstance()->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".log"))
+                .string();
+    removeStoreFiles();
+  }
+  void TearDown() override {
+    kvcrash::setHook(nullptr);
+    removeStoreFiles();
+  }
+
+  void removeStoreFiles() {
+    for (const char* suffix :
+         {"", ".new", ".ckpt", ".ckpt.tmp", ".ckpt.corrupt"})
+      std::filesystem::remove(path_ + suffix);
+  }
+
+  std::string path_;
+};
+
+TEST_F(LogKvCrashTest, RecoversFromEveryCrashPointAsLeftOnDisk) {
+  for (const char* point : kAllPoints) {
+    SCOPED_TRACE(point);
+    removeStoreFiles();
+    const CrashOutcome out = runUntilCrash(path_, point);
+    ASSERT_TRUE(out.crashed) << "crash point never reached: " << point;
+    assertRecovered(path_, out);
+  }
+}
+
+TEST_F(LogKvCrashTest, RecoversFromEveryCrashPointAfterPageCacheLoss) {
+  for (const char* point : kAllPoints) {
+    SCOPED_TRACE(point);
+    removeStoreFiles();
+    const CrashOutcome out = runUntilCrash(path_, point);
+    ASSERT_TRUE(out.crashed) << "crash point never reached: " << point;
+    truncateWalToDurable(path_, out.durableLsn);
+    assertRecovered(path_, out);
+  }
+}
+
+// A crash inside checkpoint() must never lose the checkpoint's *input*: the
+// WAL is only rotated after the checkpoint file is durable, so at every
+// intermediate point either the old WAL or the new checkpoint (or both)
+// holds the full state.
+TEST_F(LogKvCrashTest, CheckpointCrashNeverLosesCommittedState) {
+  for (const char* point :
+       {"ckpt.after_tmp_sync", "ckpt.after_rename", "ckpt.after_dir_sync",
+        "ckpt.after_rotate"}) {
+    SCOPED_TRACE(point);
+    removeStoreFiles();
+    {
+      LogKv kv(path_);
+      for (int i = 0; i < 30; ++i)
+        kv.put(toBytes(baseKey(i)), toBytes(baseValue(i)));
+      kv.flush();
+      g_crashPoint = point;
+      g_countdown.store(1);
+      kvcrash::setHook(crashHook);
+      EXPECT_THROW(kv.checkpoint(), kvcrash::CrashInjected);
+      kvcrash::setHook(nullptr);
+      g_crashPoint = nullptr;
+    }
+    LogKv kv(path_);
+    EXPECT_EQ(kv.size(), 30u);
+    for (int i = 0; i < 30; ++i)
+      EXPECT_EQ(kv.get(toBytes(baseKey(i))), toBytes(baseValue(i)));
+  }
+}
+
+// After an injected crash the poisoned instance refuses the easy mistakes:
+// destruction performs no I/O (verified implicitly by every scenario above
+// recovering from the exact crash state) and a fresh open sees only what
+// was on disk.
+TEST_F(LogKvCrashTest, PoisonedStoreDropsUnsyncedBufferOnDestruction) {
+  {
+    LogKv kv(path_);
+    kv.put(toBytes("durable"), toBytes("yes"));
+    kv.flush();
+    // Arm the hook so the next append itself crashes: the record lands in
+    // the slot buffer but the store is poisoned before any sync.
+    g_crashPoint = "wal.append";
+    g_countdown.store(1);
+    kvcrash::setHook(crashHook);
+    EXPECT_THROW(kv.put(toBytes("buffered"), toBytes("no")),
+                 kvcrash::CrashInjected);
+    kvcrash::setHook(nullptr);
+    g_crashPoint = nullptr;
+  }  // a non-poisoned destructor would sync the buffered record here
+  LogKv kv(path_);
+  EXPECT_EQ(kv.get(toBytes("durable")), toBytes("yes"));
+  EXPECT_FALSE(kv.contains(toBytes("buffered")));
+}
+
+}  // namespace
+}  // namespace freqdedup

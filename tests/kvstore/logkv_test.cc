@@ -4,7 +4,10 @@
 
 #include <filesystem>
 
+#include "common/crc32.h"
 #include "common/rng.h"
+#include "common/varint.h"
+#include "obs/metrics.h"
 
 namespace freqdedup {
 namespace {
@@ -21,9 +24,16 @@ class LogKvTest : public ::testing::Test {
                         ->name() +
               ".log"))
                 .string();
-    std::filesystem::remove(path_);
+    removeStoreFiles();
   }
-  void TearDown() override { std::filesystem::remove(path_); }
+  void TearDown() override { removeStoreFiles(); }
+
+  /// The WAL plus every checkpoint sidecar a test may have produced.
+  void removeStoreFiles() {
+    for (const char* suffix :
+         {"", ".new", ".ckpt", ".ckpt.tmp", ".ckpt.corrupt"})
+      std::filesystem::remove(path_ + suffix);
+  }
 
   std::string path_;
 };
@@ -183,6 +193,162 @@ TEST_F(LogKvTest, EmptyValue) {
   const auto value = kv.get(toBytes("k"));
   ASSERT_TRUE(value.has_value());
   EXPECT_TRUE(value->empty());
+}
+
+TEST_F(LogKvTest, SyncAdvancesDurableLsn) {
+  LogKv kv(path_);
+  kv.put(toBytes("k"), toBytes("v"));
+  const Lsn appended = kv.appendedLsn();
+  EXPECT_GT(appended, 0u);
+  kv.sync(appended);
+  EXPECT_GE(kv.durableLsn(), appended);
+  kv.flush();
+  EXPECT_EQ(kv.durableLsn(), kv.appendedLsn());
+}
+
+// The acceptance invariant: after a checkpoint plus N tail commits, a
+// reopen loads the checkpoint and replays exactly those N records.
+TEST_F(LogKvTest, ReopenAfterCheckpointReplaysOnlyTheTail) {
+  constexpr int kCheckpointed = 100;
+  constexpr int kTail = 7;
+  {
+    LogKv kv(path_);
+    for (int i = 0; i < kCheckpointed; ++i)
+      kv.put(kvKeyFromU64(static_cast<uint64_t>(i)), toBytes("base"));
+    kv.checkpoint();
+    for (int i = 0; i < kTail; ++i)
+      kv.put(kvKeyFromU64(static_cast<uint64_t>(1000 + i)), toBytes("tail"));
+    kv.flush();
+  }
+  LogKv reopened(path_);
+  EXPECT_EQ(reopened.checkpointRecordsLoaded(),
+            static_cast<uint64_t>(kCheckpointed));
+  EXPECT_EQ(reopened.tailRecordsReplayed(), static_cast<uint64_t>(kTail));
+  EXPECT_GT(reopened.checkpointWatermark(), 0u);
+  EXPECT_EQ(reopened.size(),
+            static_cast<size_t>(kCheckpointed + kTail));
+  // The same numbers must surface through the obs registry.
+  if (obs::kObsEnabled) {
+    obs::MetricsRegistry registry;
+    reopened.bindMetrics(registry);
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter("wal.replay.records"),
+              static_cast<uint64_t>(kTail));
+    EXPECT_EQ(snap.counter("ckpt.loads"), 1u);
+    EXPECT_EQ(snap.counter("ckpt.load_records"),
+              static_cast<uint64_t>(kCheckpointed));
+  }
+  // Values read back from both files.
+  EXPECT_EQ(reopened.get(kvKeyFromU64(0)), toBytes("base"));
+  EXPECT_EQ(reopened.get(kvKeyFromU64(1000)), toBytes("tail"));
+}
+
+// Pin for the dead-record accounting divergence: live mutations and replay
+// must count identically, so the value is stable across any number of
+// reopens (erase = erased put + tombstone = 2; overwrite = 1).
+TEST_F(LogKvTest, DeadRecordsStableAcrossReopen) {
+  uint64_t live = 0;
+  {
+    LogKv kv(path_);
+    kv.put(toBytes("a"), toBytes("1"));
+    kv.put(toBytes("a"), toBytes("2"));  // +1 (overwrite)
+    kv.put(toBytes("b"), toBytes("1"));
+    kv.erase(toBytes("b"));              // +2 (erased put + tombstone)
+    kv.erase(toBytes("c"));              // no-op: key absent, nothing logged
+    kv.put(toBytes("d"), toBytes("1"));
+    kv.flush();
+    live = kv.deadRecords();
+    EXPECT_EQ(live, 3u);
+  }
+  uint64_t afterFirstReopen = 0;
+  {
+    LogKv kv(path_);
+    afterFirstReopen = kv.deadRecords();
+    EXPECT_EQ(afterFirstReopen, live);
+  }
+  LogKv kv(path_);
+  EXPECT_EQ(kv.deadRecords(), afterFirstReopen);
+}
+
+TEST_F(LogKvTest, AutoCheckpointTriggersAtThreshold) {
+  LogKvOptions options;
+  options.checkpointBytes = 4096;
+  LogKv kv(path_, options);
+  const ByteVec value(128, 0x5A);
+  for (int i = 0; i < 200; ++i)
+    kv.put(kvKeyFromU64(static_cast<uint64_t>(i % 10)), value);
+  // 200 x ~140-byte records against a 4 KiB threshold: checkpoints must
+  // have fired, keeping the replayable tail bounded.
+  EXPECT_LT(kv.logBytes(), options.checkpointBytes + 4096);
+  EXPECT_TRUE(std::filesystem::exists(path_ + ".ckpt"));
+  EXPECT_EQ(kv.size(), 10u);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(kv.get(kvKeyFromU64(static_cast<uint64_t>(i))), value);
+}
+
+TEST_F(LogKvTest, CorruptCheckpointIsQuarantinedAndTailSurvives) {
+  {
+    LogKv kv(path_);
+    kv.put(toBytes("ckpt-key"), toBytes("1"));
+    kv.checkpoint();
+    kv.put(toBytes("tail-key"), toBytes("2"));
+    kv.flush();
+  }
+  {
+    auto data = readFile(path_ + ".ckpt");
+    data[data.size() - 1] ^= 0xFF;  // corrupt the checkpointed record
+    writeFile(path_ + ".ckpt", data);
+  }
+  LogKv recovered(path_);
+  // The checkpointed state is genuinely lost (the WAL was rotated past it);
+  // recovery must quarantine the bad file, keep the store usable, and
+  // still replay the tail.
+  EXPECT_EQ(recovered.checkpointRecordsLoaded(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(path_ + ".ckpt.corrupt"));
+  EXPECT_EQ(recovered.get(toBytes("tail-key")), toBytes("2"));
+  EXPECT_FALSE(recovered.contains(toBytes("ckpt-key")));
+  recovered.put(toBytes("after"), toBytes("3"));
+  recovered.flush();
+  LogKv again(path_);
+  EXPECT_EQ(again.get(toBytes("after")), toBytes("3"));
+}
+
+// Stores written before the WAL header existed (headerless frame stream,
+// implicit base LSN 0) must stay readable, and a checkpoint migrates them
+// to the current format.
+TEST_F(LogKvTest, LegacyHeaderlessLogIsReadableAndMigrates) {
+  {
+    ByteVec file;
+    const auto appendLegacyRecord = [&file](const std::string& key,
+                                            const std::string& value) {
+      ByteVec payload;
+      payload.push_back(1);  // kPut
+      putVarint(payload, key.size());
+      appendBytes(payload, toBytes(key));
+      putVarint(payload, value.size());
+      appendBytes(payload, toBytes(value));
+      putU32(file, crc32c(payload));
+      putU32(file, static_cast<uint32_t>(payload.size()));
+      appendBytes(file, payload);
+    };
+    appendLegacyRecord("old1", "v1");
+    appendLegacyRecord("old2", "v2");
+    writeFile(path_, file);
+  }
+  {
+    LogKv kv(path_);
+    EXPECT_EQ(kv.size(), 2u);
+    EXPECT_EQ(kv.get(toBytes("old1")), toBytes("v1"));
+    EXPECT_EQ(kv.tailRecordsReplayed(), 2u);
+    kv.put(toBytes("new"), toBytes("v3"));
+    kv.checkpoint();  // rotation writes the headered format
+  }
+  LogKv migrated(path_);
+  EXPECT_EQ(migrated.size(), 3u);
+  EXPECT_EQ(migrated.get(toBytes("old2")), toBytes("v2"));
+  EXPECT_EQ(migrated.get(toBytes("new")), toBytes("v3"));
+  EXPECT_EQ(migrated.checkpointRecordsLoaded(), 3u);
+  EXPECT_EQ(migrated.tailRecordsReplayed(), 0u);
 }
 
 }  // namespace

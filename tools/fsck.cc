@@ -143,6 +143,19 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(rs.orphanContainersRemoved),
            static_cast<unsigned long long>(rs.corruptContainers),
            static_cast<unsigned long long>(rs.entriesDropped));
+    {
+      // Index recovery breakdown: how much state came from the checkpoint
+      // vs. from replaying the WAL tail past its watermark.
+      const obs::MetricsSnapshot open = store.metricsSnapshot();
+      printf("index: checkpoint %s (%llu records), WAL tail replayed: "
+             "%llu records (%llu bytes)\n",
+             open.counter("ckpt.loads") > 0 ? "loaded" : "absent",
+             static_cast<unsigned long long>(
+                 open.counter("ckpt.load_records")),
+             static_cast<unsigned long long>(
+                 open.counter("wal.replay.records")),
+             static_cast<unsigned long long>(open.counter("wal.replay.bytes")));
+    }
 
     const PhaseTimer verifyTimer;
     const StoreCheckReport report = store.verify();
