@@ -1,18 +1,29 @@
 // Throughput of the attack-analysis engine (src/analysis/) on the scaled
 // FSL dataset: chunks/sec for the COUNT phase, the CSR neighbor-index build,
-// and the end-to-end ciphertext-only locality attack, at 1 and N threads.
+// and the end-to-end ciphertext-only locality attack, at 1 and N threads,
+// plus the same neighbor build + attack under a memory budget (the
+// external-memory spill pipeline).
 //
-//   attack_throughput [--threads N] [--json PATH]
+//   attack_throughput [--threads N] [--json PATH] [--mem-budget BYTES]
+//                     [--spill-dir DIR]
 //
 // N defaults to 8 (the figure the acceptance tracking uses); --json writes a
 // machine-readable summary (default BENCH_attack.json in the working
-// directory). Interning is done once up front — the phases measure the
-// engine's parallel index builds and the attack itself, which is what the
-// legacy hash-map core serialized.
+// directory). --mem-budget (default 4M, K/M/G suffixes accepted) bounds the
+// budgeted phases' intermediate memory; at the default bench scale it is
+// small enough to force the spill pipeline. Interning is done once up front
+// — the phases measure the engine's index builds and the attack itself,
+// which is what the legacy hash-map core serialized.
 //
-// Every multi-threaded attack result is checked to be bit-identical to the
-// 1-thread engine's result before the numbers are reported; a divergence
-// aborts the bench.
+// Timing: every phase is warmed up once, then repeated until the samples
+// total >= 200 ms (at least 3 samples); the reported time is the median.
+// The previous best-of-3 single-shot scheme bottomed out below the clock
+// resolution on sub-millisecond phases and reported nonsense rates.
+//
+// Every multi-threaded and every budgeted attack result is checked to be
+// bit-identical to the 1-thread unbudgeted engine's result before the
+// numbers are reported; a divergence aborts the bench.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,82 +35,107 @@
 namespace freqdedup {
 namespace {
 
+using analysis::AnalysisBudget;
+using analysis::AnalysisBuildStats;
 using analysis::AttackEngine;
 using analysis::ChunkStreamIndex;
+using analysis::ComputePlan;
+using analysis::FrequencyBuildOptions;
 using analysis::FrequencyIndex;
+using analysis::NeighborBuildOptions;
 using analysis::NeighborIndex;
+
+constexpr double kMinTotalSeconds = 0.2;
+constexpr size_t kMinSamples = 3;
 
 struct PhaseResult {
   double serialCps = 0;    // chunks/sec at 1 thread
   double parallelCps = 0;  // chunks/sec at N threads
+  const char* plan = "serial";  // plan the N-thread measurement executed
 
   [[nodiscard]] double speedup() const {
     return serialCps > 0 ? parallelCps / serialCps : 0.0;
   }
 };
 
-/// Best-of-`reps` seconds for one timed phase.
+/// Median seconds of one timed phase: one warm-up call, then samples until
+/// they total kMinTotalSeconds (>= kMinSamples), median reported.
 template <typename Fn>
-double bestSeconds(int reps, Fn&& fn) {
-  double best = -1.0;
-  for (int r = 0; r < reps; ++r) {
-    exp::Stopwatch watch;
-    fn();
-    const double elapsed = watch.elapsedSeconds();
-    if (best < 0 || elapsed < best) best = elapsed;
+double medianSeconds(Fn&& timedOnce) {
+  timedOnce();  // warm-up: page in data, populate caches
+  std::vector<double> samples;
+  double total = 0;
+  while (samples.size() < kMinSamples || total < kMinTotalSeconds) {
+    const double s = timedOnce();
+    samples.push_back(s);
+    total += s;
   }
-  return best;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
 double countPhaseSeconds(const ChunkStreamIndex& cipher,
-                         const ChunkStreamIndex& plain, uint32_t threads) {
-  // Force the parallel slice-and-reduce plan (threshold 0) so the phase
-  // measures the parallel implementation itself; the engine's own cost
-  // model would fall back to the serial pass below ~2M records and the
-  // multi-thread column would just re-measure the serial plan.
-  return bestSeconds(3, [&] {
-    FrequencyIndex::build(cipher, threads, /*parallelThreshold=*/0);
-    FrequencyIndex::build(plain, threads, /*parallelThreshold=*/0);
+                         const ChunkStreamIndex& plain,
+                         const FrequencyBuildOptions& options) {
+  return medianSeconds([&] {
+    exp::Stopwatch watch;
+    FrequencyIndex::build(cipher, options);
+    FrequencyIndex::build(plain, options);
+    return watch.elapsedSeconds();
   });
 }
 
 double neighborPhaseSeconds(const ChunkStreamIndex& cipher,
                             const ChunkStreamIndex& plain,
-                            uint32_t threads) {
+                            const NeighborBuildOptions& options) {
   using Side = NeighborIndex::Side;
-  return bestSeconds(3, [&] {
-    NeighborIndex::build(cipher, Side::kLeft, threads);
-    NeighborIndex::build(cipher, Side::kRight, threads);
-    NeighborIndex::build(plain, Side::kLeft, threads);
-    NeighborIndex::build(plain, Side::kRight, threads);
+  return medianSeconds([&] {
+    exp::Stopwatch watch;
+    NeighborIndex::build(cipher, Side::kLeft, options);
+    NeighborIndex::build(cipher, Side::kRight, options);
+    NeighborIndex::build(plain, Side::kLeft, options);
+    NeighborIndex::build(plain, Side::kRight, options);
+    return watch.elapsedSeconds();
   });
 }
 
-AttackResult attackPhase(const ChunkStreamIndex& cipher,
-                         const ChunkStreamIndex& plain, uint32_t threads,
-                         double& seconds) {
-  AttackConfig config = exp::ciphertextOnlyConfig(/*sizeAware=*/false);
-  config.threads = threads;
-  // Engine construction copies the stream indexes; keep that setup cost
-  // outside the timed region — the attack call itself (index builds + walk)
-  // is the phase being measured.
-  AttackEngine engine(cipher, plain, {threads});
+/// One locality attack on a fresh engine (the engine caches indexes, so
+/// reusing one would only measure the walk). Engine construction copies the
+/// stream indexes; that setup stays outside the timed region.
+AttackResult attackOnce(const ChunkStreamIndex& cipher,
+                        const ChunkStreamIndex& plain,
+                        const analysis::AnalysisOptions& options,
+                        const AttackConfig& config, double& seconds) {
+  AttackEngine engine(cipher, plain, options);
   exp::Stopwatch watch;
   AttackResult result = engine.localityAttack(config);
   seconds = watch.elapsedSeconds();
   return result;
 }
 
+double attackPhaseSeconds(const ChunkStreamIndex& cipher,
+                          const ChunkStreamIndex& plain,
+                          const analysis::AnalysisOptions& options,
+                          const AttackConfig& config) {
+  return medianSeconds([&] {
+    double seconds = 0;
+    attackOnce(cipher, plain, options, config, seconds);
+    return seconds;
+  });
+}
+
 void printPhase(const char* name, const PhaseResult& r) {
   exp::printRow({name, exp::fmtDouble(r.serialCps / 1e6, 2) + " Mc/s",
                  exp::fmtDouble(r.parallelCps / 1e6, 2) + " Mc/s",
-                 exp::fmtDouble(r.speedup()) + "x"});
+                 exp::fmtDouble(r.speedup()) + "x", r.plan});
 }
 
 void writeJson(const std::string& path, const Dataset& dataset,
                size_t records, size_t unique, uint32_t threads,
-               const PhaseResult& count, const PhaseResult& neighbor,
-               const PhaseResult& attack, bool identical) {
+               uint64_t memBudget, const PhaseResult& count,
+               const PhaseResult& neighbor, const PhaseResult& attack,
+               double budgetedCps, const AnalysisBuildStats& budgetedStats,
+               bool identicalThreads, bool identicalBudgets) {
   FILE* f = fopen(path.c_str(), "w");
   if (f == nullptr) {
     fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -111,18 +147,31 @@ void writeJson(const std::string& path, const Dataset& dataset,
   fprintf(f, "  \"stream_records\": %zu,\n", records);
   fprintf(f, "  \"unique_chunks\": %zu,\n", unique);
   fprintf(f, "  \"parallel_threads\": %u,\n", threads);
+  fprintf(f, "  \"mem_budget_bytes\": %llu,\n",
+          static_cast<unsigned long long>(memBudget));
   fprintf(f, "  \"results_identical_across_threads\": %s,\n",
-          identical ? "true" : "false");
-  const auto phase = [&](const char* name, const PhaseResult& r,
-                         const char* trailer) {
+          identicalThreads ? "true" : "false");
+  fprintf(f, "  \"results_identical_across_budgets\": %s,\n",
+          identicalBudgets ? "true" : "false");
+  const auto phase = [&](const char* name, const PhaseResult& r) {
     fprintf(f,
             "  \"%s\": {\"threads1_chunks_per_sec\": %.0f, "
-            "\"threads%u_chunks_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
-            name, r.serialCps, threads, r.parallelCps, r.speedup(), trailer);
+            "\"threads%u_chunks_per_sec\": %.0f, \"speedup\": %.2f, "
+            "\"plan\": \"%s\"},\n",
+            name, r.serialCps, threads, r.parallelCps, r.speedup(), r.plan);
   };
-  phase("count", count, ",");
-  phase("neighbor_build", neighbor, ",");
-  phase("locality_attack", attack, "");
+  phase("count", count);
+  phase("neighbor_build", neighbor);
+  phase("locality_attack", attack);
+  fprintf(f,
+          "  \"budgeted_neighbor_build\": {\"chunks_per_sec\": %.0f, "
+          "\"plan\": \"%s\", \"shards\": %llu, \"spill_bytes\": %llu, "
+          "\"spill_files\": %llu, \"peak_tracked_bytes\": %llu}\n",
+          budgetedCps, budgetedStats.plan,
+          static_cast<unsigned long long>(budgetedStats.shards),
+          static_cast<unsigned long long>(budgetedStats.spillBytes),
+          static_cast<unsigned long long>(budgetedStats.spillFiles),
+          static_cast<unsigned long long>(budgetedStats.peakTrackedBytes));
   fprintf(f, "}\n");
   fclose(f);
   printf("\nwrote %s\n", path.c_str());
@@ -136,6 +185,9 @@ int main(int argc, char** argv) {
   const uint32_t threads = exp::threadsFlag(argc, argv, 8);
   const std::string jsonPath =
       exp::stringFlag(argc, argv, "json", "BENCH_attack.json");
+  const uint64_t memBudget =
+      exp::bytesFlag(argc, argv, "mem-budget", 4ull << 20);
+  const std::string spillDir = exp::stringFlag(argc, argv, "spill-dir", "");
 
   const Dataset& fsl = exp::fslDataset();
   const size_t targetIndex = fsl.backupCount() - 1;
@@ -146,6 +198,7 @@ int main(int argc, char** argv) {
   const ChunkStreamIndex plain = ChunkStreamIndex::build(aux);
   const size_t records = cipher.recordCount() + plain.recordCount();
   const size_t unique = cipher.uniqueCount() + plain.uniqueCount();
+  const AnalysisBudget budget{memBudget, spillDir};
 
   exp::printTitle("attack_throughput",
                   "analysis-engine phases on " + fsl.name + " (scale " +
@@ -154,45 +207,100 @@ int main(int argc, char** argv) {
                       std::to_string(records) + " records, " +
                       std::to_string(unique) + " unique)");
   exp::printRow({"phase", "1 thread", std::to_string(threads) + " threads",
-                 "speedup"});
+                 "speedup", "plan"});
 
   const auto cps = [&](double seconds) {
     return seconds > 0 ? static_cast<double>(records) / seconds : 0.0;
   };
 
+  // COUNT. The N-thread column forces the parallel sub-range plan so it
+  // measures the parallel implementation itself even when the cost model
+  // would (correctly) pick serial at this scale or core count.
+  FrequencyBuildOptions freqSerial;
+  FrequencyBuildOptions freqParallel;
+  freqParallel.threads = threads;
+  freqParallel.plan = ComputePlan::kParallel;
   PhaseResult count;
-  count.serialCps = cps(countPhaseSeconds(cipher, plain, 1));
-  count.parallelCps = cps(countPhaseSeconds(cipher, plain, threads));
+  count.serialCps = cps(countPhaseSeconds(cipher, plain, freqSerial));
+  count.parallelCps = cps(countPhaseSeconds(cipher, plain, freqParallel));
+  count.plan = FrequencyIndex::build(cipher, freqParallel).stats.plan;
   printPhase("count", count);
 
+  // Neighbor build, unbudgeted: serial vs forced-parallel in-memory.
+  NeighborBuildOptions nbSerial;
+  NeighborBuildOptions nbParallel;
+  nbParallel.threads = threads;
+  nbParallel.plan = ComputePlan::kParallel;
   PhaseResult neighbor;
-  neighbor.serialCps = cps(neighborPhaseSeconds(cipher, plain, 1));
-  neighbor.parallelCps = cps(neighborPhaseSeconds(cipher, plain, threads));
+  neighbor.serialCps = cps(neighborPhaseSeconds(cipher, plain, nbSerial));
+  neighbor.parallelCps = cps(neighborPhaseSeconds(cipher, plain, nbParallel));
+  neighbor.plan =
+      NeighborIndex::build(cipher, NeighborIndex::Side::kLeft, nbParallel)
+          .buildStats()
+          .plan;
   printPhase("neighbor-build", neighbor);
 
+  // End-to-end locality attack, unbudgeted.
+  AttackConfig config = exp::ciphertextOnlyConfig(/*sizeAware=*/false);
+  config.threads = threads;
+  config.memBudgetBytes = 0;
+  config.spillDir.clear();
+  analysis::AnalysisOptions serialOpts;
+  analysis::AnalysisOptions parallelOpts;
+  parallelOpts.threads = threads;
+  parallelOpts.plan = ComputePlan::kParallel;
   PhaseResult attack;
-  double seconds = 0;
-  const AttackResult serialResult = attackPhase(cipher, plain, 1, seconds);
-  attack.serialCps = cps(seconds);
-  const AttackResult parallelResult =
-      attackPhase(cipher, plain, threads, seconds);
-  attack.parallelCps = cps(seconds);
+  attack.serialCps =
+      cps(attackPhaseSeconds(cipher, plain, serialOpts, config));
+  attack.parallelCps =
+      cps(attackPhaseSeconds(cipher, plain, parallelOpts, config));
+  attack.plan = "parallel";
   printPhase("locality-attack", attack);
 
-  const bool identical =
+  double seconds = 0;
+  const AttackResult serialResult =
+      attackOnce(cipher, plain, serialOpts, config, seconds);
+  const AttackResult parallelResult =
+      attackOnce(cipher, plain, parallelOpts, config, seconds);
+
+  // Budgeted phases: same neighbor build and attack under --mem-budget. At
+  // the default scale and budget the cost model picks the spill pipeline.
+  NeighborBuildOptions nbBudgeted;
+  nbBudgeted.threads = threads;
+  nbBudgeted.budget = budget;
+  const double budgetedCps =
+      cps(neighborPhaseSeconds(cipher, plain, nbBudgeted));
+  const AnalysisBuildStats budgetedStats =
+      NeighborIndex::build(cipher, NeighborIndex::Side::kLeft, nbBudgeted)
+          .buildStats();
+  exp::printRow({"neighbor-budgeted", "-",
+                 exp::fmtDouble(budgetedCps / 1e6, 2) + " Mc/s", "-",
+                 budgetedStats.plan});
+
+  analysis::AnalysisOptions budgetedOpts;
+  budgetedOpts.threads = threads;
+  budgetedOpts.budget = budget;
+  const AttackResult budgetedResult =
+      attackOnce(cipher, plain, budgetedOpts, config, seconds);
+
+  const bool identicalThreads =
       serialResult.inferred == parallelResult.inferred &&
       serialResult.processedPairs == parallelResult.processedPairs;
+  const bool identicalBudgets =
+      serialResult.inferred == budgetedResult.inferred &&
+      serialResult.processedPairs == budgetedResult.processedPairs;
   printf("\ninference rate %.2f%% (%llu pairs processed); "
-         "results identical across thread counts: %s\n",
+         "identical across threads: %s; identical across budgets: %s\n",
          100.0 * inferenceRate(serialResult, target),
          static_cast<unsigned long long>(serialResult.processedPairs),
-         identical ? "yes" : "NO");
-  if (!identical) {
-    fprintf(stderr, "ERROR: parallel attack diverged from serial engine\n");
+         identicalThreads ? "yes" : "NO", identicalBudgets ? "yes" : "NO");
+  if (!identicalThreads || !identicalBudgets) {
+    fprintf(stderr, "ERROR: attack result diverged from serial engine\n");
     return 1;
   }
 
-  writeJson(jsonPath, fsl, records, unique, threads, count, neighbor, attack,
-            identical);
+  writeJson(jsonPath, fsl, records, unique, threads, memBudget, count,
+            neighbor, attack, budgetedCps, budgetedStats, identicalThreads,
+            identicalBudgets);
   return 0;
 }

@@ -52,7 +52,46 @@ size_t scaleCount(size_t base) {
   return static_cast<size_t>(std::llround(base * benchScale()));
 }
 
+/// Parses "BYTES" with an optional K/M/G suffix; returns false on garbage.
+bool parseBytes(const char* text, uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (end == text) return false;
+  uint64_t mult = 1;
+  switch (*end) {
+    case '\0':
+      break;
+    case 'k': case 'K': mult = 1ull << 10; ++end; break;
+    case 'm': case 'M': mult = 1ull << 20; ++end; break;
+    case 'g': case 'G': mult = 1ull << 30; ++end; break;
+    default: return false;
+  }
+  if (*end != '\0') return false;
+  out = parsed * mult;
+  return true;
+}
+
 }  // namespace
+
+uint64_t memBudgetBytes() {
+  static const uint64_t budget = [] {
+    const char* env = std::getenv("FDD_MEM_BUDGET");
+    uint64_t parsed = 0;
+    if (env == nullptr) return parsed;
+    if (!parseBytes(env, parsed)) {
+      fprintf(stderr, "warning: invalid FDD_MEM_BUDGET '%s'; unlimited\n",
+              env);
+      parsed = 0;
+    }
+    return parsed;
+  }();
+  return budget;
+}
+
+std::string spillDir() {
+  const char* env = std::getenv("FDD_SPILL_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
 
 size_t scaledW() { return scaleCount(2000); }
 size_t scaledWKnownPlaintext() { return scaleCount(5000); }
@@ -166,6 +205,8 @@ AttackConfig ciphertextOnlyConfig(bool sizeAware) {
   config.w = scaledW();
   config.sizeAware = sizeAware;
   config.threads = attackThreads();
+  config.memBudgetBytes = memBudgetBytes();
+  config.spillDir = spillDir();
   return config;
 }
 
@@ -177,6 +218,8 @@ AttackConfig knownPlaintextConfig(bool sizeAware, const EncryptedTrace& target,
   config.w = scaledWKnownPlaintext();
   config.sizeAware = sizeAware;
   config.threads = attackThreads();
+  config.memBudgetBytes = memBudgetBytes();
+  config.spillDir = spillDir();
   Rng rng(seed);
   config.leakedPairs = sampleLeakedPairs(target, leakagePct / 100.0, rng);
   return config;
@@ -233,6 +276,20 @@ std::string stringFlag(int argc, char** argv, const std::string& name,
   const std::string flag = "--" + name;
   for (int i = 1; i + 1 < argc; ++i) {
     if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+uint64_t bytesFlag(int argc, char** argv, const std::string& name,
+                   uint64_t fallback) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] != flag) continue;
+    uint64_t parsed = 0;
+    if (parseBytes(argv[i + 1], parsed)) return parsed;
+    fprintf(stderr, "warning: invalid %s '%s'; using %llu\n", flag.c_str(),
+            argv[i + 1], static_cast<unsigned long long>(fallback));
+    return fallback;
   }
   return fallback;
 }

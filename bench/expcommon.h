@@ -34,6 +34,14 @@ double benchScale();
 /// hardware threads.
 uint32_t attackThreads();
 
+/// Memory budget (bytes, K/M/G suffixes accepted) for attack index builds:
+/// FDD_MEM_BUDGET or 0 (unlimited). Budget-exceeding builds spill to disk.
+uint64_t memBudgetBytes();
+
+/// Spill directory for budgeted attack index builds: FDD_SPILL_DIR or empty
+/// (the system temp directory).
+std::string spillDir();
+
 /// The paper's default attack parameters (Section 5.3), with w scaled by the
 /// dataset-size ratio (paper: 200k of ~30M unique chunks; here ~100k unique
 /// at scale 1, times benchScale()).
@@ -89,6 +97,11 @@ uint32_t threadsFlag(int argc, char** argv, uint32_t fallback = 1);
 /// Parses `--<name> VALUE` from argv; returns `fallback` when absent.
 std::string stringFlag(int argc, char** argv, const std::string& name,
                        const std::string& fallback);
+
+/// Parses `--<name> BYTES` from argv (K/M/G suffixes accepted, e.g. "64M");
+/// returns `fallback` when absent or invalid.
+uint64_t bytesFlag(int argc, char** argv, const std::string& name,
+                   uint64_t fallback);
 
 /// Wall-clock stopwatch (steady clock).
 class Stopwatch {

@@ -45,9 +45,18 @@ AttackEngine AttackEngine::fromRecords(std::span<const ChunkRecord> cipher,
           options};
 }
 
+uint32_t AttackEngine::effectiveThreads() const {
+  if (options_.plan == ComputePlan::kSerial) return 1;
+  if (options_.plan == ComputePlan::kParallel) {
+    return std::max(options_.threads, 1u);
+  }
+  return std::max(1u, std::min(options_.threads, hardwareThreads()));
+}
+
 ThreadPool* AttackEngine::workerPool() {
-  if (options_.threads <= 1) return nullptr;
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  const uint32_t threads = effectiveThreads();
+  if (threads <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads);
   return pool_.get();
 }
 
@@ -55,7 +64,7 @@ void AttackEngine::runParallel(
     size_t n, const std::function<void(size_t, size_t)>& body) {
   // Tiny ranges are not worth a round trip through the pool; running them
   // inline computes exactly the same thing.
-  if (options_.threads <= 1 || n < 64) {
+  if (effectiveThreads() <= 1 || n < 64) {
     if (n > 0) body(0, n);
     return;
   }
@@ -65,17 +74,13 @@ void AttackEngine::runParallel(
 void AttackEngine::buildFrequencies() {
   if (cipherFreq_ && plainFreq_) return;
   obs::ObsSpan span(&AttackMetrics::get().countUs, "attack.count", "attack");
-  ThreadPool* pool = workerPool();
-  if (!cipherFreq_) {
-    cipherFreq_ = FrequencyIndex::build(
-        cipher_, options_.threads,
-        FrequencyIndex::kDefaultParallelThreshold, pool);
-  }
-  if (!plainFreq_) {
-    plainFreq_ = FrequencyIndex::build(
-        plain_, options_.threads, FrequencyIndex::kDefaultParallelThreshold,
-        pool);
-  }
+  FrequencyBuildOptions build;
+  build.threads = effectiveThreads();
+  build.pool = workerPool();
+  build.budget = options_.budget;
+  build.plan = options_.plan;
+  if (!cipherFreq_) cipherFreq_ = FrequencyIndex::build(cipher_, build);
+  if (!plainFreq_) plainFreq_ = FrequencyIndex::build(plain_, build);
 }
 
 void AttackEngine::buildNeighbors() {
@@ -83,22 +88,23 @@ void AttackEngine::buildNeighbors() {
   obs::ObsSpan span(&AttackMetrics::get().neighborBuildUs,
                     "attack.neighbor_build", "attack");
   using Side = NeighborIndex::Side;
-  ThreadPool* pool = workerPool();
+  NeighborBuildOptions build;
+  build.threads = effectiveThreads();
+  build.pool = workerPool();
+  build.budget = options_.budget;
+  build.plan = options_.plan;
+  build.spill = options_.spill;
   if (!cipherLeft_) {
-    cipherLeft_ = NeighborIndex::build(cipher_, Side::kLeft,
-                                       options_.threads, pool);
+    cipherLeft_ = NeighborIndex::build(cipher_, Side::kLeft, build);
   }
   if (!cipherRight_) {
-    cipherRight_ = NeighborIndex::build(cipher_, Side::kRight,
-                                        options_.threads, pool);
+    cipherRight_ = NeighborIndex::build(cipher_, Side::kRight, build);
   }
   if (!plainLeft_) {
-    plainLeft_ = NeighborIndex::build(plain_, Side::kLeft, options_.threads,
-                                      pool);
+    plainLeft_ = NeighborIndex::build(plain_, Side::kLeft, build);
   }
   if (!plainRight_) {
-    plainRight_ = NeighborIndex::build(plain_, Side::kRight,
-                                       options_.threads, pool);
+    plainRight_ = NeighborIndex::build(plain_, Side::kRight, build);
   }
 }
 
@@ -121,8 +127,11 @@ std::vector<AttackEngine::IdPair> AttackEngine::rankPairs(size_t x,
 
   // Size-classified pairing (Algorithm 3): rank within each class and pair
   // the top-x ranks of every class present on both sides, classes ascending.
-  const SizeClassRanking cipherRank = rankBySizeClass(*cipherFreq_, cipher_);
-  const SizeClassRanking plainRank = rankBySizeClass(*plainFreq_, plain_);
+  // Only the top-x prefix of each class is ever consumed, so the rankings
+  // partial-sort to x instead of fully ordering every class run.
+  const SizeClassRanking cipherRank =
+      rankBySizeClass(*cipherFreq_, cipher_, x);
+  const SizeClassRanking plainRank = rankBySizeClass(*plainFreq_, plain_, x);
   size_t ci = 0, mi = 0;
   while (ci < cipherRank.classes.size() && mi < plainRank.classes.size()) {
     const ClassRange& c = cipherRank.classes[ci];

@@ -38,6 +38,12 @@ namespace freqdedup::analysis {
 struct AnalysisOptions {
   /// Worker threads for index builds. Results do not depend on this value.
   uint32_t threads = 1;
+  /// Memory budget + spill directory for index builds. Results do not depend
+  /// on the budget either — only the build pipeline chosen does.
+  AnalysisBudget budget{};
+  /// Plan overrides, forwarded to every index build (kAuto = cost model).
+  ComputePlan plan = ComputePlan::kAuto;
+  SpillPlan spill = SpillPlan::kAuto;
 };
 
 class AttackEngine {
@@ -98,8 +104,14 @@ class AttackEngine {
                      size_t v, bool sizeAware, Scratch& scratch,
                      std::vector<IdPair>& out) const;
 
-  /// The engine's lazily created worker pool (nullptr when threads <= 1),
-  /// shared by index builds and walk batches.
+  /// Worker threads the engine actually uses: options_.threads clamped to
+  /// the plan override (kSerial -> 1) and, under kAuto, to the machine's
+  /// real core count — an oversubscribed thread budget degrades to serial
+  /// instead of paying dispatch cost for nothing.
+  [[nodiscard]] uint32_t effectiveThreads() const;
+
+  /// The engine's lazily created worker pool (nullptr when effectiveThreads
+  /// is 1), shared by index builds and walk batches.
   ThreadPool* workerPool();
 
   /// Runs body(begin, end) over [0, n) on the engine's worker pool (inline

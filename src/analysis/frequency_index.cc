@@ -7,49 +7,62 @@
 namespace freqdedup::analysis {
 
 FrequencyIndex FrequencyIndex::build(const ChunkStreamIndex& stream,
-                                     uint32_t threads,
-                                     size_t parallelThreshold,
-                                     ThreadPool* pool) {
+                                     const FrequencyBuildOptions& options) {
   const std::vector<ChunkId>& ids = stream.ids();
   const size_t unique = stream.uniqueCount();
   FrequencyIndex index;
   index.counts.assign(unique, 0);
-  if (ids.empty()) return index;
-
-  // A serial counting pass is a single streaming read with one increment
-  // per record — allocating per-worker partial columns only pays for itself
-  // on streams in the multi-million-record range. Below that the engine
-  // picks the serial plan regardless of the thread budget (the counts are
-  // identical either way).
-  if (threads <= 1 || ids.size() < parallelThreshold) {
-    for (const ChunkId id : ids) ++index.counts[id];
+  if (ids.empty()) {
+    reportBuildStats(index.stats);
     return index;
   }
 
-  // Slice-and-reduce: private count column per slice (uint32 is plenty for
-  // a slice's worth of occurrences), then a parallel sum over disjoint ID
-  // ranges. Addition commutes, so any slicing yields the same counts. The
-  // slice count is capped: each slice costs a full-width column, and past a
-  // handful of slices the reduce dominates anyway.
-  const size_t slices = std::min<size_t>(threads, 16);
-  const size_t sliceSize = (ids.size() + slices - 1) / slices;
-  std::vector<std::vector<uint32_t>> partial(
-      slices, std::vector<uint32_t>(unique, 0));
-  parallelFor(pool, threads, slices, [&](size_t begin, size_t end) {
-    for (size_t s = begin; s < end; ++s) {
-      const size_t lo = s * sliceSize;
-      const size_t hi = std::min(ids.size(), lo + sliceSize);
-      std::vector<uint32_t>& local = partial[s];
-      for (size_t i = lo; i < hi; ++i) ++local[ids[i]];
-    }
-  });
-  parallelFor(pool, threads, unique, [&](size_t begin, size_t end) {
-    for (const std::vector<uint32_t>& local : partial) {
-      for (size_t id = begin; id < end; ++id)
-        index.counts[id] += local[id];
-    }
-  });
+  const FrequencyPlanChoice plan =
+      chooseFrequencyPlan(ids.size(), unique, options.threads,
+                          hardwareThreads(), options.plan);
+  if (!plan.parallel()) {
+    // One streaming pass, one increment per record.
+    for (const ChunkId id : ids) ++index.counts[id];
+    index.stats.plan = "serial";
+    reportBuildStats(index.stats);
+    return index;
+  }
+
+  // Shard-private sub-range counting: worker w owns counts[lo_w, hi_w) and
+  // rescans the whole id column for it. The scan is sequential (prefetched,
+  // cheap); the increments — the random-access cost that dominates at large
+  // unique counts — split W ways into ranges that each fit closer to cache.
+  // No partial columns, no reduce pass, nothing allocated. Addition
+  // commutes, so any range split yields the same counts.
+  const size_t ranges = plan.workers;
+  const size_t rangeSize = (unique + ranges - 1) / ranges;
+  parallelFor(options.pool, options.threads, ranges,
+              [&](size_t begin, size_t end) {
+                for (size_t r = begin; r < end; ++r) {
+                  const auto lo = static_cast<ChunkId>(r * rangeSize);
+                  const auto hi = static_cast<ChunkId>(
+                      std::min(unique, (r + 1) * rangeSize));
+                  uint64_t* counts = index.counts.data();
+                  for (const ChunkId id : ids) {
+                    if (id >= lo && id < hi) ++counts[id];
+                  }
+                }
+              });
+  index.stats.plan = "parallel";
+  index.stats.shards = ranges;
+  reportBuildStats(index.stats);
   return index;
+}
+
+FrequencyIndex FrequencyIndex::build(const ChunkStreamIndex& stream,
+                                     uint32_t threads,
+                                     size_t parallelThreshold,
+                                     ThreadPool* pool) {
+  FrequencyBuildOptions options;
+  options.threads = threads;
+  options.pool = pool;
+  if (parallelThreshold == 0) options.plan = ComputePlan::kParallel;
+  return build(stream, options);
 }
 
 std::vector<ChunkId> rankByFrequency(const FrequencyIndex& freq,
@@ -57,11 +70,7 @@ std::vector<ChunkId> rankByFrequency(const FrequencyIndex& freq,
                                      size_t k) {
   std::vector<ChunkId> ids(stream.uniqueCount());
   for (ChunkId id = 0; id < ids.size(); ++id) ids[id] = id;
-  const auto cmp = [&](ChunkId a, ChunkId b) {
-    if (freq.counts[a] != freq.counts[b])
-      return freq.counts[a] > freq.counts[b];
-    return stream.fpOf(a) < stream.fpOf(b);
-  };
+  const FrequencyOrder cmp{&freq, &stream};
   k = std::min(k, ids.size());
   if (k < ids.size()) {
     std::partial_sort(ids.begin(),
@@ -75,25 +84,39 @@ std::vector<ChunkId> rankByFrequency(const FrequencyIndex& freq,
 }
 
 SizeClassRanking rankBySizeClass(const FrequencyIndex& freq,
-                                 const ChunkStreamIndex& stream) {
+                                 const ChunkStreamIndex& stream,
+                                 size_t perClassK) {
+  const size_t unique = stream.uniqueCount();
   SizeClassRanking ranking;
-  ranking.ids.resize(stream.uniqueCount());
-  for (ChunkId id = 0; id < ranking.ids.size(); ++id) ranking.ids[id] = id;
+  ranking.ids.resize(unique);
+  for (ChunkId id = 0; id < unique; ++id) ranking.ids[id] = id;
+
+  // Bucket by class with one cheap sort on a precomputed class column —
+  // (class asc, id asc) is a deterministic total order, so the run layout
+  // never depends on sort implementation details.
+  std::vector<uint32_t> classOf(unique);
+  for (ChunkId id = 0; id < unique; ++id)
+    classOf[id] = sizeClassOf(stream.sizeOf(id));
   std::sort(ranking.ids.begin(), ranking.ids.end(),
             [&](ChunkId a, ChunkId b) {
-              const uint32_t ca = sizeClassOf(stream.sizeOf(a));
-              const uint32_t cb = sizeClassOf(stream.sizeOf(b));
-              if (ca != cb) return ca < cb;
-              if (freq.counts[a] != freq.counts[b])
-                return freq.counts[a] > freq.counts[b];
-              return stream.fpOf(a) < stream.fpOf(b);
+              if (classOf[a] != classOf[b]) return classOf[a] < classOf[b];
+              return a < b;
             });
-  for (uint32_t i = 0; i < ranking.ids.size();) {
-    const uint32_t sizeClass = sizeClassOf(stream.sizeOf(ranking.ids[i]));
+
+  // Rank each class run by the shared frequency order; a partial sort when
+  // the caller only consumes the top perClassK of each class.
+  const FrequencyOrder cmp{&freq, &stream};
+  for (uint32_t i = 0; i < unique;) {
+    const uint32_t sizeClass = classOf[ranking.ids[i]];
     uint32_t j = i + 1;
-    while (j < ranking.ids.size() &&
-           sizeClassOf(stream.sizeOf(ranking.ids[j])) == sizeClass) {
-      ++j;
+    while (j < unique && classOf[ranking.ids[j]] == sizeClass) ++j;
+    const auto begin = ranking.ids.begin() + i;
+    const auto end = ranking.ids.begin() + j;
+    if (perClassK < static_cast<size_t>(j - i)) {
+      std::partial_sort(begin, begin + static_cast<ptrdiff_t>(perClassK),
+                        end, cmp);
+    } else {
+      std::sort(begin, end, cmp);
     }
     ranking.classes.push_back({sizeClass, i, j});
     i = j;

@@ -1,10 +1,16 @@
 // The COUNT step of the attacks in columnar form: per-ChunkId occurrence
 // counts plus the deterministic rankings frequency analysis pairs by.
 //
-// Counting parallelizes as slice-and-reduce: each worker accumulates a
-// private count column over a contiguous slice of the stream, then the
-// columns are summed per ID range. Integer addition commutes, so the result
-// is bit-identical at every thread count.
+// Counting parallelizes as shard-private sub-range counting: each worker
+// owns a disjoint ID range of the single output column and rescans the
+// stream for its range. No per-worker partial columns exist (the old
+// slice-and-reduce plan allocated slices x unique x 4 bytes — ruinous at
+// 10^8 unique), so the parallel plan allocates nothing beyond the output.
+// Integer addition commutes, so the counts are bit-identical at every
+// thread count and plan.
+//
+// Plan selection is the budget.h cost model (stream size, unique count,
+// real core count) instead of a fixed record-count threshold.
 //
 // Rankings order IDs by (count desc, fingerprint asc) — the same tie-break
 // the legacy map-based sortByFrequency used, so rank pairing over these
@@ -12,8 +18,10 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "analysis/budget.h"
 #include "analysis/stream_index.h"
 
 namespace freqdedup {
@@ -22,21 +30,47 @@ class ThreadPool;
 
 namespace freqdedup::analysis {
 
+struct FrequencyBuildOptions {
+  uint32_t threads = 1;
+  /// Optional caller-owned worker pool (instead of spawning per call).
+  ThreadPool* pool = nullptr;
+  /// Informs plan selection only — the parallel counting plan is
+  /// allocation-free, so no spill path is needed here.
+  AnalysisBudget budget{};
+  /// kAuto: cost model; kSerial/kParallel: forced (tests, benches).
+  ComputePlan plan = ComputePlan::kAuto;
+};
+
 struct FrequencyIndex {
   /// Occurrence count of every ChunkId of the stream.
   std::vector<uint64_t> counts;
 
-  /// Streams shorter than this count serially even with a thread budget:
-  /// a single streaming pass beats allocating per-worker partial columns.
-  static constexpr size_t kDefaultParallelThreshold = 2u << 20;
+  /// What the build did ("serial" or "parallel" plan).
+  AnalysisBuildStats stats;
 
-  /// `pool` (optional) reuses a caller-owned worker pool instead of
-  /// spawning threads for this call; `parallelThreshold` exists for tests
-  /// that must force the parallel plan on small streams.
-  static FrequencyIndex build(
-      const ChunkStreamIndex& stream, uint32_t threads,
-      size_t parallelThreshold = kDefaultParallelThreshold,
-      ThreadPool* pool = nullptr);
+  static FrequencyIndex build(const ChunkStreamIndex& stream,
+                              const FrequencyBuildOptions& options);
+
+  /// Compatibility entry point. `parallelThreshold` 0 forces the parallel
+  /// plan (tests and benches that must measure it on any machine); any other
+  /// value defers to the cost model.
+  static FrequencyIndex build(const ChunkStreamIndex& stream, uint32_t threads,
+                              size_t parallelThreshold = 1,
+                              ThreadPool* pool = nullptr);
+};
+
+/// The ranking order every frequency analysis consumes: count desc, then
+/// fingerprint asc (never internal IDs — see stream_index.h). Shared by
+/// rankByFrequency and the per-class ranking in rankBySizeClass.
+struct FrequencyOrder {
+  const FrequencyIndex* freq;
+  const ChunkStreamIndex* stream;
+
+  bool operator()(ChunkId a, ChunkId b) const {
+    if (freq->counts[a] != freq->counts[b])
+      return freq->counts[a] > freq->counts[b];
+    return stream->fpOf(a) < stream->fpOf(b);
+  }
 };
 
 /// Top-k IDs by (count desc, fingerprint asc). k is capped at the unique
@@ -45,10 +79,10 @@ std::vector<ChunkId> rankByFrequency(const FrequencyIndex& freq,
                                      const ChunkStreamIndex& stream,
                                      size_t k);
 
-/// All IDs of a stream ranked within size classes: ordered by
-/// (size class asc, count desc, fingerprint asc), with one ClassRange per
-/// distinct size class. This is the columnar form of the Algorithm-3
-/// CLASSIFY step (class = ceil(size / 16), see core/freq_analysis.h).
+/// All IDs of a stream bucketed by size class: classes ascending, with one
+/// ClassRange per distinct size class. This is the columnar form of the
+/// Algorithm-3 CLASSIFY step (class = ceil(size / 16), see
+/// core/freq_analysis.h).
 struct ClassRange {
   uint32_t sizeClass = 0;
   uint32_t begin = 0;  // index range into SizeClassRanking::ids
@@ -60,7 +94,15 @@ struct SizeClassRanking {
   std::vector<ClassRange> classes;  // ascending by sizeClass
 };
 
-SizeClassRanking rankBySizeClass(const FrequencyIndex& freq,
-                                 const ChunkStreamIndex& stream);
+/// Ranks within each size class by (count desc, fingerprint asc). Only the
+/// first min(perClassK, class size) IDs of each class run are ranked; the
+/// remainder of a run is present but unordered (callers consume the ranked
+/// prefix — Algorithm 3 pairs at most top-x per class). The default ranks
+/// every class fully. Bucketing by class costs one cheap (class, id) sort
+/// instead of the old full three-way sort that recomputed size classes
+/// O(n log n) times.
+SizeClassRanking rankBySizeClass(
+    const FrequencyIndex& freq, const ChunkStreamIndex& stream,
+    size_t perClassK = std::numeric_limits<size_t>::max());
 
 }  // namespace freqdedup::analysis

@@ -1,6 +1,9 @@
 #include "analysis/neighbor_index.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <mutex>
 
 #include "common/check.h"
 #include "pipeline/thread_pool.h"
@@ -19,15 +22,101 @@ constexpr ChunkId packedVal(uint64_t p) {
   return static_cast<ChunkId>(p & 0xFFFFFFFFu);
 }
 
+/// Row ranking order: count desc, neighbor fingerprint asc — the order
+/// every neighbor-table frequency analysis consumes.
+struct RowRank {
+  const ChunkStreamIndex* stream;
+  bool operator()(const NeighborIndex::Entry& a,
+                  const NeighborIndex::Entry& b) const {
+    if (a.count != b.count) return a.count > b.count;
+    return stream->fpOf(a.id) < stream->fpOf(b.id);
+  }
+};
+
+/// Streamed spill-file scatter: consumes (packed pair, count) word pairs in
+/// (key asc, val asc) order, writes each key's row into the CSR entries and
+/// ranks it when the row ends. Rows never straddle shards, so one Scatterer
+/// per shard is race-free.
+class Scatterer {
+ public:
+  Scatterer(const ChunkStreamIndex& stream, NeighborIndex::Entry* entries,
+            const uint32_t* offsets)
+      : rank_{&stream}, entries_(entries), offsets_(offsets) {}
+
+  void consume(const uint64_t* words, size_t n) {
+    FDD_CHECK(n % 2 == 0);
+    for (size_t k = 0; k < n; k += 2) {
+      const uint64_t pair = words[k];
+      const auto count = static_cast<uint32_t>(words[k + 1]);
+      const ChunkId key = packedKey(pair);
+      if (!haveKey_ || key != curKey_) {
+        finishRow();
+        haveKey_ = true;
+        curKey_ = key;
+        out_ = entries_ + offsets_[key];
+        written_ = 0;
+      }
+      out_[written_++] = {packedVal(pair), count};
+    }
+  }
+
+  void finishRow() {
+    if (haveKey_) std::sort(out_, out_ + written_, rank_);
+  }
+
+ private:
+  RowRank rank_;
+  NeighborIndex::Entry* entries_;
+  const uint32_t* offsets_;
+  bool haveKey_ = false;
+  ChunkId curKey_ = 0;
+  NeighborIndex::Entry* out_ = nullptr;
+  size_t written_ = 0;
+};
+
+/// Groups shards into consecutive waves whose summed sizes fit `waveBudget`
+/// and runs each wave's shards in parallel (a wave always admits at least
+/// one shard, so oversized shards still process — the budget is a target,
+/// not a hard limit).
+void forEachShardWave(size_t shards, const std::vector<uint64_t>& sizes,
+                      uint64_t waveBudget, ThreadPool* pool, uint32_t threads,
+                      const std::function<void(size_t)>& processShard) {
+  size_t s = 0;
+  while (s < shards) {
+    size_t e = s;
+    uint64_t bytes = 0;
+    while (e < shards && (e == s || bytes + sizes[e] <= waveBudget)) {
+      bytes += sizes[e];
+      ++e;
+    }
+    const size_t count = e - s;
+    parallelFor(pool, threads, count, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) processShard(s + i);
+    });
+    s = e;
+  }
+}
+
 }  // namespace
 
 NeighborIndex NeighborIndex::build(const ChunkStreamIndex& stream, Side side,
                                    uint32_t threads, ThreadPool* pool) {
+  NeighborBuildOptions options;
+  options.threads = threads;
+  options.pool = pool;
+  return build(stream, side, options);
+}
+
+NeighborIndex NeighborIndex::build(const ChunkStreamIndex& stream, Side side,
+                                   const NeighborBuildOptions& options) {
   const std::vector<ChunkId>& ids = stream.ids();
   const size_t unique = stream.uniqueCount();
   NeighborIndex index;
   index.offsets_.assign(unique + 1, 0);
-  if (ids.size() < 2) return index;
+  if (ids.size() < 2) {
+    reportBuildStats(index.stats_);
+    return index;
+  }
 
   // Pair j of the stream, j in [0, n-1): the adjacent occurrence
   // (ids[j], ids[j+1]). For the right table the key is the earlier chunk;
@@ -35,80 +124,278 @@ NeighborIndex NeighborIndex::build(const ChunkStreamIndex& stream, Side side,
   const size_t pairs = ids.size() - 1;
   const bool keyIsLater = side == Side::kLeft;
 
-  const size_t shards = std::max<size_t>(1, std::min<size_t>(threads, 64));
-  const size_t tasks = shards;
-  const size_t taskSize = (pairs + tasks - 1) / tasks;
+  const NeighborPlanChoice plan =
+      chooseNeighborPlan(pairs, unique, options.threads, hardwareThreads(),
+                         options.budget, options.plan, options.spill);
+  MemoryTracker tracker;
 
-  // Phase 1: route packed pairs to their key's shard (shard = key % N).
-  std::vector<std::vector<std::vector<uint64_t>>> buckets(
-      tasks, std::vector<std::vector<uint64_t>>(shards));
-  parallelFor(pool, threads, tasks, [&](size_t begin, size_t end) {
-    for (size_t t = begin; t < end; ++t) {
-      const size_t lo = t * taskSize;
-      const size_t hi = std::min(pairs, lo + taskSize);
-      std::vector<std::vector<uint64_t>>& mine = buckets[t];
-      for (std::vector<uint64_t>& b : mine)
-        b.reserve((hi - lo) / shards + 1);
-      for (size_t j = lo; j < hi; ++j) {
-        const ChunkId key = keyIsLater ? ids[j + 1] : ids[j];
-        const ChunkId val = keyIsLater ? ids[j] : ids[j + 1];
-        mine[key % shards].push_back(pack(key, val));
-      }
+  const auto keyOf = [&](size_t j) {
+    return keyIsLater ? ids[j + 1] : ids[j];
+  };
+  const auto valOf = [&](size_t j) {
+    return keyIsLater ? ids[j] : ids[j + 1];
+  };
+
+  if (plan.spill) {
+    // --- External-memory pipeline: partition -> spill -> per-shard
+    // sort/RLE -> scatter. Peak intermediate memory is the partition
+    // buffers plus one wave of shard loads, never the whole pair stream.
+    const size_t shards = plan.shards;
+    SpillDir dir(options.budget.spillDir);
+    std::vector<std::unique_ptr<SpillFileWriter>> raw(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      raw[s] = std::make_unique<SpillFileWriter>(
+          dir.file("shard-" + std::to_string(s) + ".raw"));
     }
-  });
+    const std::unique_ptr<std::mutex[]> locks(new std::mutex[shards]);
 
-  // Phase 2: per shard, canonicalize (sort) and run-length encode to find
-  // per-ID degrees. Shards own disjoint ID sets, so the degree writes are
-  // race-free.
-  std::vector<std::vector<uint64_t>> shardPairs(shards);
-  std::vector<uint32_t> degree(unique, 0);
-  parallelFor(pool, threads, shards, [&](size_t begin, size_t end) {
-    for (size_t s = begin; s < end; ++s) {
-      std::vector<uint64_t>& mine = shardPairs[s];
-      size_t total = 0;
-      for (const auto& task : buckets) total += task[s].size();
-      mine.reserve(total);
-      for (const auto& task : buckets)
-        mine.insert(mine.end(), task[s].begin(), task[s].end());
-      std::sort(mine.begin(), mine.end());
-      for (size_t i = 0; i < mine.size();) {
+    // Phase 1: workers scan disjoint stream slices and stream each pair to
+    // its key's shard file (shard = key % N) through small per-worker
+    // buffers. File append order varies with scheduling; the per-shard sort
+    // below canonicalizes it, so the CSR result does not.
+    const size_t bufEntries =
+        std::max<uint64_t>(plan.flushBufBytes / sizeof(uint64_t), 64);
+    const size_t tasks = plan.workers;
+    const size_t taskSize = (pairs + tasks - 1) / tasks;
+    tracker.add(static_cast<uint64_t>(tasks) * shards * bufEntries *
+                sizeof(uint64_t));
+    parallelFor(options.pool, options.threads, tasks,
+                [&](size_t begin, size_t end) {
+                  std::vector<std::vector<uint64_t>> buf(shards);
+                  for (auto& b : buf) b.reserve(bufEntries);
+                  const auto flush = [&](size_t s) {
+                    const std::lock_guard<std::mutex> lock(locks[s]);
+                    raw[s]->write(buf[s].data(),
+                                  buf[s].size() * sizeof(uint64_t));
+                    buf[s].clear();
+                  };
+                  for (size_t t = begin; t < end; ++t) {
+                    const size_t lo = t * taskSize;
+                    const size_t hi = std::min(pairs, lo + taskSize);
+                    for (size_t j = lo; j < hi; ++j) {
+                      const size_t s = keyOf(j) % shards;
+                      buf[s].push_back(pack(keyOf(j), valOf(j)));
+                      if (buf[s].size() >= bufEntries) flush(s);
+                    }
+                  }
+                  for (size_t s = 0; s < shards; ++s) {
+                    if (!buf[s].empty()) flush(s);
+                  }
+                });
+    tracker.sub(static_cast<uint64_t>(tasks) * shards * bufEntries *
+                sizeof(uint64_t));
+
+    std::vector<uint64_t> rawBytes(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      raw[s]->finish();
+      rawBytes[s] = raw[s]->bytesWritten();
+      index.stats_.spillBytes += rawBytes[s];
+    }
+
+    // Phase 2: load one wave of shards at a time, sort, run-length encode
+    // to (pair, count) spill files, and record per-ID degrees (shards own
+    // disjoint ID sets, so the degree writes are race-free).
+    std::vector<uint32_t> degree(unique, 0);
+    tracker.add(4u * unique);
+    std::vector<uint64_t> rleBytes(shards);
+    const uint64_t waveBudget =
+        std::max<uint64_t>(plan.shardLoadBytes, 1) * plan.workers;
+    forEachShardWave(
+        shards, rawBytes, waveBudget, options.pool, options.threads,
+        [&](size_t s) {
+          std::vector<uint64_t> mine;
+          readSpillFile(raw[s]->path(), mine);
+          tracker.add(mine.size() * sizeof(uint64_t));
+          std::error_code ec;
+          std::filesystem::remove(raw[s]->path(), ec);
+          std::sort(mine.begin(), mine.end());
+          SpillFileWriter rle(
+              dir.file("shard-" + std::to_string(s) + ".rle"));
+          std::vector<uint64_t> out;
+          out.reserve(std::min<size_t>(2 * mine.size(), 1u << 16));
+          for (size_t i = 0; i < mine.size();) {
+            size_t j = i + 1;
+            while (j < mine.size() && mine[j] == mine[i]) ++j;
+            ++degree[packedKey(mine[i])];
+            out.push_back(mine[i]);
+            out.push_back(j - i);
+            if (out.size() >= (1u << 16)) {
+              rle.write(out.data(), out.size() * sizeof(uint64_t));
+              out.clear();
+            }
+            i = j;
+          }
+          if (!out.empty()) {
+            rle.write(out.data(), out.size() * sizeof(uint64_t));
+          }
+          rle.finish();
+          rleBytes[s] = rle.bytesWritten();
+          tracker.sub(mine.size() * sizeof(uint64_t));
+        });
+    for (size_t s = 0; s < shards; ++s) {
+      index.stats_.spillBytes += rleBytes[s];
+    }
+
+    // Phase 3: serial prefix sum fixes the CSR offsets, then each shard's
+    // RLE file streams back in bounded chunks and scatters + ranks its rows
+    // (rows never straddle shards, so entry writes are race-free).
+    for (size_t id = 0; id < unique; ++id) {
+      index.offsets_[id + 1] = index.offsets_[id] + degree[id];
+    }
+    index.entries_.resize(index.offsets_[unique]);
+    // Chunk size is a multiple of 16 so the two-word (pair, count) records
+    // never straddle a chunk boundary. Streaming bounds memory to one chunk
+    // per in-flight shard, so no wave grouping is needed here.
+    const size_t chunkBytes =
+        static_cast<size_t>(
+            std::clamp<uint64_t>(plan.shardLoadBytes, 1u << 12, 1u << 20)) &
+        ~size_t{15};
+    tracker.add(static_cast<uint64_t>(chunkBytes) * plan.workers);
+    parallelFor(options.pool, options.threads, shards,
+                [&](size_t begin, size_t end) {
+                  for (size_t s = begin; s < end; ++s) {
+                    Scatterer scatter(stream, index.entries_.data(),
+                                      index.offsets_.data());
+                    streamSpillFile(
+                        dir.file("shard-" + std::to_string(s) + ".rle"),
+                        chunkBytes, [&](const uint64_t* words, size_t n) {
+                          scatter.consume(words, n);
+                        });
+                    scatter.finishRow();
+                  }
+                });
+    tracker.sub(static_cast<uint64_t>(chunkBytes) * plan.workers);
+
+    index.stats_.plan = "spill";
+    index.stats_.shards = shards;
+    index.stats_.spillFiles = 2 * shards;
+    index.stats_.peakTrackedBytes = tracker.peak();
+    reportBuildStats(index.stats_);
+    return index;
+  }
+
+  if (plan.workers <= 1) {
+    // --- Serial in-memory fast path: one pair column, sort, RLE, scatter.
+    // No bucket nesting, no merged copy.
+    std::vector<uint64_t> all;
+    all.reserve(pairs);
+    tracker.add(pairs * sizeof(uint64_t));
+    for (size_t j = 0; j < pairs; ++j) all.push_back(pack(keyOf(j), valOf(j)));
+    std::sort(all.begin(), all.end());
+    std::vector<uint32_t> degree(unique, 0);
+    tracker.add(4u * unique);
+    for (size_t i = 0; i < all.size();) {
+      size_t j = i + 1;
+      while (j < all.size() && all[j] == all[i]) ++j;
+      ++degree[packedKey(all[i])];
+      i = j;
+    }
+    for (size_t id = 0; id < unique; ++id) {
+      index.offsets_[id + 1] = index.offsets_[id] + degree[id];
+    }
+    index.entries_.resize(index.offsets_[unique]);
+    const RowRank rank{&stream};
+    for (size_t i = 0; i < all.size();) {
+      const ChunkId key = packedKey(all[i]);
+      Entry* out = index.entries_.data() + index.offsets_[key];
+      size_t written = 0;
+      while (i < all.size() && packedKey(all[i]) == key) {
         size_t j = i + 1;
-        while (j < mine.size() && mine[j] == mine[i]) ++j;
-        ++degree[packedKey(mine[i])];
+        while (j < all.size() && all[j] == all[i]) ++j;
+        out[written++] = {packedVal(all[i]), static_cast<uint32_t>(j - i)};
         i = j;
       }
+      std::sort(out, out + written, rank);
     }
-  });
+    index.stats_.plan = "serial";
+    index.stats_.peakTrackedBytes = tracker.peak();
+    reportBuildStats(index.stats_);
+    return index;
+  }
+
+  // --- Parallel in-memory pipeline (shard = key % N, the PR 1 sharding
+  // precedent). Phase 1: route packed pairs to their key's shard.
+  const size_t shards = plan.shards;
+  const size_t tasks = plan.workers;
+  const size_t taskSize = (pairs + tasks - 1) / tasks;
+  std::vector<std::vector<std::vector<uint64_t>>> buckets(
+      tasks, std::vector<std::vector<uint64_t>>(shards));
+  tracker.add(pairs * sizeof(uint64_t));  // buckets hold every pair
+  parallelFor(options.pool, options.threads, tasks,
+              [&](size_t begin, size_t end) {
+                for (size_t t = begin; t < end; ++t) {
+                  const size_t lo = t * taskSize;
+                  const size_t hi = std::min(pairs, lo + taskSize);
+                  std::vector<std::vector<uint64_t>>& mine = buckets[t];
+                  for (std::vector<uint64_t>& b : mine)
+                    b.reserve((hi - lo) / shards + 1);
+                  for (size_t j = lo; j < hi; ++j) {
+                    mine[keyOf(j) % shards].push_back(
+                        pack(keyOf(j), valOf(j)));
+                  }
+                }
+              });
+
+  // Phase 2: per shard, concatenate, canonicalize (sort) and run-length
+  // encode to find per-ID degrees. Shards own disjoint ID sets, so the
+  // degree writes are race-free.
+  std::vector<std::vector<uint64_t>> shardPairs(shards);
+  std::vector<uint32_t> degree(unique, 0);
+  tracker.add(pairs * sizeof(uint64_t) + 4u * unique);  // merged copy
+  parallelFor(options.pool, options.threads, shards,
+              [&](size_t begin, size_t end) {
+                for (size_t s = begin; s < end; ++s) {
+                  std::vector<uint64_t>& mine = shardPairs[s];
+                  size_t total = 0;
+                  for (const auto& task : buckets) total += task[s].size();
+                  mine.reserve(total);
+                  for (auto& task : buckets) {
+                    mine.insert(mine.end(), task[s].begin(), task[s].end());
+                  }
+                  std::sort(mine.begin(), mine.end());
+                  for (size_t i = 0; i < mine.size();) {
+                    size_t j = i + 1;
+                    while (j < mine.size() && mine[j] == mine[i]) ++j;
+                    ++degree[packedKey(mine[i])];
+                    i = j;
+                  }
+                }
+              });
+  buckets.clear();
+  buckets.shrink_to_fit();
+  tracker.sub(pairs * sizeof(uint64_t));  // buckets freed
 
   // Phase 3: serial prefix sum fixes the CSR offsets ...
-  for (size_t id = 0; id < unique; ++id)
+  for (size_t id = 0; id < unique; ++id) {
     index.offsets_[id + 1] = index.offsets_[id] + degree[id];
+  }
   index.entries_.resize(index.offsets_[unique]);
 
-  // ... then each shard scatters its IDs' entries and ranks each slice by
-  // (count desc, neighbor fingerprint asc) — the order every neighbor-table
-  // frequency analysis consumes.
-  parallelFor(pool, threads, shards, [&](size_t begin, size_t end) {
-    for (size_t s = begin; s < end; ++s) {
-      const std::vector<uint64_t>& mine = shardPairs[s];
-      for (size_t i = 0; i < mine.size();) {
-        const ChunkId key = packedKey(mine[i]);
-        Entry* out = index.entries_.data() + index.offsets_[key];
-        size_t written = 0;
-        while (i < mine.size() && packedKey(mine[i]) == key) {
-          size_t j = i + 1;
-          while (j < mine.size() && mine[j] == mine[i]) ++j;
-          out[written++] = {packedVal(mine[i]),
-                            static_cast<uint32_t>(j - i)};
-          i = j;
-        }
-        std::sort(out, out + written, [&](const Entry& a, const Entry& b) {
-          if (a.count != b.count) return a.count > b.count;
-          return stream.fpOf(a.id) < stream.fpOf(b.id);
-        });
-      }
-    }
-  });
+  // ... then each shard scatters its IDs' entries and ranks each slice.
+  const RowRank rank{&stream};
+  parallelFor(options.pool, options.threads, shards,
+              [&](size_t begin, size_t end) {
+                for (size_t s = begin; s < end; ++s) {
+                  const std::vector<uint64_t>& mine = shardPairs[s];
+                  for (size_t i = 0; i < mine.size();) {
+                    const ChunkId key = packedKey(mine[i]);
+                    Entry* out = index.entries_.data() + index.offsets_[key];
+                    size_t written = 0;
+                    while (i < mine.size() && packedKey(mine[i]) == key) {
+                      size_t j = i + 1;
+                      while (j < mine.size() && mine[j] == mine[i]) ++j;
+                      out[written++] = {packedVal(mine[i]),
+                                        static_cast<uint32_t>(j - i)};
+                      i = j;
+                    }
+                    std::sort(out, out + written, rank);
+                  }
+                }
+              });
+  index.stats_.plan = "parallel";
+  index.stats_.shards = shards;
+  index.stats_.peakTrackedBytes = tracker.peak();
+  reportBuildStats(index.stats_);
   return index;
 }
 

@@ -9,22 +9,29 @@
 // analysis degenerates to zipping two prefixes, moving all ranking work into
 // the parallel build.
 //
-// Build (shard = id % N, the PR 1 sharding precedent):
-//   1. partition — workers scan disjoint stream slices and route each
-//      adjacent (id, neighbor) pair, packed into a uint64, to the owning
-//      shard's bucket;
-//   2. per shard — concatenate, sort, and run-length encode the packed
-//      pairs, producing per-ID degrees;
-//   3. scatter — serial prefix sum over degrees fixes the CSR offsets, then
-//      each shard writes its IDs' entries and ranks each slice.
-// Sorting canonicalizes every intermediate order, so the index is
-// bit-identical at every thread count.
+// Two build pipelines, chosen by the budget.h cost model and bit-identical
+// to each other at every thread count and budget (sorting canonicalizes
+// every intermediate order; shard ownership is a pure function of the ID):
+//
+//  In-memory (fits the budget): partition packed (id, neighbor) pairs to
+//  per-shard buckets (shard = id % N), concatenate + sort + run-length
+//  encode each shard, prefix-sum the degrees into CSR offsets, scatter.
+//
+//  External-memory (budget exceeded, or SpillPlan::kForce): partition
+//  streams each shard's packed pairs into a per-shard spill file under
+//  AnalysisBudget{memoryBytes, spillDir}; each shard is then loaded alone,
+//  sorted, run-length encoded back to a compact spill file, and finally
+//  scattered into the CSR arrays — so peak intermediate memory is one
+//  shard's load plus bounded partition buffers, not the whole pair stream.
+//  Spill files live in a per-build directory that is removed when the build
+//  finishes (success or failure); I/O errors surface as std::runtime_error.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "analysis/budget.h"
 #include "analysis/stream_index.h"
 
 namespace freqdedup {
@@ -32,6 +39,17 @@ class ThreadPool;
 }
 
 namespace freqdedup::analysis {
+
+struct NeighborBuildOptions {
+  uint32_t threads = 1;
+  /// Optional caller-owned worker pool (instead of spawning per call).
+  ThreadPool* pool = nullptr;
+  AnalysisBudget budget{};
+  /// kAuto: cost model; kSerial/kParallel: forced (tests, benches).
+  ComputePlan plan = ComputePlan::kAuto;
+  /// kAuto: spill only when the budget demands it; kForce: always external.
+  SpillPlan spill = SpillPlan::kAuto;
+};
 
 class NeighborIndex {
  public:
@@ -47,8 +65,10 @@ class NeighborIndex {
 
   NeighborIndex() = default;
 
-  /// `pool` (optional) reuses a caller-owned worker pool instead of
-  /// spawning threads for this call.
+  static NeighborIndex build(const ChunkStreamIndex& stream, Side side,
+                             const NeighborBuildOptions& options);
+
+  /// Compatibility entry point: cost-model plan, unlimited budget.
   static NeighborIndex build(const ChunkStreamIndex& stream, Side side,
                              uint32_t threads, ThreadPool* pool = nullptr);
 
@@ -60,9 +80,14 @@ class NeighborIndex {
 
   [[nodiscard]] size_t entryCount() const { return entries_.size(); }
 
+  /// What the build did: plan ("serial"/"parallel"/"spill"), shard count,
+  /// spill bytes/files, peak tracked intermediate bytes.
+  [[nodiscard]] const AnalysisBuildStats& buildStats() const { return stats_; }
+
  private:
   std::vector<uint32_t> offsets_;  // uniqueCount + 1
   std::vector<Entry> entries_;
+  AnalysisBuildStats stats_;
 };
 
 }  // namespace freqdedup::analysis

@@ -1,26 +1,106 @@
 #include "analysis/stream_index.h"
 
+#include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "common/check.h"
 
 namespace freqdedup::analysis {
 
+namespace {
+
+constexpr size_t kMinTableCapacity = 64;
+/// Initial reserve is capped: duplicate-heavy 10^8-record streams should not
+/// allocate a 10^8-slot table up front. Growth doubles from here, so the
+/// total rehash work stays O(unique).
+constexpr size_t kMaxInitialReserve = size_t{1} << 22;
+/// Records per internAll block: hash + prefetch a block, then probe it.
+constexpr size_t kInternBlock = 256;
+
+/// Capacity needed to keep `entries` under the 7/8 load-factor cap.
+constexpr bool overloaded(size_t entries, size_t capacity) {
+  return entries * 8 > capacity * 7;
+}
+
+}  // namespace
+
+void FpInterner::rehash(size_t newCapacity) {
+  FDD_CHECK(std::has_single_bit(newCapacity));
+  std::vector<uint32_t> fresh(newCapacity, 0);
+  const size_t mask = newCapacity - 1;
+  for (size_t id = 0; id < fps_.size(); ++id) {
+    size_t slot = static_cast<size_t>(mix64(fps_[id])) & mask;
+    while (fresh[slot] != 0) slot = (slot + 1) & mask;
+    fresh[slot] = static_cast<uint32_t>(id) + 1;
+  }
+  slots_ = std::move(fresh);
+  mask_ = mask;
+}
+
+void FpInterner::ensureCapacity(size_t entries) {
+  // ids are uint32 and slots store id + 1, so the table can hold at most
+  // 2^32 - 1 entries; the stream scales this library targets stay far under.
+  FDD_CHECK(entries < std::numeric_limits<uint32_t>::max());
+  size_t capacity = slots_.size();
+  if (capacity != 0 && !overloaded(entries, capacity)) return;
+  size_t wanted = std::max(capacity, kMinTableCapacity);
+  while (overloaded(entries, wanted)) wanted *= 2;
+  rehash(wanted);
+}
+
+ChunkId FpInterner::internFrom(size_t slot, Fp fp) {
+  for (;;) {
+    const uint32_t v = slots_[slot];
+    if (v == 0) {
+      const auto id = static_cast<ChunkId>(fps_.size());
+      slots_[slot] = id + 1;
+      fps_.push_back(fp);
+      return id;
+    }
+    if (fps_[v - 1] == fp) return v - 1;
+    slot = (slot + 1) & mask_;
+  }
+}
+
 ChunkId FpInterner::intern(Fp fp) {
-  const auto [it, inserted] =
-      ids_.try_emplace(fp, static_cast<ChunkId>(fps_.size()));
-  if (inserted) fps_.push_back(fp);
-  return it->second;
+  ensureCapacity(fps_.size() + 1);
+  return internFrom(static_cast<size_t>(mix64(fp)) & mask_, fp);
+}
+
+void FpInterner::internAll(std::span<const ChunkRecord> records,
+                           std::vector<ChunkId>& out) {
+  out.resize(records.size());
+  size_t slot[kInternBlock];
+  for (size_t base = 0; base < records.size(); base += kInternBlock) {
+    const size_t n = std::min(kInternBlock, records.size() - base);
+    // Reserve the block's worst case up front so probing never rehashes
+    // mid-block (a rehash would invalidate the prefetched slots).
+    ensureCapacity(fps_.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      slot[i] = static_cast<size_t>(mix64(records[base + i].fp)) & mask_;
+      __builtin_prefetch(&slots_[slot[i]]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[base + i] = internFrom(slot[i], records[base + i].fp);
+    }
+  }
 }
 
 std::optional<ChunkId> FpInterner::idOf(Fp fp) const {
-  const auto it = ids_.find(fp);
-  if (it == ids_.end()) return std::nullopt;
-  return it->second;
+  if (slots_.empty()) return std::nullopt;
+  size_t slot = static_cast<size_t>(mix64(fp)) & mask_;
+  for (;;) {
+    const uint32_t v = slots_[slot];
+    if (v == 0) return std::nullopt;
+    if (fps_[v - 1] == fp) return v - 1;
+    slot = (slot + 1) & mask_;
+  }
 }
 
 void FpInterner::reserve(size_t expected) {
-  ids_.reserve(expected);
+  if (expected == 0) return;
+  ensureCapacity(expected);
   fps_.reserve(expected);
 }
 
@@ -30,13 +110,19 @@ ChunkStreamIndex ChunkStreamIndex::build(
   // targets (<= a few 10^8 logical chunks) fit comfortably.
   FDD_CHECK(records.size() < std::numeric_limits<uint32_t>::max());
   ChunkStreamIndex index;
-  index.interner_.reserve(records.size());
-  index.ids_.reserve(records.size());
-  index.sizes_.reserve(records.size());
-  for (const ChunkRecord& r : records) {
-    const ChunkId id = index.interner_.intern(r.fp);
-    if (id == index.sizes_.size()) index.sizes_.push_back(r.size);
-    index.ids_.push_back(id);
+  index.interner_.reserve(std::min(records.size(), kMaxInitialReserve));
+  index.interner_.internAll(records, index.ids_);
+
+  // Pass 2: the unique count is exact now, so the size column allocates
+  // unique-width (not record-width). IDs first appear in ascending order,
+  // so a watermark scan finds each ID's first occurrence.
+  index.sizes_.resize(index.interner_.uniqueCount());
+  ChunkId watermark = 0;
+  for (size_t j = 0; j < records.size(); ++j) {
+    if (index.ids_[j] == watermark) {
+      index.sizes_[watermark] = records[j].size;
+      ++watermark;
+    }
   }
   return index;
 }

@@ -2,10 +2,11 @@
 // attack-analysis engine operates on.
 //
 // The legacy attack core keyed every table by 64-bit fingerprints in
-// unordered_maps. At the paper's scale (10^7 unique chunks per backup) that
-// layout is hostile to both cache and parallelism. The analysis subsystem
-// instead interns each stream's fingerprints into dense uint32_t chunk IDs
-// (first-appearance order) and stores the stream as contiguous columns:
+// unordered_maps. At the paper's scale (10^7-10^8 unique chunks per backup)
+// that layout is hostile to both cache and parallelism. The analysis
+// subsystem instead interns each stream's fingerprints into dense uint32_t
+// chunk IDs (first-appearance order) and stores the stream as contiguous
+// columns:
 //   ids    — one ChunkId per logical record (the stream itself);
 //   fps    — per-ID fingerprint (the inverse of the interner);
 //   sizes  — per-ID chunk size, taken from the ID's first occurrence.
@@ -13,6 +14,13 @@
 // flat array indexed by ChunkId. IDs are internal: all deterministic
 // tie-breaking is done on fingerprints, never on IDs, so results do not
 // depend on interning order or thread count.
+//
+// The interner is an open-addressing flat table (linear probing over
+// mix64(fp), one uint32 slot per entry, single power-of-two growth policy)
+// rather than std::unordered_map: no per-node allocation, one cache line
+// per probe, and a batched internAll() path that hashes and prefetches a
+// block of records ahead of probing — the difference between thrashing and
+// streaming when interning 10^8 records.
 #pragma once
 
 #include <optional>
@@ -33,6 +41,13 @@ class FpInterner {
   /// Returns the ID of `fp`, assigning the next dense ID on first sight.
   ChunkId intern(Fp fp);
 
+  /// Batched interning: assigns `out[i]` the ID of `records[i].fp` for the
+  /// whole span. Processes fixed-size blocks — hash + prefetch the block's
+  /// probe lines, then probe — so table misses overlap instead of
+  /// serializing. Exactly equivalent to calling intern() in order.
+  void internAll(std::span<const ChunkRecord> records,
+                 std::vector<ChunkId>& out);
+
   [[nodiscard]] std::optional<ChunkId> idOf(Fp fp) const;
   [[nodiscard]] Fp fpOf(ChunkId id) const { return fps_[id]; }
   [[nodiscard]] uint32_t uniqueCount() const {
@@ -44,7 +59,17 @@ class FpInterner {
   void reserve(size_t expected);
 
  private:
-  std::unordered_map<Fp, ChunkId, FpHash> ids_;
+  /// Grows the table so `entries` fit under the load-factor cap.
+  void ensureCapacity(size_t entries);
+  void rehash(size_t newCapacity);
+  /// Probes from `slot` for `fp`; interns on first sight. The table must
+  /// already have room (ensureCapacity), so probing never grows mid-block.
+  ChunkId internFrom(size_t slot, Fp fp);
+
+  /// Open-addressing table of id + 1 (0 = empty slot); the key of slot v is
+  /// fps_[v - 1]. Capacity is a power of two; mask_ = capacity - 1.
+  std::vector<uint32_t> slots_;
+  size_t mask_ = 0;  // capacity - 1; slots_ empty <=> capacity 0
   std::vector<Fp> fps_;
 };
 
@@ -54,9 +79,11 @@ class ChunkStreamIndex {
  public:
   ChunkStreamIndex() = default;
 
-  /// Interns a record stream. Single pass; sizes keep the value of each
-  /// fingerprint's first occurrence (duplicate records agree by
-  /// construction, see trace/backup_trace.h).
+  /// Interns a record stream. Two passes: pass 1 batch-interns every record
+  /// into the id column (prefetch-friendly), pass 2 sizes the per-ID size
+  /// column exactly (the unique count is now known — no full-record-width
+  /// over-reservation) and fills it from each ID's first occurrence
+  /// (duplicate records agree by construction, see trace/backup_trace.h).
   static ChunkStreamIndex build(std::span<const ChunkRecord> records);
 
   [[nodiscard]] const std::vector<ChunkId>& ids() const { return ids_; }

@@ -8,15 +8,19 @@ AttackResult basicAttack(std::span<const ChunkRecord> cipher,
                          std::span<const ChunkRecord> plain, bool sizeAware,
                          uint32_t threads) {
   analysis::AttackEngine engine =
-      analysis::AttackEngine::fromRecords(cipher, plain, {threads});
+      analysis::AttackEngine::fromRecords(cipher, plain, {.threads = threads});
   return engine.basicAttack(sizeAware);
 }
 
 AttackResult localityAttack(std::span<const ChunkRecord> cipher,
                             std::span<const ChunkRecord> plain,
                             const AttackConfig& config) {
+  analysis::AnalysisOptions options;
+  options.threads = config.threads;
+  options.budget.memoryBytes = config.memBudgetBytes;
+  options.budget.spillDir = config.spillDir;
   analysis::AttackEngine engine =
-      analysis::AttackEngine::fromRecords(cipher, plain, {config.threads});
+      analysis::AttackEngine::fromRecords(cipher, plain, options);
   return engine.localityAttack(config);
 }
 

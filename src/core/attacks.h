@@ -21,7 +21,9 @@
 // walk order is fixed by the algorithm, never by scheduling.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +45,13 @@ struct AttackConfig {
   /// Worker threads for the COUNT / neighbor-index build phases. The
   /// inference result does not depend on this value.
   uint32_t threads = 1;
+  /// Memory budget (bytes) for the index builds' intermediate state; when an
+  /// in-memory build would exceed it, the build spills partitioned
+  /// intermediates under `spillDir` (empty = system temp directory) and
+  /// streams them back shard by shard. 0 = unlimited. The inference result
+  /// does not depend on the budget either — only the build pipeline does.
+  uint64_t memBudgetBytes = 0;
+  std::string spillDir;
   /// Known-plaintext mode: leaked pairs about the target backup. Pairs whose
   /// ciphertext chunk is absent from C or whose plaintext chunk is absent
   /// from M are ignored (Algorithm 2, line 7).

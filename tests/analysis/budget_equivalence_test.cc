@@ -1,0 +1,256 @@
+// Equivalence pins for the memory-budgeted builds: every index and every
+// attack result must be bit-identical across budgets (tiny budget forcing
+// maximal spill, a mid budget, unlimited) and thread counts, on randomized
+// traces and an FSL-mini dataset. Thread counts above 1 force the parallel
+// plan so the parallel pipelines stay covered on single-core CI boxes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/attack_engine.h"
+#include "analysis/budget.h"
+#include "analysis/frequency_index.h"
+#include "analysis/neighbor_index.h"
+#include "analysis/stream_index.h"
+#include "common/rng.h"
+#include "core/attack_eval.h"
+#include "datagen/fsl_gen.h"
+
+namespace freqdedup::analysis {
+namespace {
+
+constexpr uint32_t kThreadCounts[] = {1, 2, 8};
+
+struct BudgetCase {
+  uint64_t bytes;
+  const char* label;
+};
+
+// 4 KB forces the maximum shard count the stream supports; 256 KB is a mid
+// budget (several shards); 0 is unlimited (in-memory pipeline).
+constexpr BudgetCase kBudgets[] = {
+    {4u << 10, "tiny"}, {256u << 10, "mid"}, {0, "unlimited"}};
+
+uint32_t sizeFor(Fp fp) {
+  return static_cast<uint32_t>(100 + 16 * (fp % 7));
+}
+
+/// Random stream with motif runs, skewed frequencies, and fresh singletons
+/// (same structure the engine-equivalence suite uses).
+std::vector<ChunkRecord> randomStream(uint64_t seed, size_t length) {
+  Rng rng(seed);
+  std::vector<ChunkRecord> records;
+  records.reserve(length);
+  Fp freshFp = 1'000'000 + seed * 10'000'000;
+  while (records.size() < length) {
+    if (rng.bernoulli(0.6)) {
+      const Fp base = rng.uniformInt(0, 40) * 10;
+      const size_t run = 1 + rng.uniformInt(0, 6);
+      for (size_t i = 0; i < run && records.size() < length; ++i) {
+        const Fp fp = base + i;
+        records.push_back({fp, sizeFor(fp)});
+      }
+    } else {
+      const Fp fp = rng.bernoulli(0.5) ? rng.uniformInt(500, 700) : freshFp++;
+      records.push_back({fp, sizeFor(fp)});
+    }
+  }
+  return records;
+}
+
+std::vector<ChunkRecord> perturb(std::vector<ChunkRecord> records,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  for (auto& r : records) {
+    if (rng.bernoulli(0.05)) {
+      const Fp fp = 2'000'000 + rng.uniformInt(0, 100'000);
+      r = {fp, sizeFor(fp)};
+    }
+  }
+  return records;
+}
+
+NeighborBuildOptions neighborOptions(uint32_t threads, uint64_t budgetBytes) {
+  NeighborBuildOptions options;
+  options.threads = threads;
+  options.budget.memoryBytes = budgetBytes;
+  // kAuto would serialize on a single-core machine; forcing the parallel
+  // plan keeps the multi-worker partition paths covered everywhere.
+  if (threads > 1) options.plan = ComputePlan::kParallel;
+  return options;
+}
+
+void expectSameNeighbors(const NeighborIndex& expected,
+                         const NeighborIndex& got, size_t unique,
+                         const std::string& label) {
+  ASSERT_EQ(expected.entryCount(), got.entryCount()) << label;
+  for (ChunkId id = 0; id < unique; ++id) {
+    const auto a = expected.neighbors(id);
+    const auto b = got.neighbors(id);
+    ASSERT_EQ(a.size(), b.size()) << label << " id=" << id;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << label << " id=" << id << " i=" << i;
+      EXPECT_EQ(a[i].count, b[i].count)
+          << label << " id=" << id << " i=" << i;
+    }
+  }
+}
+
+TEST(BudgetEquivalence, NeighborIndexAcrossBudgetsAndThreads) {
+  using Side = NeighborIndex::Side;
+  for (const uint64_t seed : {11u, 12u}) {
+    const auto records = randomStream(seed, 3000);
+    const auto stream = ChunkStreamIndex::build(records);
+    for (const Side side : {Side::kLeft, Side::kRight}) {
+      const NeighborIndex baseline =
+          NeighborIndex::build(stream, side, neighborOptions(1, 0));
+      EXPECT_STREQ(baseline.buildStats().plan, "serial");
+      for (const BudgetCase& budget : kBudgets) {
+        for (const uint32_t threads : kThreadCounts) {
+          const std::string label =
+              "seed=" + std::to_string(seed) + " budget=" + budget.label +
+              " threads=" + std::to_string(threads) +
+              (side == Side::kLeft ? " left" : " right");
+          const NeighborIndex got = NeighborIndex::build(
+              stream, side, neighborOptions(threads, budget.bytes));
+          expectSameNeighbors(baseline, got, stream.uniqueCount(), label);
+          if (budget.bytes != 0 &&
+              neighborInMemoryEstimate(records.size() - 1,
+                                       stream.uniqueCount()) > budget.bytes) {
+            EXPECT_STREQ(got.buildStats().plan, "spill") << label;
+            EXPECT_GT(got.buildStats().spillBytes, 0u) << label;
+            EXPECT_GT(got.buildStats().spillFiles, 0u) << label;
+          }
+        }
+      }
+      // SpillPlan::kForce exercises the external pipeline even when the
+      // budget would not demand it.
+      NeighborBuildOptions forced = neighborOptions(2, 0);
+      forced.spill = SpillPlan::kForce;
+      const NeighborIndex spilled = NeighborIndex::build(stream, side, forced);
+      expectSameNeighbors(baseline, spilled, stream.uniqueCount(),
+                          "forced spill");
+      EXPECT_STREQ(spilled.buildStats().plan, "spill");
+    }
+  }
+}
+
+TEST(BudgetEquivalence, TinyBudgetShardsMoreThanMidBudget) {
+  // The shard count must actually respond to the budget: a tiny budget
+  // splits the same stream into more spill shards than a mid budget.
+  const auto records = randomStream(13, 5000);
+  const auto stream = ChunkStreamIndex::build(records);
+  const auto shardsAt = [&](uint64_t budgetBytes) {
+    const NeighborIndex index = NeighborIndex::build(
+        stream, NeighborIndex::Side::kRight, neighborOptions(1, budgetBytes));
+    EXPECT_STREQ(index.buildStats().plan, "spill");
+    return index.buildStats().shards;
+  };
+  EXPECT_GT(shardsAt(4u << 10), shardsAt(16u << 10));
+}
+
+TEST(BudgetEquivalence, FrequencyIndexAcrossPlans) {
+  for (const uint64_t seed : {21u, 22u}) {
+    const auto records = randomStream(seed, 4000);
+    const auto stream = ChunkStreamIndex::build(records);
+    FrequencyBuildOptions serial;
+    const FrequencyIndex baseline = FrequencyIndex::build(stream, serial);
+    EXPECT_STREQ(baseline.stats.plan, "serial");
+    for (const uint32_t threads : kThreadCounts) {
+      FrequencyBuildOptions options;
+      options.threads = threads;
+      options.plan = ComputePlan::kParallel;
+      const FrequencyIndex got = FrequencyIndex::build(stream, options);
+      EXPECT_STREQ(got.stats.plan, "parallel");
+      EXPECT_EQ(baseline.counts, got.counts)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+void expectIdentical(const AttackResult& expected, const AttackResult& got,
+                     const std::string& label) {
+  EXPECT_EQ(expected.processedPairs, got.processedPairs) << label;
+  ASSERT_EQ(expected.inferred.size(), got.inferred.size()) << label;
+  for (const auto& [cipherFp, plainFp] : expected.inferred) {
+    const auto it = got.inferred.find(cipherFp);
+    ASSERT_NE(it, got.inferred.end()) << label;
+    EXPECT_EQ(it->second, plainFp) << label;
+  }
+}
+
+void checkAttacksAcrossBudgets(const EncryptedTrace& target,
+                               const std::vector<ChunkRecord>& aux,
+                               const std::string& label) {
+  for (const bool sizeAware : {false, true}) {
+    AttackConfig config;
+    config.u = 3;
+    config.v = 5;
+    config.w = 500;
+    config.sizeAware = sizeAware;
+
+    AnalysisOptions serialOpts;
+    AttackEngine serialEngine =
+        AttackEngine::fromRecords(target.records, aux, serialOpts);
+    const AttackResult baselineBasic = serialEngine.basicAttack(sizeAware);
+    const AttackResult baselineLocality =
+        serialEngine.localityAttack(config);
+
+    for (const BudgetCase& budget : kBudgets) {
+      for (const uint32_t threads : kThreadCounts) {
+        const std::string tag = label + (sizeAware ? " sized" : " plain") +
+                                " budget=" + budget.label +
+                                " threads=" + std::to_string(threads);
+        AnalysisOptions options;
+        options.threads = threads;
+        options.budget.memoryBytes = budget.bytes;
+        if (threads > 1) options.plan = ComputePlan::kParallel;
+        AttackEngine engine =
+            AttackEngine::fromRecords(target.records, aux, options);
+        expectIdentical(baselineBasic, engine.basicAttack(sizeAware),
+                        tag + " basic");
+        expectIdentical(baselineLocality, engine.localityAttack(config),
+                        tag + " locality");
+      }
+    }
+  }
+}
+
+TEST(BudgetEquivalence, AttacksOnRandomizedTraces) {
+  const std::vector<ChunkRecord> plainTarget = randomStream(31, 2500);
+  const std::vector<ChunkRecord> aux = perturb(plainTarget, 131);
+  const EncryptedTrace target = mleEncryptTrace(plainTarget);
+  checkAttacksAcrossBudgets(target, aux, "randomized");
+}
+
+TEST(BudgetEquivalence, AttacksOnFslMiniDataset) {
+  FslGenParams params;
+  params.users = 2;
+  params.filesPerUser = 20;
+  params.backups = 2;
+  params.sharedTemplateFiles = 10;
+  const Dataset dataset = generateFslDataset(params);
+  const EncryptedTrace target =
+      mleEncryptTrace(dataset.backups[1].records, kFslFpBits);
+  checkAttacksAcrossBudgets(target, dataset.backups[0].records, "fsl-mini");
+}
+
+TEST(BudgetEquivalence, WrapperConfigForwardsBudget) {
+  // The core AttackConfig knobs reach the engine: a tiny budget through the
+  // wrapper API must spill and still match the unbudgeted result.
+  const std::vector<ChunkRecord> plainTarget = randomStream(41, 2000);
+  const std::vector<ChunkRecord> aux = perturb(plainTarget, 141);
+  const EncryptedTrace target = mleEncryptTrace(plainTarget);
+  AttackConfig config;
+  config.v = 5;
+  config.w = 300;
+  const AttackResult baseline =
+      localityAttack(target.records, aux, config);
+  config.memBudgetBytes = 4u << 10;
+  expectIdentical(baseline, localityAttack(target.records, aux, config),
+                  "wrapper budget");
+}
+
+}  // namespace
+}  // namespace freqdedup::analysis

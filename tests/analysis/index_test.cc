@@ -117,10 +117,15 @@ TEST(NeighborIndex, PaperExampleTables) {
   const auto stream =
       ChunkStreamIndex::build(seq({1, 2, 1, 2, 3, 4, 2, 3, 4}));
   for (const uint32_t threads : {1u, 2u, 8u}) {
+    // The cost model would serialize a 9-record stream (and any stream on a
+    // single-core machine); force the parallel plan so it stays covered.
+    NeighborBuildOptions options;
+    options.threads = threads;
+    if (threads > 1) options.plan = ComputePlan::kParallel;
     const auto left =
-        NeighborIndex::build(stream, NeighborIndex::Side::kLeft, threads);
+        NeighborIndex::build(stream, NeighborIndex::Side::kLeft, options);
     const auto right =
-        NeighborIndex::build(stream, NeighborIndex::Side::kRight, threads);
+        NeighborIndex::build(stream, NeighborIndex::Side::kRight, options);
     EXPECT_EQ(countOf(left, stream, 2, 1), 2u);
     EXPECT_EQ(countOf(left, stream, 2, 4), 1u);
     EXPECT_EQ(left.neighbors(*stream.idOf(2)).size(), 2u);
@@ -171,7 +176,10 @@ TEST(NeighborIndex, ThreadCountInvariant) {
   for (const auto side :
        {NeighborIndex::Side::kLeft, NeighborIndex::Side::kRight}) {
     const auto serial = NeighborIndex::build(stream, side, 1);
-    const auto parallel = NeighborIndex::build(stream, side, 8);
+    NeighborBuildOptions forced;
+    forced.threads = 8;
+    forced.plan = ComputePlan::kParallel;
+    const auto parallel = NeighborIndex::build(stream, side, forced);
     ASSERT_EQ(serial.entryCount(), parallel.entryCount());
     for (ChunkId id = 0; id < stream.uniqueCount(); ++id) {
       const auto a = serial.neighbors(id);

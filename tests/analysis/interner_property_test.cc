@@ -1,0 +1,128 @@
+// Property tests for the open-addressing FpInterner: against an
+// unordered_map reference on random streams, on adversarial fingerprints
+// that all collide into the same probe chain, and batch (internAll) vs
+// one-at-a-time interning across rehash boundaries.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/stream_index.h"
+#include "common/rng.h"
+
+namespace freqdedup::analysis {
+namespace {
+
+/// Reference semantics: first-appearance-order dense IDs.
+class MapInterner {
+ public:
+  ChunkId intern(Fp fp) {
+    const auto [it, inserted] =
+        ids_.try_emplace(fp, static_cast<ChunkId>(fps_.size()));
+    if (inserted) fps_.push_back(fp);
+    return it->second;
+  }
+  [[nodiscard]] const std::vector<Fp>& fps() const { return fps_; }
+
+ private:
+  std::unordered_map<Fp, ChunkId, FpHash> ids_;
+  std::vector<Fp> fps_;
+};
+
+std::vector<ChunkRecord> toRecords(const std::vector<Fp>& fps) {
+  std::vector<ChunkRecord> records;
+  records.reserve(fps.size());
+  for (const Fp fp : fps) records.push_back({fp, 100});
+  return records;
+}
+
+void expectMatchesReference(const std::vector<Fp>& stream) {
+  MapInterner reference;
+  FpInterner one;           // one-at-a-time
+  FpInterner batched;       // internAll
+  for (const Fp fp : stream) {
+    EXPECT_EQ(one.intern(fp), reference.intern(fp));
+  }
+  const auto records = toRecords(stream);
+  std::vector<ChunkId> ids;
+  batched.internAll(records, ids);
+  ASSERT_EQ(ids.size(), stream.size());
+  ASSERT_EQ(batched.uniqueCount(), reference.fps().size());
+  EXPECT_EQ(batched.fps(), reference.fps());
+  EXPECT_EQ(one.fps(), reference.fps());
+  for (size_t j = 0; j < stream.size(); ++j) {
+    EXPECT_EQ(batched.fpOf(ids[j]), stream[j]);
+  }
+  // Lookups round-trip for every interned fingerprint, and miss for others.
+  for (ChunkId id = 0; id < batched.uniqueCount(); ++id) {
+    EXPECT_EQ(batched.idOf(batched.fpOf(id)).value(), id);
+  }
+  EXPECT_FALSE(batched.idOf(0xDEADBEEFCAFEBABEull).has_value());
+}
+
+TEST(FpInternerProperty, RandomStreamsMatchUnorderedMap) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    std::vector<Fp> stream;
+    Fp fresh = 1'000'000;
+    for (size_t j = 0; j < 50'000; ++j) {
+      // Zipf-ish mix: hot pool, warm pool, fresh singletons.
+      if (rng.bernoulli(0.5)) {
+        stream.push_back(rng.uniformInt(0, 100));
+      } else if (rng.bernoulli(0.5)) {
+        stream.push_back(rng.uniformInt(0, 20'000));
+      } else {
+        stream.push_back(fresh++);
+      }
+    }
+    expectMatchesReference(stream);
+  }
+}
+
+TEST(FpInternerProperty, AdversarialCollidingFingerprints) {
+  // Fingerprints chosen (by brute force) so mix64 lands every one of them in
+  // the same initial slot of a 64-slot table: the worst probe chain the
+  // table can see, crossing several growth rehashes.
+  std::vector<Fp> colliding;
+  for (Fp fp = 0; colliding.size() < 4000; ++fp) {
+    if ((static_cast<size_t>(mix64(fp)) & 63u) == 0) colliding.push_back(fp);
+  }
+  // Each fingerprint appears twice: second pass must find, not re-insert.
+  std::vector<Fp> stream = colliding;
+  stream.insert(stream.end(), colliding.begin(), colliding.end());
+  expectMatchesReference(stream);
+
+  FpInterner interner;
+  for (const Fp fp : colliding) interner.intern(fp);
+  EXPECT_EQ(interner.uniqueCount(), colliding.size());
+  for (size_t i = 0; i < colliding.size(); ++i) {
+    EXPECT_EQ(interner.intern(colliding[i]), static_cast<ChunkId>(i));
+  }
+}
+
+TEST(FpInternerProperty, ReserveDoesNotDisturbAssignment) {
+  std::vector<Fp> stream;
+  for (Fp fp = 0; fp < 10'000; ++fp) stream.push_back(fp * 2654435761u);
+  FpInterner plain;
+  FpInterner reserved;
+  reserved.reserve(stream.size());
+  for (const Fp fp : stream) {
+    EXPECT_EQ(plain.intern(fp), reserved.intern(fp));
+  }
+  EXPECT_EQ(plain.fps(), reserved.fps());
+}
+
+TEST(FpInternerProperty, InternAllResumesAfterManualInterns) {
+  // Mixing the two entry points on one interner keeps IDs dense and stable.
+  FpInterner interner;
+  EXPECT_EQ(interner.intern(1000), 0u);
+  EXPECT_EQ(interner.intern(2000), 1u);
+  const auto records = toRecords({2000, 3000, 1000, 3000});
+  std::vector<ChunkId> ids;
+  interner.internAll(records, ids);
+  EXPECT_EQ(ids, (std::vector<ChunkId>{1, 2, 0, 2}));
+  EXPECT_EQ(interner.uniqueCount(), 3u);
+}
+
+}  // namespace
+}  // namespace freqdedup::analysis

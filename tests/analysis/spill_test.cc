@@ -1,0 +1,115 @@
+// Spill hygiene: spill directories never outlive a build (success or
+// failure), and spill I/O errors surface as std::runtime_error instead of
+// corrupting results.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/budget.h"
+#include "analysis/neighbor_index.h"
+#include "analysis/stream_index.h"
+
+namespace freqdedup::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory under the system temp dir, removed on teardown.
+class SpillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("fdd-spill-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+
+  [[nodiscard]] size_t entriesUnder(const fs::path& dir) const {
+    size_t n = 0;
+    for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir)) ++n;
+    return n;
+  }
+
+  fs::path base_;
+};
+
+std::vector<ChunkRecord> smallStream() {
+  std::vector<ChunkRecord> records;
+  for (size_t j = 0; j < 2000; ++j) {
+    records.push_back({static_cast<Fp>(j % 37 + 17 * (j % 11)), 100});
+  }
+  return records;
+}
+
+TEST_F(SpillTest, DirectoryRemovedAfterSuccessfulBuild) {
+  const auto stream = ChunkStreamIndex::build(smallStream());
+  NeighborBuildOptions options;
+  options.budget.memoryBytes = 4u << 10;
+  options.budget.spillDir = base_.string();
+  options.spill = SpillPlan::kForce;
+  const NeighborIndex index =
+      NeighborIndex::build(stream, NeighborIndex::Side::kRight, options);
+  EXPECT_STREQ(index.buildStats().plan, "spill");
+  EXPECT_GT(index.buildStats().spillBytes, 0u);
+  // The per-build subdirectory (and every spill file in it) is gone.
+  EXPECT_EQ(entriesUnder(base_), 0u);
+}
+
+TEST_F(SpillTest, UnusableSpillDirThrowsCleanException) {
+  // The configured spill base is an existing regular file: the build must
+  // fail with std::runtime_error, not crash or silently fall back.
+  const fs::path file = base_ / "not-a-directory";
+  std::ofstream(file) << "occupied";
+  const auto stream = ChunkStreamIndex::build(smallStream());
+  NeighborBuildOptions options;
+  options.budget.spillDir = file.string();
+  options.spill = SpillPlan::kForce;
+  EXPECT_THROW(
+      NeighborIndex::build(stream, NeighborIndex::Side::kLeft, options),
+      std::runtime_error);
+}
+
+TEST_F(SpillTest, SpillDirCreatesAndRemovesUniqueSubdir) {
+  fs::path created;
+  {
+    SpillDir dir(base_.string());
+    created = dir.path();
+    EXPECT_TRUE(fs::is_directory(created));
+    // Two concurrent builds in one process get distinct directories.
+    SpillDir other(base_.string());
+    EXPECT_NE(other.path(), created);
+  }
+  EXPECT_FALSE(fs::exists(created));
+  EXPECT_EQ(entriesUnder(base_), 0u);
+}
+
+TEST_F(SpillTest, WriterReportsWriteFailure) {
+  // /dev/full fails every write with ENOSPC — the canonical disk-full probe.
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "no /dev/full";
+  const std::vector<uint64_t> block(1u << 16, 0x1234567890ABCDEFull);
+  EXPECT_THROW(
+      {
+        SpillFileWriter writer("/dev/full");
+        writer.write(block.data(), block.size() * sizeof(uint64_t));
+        writer.finish();
+      },
+      std::runtime_error);
+}
+
+TEST_F(SpillTest, ReaderRejectsTruncatedFile) {
+  const fs::path file = base_ / "truncated.raw";
+  std::ofstream(file, std::ios::binary) << "123";  // not a multiple of 8
+  std::vector<uint64_t> out;
+  EXPECT_THROW(readSpillFile(file, out), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace freqdedup::analysis
