@@ -1,0 +1,225 @@
+// freqdedupd request throughput: concurrent remote tenants driving
+// backup+restore streams through the daemon's socket, framed protocol and
+// worker pool.
+//
+//   server_throughput [--backups N] [--backup-kb KB] [--json PATH]
+//
+// One in-process FreqDedupServer on a unix socket; cells vary concurrent
+// client connections {1, 4, 8} (each its own tenant — so the cross-tenant
+// dedup bookkeeping is on the hot path) with the TOTAL backup count fixed
+// (default 64 backups of 1 MiB) so every cell does the same work. Each
+// backup is open → frame-sized appends → finish (durable group commit);
+// afterwards every client restores one of its backups and byte-verifies it.
+// Reports backups/s, ingest MB/s, and exact p50/p99 backup latency from the
+// sorted per-backup latency vector; writes BENCH_server.json.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "expcommon.h"
+#include "obs/metrics.h"
+#include "server/client_conn.h"
+#include "server/server.h"
+
+namespace freqdedup::server {
+namespace {
+
+constexpr uint32_t kClientCounts[] = {1, 4, 8};
+
+struct CellResult {
+  uint32_t clients = 0;
+  uint64_t backups = 0;
+  uint64_t bytes = 0;
+  double seconds = 0;
+  double p50Ms = 0;
+  double p99Ms = 0;
+  bool verified = false;
+};
+
+/// Exact percentile of a sorted latency vector (nearest-rank).
+double percentileMs(const std::vector<double>& sortedMs, double p) {
+  if (sortedMs.empty()) return 0;
+  const size_t rank = std::min(
+      sortedMs.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sortedMs.size())));
+  return sortedMs[rank];
+}
+
+ByteVec backupContent(uint64_t seed, size_t n) {
+  // Low-entropy pages mixed with random ones: some dedup across backups so
+  // both the new-chunk and duplicate paths are exercised.
+  Rng rng(seed);
+  ByteVec data(n);
+  for (size_t i = 0; i < n; i += 4096) {
+    const bool dup = rng.bernoulli(0.3);
+    const uint64_t pageSeed = dup ? 42 : rng.next();
+    Rng page(pageSeed);
+    for (size_t j = i; j < std::min(n, i + 4096); ++j)
+      data[j] = static_cast<uint8_t>(page.next());
+  }
+  return data;
+}
+
+CellResult runCell(const std::string& baseDir, uint32_t clients,
+                   uint64_t totalBackups, size_t backupBytes) {
+  const std::string dir = baseDir + "/c" + std::to_string(clients);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ServerOptions options;
+  options.address = "unix:" + dir + "/sock";
+  options.threads = std::max(4u, clients);
+  options.allowShutdown = false;
+  FreqDedupServer srv(dir + "/store", options);
+  srv.start();
+  const std::string addr = srv.boundAddress().str();
+
+  const uint64_t perClient = totalBackups / clients;
+  std::mutex latMu;
+  std::vector<double> latenciesMs;
+  latenciesMs.reserve(perClient * clients);
+  std::vector<bool> verified(clients, false);
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  exp::Stopwatch watch;
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      RemoteDedupClient client(addr, "tenant" + std::to_string(c), "pw");
+      std::vector<double> mine;
+      mine.reserve(perClient);
+      for (uint64_t i = 0; i < perClient; ++i) {
+        const ByteVec content =
+            backupContent((static_cast<uint64_t>(c) << 32) | i, backupBytes);
+        exp::Stopwatch one;
+        const RemoteBackup b =
+            client.openBackup("obj" + std::to_string(i));
+        client.append(b, content);
+        client.finishBackup(b);
+        mine.push_back(one.elapsedSeconds() * 1e3);
+      }
+      // Byte-verify the last backup through the restore path.
+      const ByteVec expected = backupContent(
+          (static_cast<uint64_t>(c) << 32) | (perClient - 1), backupBytes);
+      verified[c] = client.restoreAll(
+                        "obj" + std::to_string(perClient - 1)) == expected;
+      std::lock_guard lock(latMu);
+      latenciesMs.insert(latenciesMs.end(), mine.begin(), mine.end());
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double seconds = watch.elapsedSeconds();
+  srv.stop();
+
+  std::sort(latenciesMs.begin(), latenciesMs.end());
+  CellResult r;
+  r.clients = clients;
+  r.backups = perClient * clients;
+  r.bytes = r.backups * backupBytes;
+  r.seconds = seconds;
+  r.p50Ms = percentileMs(latenciesMs, 0.50);
+  r.p99Ms = percentileMs(latenciesMs, 0.99);
+  r.verified = std::all_of(verified.begin(), verified.end(),
+                           [](bool v) { return v; });
+  if (!r.verified) {
+    fprintf(stderr, "ERROR: restore verification failed at %u clients\n",
+            clients);
+    exit(1);
+  }
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+void writeJson(const std::string& path, uint64_t totalBackups,
+               size_t backupBytes, const std::vector<CellResult>& cells) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    exit(1);
+  }
+  fprintf(f, "{\n");
+  fprintf(f, "  \"total_backups\": %llu,\n",
+          static_cast<unsigned long long>(totalBackups));
+  fprintf(f, "  \"backup_bytes\": %zu,\n", backupBytes);
+  fprintf(f, "  \"hardware_threads\": %u,\n",
+          std::thread::hardware_concurrency());
+  fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    const double mbps =
+        r.seconds > 0
+            ? static_cast<double>(r.bytes) / (1024.0 * 1024.0) / r.seconds
+            : 0.0;
+    fprintf(f,
+            "    {\"clients\": %u, \"backups\": %llu, \"seconds\": %.4f, "
+            "\"backups_per_sec\": %.1f, \"ingest_mb_per_sec\": %.1f, "
+            "\"p50_ms\": %.2f, \"p99_ms\": %.2f, \"verified\": %s}%s\n",
+            r.clients, static_cast<unsigned long long>(r.backups), r.seconds,
+            r.seconds > 0 ? static_cast<double>(r.backups) / r.seconds : 0.0,
+            mbps, r.p50Ms, r.p99Ms, r.verified ? "true" : "false",
+            i + 1 < cells.size() ? "," : "");
+  }
+  fprintf(f, "  ],\n");
+  fprintf(f, "  \"obs_enabled\": %s\n", obs::kObsEnabled ? "true" : "false");
+  fprintf(f, "}\n");
+  fclose(f);
+  printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace freqdedup::server
+
+int main(int argc, char** argv) {
+  using namespace freqdedup;
+  using namespace freqdedup::server;
+  const uint64_t totalBackups = static_cast<uint64_t>(
+      std::atoll(exp::stringFlag(argc, argv, "backups", "64").c_str()));
+  const size_t backupKb = static_cast<size_t>(
+      std::atoll(exp::stringFlag(argc, argv, "backup-kb", "1024").c_str()));
+  const std::string jsonPath =
+      exp::stringFlag(argc, argv, "json", "BENCH_server.json");
+  if (totalBackups == 0 || backupKb == 0) {
+    fprintf(stderr, "--backups and --backup-kb must be >= 1\n");
+    return 1;
+  }
+  const size_t backupBytes = backupKb * 1024;
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "fdd_server_bench").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  exp::printTitle("server_throughput",
+                  "freqdedupd socket ingest: " + std::to_string(totalBackups) +
+                      " backups x " + std::to_string(backupKb) +
+                      " KiB per cell, concurrent tenant connections");
+  exp::printRow({"clients", "backups/s", "MB/s", "p50 ms", "p99 ms"});
+
+  std::vector<CellResult> cells;
+  for (const uint32_t clients : kClientCounts) {
+    const CellResult r = runCell(dir, clients, totalBackups, backupBytes);
+    cells.push_back(r);
+    const double mbps =
+        r.seconds > 0
+            ? static_cast<double>(r.bytes) / (1024.0 * 1024.0) / r.seconds
+            : 0.0;
+    exp::printRow(
+        {std::to_string(r.clients),
+         exp::fmtDouble(r.seconds > 0
+                            ? static_cast<double>(r.backups) / r.seconds
+                            : 0.0,
+                        1),
+         exp::fmtDouble(mbps, 1), exp::fmtDouble(r.p50Ms, 2),
+         exp::fmtDouble(r.p99Ms, 2)});
+  }
+
+  writeJson(jsonPath, totalBackups, backupBytes, cells);
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -14,7 +14,17 @@
 //   backup_system verify  <store-dir>
 //   backup_system list    <store-dir>
 //   backup_system stats   <store-dir> [--json]
+//   backup_system serve   <store-dir> <address>   # run the freqdedupd server
 //   backup_system demo                      # self-contained tmp-dir demo
+//
+// Remote mode — the same operations against a running freqdedupd daemon
+// (`--remote=<addr>` with an optional `--tenant=<id>`, default "default"):
+//   backup_system backup   <source-dir> <passphrase> --remote=<addr>
+//   backup_system restore  <dest-dir>   <passphrase> --remote=<addr>
+//   backup_system delete   <name>                    --remote=<addr>
+//   backup_system list                               --remote=<addr>
+//   backup_system stats                              --remote=<addr>
+//   backup_system shutdown                           --remote=<addr>
 //
 // Every state-touching subcommand accepts a trailing `--stats` (human
 // text) or `--stats=json` (one JSON object per line) flag that dumps the
@@ -32,6 +42,8 @@
 #include "client/dedup_client.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "server/client_conn.h"
+#include "server/server.h"
 #include "storage/file_backup_store.h"
 
 using namespace freqdedup;
@@ -67,6 +79,23 @@ StatsFlag extractStatsFlag(int& argc, char** argv) {
   }
   argc = out;
   return flag;
+}
+
+/// Consumes a trailing `--<name>=<value>` option anywhere in argv. Returns
+/// the value, or the empty string when absent.
+std::string extractOption(int& argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = argv[i] + prefix.size();
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return value;
 }
 
 /// Dumps the process-wide registry (sessions, pipeline, chunking) merged
@@ -254,6 +283,124 @@ int doStats(const std::string& storeDir,
   return 0;
 }
 
+// ---- Remote mode: the same operations through a freqdedupd daemon ----
+
+using server::RemoteDedupClient;
+
+/// Streams one file through a remote backup session in kIoBufferBytes
+/// appends — the remote twin of backupFile().
+server::RemoteBackupResult remoteBackupFile(RemoteDedupClient& client,
+                                            const std::string& name,
+                                            const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  const server::RemoteBackup backup = client.openBackup(name);
+  ByteVec buffer(kIoBufferBytes);
+  while (in) {
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+    const auto got = static_cast<size_t>(in.gcount());
+    if (got == 0) break;
+    client.append(backup, ByteView(buffer.data(), got));
+  }
+  if (in.bad() || (in.fail() && !in.eof())) {
+    client.abortBackup(backup);
+    throw std::runtime_error("read error on " + path.string());
+  }
+  return client.finishBackup(backup);
+}
+
+int doRemoteBackup(const std::string& address, const std::string& tenant,
+                   const std::string& sourceDir,
+                   const std::string& passphrase) {
+  RemoteDedupClient client(address, tenant, passphrase);
+  size_t files = 0, newChunks = 0, dupChunks = 0, crossTenant = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(sourceDir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string rel =
+        fs::relative(entry.path(), sourceDir).generic_string();
+    const server::RemoteBackupResult result =
+        remoteBackupFile(client, rel, entry.path());
+    ++files;
+    newChunks += result.newChunks;
+    dupChunks += result.duplicateChunks;
+    crossTenant += result.crossTenantDuplicates;
+  }
+  printf("backed up %zu files as tenant '%s': %zu new chunks, %zu "
+         "duplicates (%zu cross-tenant)\n",
+         files, tenant.c_str(), newChunks, dupChunks, crossTenant);
+  return 0;
+}
+
+int doRemoteRestore(const std::string& address, const std::string& tenant,
+                    const std::string& destDir,
+                    const std::string& passphrase) {
+  RemoteDedupClient client(address, tenant, passphrase);
+  size_t files = 0;
+  for (const std::string& name : client.listBackups()) {
+    const fs::path out = fs::path(destDir) / name;
+    fs::create_directories(out.parent_path());
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot create " + out.string());
+    client.restore(name, [&file](ByteView bytes) {
+      file.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+      if (!file) throw std::runtime_error("short write");
+    });
+    file.close();
+    if (file.fail())
+      throw std::runtime_error("failed to finish writing " + out.string());
+    ++files;
+  }
+  printf("restored %zu files into %s\n", files, destDir.c_str());
+  return 0;
+}
+
+int doRemoteDelete(const std::string& address, const std::string& tenant,
+                   const std::string& name) {
+  RemoteDedupClient client(address, tenant, /*passphrase=*/"");
+  if (!client.deleteBackup(name)) {
+    fprintf(stderr, "no backup named '%s'\n", name.c_str());
+    return 1;
+  }
+  printf("deleted '%s' (tenant '%s')\n", name.c_str(), tenant.c_str());
+  return 0;
+}
+
+int doRemoteList(const std::string& address, const std::string& tenant) {
+  RemoteDedupClient client(address, tenant, /*passphrase=*/"");
+  for (const std::string& name : client.listBackups())
+    printf("%s\n", name.c_str());
+  return 0;
+}
+
+int doRemoteStats(const std::string& address, const std::string& tenant) {
+  RemoteDedupClient client(address, tenant, /*passphrase=*/"");
+  printf("%s\n", client.statsJson().c_str());
+  return 0;
+}
+
+int doRemoteShutdown(const std::string& address, const std::string& tenant) {
+  RemoteDedupClient client(address, tenant, /*passphrase=*/"");
+  client.shutdownServer();
+  printf("shutdown requested\n");
+  return 0;
+}
+
+int doServe(const std::string& storeDir, const std::string& address) {
+  server::ServerOptions options;
+  options.address = address;
+  server::FreqDedupServer srv(storeDir, options);
+  srv.start();
+  printf("freqdedupd listening on %s (store %s)\n",
+         srv.boundAddress().str().c_str(), storeDir.c_str());
+  fflush(stdout);
+  srv.waitShutdownRequested();
+  srv.stop();
+  printf("freqdedupd stopped\n");
+  return 0;
+}
+
 int doDemo() {
   const fs::path base = fs::temp_directory_path() / "fdd_backup_demo";
   fs::remove_all(base);
@@ -305,8 +452,33 @@ int doDemo() {
 
 int main(int argc, char** argv) {
   StatsFlag stats = extractStatsFlag(argc, argv);
+  const std::string remote = extractOption(argc, argv, "remote");
+  std::string tenant = extractOption(argc, argv, "tenant");
+  if (tenant.empty()) tenant = "default";
   const std::string mode = argc > 1 ? argv[1] : "demo";
   try {
+    if (!remote.empty()) {
+      if (mode == "backup" && argc == 4)
+        return doRemoteBackup(remote, tenant, argv[2], argv[3]);
+      if (mode == "restore" && argc == 4)
+        return doRemoteRestore(remote, tenant, argv[2], argv[3]);
+      if (mode == "delete" && argc == 3)
+        return doRemoteDelete(remote, tenant, argv[2]);
+      if (mode == "list" && argc == 2) return doRemoteList(remote, tenant);
+      if (mode == "stats" && argc == 2) return doRemoteStats(remote, tenant);
+      if (mode == "shutdown" && argc == 2)
+        return doRemoteShutdown(remote, tenant);
+      fprintf(stderr,
+              "usage (remote): backup_system backup <source> <passphrase> "
+              "--remote=<addr> [--tenant=<id>]\n"
+              "                backup_system restore <dest> <passphrase> "
+              "--remote=<addr> [--tenant=<id>]\n"
+              "                backup_system delete <name> --remote=<addr>\n"
+              "                backup_system list|stats|shutdown "
+              "--remote=<addr>\n");
+      return 2;
+    }
+    if (mode == "serve" && argc == 4) return doServe(argv[2], argv[3]);
     if (mode == "backup" && argc == 5)
       return doBackup(argv[2], argv[3], argv[4], stats);
     if (mode == "restore" && argc == 5)
@@ -333,8 +505,11 @@ int main(int argc, char** argv) {
           "       backup_system verify <store>\n"
           "       backup_system list <store>\n"
           "       backup_system stats <store> [--stats=json]\n"
+          "       backup_system serve <store> <address>\n"
           "       backup_system demo\n"
           "flags: --stats | --stats=json   dump the metrics registry after\n"
-          "       any subcommand above\n");
+          "       any subcommand above\n"
+          "       --remote=<addr> [--tenant=<id>]   run backup/restore/\n"
+          "       delete/list/stats/shutdown against a freqdedupd daemon\n");
   return 2;
 }

@@ -127,9 +127,11 @@ void BackupSession::storeChunk(Fp cipherFp, ByteView cipher) {
   BackupMetrics& m = BackupMetrics::get();
   if (isNew) {
     ++outcome_.newChunks;
+    outcome_.newChunkFps.push_back(cipherFp);
     m.chunksNew.add();
   } else {
     ++outcome_.duplicateChunks;
+    outcome_.duplicateChunkFps.push_back(cipherFp);
     m.chunksDuplicate.add();
   }
 }

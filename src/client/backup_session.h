@@ -62,12 +62,24 @@ struct BackupOutcome {
   size_t chunkCount = 0;
   size_t newChunks = 0;
   size_t duplicateChunks = 0;
+  /// Ciphertext fingerprints partitioned by store outcome, in store order:
+  /// chunks this backup added vs. chunks the store already held. The server
+  /// daemon classifies duplicateChunkFps against the writing tenant's own
+  /// history to measure cross-tenant dedup (the leakage surface).
+  std::vector<Fp> newChunkFps;
+  std::vector<Fp> duplicateChunkFps;
 };
 
 class BackupSession {
  public:
   BackupSession(const BackupSession&) = delete;
   BackupSession& operator=(const BackupSession&) = delete;
+  /// NOT movable: the incremental chunk stream and segmenter hold callbacks
+  /// that capture this session's address, so a moved session would keep
+  /// feeding chunks into the moved-from shell. Owners that must keep many
+  /// sessions in containers (the server daemon) use
+  /// DedupClient::beginBackupHandle, which pins the session on the heap.
+  BackupSession(BackupSession&&) = delete;
   ~BackupSession();
 
   /// Appends the next bytes of the object. Chunks are encrypted and stored

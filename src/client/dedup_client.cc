@@ -46,6 +46,15 @@ BackupSession DedupClient::beginBackup(std::string name) {
   return BackupSession(*this, std::move(name));
 }
 
+std::unique_ptr<BackupSession> DedupClient::beginBackupHandle(
+    std::string name) {
+  FDD_CHECK_MSG(chunker_ != nullptr && keyManager_ != nullptr,
+                "beginBackupHandle on a restore-only DedupClient");
+  // new instead of make_unique: the constructor is private to friends.
+  return std::unique_ptr<BackupSession>(
+      new BackupSession(*this, std::move(name)));
+}
+
 RestoreSession DedupClient::beginRestore(FileRecipe fileRecipe,
                                          KeyRecipe keyRecipe) {
   return RestoreSession(*this, std::move(fileRecipe), std::move(keyRecipe));
@@ -135,6 +144,45 @@ void DedupClient::commitBackup(const std::string& name,
 
   // Phase 3: shrink the manifest to the new references only.
   if (oldRefs) store_->recordBackup(name, refs);
+}
+
+void DedupClient::commitBackupAsync(const std::string& name,
+                                    const BackupOutcome& outcome,
+                                    const AesKey& userKey, Rng& rng,
+                                    std::function<void(bool ok)> durable) {
+  std::vector<Fp> refs;
+  refs.reserve(outcome.fileRecipe.entries.size());
+  for (const RecipeEntry& e : outcome.fileRecipe.entries)
+    refs.push_back(e.cipherFp);
+
+  {
+    // Same three phases as commitBackup, but staged: the WAL orders the
+    // records and durability is a prefix of that order, so deferring every
+    // sync to one final group commit preserves the crash invariant (at any
+    // durable prefix the stored blob's chunks are covered by the manifest —
+    // losing a suffix only ever loses the blob swap or the shrink, both
+    // safe over-retention).
+    std::lock_guard lock(storeMu_);
+    const auto oldRefs = store_->backupRefs(name);
+    if (oldRefs) {
+      std::vector<Fp> unionRefs = refs;
+      unionRefs.insert(unionRefs.end(), oldRefs->begin(), oldRefs->end());
+      store_->recordBackupDeferred(name, unionRefs);
+    } else {
+      store_->recordBackupDeferred(name, refs);
+    }
+    store_->putBlob(
+        recipeBlobName(name),
+        packSealedRecipes(
+            sealWithUserKey(userKey, serializeFileRecipe(outcome.fileRecipe),
+                            rng),
+            sealWithUserKey(userKey, serializeKeyRecipe(outcome.keyRecipe),
+                            rng)));
+    if (oldRefs) store_->recordBackupDeferred(name, refs);
+  }
+  // One coalesced durability wait for the whole commit, outside the client
+  // lock so concurrent committers pipeline into a single group fdatasync.
+  store_->syncMetadataAsync(std::move(durable));
 }
 
 bool DedupClient::deleteBackup(const std::string& name) {

@@ -20,6 +20,7 @@
 // containers is scheduling-dependent.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -62,6 +63,13 @@ class DedupClient {
   /// Opens a streaming backup session for one object.
   [[nodiscard]] BackupSession beginBackup(std::string name);
 
+  /// Heap-allocated variant for owners that keep many sessions in
+  /// containers (the server daemon's per-connection tables): BackupSession
+  /// pins its address — its chunk stream calls back into the session — so
+  /// it cannot be stored by value in a map; the handle form can.
+  [[nodiscard]] std::unique_ptr<BackupSession> beginBackupHandle(
+      std::string name);
+
   /// Opens a streaming restore session from explicit recipes.
   [[nodiscard]] RestoreSession beginRestore(FileRecipe fileRecipe,
                                             KeyRecipe keyRecipe);
@@ -84,6 +92,17 @@ class DedupClient {
   void commitBackup(const std::string& name, const BackupOutcome& outcome,
                     const AesKey& userKey, Rng& rng);
 
+  /// Pipelined commitBackup: performs the same crash-safe three-phase swap,
+  /// visible to readers on return, but defers durability to one coalesced
+  /// group sync — `durable(ok)` runs on the store's log syncer thread once
+  /// the whole commit is on stable storage (ok == false on log failure).
+  /// Concurrent committers share a single fdatasync with zero blocked
+  /// threads, which is how the server daemon pipelines commits. The
+  /// callback must not destroy this client or its store.
+  void commitBackupAsync(const std::string& name, const BackupOutcome& outcome,
+                         const AesKey& userKey, Rng& rng,
+                         std::function<void(bool ok)> durable);
+
   /// Deletes a committed backup: releases its chunk references and removes
   /// its sealed recipes. Returns false if no such backup exists. Unreferenced
   /// chunks are reclaimed by the store's next collectGarbage().
@@ -94,6 +113,17 @@ class DedupClient {
 
   /// Blob name commitBackup uses for a backup's sealed recipe pair.
   static std::string recipeBlobName(const std::string& name);
+
+  /// Runs `fn(store)` under the client's writer/admin lock — the hook
+  /// through which owners layered above the client (the server daemon)
+  /// perform store admin operations (usage blobs, manifest reads, flushes)
+  /// that must serialize with concurrent session writes. `fn` must not call
+  /// back into this client.
+  template <typename Fn>
+  auto withStore(Fn&& fn) {
+    std::lock_guard lock(storeMu_);
+    return fn(*store_);
+  }
 
   [[nodiscard]] const BackupOptions& options() const { return options_; }
   [[nodiscard]] const RestoreOptions& restoreOptions() const {

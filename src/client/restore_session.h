@@ -74,6 +74,9 @@ class RestoreSession {
  public:
   RestoreSession(const RestoreSession&) = delete;
   RestoreSession& operator=(const RestoreSession&) = delete;
+  /// Movable so owners can keep sessions in containers; a moved-from
+  /// session is only safe to destroy.
+  RestoreSession(RestoreSession&&) noexcept = default;
   ~RestoreSession();
 
   /// Streams the whole object to `sink`, one verified chunk at a time, in

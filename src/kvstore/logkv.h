@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,6 +69,18 @@ class LogKv final : public KvStore {
   LogKv& operator=(const LogKv&) = delete;
 
   void put(ByteView key, ByteView value) override;
+
+  /// Pipelined commit: appends the put and returns the LSN a durability wait
+  /// must cover, without forcing it to stable storage. Pair with syncAsync
+  /// (or sync) — until then the record has WAL-buffer durability only, i.e.
+  /// a crash may drop it exactly like a put() before flush().
+  Lsn putAsync(ByteView key, ByteView value);
+
+  /// Registers `done(ok)` to run once every record below `lsn` is durable
+  /// (see Wal::syncAsync): callbacks run on the WAL's syncer thread, outside
+  /// the store mutex, and concurrent requests coalesce into one group
+  /// fdatasync — the no-blocked-thread form of sync(lsn).
+  void syncAsync(Lsn lsn, std::function<void(bool ok)> done);
   std::optional<ByteVec> get(ByteView key) override;
   bool erase(ByteView key) override;
   [[nodiscard]] bool contains(ByteView key) const override;

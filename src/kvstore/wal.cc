@@ -104,6 +104,7 @@ Wal::Wal(std::string path, WalOptions options, Lsn createBaseLsn)
 }
 
 Wal::~Wal() {
+  stopAsyncSyncer();
   if (fd_ >= 0) {
     if (!crashed_) {
       try {
@@ -300,6 +301,67 @@ void Wal::writeLeaderGroup(std::unique_lock<std::mutex>& syncLock) {
   leaderActive_ = false;
   syncLock.unlock();
   syncCv_.notify_all();
+}
+
+void Wal::syncAsync(Lsn lsn, std::function<void(bool ok)> done) {
+  // Already durable (including the kPerOp mode, where every append is):
+  // nothing to wait for, run the callback on the caller's thread.
+  if (durableLsn() >= lsn) {
+    done(true);
+    return;
+  }
+  {
+    std::lock_guard lock(asyncMu_);
+    if (asyncStop_) {
+      // Closing: behave like a crash before sync.
+      done(false);
+      return;
+    }
+    if (!asyncSyncer_.joinable())
+      asyncSyncer_ = std::thread([this] { asyncSyncerLoop(); });
+    asyncPending_.emplace_back(lsn, std::move(done));
+  }
+  asyncCv_.notify_one();
+}
+
+void Wal::asyncSyncerLoop() {
+  for (;;) {
+    std::vector<std::pair<Lsn, std::function<void(bool)>>> batch;
+    {
+      std::unique_lock lock(asyncMu_);
+      asyncCv_.wait(lock,
+                    [this] { return asyncStop_ || !asyncPending_.empty(); });
+      if (asyncPending_.empty()) return;  // asyncStop_ and nothing owed
+      batch.swap(asyncPending_);
+    }
+    // One blocking sync covers the whole batch — and coalesces with any
+    // concurrent blocking sync()ers through the normal slot mechanism.
+    Lsn maxLsn = 0;
+    for (const auto& [lsn, cb] : batch) maxLsn = std::max(maxLsn, lsn);
+    bool ok = true;
+    try {
+      sync(maxLsn);
+    } catch (...) {
+      ok = false;  // crashed / I/O failure: every waiter learns the truth
+    }
+    for (auto& [lsn, cb] : batch) {
+      try {
+        cb(ok);
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+        // A throwing completion callback must not take down the syncer (or
+        // starve the callbacks queued behind it).
+      }
+    }
+  }
+}
+
+void Wal::stopAsyncSyncer() {
+  {
+    std::lock_guard lock(asyncMu_);
+    asyncStop_ = true;
+  }
+  asyncCv_.notify_all();
+  if (asyncSyncer_.joinable()) asyncSyncer_.join();
 }
 
 Lsn Wal::appendedLsn() const {

@@ -33,6 +33,9 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 
@@ -85,6 +88,17 @@ class Wal {
   /// Makes everything appended so far durable.
   void syncAll() { sync(appendedLsn()); }
 
+  /// Asynchronous commit wait: registers `done(ok)` to run once every byte
+  /// below `lsn` is durable (ok == true) or the log has failed / is closing
+  /// (ok == false). Callbacks run on a lazily started syncer thread, outside
+  /// every Wal lock — they may append to or sync this log, but must not
+  /// destroy it. Requests coalesce exactly like blocking sync(): every
+  /// callback registered while a group is in flight is covered by one later
+  /// fdatasync, so N pipelined committers cost ~1 fsync per group and zero
+  /// blocked threads. The destructor drains pending callbacks before
+  /// closing the file.
+  void syncAsync(Lsn lsn, std::function<void(bool ok)> done);
+
   [[nodiscard]] Lsn appendedLsn() const;
   [[nodiscard]] Lsn durableLsn() const;
   [[nodiscard]] Lsn baseLsn() const { return baseLsn_; }
@@ -136,6 +150,8 @@ class Wal {
  private:
   void openFile(Lsn createBaseLsn);
   void readHeader();
+  void asyncSyncerLoop();
+  void stopAsyncSyncer();
   void writeLeaderGroup(std::unique_lock<std::mutex>& syncLock);
   void appendPerOp(ByteView framed);
   [[nodiscard]] uint64_t fileOffsetOf(Lsn lsn) const {
@@ -164,6 +180,14 @@ class Wal {
   Lsn durableLsn_ = 0;
   bool leaderActive_ = false;
   bool crashed_ = false;
+
+  // Async commit state, guarded by asyncMu_ (never held across I/O or while
+  // running callbacks). The syncer thread starts on the first syncAsync().
+  std::mutex asyncMu_;
+  std::condition_variable asyncCv_;
+  std::vector<std::pair<Lsn, std::function<void(bool)>>> asyncPending_;
+  std::thread asyncSyncer_;
+  bool asyncStop_ = false;
 
   // Metrics (null until bindMetrics; hot paths guard on nullptr).
   obs::Counter* appendsMetric_ = nullptr;

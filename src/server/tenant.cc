@@ -1,0 +1,171 @@
+#include "server/tenant.h"
+
+#include <algorithm>
+
+#include "common/varint.h"
+#include "obs/metrics.h"
+#include "server/wire.h"  // kMaxTenantBytes
+
+namespace freqdedup::server {
+
+namespace {
+
+constexpr char kScopedPrefix[] = "t/";
+constexpr char kUsagePrefix[] = "tenantu:";
+
+}  // namespace
+
+bool validTenantId(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > kMaxTenantBytes) return false;
+  for (const char c : tenant)
+    if (c == '/' || c == '\0') return false;
+  return true;
+}
+
+std::string scopedBackupName(const std::string& tenant,
+                             const std::string& name) {
+  return kScopedPrefix + tenant + "/" + name;
+}
+
+std::optional<std::string> unscopeBackupName(const std::string& tenant,
+                                             const std::string& scoped) {
+  const std::string prefix = kScopedPrefix + tenant + "/";
+  if (scoped.rfind(prefix, 0) != 0) return std::nullopt;
+  return scoped.substr(prefix.size());
+}
+
+std::string TenantRegistry::usageBlobName(const std::string& scopedName) {
+  return kUsagePrefix + scopedName;
+}
+
+void TenantRegistry::loadFrom(BackupStore& store) {
+  std::lock_guard lock(mu_);
+  // Backup counts and Bloom filters from scoped manifests.
+  for (const std::string& scoped : store.listBackups()) {
+    if (scoped.rfind(kScopedPrefix, 0) != 0) continue;  // unscoped legacy name
+    const size_t slash = scoped.find('/', sizeof(kScopedPrefix) - 1);
+    if (slash == std::string::npos) continue;
+    const std::string tenant =
+        scoped.substr(sizeof(kScopedPrefix) - 1,
+                      slash - (sizeof(kScopedPrefix) - 1));
+    Tenant& t = tenantLocked(tenant);
+    t.backups++;
+    if (const auto refs = store.backupRefs(scoped))
+      for (const Fp fp : *refs) t.seen.add(fp);
+    // Logical bytes from the per-backup usage blob (absent for stores
+    // written before quotas existed: those backups cost 0 toward the byte
+    // quota, which only ever under-counts).
+    if (const auto blob = store.getBlob(usageBlobName(scoped))) {
+      size_t offset = 0;
+      if (const auto bytes = getVarint(*blob, offset))
+        t.logicalBytes += *bytes;
+    }
+  }
+  for (const auto& [tenant, t] : tenants_) setUsageGauges(tenant, *t);
+}
+
+std::optional<std::string> TenantRegistry::checkQuota(
+    const std::string& tenant, uint64_t logicalBytes, uint64_t replacedBytes,
+    bool replacesExisting) {
+  std::lock_guard lock(mu_);
+  Tenant& t = tenantLocked(tenant);
+  if (quota_.maxBackups != 0 && !replacesExisting &&
+      t.backups + 1 > quota_.maxBackups)
+    return "tenant backup quota exceeded (" + std::to_string(quota_.maxBackups) +
+           " backups)";
+  const uint64_t credit = std::min(replacedBytes, t.logicalBytes);
+  if (quota_.maxLogicalBytes != 0 &&
+      t.logicalBytes - credit + logicalBytes > quota_.maxLogicalBytes)
+    return "tenant logical-byte quota exceeded (" +
+           std::to_string(quota_.maxLogicalBytes) + " bytes)";
+  return std::nullopt;
+}
+
+DedupClassification TenantRegistry::recordCommit(
+    const std::string& tenant, std::span<const Fp> newFps,
+    std::span<const Fp> duplicateFps, uint64_t logicalBytes,
+    uint64_t replacedBytes, bool replacesExisting) {
+  DedupClassification out;
+  out.newChunks = newFps.size();
+  {
+    std::lock_guard lock(mu_);
+    Tenant& t = tenantLocked(tenant);
+    for (const Fp fp : duplicateFps) {
+      if (t.seen.maybeContains(fp))
+        out.intraTenantDuplicates++;
+      else
+        out.crossTenantDuplicates++;
+    }
+    for (const Fp fp : newFps) t.seen.add(fp);
+    for (const Fp fp : duplicateFps) t.seen.add(fp);
+    t.logicalBytes -= std::min(replacedBytes, t.logicalBytes);
+    t.logicalBytes += logicalBytes;
+    if (!replacesExisting) t.backups++;
+    setUsageGauges(tenant, t);
+  }
+  bumpCounter(tenant, "chunks", newFps.size() + duplicateFps.size());
+  bumpCounter(tenant, "dedup_hits", duplicateFps.size());
+  bumpCounter(tenant, "cross_tenant_dedup_hits", out.crossTenantDuplicates);
+  bumpCounter(tenant, "backups_committed", 1);
+  return out;
+}
+
+void TenantRegistry::recordDelete(const std::string& tenant,
+                                  uint64_t logicalBytes) {
+  {
+    std::lock_guard lock(mu_);
+    Tenant& t = tenantLocked(tenant);
+    t.logicalBytes -= std::min(logicalBytes, t.logicalBytes);
+    if (t.backups > 0) t.backups--;
+    setUsageGauges(tenant, t);
+  }
+  bumpCounter(tenant, "backups_deleted", 1);
+}
+
+void TenantRegistry::recordRestore(const std::string& tenant) {
+  bumpCounter(tenant, "restores", 1);
+}
+
+void TenantRegistry::recordQuotaReject(const std::string& tenant) {
+  bumpCounter(tenant, "quota_rejects", 1);
+}
+
+uint64_t TenantRegistry::logicalBytes(const std::string& tenant) {
+  std::lock_guard lock(mu_);
+  return tenantLocked(tenant).logicalBytes;
+}
+
+uint64_t TenantRegistry::backupCount(const std::string& tenant) {
+  std::lock_guard lock(mu_);
+  return tenantLocked(tenant).backups;
+}
+
+TenantRegistry::Tenant& TenantRegistry::tenantLocked(
+    const std::string& tenant) {
+  auto& slot = tenants_[tenant];
+  if (!slot) slot = std::make_unique<Tenant>();
+  return *slot;
+}
+
+void TenantRegistry::bumpCounter(const std::string& tenant, const char* name,
+                                 uint64_t n) {
+  if (n == 0) return;
+  obs::MetricsRegistry::global()
+      .counter("tenant." + tenant + "." + name)
+      .add(n);
+}
+
+void TenantRegistry::setUsageGauges(const std::string& tenant,
+                                    const Tenant& t) {
+  // Gauges are sharded adders, not settable levels: track the level by
+  // applying the delta from the last published value.
+  auto& reg = obs::MetricsRegistry::global();
+  auto publish = [&](const char* name, int64_t value) {
+    auto& g = reg.gauge("tenant." + tenant + "." + name);
+    g.add(value - g.value());
+  };
+  publish("logical_bytes", static_cast<int64_t>(t.logicalBytes));
+  publish("backups", static_cast<int64_t>(t.backups));
+}
+
+}  // namespace freqdedup::server

@@ -1,0 +1,135 @@
+// Multi-tenant namespacing over one shared dedup store.
+//
+// The paper's multi-tenant threat model (Section 2) has many clients writing
+// into ONE deduplicated store — that sharing is exactly what makes frequency
+// analysis a cross-user attack, and exactly what an operator deploys for
+// space savings. freqdedupd therefore keeps a single chunk store (chunks
+// dedup across all tenants) but namespaces everything nameable:
+//
+//  - backup names: tenant "acme" backup "vm.img" lives under the scoped
+//    name "t/acme/vm.img", which flows into manifest keys and recipe blob
+//    names, so list/restore/delete can only ever see the caller's tenant;
+//  - quotas: per-tenant logical-byte and backup-count budgets, enforced at
+//    backup finish (usage is persisted per backup in a store blob so a
+//    daemon restart recovers accounting exactly);
+//  - observability: per-tenant tenant.<id>.* counters in the global
+//    MetricsRegistry — including dedup_hits and cross_tenant_dedup_hits,
+//    the store-side measure of how much of a tenant's data deduplicated
+//    against OTHER tenants' chunks, i.e. the leakage surface the paper's
+//    attacker exploits.
+//
+// Cross-tenant classification uses a per-tenant Bloom filter of chunk
+// fingerprints the tenant has stored before: a duplicate chunk whose
+// fingerprint is not in the writer's own filter was first stored by someone
+// else. Bloom false positives misclassify a few cross-tenant hits as
+// intra-tenant, so cross_tenant_dedup_hits is a slight undercount —
+// acceptable for a leakage-surface gauge, and the filters cost O(bytes) not
+// O(store).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bloom_filter.h"
+#include "common/fingerprint.h"
+#include "storage/backup_store.h"
+
+namespace freqdedup::server {
+
+/// Per-tenant budget; 0 means unlimited.
+struct TenantQuota {
+  uint64_t maxLogicalBytes = 0;
+  uint64_t maxBackups = 0;
+};
+
+/// Rejects empty ids, ids over kMaxTenantBytes, and ids containing '/' or
+/// NUL (both would break the scoped-name encoding).
+bool validTenantId(const std::string& tenant);
+
+/// "t/<tenant>/<name>" — the store-side name of a tenant's backup. Assumes
+/// a valid tenant id; names may contain anything.
+std::string scopedBackupName(const std::string& tenant,
+                             const std::string& name);
+
+/// Inverse of scopedBackupName for one tenant's prefix: returns the bare
+/// name, or nullopt when `scoped` belongs to a different tenant.
+std::optional<std::string> unscopeBackupName(const std::string& tenant,
+                                             const std::string& scoped);
+
+/// How one committed backup deduplicated, as classified against the
+/// writer's own prior chunks.
+struct DedupClassification {
+  uint64_t newChunks = 0;
+  uint64_t intraTenantDuplicates = 0;
+  uint64_t crossTenantDuplicates = 0;
+};
+
+/// Tracks per-tenant usage, quotas, Bloom filters and metrics. Thread-safe;
+/// one instance per server, shared by all connections.
+class TenantRegistry {
+ public:
+  explicit TenantRegistry(TenantQuota quota) : quota_(quota) {}
+
+  /// Rebuilds usage accounting and Bloom filters from a (re)opened store:
+  /// scans scoped manifests for backup counts and per-backup usage blobs for
+  /// logical bytes, and seeds each tenant's filter with every fingerprint
+  /// its manifests reference. Call once at server startup, before serving.
+  void loadFrom(BackupStore& store);
+
+  /// Quota check for an incoming backup of `logicalBytes` replacing
+  /// `replacedBytes` (0 when the name is new; replacing counts the delta).
+  /// Returns an error description, or nullopt when the backup fits.
+  [[nodiscard]] std::optional<std::string> checkQuota(
+      const std::string& tenant, uint64_t logicalBytes, uint64_t replacedBytes,
+      bool replacesExisting);
+
+  /// Classifies a finished backup's chunks against the tenant's own filter
+  /// (then adds them to it), updates usage and tenant.* counters.
+  /// `duplicateFps` must hold exactly the chunks the store deduplicated.
+  DedupClassification recordCommit(const std::string& tenant,
+                                   std::span<const Fp> newFps,
+                                   std::span<const Fp> duplicateFps,
+                                   uint64_t logicalBytes,
+                                   uint64_t replacedBytes,
+                                   bool replacesExisting);
+
+  /// Updates usage and counters for a deleted backup.
+  void recordDelete(const std::string& tenant, uint64_t logicalBytes);
+
+  void recordRestore(const std::string& tenant);
+  void recordQuotaReject(const std::string& tenant);
+
+  [[nodiscard]] uint64_t logicalBytes(const std::string& tenant);
+  [[nodiscard]] uint64_t backupCount(const std::string& tenant);
+
+  [[nodiscard]] const TenantQuota& quota() const { return quota_; }
+
+  /// Store blob that persists one backup's logical size for quota recovery:
+  /// "tenantu:<scoped backup name>" → varint logicalBytes. Maintained by the
+  /// server next to each commit/delete.
+  static std::string usageBlobName(const std::string& scopedName);
+
+ private:
+  struct Tenant {
+    uint64_t logicalBytes = 0;
+    uint64_t backups = 0;
+    /// Fingerprints this tenant has stored before (approximate set).
+    BloomFilter seen{1u << 18, 0.01};
+  };
+
+  Tenant& tenantLocked(const std::string& tenant);
+  void bumpCounter(const std::string& tenant, const char* name, uint64_t n);
+  void setUsageGauges(const std::string& tenant, const Tenant& t);
+
+  TenantQuota quota_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace freqdedup::server

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -150,6 +151,27 @@ class BackupStore {
   /// chunk is indexed. Throws if a referenced chunk is not stored.
   virtual void recordBackup(const std::string& name,
                             std::span<const Fp> chunkRefs) = 0;
+
+  /// Like recordBackup, but with durability deferred: the manifest is staged
+  /// in the metadata log without forcing it to stable storage, so a pipeline
+  /// of commits can share one later group sync (syncMetadataAsync / flush)
+  /// instead of paying an fsync wait per backup. Until that sync, a crash
+  /// may drop the record exactly as it would drop an unflushed put. The base
+  /// implementation falls back to recordBackup (immediately durable).
+  virtual void recordBackupDeferred(const std::string& name,
+                                    std::span<const Fp> chunkRefs) {
+    recordBackup(name, chunkRefs);
+  }
+
+  /// Registers `done(ok)` to run once every metadata mutation issued so far
+  /// (manifests, blobs, index entries) is durable. Persistent backends run
+  /// callbacks on their log's syncer thread, outside the store locks, and
+  /// coalesce concurrent requests into one group fdatasync; volatile
+  /// backends complete inline with ok == true. The callback must not
+  /// destroy the store.
+  virtual void syncMetadataAsync(std::function<void(bool ok)> done) {
+    done(true);
+  }
 
   /// Deletes a backup's manifest and decrements the reference counts it
   /// held. Returns false if no such backup was recorded. Chunk data is only

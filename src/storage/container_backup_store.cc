@@ -579,6 +579,37 @@ void ContainerBackupStore::adjustRefsLocked(Fp fp, int64_t delta) {
 
 void ContainerBackupStore::recordBackup(const std::string& name,
                                         std::span<const Fp> chunkRefs) {
+  const Lsn commitLsn = stageRecordBackup(name, chunkRefs);
+  // Durable commit, outside the metadata lock: when recordBackup returns,
+  // the manifest survives power loss. Concurrent committers block here
+  // together and one group fdatasync covers all of them (the group-commit
+  // WAL's whole point) instead of serializing an fsync each under mu_.
+  if (logKv_ != nullptr) logKv_->sync(commitLsn);
+}
+
+void ContainerBackupStore::recordBackupDeferred(const std::string& name,
+                                                std::span<const Fp> chunkRefs) {
+  // Same staging, durability deferred to the caller's syncMetadataAsync()/
+  // flush(): the pipelined form the server's commit path rides.
+  stageRecordBackup(name, chunkRefs);
+}
+
+void ContainerBackupStore::syncMetadataAsync(
+    std::function<void(bool ok)> done) {
+  if (logKv_ == nullptr) {
+    done(true);  // volatile backend: nothing to make durable
+    return;
+  }
+  Lsn lsn = 0;
+  {
+    std::lock_guard lock(mu_);
+    lsn = logKv_->appendedLsn();
+  }
+  logKv_->syncAsync(lsn, std::move(done));
+}
+
+uint64_t ContainerBackupStore::stageRecordBackup(
+    const std::string& name, std::span<const Fp> chunkRefs) {
   Lsn commitLsn = 0;
   {
     std::lock_guard lock(mu_);
@@ -606,11 +637,7 @@ void ContainerBackupStore::recordBackup(const std::string& name,
     registry_.counter("store.backups_recorded").add();
     if (logKv_ != nullptr) commitLsn = logKv_->appendedLsn();
   }
-  // Durable commit, outside the metadata lock: when recordBackup returns,
-  // the manifest survives power loss. Concurrent committers block here
-  // together and one group fdatasync covers all of them (the group-commit
-  // WAL's whole point) instead of serializing an fsync each under mu_.
-  if (logKv_ != nullptr) logKv_->sync(commitLsn);
+  return commitLsn;
 }
 
 std::optional<std::vector<Fp>> ContainerBackupStore::backupRefsLocked(

@@ -65,6 +65,9 @@ class ContainerBackupStore : public BackupStore {
 
   void recordBackup(const std::string& name,
                     std::span<const Fp> chunkRefs) override;
+  void recordBackupDeferred(const std::string& name,
+                            std::span<const Fp> chunkRefs) override;
+  void syncMetadataAsync(std::function<void(bool ok)> done) override;
   bool releaseBackup(const std::string& name) override;
   [[nodiscard]] std::vector<std::string> listBackups() override;
   std::optional<std::vector<Fp>> backupRefs(const std::string& name) override;
@@ -114,6 +117,12 @@ class ContainerBackupStore : public BackupStore {
   static ByteVec chunkKey(Fp fp);
   static ByteVec encodeChunkEntry(const ChunkEntry& e);
   static ChunkEntry decodeChunkEntry(ByteView value);
+
+  /// Shared body of recordBackup / recordBackupDeferred: stages the manifest
+  /// swap + refcount deltas under mu_ and returns the LSN a durability wait
+  /// must cover (0 for volatile backends).
+  uint64_t stageRecordBackup(const std::string& name,
+                             std::span<const Fp> chunkRefs);
 
   // Metadata helpers; all require mu_ to be held by the caller.
   [[nodiscard]] bool hasChunkLocked(Fp cipherFp) const;

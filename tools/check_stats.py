@@ -12,6 +12,15 @@ JSON metrics snapshot (or a bare .json file). Checks, per file:
   - settled gauges: restore.prefetch_window and queue depths read 0;
   - every histogram's count/sum/bucket totals are internally consistent.
 
+When the snapshot carries freqdedupd counters (any "server." counter), it is
+additionally checked as a daemon dump:
+  - server.requests > 0 and server.request_errors <= server.requests;
+  - frame accounting: frames_rx >= requests, frames_tx > 0, bytes flowing;
+  - connection lifecycle: connections_opened >= connections_closed > 0,
+    server.active_connections == opened - closed;
+  - per tenant: cross_tenant_dedup_hits <= dedup_hits <= chunks, and the
+    usage gauges (logical_bytes, backups) are non-negative.
+
 Exit code 0 when every file passes, 1 otherwise.
 """
 import json
@@ -38,6 +47,77 @@ def extract_snapshot(path):
     return json.loads(lines[-1])
 
 
+def check_server(snap):
+    """freqdedupd-specific invariants; no-op for non-daemon snapshots."""
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    if not any(name.startswith("server.") for name in counters):
+        return []
+    errors = []
+
+    requests = counters.get("server.requests", 0)
+    if requests <= 0:
+        errors.append("server.requests is zero in a daemon dump")
+    if counters.get("server.request_errors", 0) > requests:
+        errors.append(
+            f"server.request_errors {counters.get('server.request_errors')} "
+            f"> server.requests {requests}"
+        )
+    # Every request arrives in a frame (the Hello frame makes rx strictly
+    # greater in practice, but >= is the invariant).
+    if counters.get("server.frames_rx", 0) < requests:
+        errors.append(
+            f"server.frames_rx {counters.get('server.frames_rx', 0)} < "
+            f"server.requests {requests}"
+        )
+    if counters.get("server.frames_tx", 0) <= 0:
+        errors.append("server.frames_tx is zero")
+    if counters.get("server.bytes_rx", 0) <= 0:
+        errors.append("server.bytes_rx is zero")
+
+    opened = counters.get("server.connections_opened", 0)
+    closed = counters.get("server.connections_closed", 0)
+    if opened <= 0:
+        errors.append("server.connections_opened is zero in a daemon dump")
+    if closed > opened:
+        errors.append(
+            f"server.connections_closed {closed} > connections_opened {opened}"
+        )
+    # The gauge must agree with the counters at snapshot time (the snapshot
+    # itself is usually served over one still-open connection).
+    active = gauges.get("server.active_connections")
+    if active is not None and active != opened - closed:
+        errors.append(
+            f"server.active_connections {active} != opened-closed "
+            f"{opened - closed}"
+        )
+
+    # Per-tenant dedup accounting: cross-tenant hits are a subset of dedup
+    # hits, which are a subset of chunks written.
+    tenants = set()
+    for name in counters:
+        if name.startswith("tenant.") and name.count(".") >= 2:
+            tenants.add(name.split(".")[1])
+    for tenant in sorted(tenants):
+        chunks = counters.get(f"tenant.{tenant}.chunks", 0)
+        dedup = counters.get(f"tenant.{tenant}.dedup_hits", 0)
+        cross = counters.get(f"tenant.{tenant}.cross_tenant_dedup_hits", 0)
+        if cross > dedup:
+            errors.append(
+                f"tenant {tenant}: cross_tenant_dedup_hits {cross} > "
+                f"dedup_hits {dedup}"
+            )
+        if dedup > chunks:
+            errors.append(
+                f"tenant {tenant}: dedup_hits {dedup} > chunks {chunks}"
+            )
+        for gauge in ("logical_bytes", "backups"):
+            v = gauges.get(f"tenant.{tenant}.{gauge}", 0)
+            if v < 0:
+                errors.append(f"tenant {tenant}: gauge {gauge} negative: {v}")
+    return errors
+
+
 def check(path):
     errors = []
     snap = extract_snapshot(path)
@@ -62,6 +142,8 @@ def check(path):
     for name in SETTLED_GAUGES:
         if gauges.get(name, 0) != 0:
             errors.append(f"gauge {name} did not settle to 0: {gauges[name]}")
+
+    errors.extend(check_server(snap))
 
     for name, h in snap.get("histograms", {}).items():
         bucket_total = sum(count for _, count in h.get("buckets", []))

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end freqdedupd smoke: start the daemon, drive concurrent tenant
+# clients through backup -> restore -> byte-compare -> delete over the
+# socket, validate the server/tenant metrics, shut the daemon down remotely
+# and check it exits cleanly, then GC + fsck the store it leaves behind.
+#
+# Usage: server_smoke.sh <build-dir> <work-dir>
+# Exits non-zero on any failure. Used by CI (plain and ASan+UBSan builds).
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: server_smoke.sh <build-dir> <work-dir>}
+WORK_DIR=${2:?usage: server_smoke.sh <build-dir> <work-dir>}
+DAEMON="$BUILD_DIR/tools/freqdedupd"
+CLIENT="$BUILD_DIR/examples/backup_system"
+TOOLS_DIR="$(cd "$(dirname "$0")" && pwd)"
+
+rm -rf "$WORK_DIR"
+mkdir -p "$WORK_DIR"/src-acme "$WORK_DIR"/src-beta
+SOCK="unix:$WORK_DIR/freqdedupd.sock"
+STORE="$WORK_DIR/store"
+
+# Distinct data per tenant plus one shared file, so the smoke crosses the
+# cross-tenant dedup path too.
+head -c 4194304 /dev/urandom > "$WORK_DIR/src-acme/big.bin"
+head -c  524288 /dev/urandom > "$WORK_DIR/src-acme/small.bin"
+head -c 2097152 /dev/urandom > "$WORK_DIR/src-beta/other.bin"
+cp "$WORK_DIR/src-acme/big.bin" "$WORK_DIR/src-beta/big.bin"
+
+"$DAEMON" "$STORE" "$SOCK" --threads=4 --quota-bytes=64m \
+    --stats=json > "$WORK_DIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+# The daemon prints "freqdedupd listening on ..." once it is accepting.
+for _ in $(seq 1 100); do
+  grep -q "freqdedupd listening on" "$WORK_DIR/daemon.log" && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "daemon died during startup:"; cat "$WORK_DIR/daemon.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "freqdedupd listening on" "$WORK_DIR/daemon.log" || {
+  echo "daemon never started listening:"; cat "$WORK_DIR/daemon.log"; exit 1; }
+
+# Two tenants back up CONCURRENTLY through the one daemon.
+"$CLIENT" backup "$WORK_DIR/src-acme" acme-pass \
+    --remote="$SOCK" --tenant=acme &
+ACME_PID=$!
+"$CLIENT" backup "$WORK_DIR/src-beta" beta-pass \
+    --remote="$SOCK" --tenant=beta &
+BETA_PID=$!
+wait "$ACME_PID"
+wait "$BETA_PID"
+
+# Namespaces: each tenant lists exactly its own files.
+"$CLIENT" list --remote="$SOCK" --tenant=acme | sort > "$WORK_DIR/acme.list"
+printf 'big.bin\nsmall.bin\n' | diff - "$WORK_DIR/acme.list"
+"$CLIENT" list --remote="$SOCK" --tenant=beta | sort > "$WORK_DIR/beta.list"
+printf 'big.bin\nother.bin\n' | diff - "$WORK_DIR/beta.list"
+
+# Restore (concurrently) and byte-compare everything.
+"$CLIENT" restore "$WORK_DIR/out-acme" acme-pass \
+    --remote="$SOCK" --tenant=acme &
+ACME_PID=$!
+"$CLIENT" restore "$WORK_DIR/out-beta" beta-pass \
+    --remote="$SOCK" --tenant=beta &
+BETA_PID=$!
+wait "$ACME_PID"
+wait "$BETA_PID"
+cmp "$WORK_DIR/src-acme/big.bin"   "$WORK_DIR/out-acme/big.bin"
+cmp "$WORK_DIR/src-acme/small.bin" "$WORK_DIR/out-acme/small.bin"
+cmp "$WORK_DIR/src-beta/big.bin"   "$WORK_DIR/out-beta/big.bin"
+cmp "$WORK_DIR/src-beta/other.bin" "$WORK_DIR/out-beta/other.bin"
+
+# Live stats over the socket must pass the daemon invariants.
+"$CLIENT" stats --remote="$SOCK" --tenant=acme > "$WORK_DIR/stats.json"
+python3 "$TOOLS_DIR/check_stats.py" "$WORK_DIR/stats.json"
+
+# Delete one backup per tenant; acme's copy of big.bin must survive beta's.
+"$CLIENT" delete small.bin --remote="$SOCK" --tenant=acme
+"$CLIENT" delete big.bin   --remote="$SOCK" --tenant=beta
+"$CLIENT" restore "$WORK_DIR/out-acme2" acme-pass \
+    --remote="$SOCK" --tenant=acme
+cmp "$WORK_DIR/src-acme/big.bin" "$WORK_DIR/out-acme2/big.bin"
+
+# Remote shutdown; the daemon must exit 0 and dump a clean final snapshot.
+"$CLIENT" shutdown --remote="$SOCK" --tenant=acme
+DAEMON_RC=0
+wait "$DAEMON_PID" || DAEMON_RC=$?
+trap - EXIT
+if [ "$DAEMON_RC" -ne 0 ]; then
+  echo "daemon exited with $DAEMON_RC:"; cat "$WORK_DIR/daemon.log"; exit 1
+fi
+grep -q "freqdedupd stopped" "$WORK_DIR/daemon.log"
+python3 "$TOOLS_DIR/check_stats.py" "$WORK_DIR/daemon.log"
+
+# The store the daemon leaves behind is a normal store: GC the deleted
+# backups' chunks, then deep-verify a surviving tenant namespace.
+"$CLIENT" gc "$STORE"
+"$BUILD_DIR/tools/fsck" "$STORE" || { echo "fsck failed"; exit 1; }
+
+echo "server smoke OK"
