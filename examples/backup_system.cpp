@@ -18,13 +18,15 @@
 //   backup_system demo                      # self-contained tmp-dir demo
 //
 // Remote mode — the same operations against a running freqdedupd daemon
-// (`--remote=<addr>` with an optional `--tenant=<id>`, default "default"):
+// (`--remote=<addr>` with an optional `--tenant=<id>`, default "default").
+// The daemon authenticates every connection against the tenant's registered
+// passphrase; subcommands without a positional passphrase take `--pass=`:
 //   backup_system backup   <source-dir> <passphrase> --remote=<addr>
 //   backup_system restore  <dest-dir>   <passphrase> --remote=<addr>
-//   backup_system delete   <name>                    --remote=<addr>
-//   backup_system list                               --remote=<addr>
-//   backup_system stats                              --remote=<addr>
-//   backup_system shutdown                           --remote=<addr>
+//   backup_system delete   <name>     --remote=<addr> [--pass=<passphrase>]
+//   backup_system list                --remote=<addr> [--pass=<passphrase>]
+//   backup_system stats               --remote=<addr> [--pass=<passphrase>]
+//   backup_system shutdown            --remote=<addr> [--pass=<passphrase>]
 //
 // Every state-touching subcommand accepts a trailing `--stats` (human
 // text) or `--stats=json` (one JSON object per line) flag that dumps the
@@ -154,8 +156,10 @@ int doBackup(const std::string& storeDir, const std::string& sourceDir,
   CdcChunker chunker;
   DedupClient client(store, keyManager, chunker, defenseOptions());
   const AesKey userKey = userKeyFromPassphrase(passphrase);
-  Rng rng(static_cast<uint64_t>(
-      std::hash<std::string>{}(storeDir + sourceDir)));
+  // OS-entropy seed: this rng draws the recipe-sealing IVs, and a
+  // deterministic seed (e.g. hashed paths) would replay the same AES-CTR
+  // IV sequence on every run against the same store.
+  Rng rng(secureSeed());
 
   size_t files = 0, newChunks = 0, dupChunks = 0;
   for (const auto& entry : fs::recursive_directory_iterator(sourceDir)) {
@@ -357,8 +361,8 @@ int doRemoteRestore(const std::string& address, const std::string& tenant,
 }
 
 int doRemoteDelete(const std::string& address, const std::string& tenant,
-                   const std::string& name) {
-  RemoteDedupClient client(address, tenant, /*passphrase=*/"");
+                   const std::string& passphrase, const std::string& name) {
+  RemoteDedupClient client(address, tenant, passphrase);
   if (!client.deleteBackup(name)) {
     fprintf(stderr, "no backup named '%s'\n", name.c_str());
     return 1;
@@ -367,21 +371,24 @@ int doRemoteDelete(const std::string& address, const std::string& tenant,
   return 0;
 }
 
-int doRemoteList(const std::string& address, const std::string& tenant) {
-  RemoteDedupClient client(address, tenant, /*passphrase=*/"");
+int doRemoteList(const std::string& address, const std::string& tenant,
+                 const std::string& passphrase) {
+  RemoteDedupClient client(address, tenant, passphrase);
   for (const std::string& name : client.listBackups())
     printf("%s\n", name.c_str());
   return 0;
 }
 
-int doRemoteStats(const std::string& address, const std::string& tenant) {
-  RemoteDedupClient client(address, tenant, /*passphrase=*/"");
+int doRemoteStats(const std::string& address, const std::string& tenant,
+                  const std::string& passphrase) {
+  RemoteDedupClient client(address, tenant, passphrase);
   printf("%s\n", client.statsJson().c_str());
   return 0;
 }
 
-int doRemoteShutdown(const std::string& address, const std::string& tenant) {
-  RemoteDedupClient client(address, tenant, /*passphrase=*/"");
+int doRemoteShutdown(const std::string& address, const std::string& tenant,
+                     const std::string& passphrase) {
+  RemoteDedupClient client(address, tenant, passphrase);
   client.shutdownServer();
   printf("shutdown requested\n");
   return 0;
@@ -455,6 +462,10 @@ int main(int argc, char** argv) {
   const std::string remote = extractOption(argc, argv, "remote");
   std::string tenant = extractOption(argc, argv, "tenant");
   if (tenant.empty()) tenant = "default";
+  // Tenant credential for remote subcommands that take no positional
+  // passphrase (the daemon authenticates every Hello against the tenant's
+  // registered verifier).
+  const std::string pass = extractOption(argc, argv, "pass");
   const std::string mode = argc > 1 ? argv[1] : "demo";
   try {
     if (!remote.empty()) {
@@ -463,19 +474,22 @@ int main(int argc, char** argv) {
       if (mode == "restore" && argc == 4)
         return doRemoteRestore(remote, tenant, argv[2], argv[3]);
       if (mode == "delete" && argc == 3)
-        return doRemoteDelete(remote, tenant, argv[2]);
-      if (mode == "list" && argc == 2) return doRemoteList(remote, tenant);
-      if (mode == "stats" && argc == 2) return doRemoteStats(remote, tenant);
+        return doRemoteDelete(remote, tenant, pass, argv[2]);
+      if (mode == "list" && argc == 2)
+        return doRemoteList(remote, tenant, pass);
+      if (mode == "stats" && argc == 2)
+        return doRemoteStats(remote, tenant, pass);
       if (mode == "shutdown" && argc == 2)
-        return doRemoteShutdown(remote, tenant);
+        return doRemoteShutdown(remote, tenant, pass);
       fprintf(stderr,
               "usage (remote): backup_system backup <source> <passphrase> "
               "--remote=<addr> [--tenant=<id>]\n"
               "                backup_system restore <dest> <passphrase> "
               "--remote=<addr> [--tenant=<id>]\n"
-              "                backup_system delete <name> --remote=<addr>\n"
+              "                backup_system delete <name> --remote=<addr> "
+              "[--pass=<passphrase>]\n"
               "                backup_system list|stats|shutdown "
-              "--remote=<addr>\n");
+              "--remote=<addr> [--pass=<passphrase>]\n");
       return 2;
     }
     if (mode == "serve" && argc == 4) return doServe(argv[2], argv[3]);

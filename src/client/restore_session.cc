@@ -64,8 +64,9 @@ class BatchPlanner {
  public:
   explicit BatchPlanner(const RestoreOptions& options) : options_(options) {}
 
-  /// Feed entry `index` (consecutive from 0) of `sizeBytes` ciphertext
-  /// placed in `container`.
+  /// Feed entry `index` (consecutive from any starting entry — range
+  /// restores begin mid-recipe) of `sizeBytes` ciphertext placed in
+  /// `container`.
   void add(size_t index, uint32_t sizeBytes, uint32_t container) {
     bool newContainer =
         std::find(containers_.begin(), containers_.end(), container) ==
@@ -81,6 +82,7 @@ class BatchPlanner {
       containers_.clear();
       newContainer = true;
     }
+    if (current_.end == current_.begin) current_.begin = index;  // first add
     current_.end = index + 1;
     batchBytes_ += sizeBytes;
     if (newContainer) containers_.push_back(container);
@@ -115,6 +117,71 @@ RestoreSession::RestoreSession(DedupClient& client, FileRecipe fileRecipe,
 RestoreSession::~RestoreSession() = default;
 
 uint64_t RestoreSession::streamTo(const ByteSink& sink) {
+  const uint64_t streamed =
+      streamEntries(0, fileRecipe_.entries.size(), sink);
+  if (streamed != fileRecipe_.fileSize)
+    throw std::runtime_error("restore: size mismatch for " +
+                             fileRecipe_.fileName);
+  return streamed;
+}
+
+void RestoreSession::ensureEntryStarts() {
+  if (!entryStarts_.empty()) return;
+  const std::vector<RecipeEntry>& entries = fileRecipe_.entries;
+  std::vector<uint64_t> starts;
+  starts.reserve(entries.size() + 1);
+  uint64_t at = 0;
+  starts.push_back(at);
+  for (const RecipeEntry& e : entries) {
+    at += e.size;
+    starts.push_back(at);
+  }
+  // CTR preserves length, so entry sizes are plaintext sizes and must sum
+  // to the recipe's file size; a recipe that disagrees with itself would
+  // silently mis-map offsets.
+  if (at != fileRecipe_.fileSize)
+    throw std::runtime_error("restore: size mismatch for " +
+                             fileRecipe_.fileName);
+  entryStarts_ = std::move(starts);
+}
+
+uint64_t RestoreSession::streamRange(uint64_t offset, uint64_t length,
+                                     const ByteSink& sink) {
+  const uint64_t size = fileRecipe_.fileSize;
+  if (offset >= size || length == 0) return 0;
+  const uint64_t want = std::min(length, size - offset);
+  ensureEntryStarts();
+  // Entry window covering [offset, offset + want): the entry containing
+  // `offset` through the entry containing the last requested byte.
+  const size_t entryBegin = static_cast<size_t>(
+      std::upper_bound(entryStarts_.begin(), entryStarts_.end(), offset) -
+      entryStarts_.begin() - 1);
+  const size_t entryEnd = static_cast<size_t>(
+      std::upper_bound(entryStarts_.begin(), entryStarts_.end(),
+                       offset + want - 1) -
+      entryStarts_.begin());
+  uint64_t skip = offset - entryStarts_[entryBegin];
+  uint64_t remaining = want;
+  streamEntries(entryBegin, entryEnd, [&](ByteView bytes) {
+    if (skip >= bytes.size()) {
+      skip -= bytes.size();
+      return;
+    }
+    bytes = bytes.subspan(static_cast<size_t>(skip));
+    skip = 0;
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(bytes.size(), remaining));
+    if (take > 0) sink(bytes.subspan(0, take));
+    remaining -= take;
+  });
+  if (remaining != 0)
+    throw std::runtime_error("restore: size mismatch for " +
+                             fileRecipe_.fileName);
+  return want;
+}
+
+uint64_t RestoreSession::streamEntries(size_t entryBegin, size_t entryEnd,
+                                       const ByteSink& sink) {
   RestoreMetrics& m = RestoreMetrics::get();
   obs::ObsSpan streamSpan(&m.streamUs, "restore.stream", "restore");
   const std::vector<RecipeEntry>& entries = fileRecipe_.entries;
@@ -134,9 +201,9 @@ uint64_t RestoreSession::streamTo(const ByteSink& sink) {
   BatchPlanner planner(options);
   {
     std::vector<Fp> sliceFps;
-    sliceFps.reserve(std::min(kLocatorSlice, entries.size()));
-    for (size_t off = 0; off < entries.size(); off += kLocatorSlice) {
-      const size_t count = std::min(kLocatorSlice, entries.size() - off);
+    sliceFps.reserve(std::min(kLocatorSlice, entryEnd - entryBegin));
+    for (size_t off = entryBegin; off < entryEnd; off += kLocatorSlice) {
+      const size_t count = std::min(kLocatorSlice, entryEnd - off);
       sliceFps.clear();
       for (size_t k = 0; k < count; ++k)
         sliceFps.push_back(entries[off + k].cipherFp);
@@ -217,9 +284,6 @@ uint64_t RestoreSession::streamTo(const ByteSink& sink) {
       options.readAheadBatches > 0 ? pool : nullptr, options.readAheadBatches,
       batches.size(), fetchBatch, emitBatch);
 
-  if (streamed != fileRecipe_.fileSize)
-    throw std::runtime_error("restore: size mismatch for " +
-                             fileRecipe_.fileName);
   return streamed;
 }
 

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "storage/recipe.h"
@@ -86,6 +87,16 @@ class RestoreSession {
   /// reordered bytes. Repeatable: each call performs a full pass.
   uint64_t streamTo(const ByteSink& sink);
 
+  /// Streams the plaintext range [offset, offset + length) to `sink`,
+  /// clamped to the object end; returns the bytes streamed (0 when `offset`
+  /// is at or past the end). Only the chunks covering the range are fetched
+  /// and verified — the same planner/prefetch/verify pipeline as streamTo
+  /// over the covering entry window — so serving a bounded range out of an
+  /// arbitrarily large object costs O(range + batch), not O(object). The
+  /// server daemon's restore-range protocol is built on this. Repeatable
+  /// and usable at any offset order.
+  uint64_t streamRange(uint64_t offset, uint64_t length, const ByteSink& sink);
+
   /// Convenience: materializes the whole object (for callers that need it in
   /// memory; prefer streamTo for large objects).
   [[nodiscard]] ByteVec readAll();
@@ -103,9 +114,21 @@ class RestoreSession {
   RestoreSession(DedupClient& client, FileRecipe fileRecipe,
                  KeyRecipe keyRecipe);
 
+  /// The shared pipeline: streams recipe entries [entryBegin, entryEnd) to
+  /// `sink` and returns the bytes emitted.
+  uint64_t streamEntries(size_t entryBegin, size_t entryEnd,
+                         const ByteSink& sink);
+
+  /// Builds entryStarts_ (lazily, first range call) and validates that the
+  /// entry sizes sum to the recipe's file size.
+  void ensureEntryStarts();
+
   DedupClient* client_;
   FileRecipe fileRecipe_;
   KeyRecipe keyRecipe_;
+  /// entryStarts_[i] = plaintext offset of entry i; size entries + 1 so
+  /// entryStarts_.back() == fileSize. Empty until the first streamRange.
+  std::vector<uint64_t> entryStarts_;
 };
 
 }  // namespace freqdedup

@@ -1,9 +1,49 @@
 #include "common/rng.h"
 
+#include <fcntl.h>
+#include <sys/random.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <stdexcept>
 
 namespace freqdedup {
+
+void secureRandomBytes(void* out, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(out);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::getrandom(p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    break;  // ENOSYS or other failure: fall back to /dev/urandom
+  }
+  if (got == n) return;
+  const int fd = ::open("/dev/urandom", O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw std::runtime_error("secureRandomBytes: no entropy source");
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    ::close(fd);
+    throw std::runtime_error("secureRandomBytes: /dev/urandom read failed");
+  }
+  ::close(fd);
+}
+
+uint64_t secureSeed() {
+  uint64_t seed = 0;
+  secureRandomBytes(&seed, sizeof(seed));
+  return seed;
+}
 
 namespace {
 constexpr uint64_t rotl(uint64_t x, int k) {

@@ -15,6 +15,16 @@
 
 namespace freqdedup {
 
+/// Fills `out` with operating-system entropy (getrandom(2), falling back to
+/// /dev/urandom). Use for every seed/salt/IV whose repetition would be a
+/// security bug — a deterministic Rng seed repeats its whole output stream
+/// across process restarts. Throws std::runtime_error if no entropy source
+/// is available.
+void secureRandomBytes(void* out, size_t n);
+
+/// One OS-entropy 64-bit seed (secureRandomBytes convenience).
+uint64_t secureSeed();
+
 /// xoshiro256** seeded via SplitMix64. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

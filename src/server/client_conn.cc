@@ -116,7 +116,18 @@ bool RemoteDedupClient::deleteBackup(const std::string& name) {
 }
 
 std::vector<std::string> RemoteDedupClient::listBackups() {
-  return decodeListResult(roundTrip(encode(ListBackups{}))).names;
+  // The server pages its reply (sorted names, bounded bytes per frame);
+  // follow the continuation cursor until the page is complete.
+  std::vector<std::string> all;
+  ListBackups req;
+  while (true) {
+    const ListResult page = decodeListResult(roundTrip(encode(req)));
+    all.insert(all.end(), page.names.begin(), page.names.end());
+    if (!page.truncated) return all;
+    if (page.names.empty())
+      throw std::runtime_error("list: truncated page without names");
+    req.startAfter = all.back();
+  }
 }
 
 std::string RemoteDedupClient::statsJson() {

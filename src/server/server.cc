@@ -16,6 +16,8 @@
 #include <utility>
 
 #include "chunking/cdc_chunker.h"
+#include "common/bytes.h"
+#include "common/rng.h"
 #include "common/varint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -35,12 +37,18 @@ constexpr char kServerSecret[] = "backup-system-global-secret";
 /// budget instead of pinning a pool thread forever.
 constexpr time_t kConnTimeoutSec = 60;
 
+/// Per-connection caps on concurrently open streams, so one client cannot
+/// pin unbounded session state (recipes, key material) server-side.
+constexpr size_t kMaxOpenBackupsPerConn = 64;
+constexpr size_t kMaxOpenRestoresPerConn = 64;
+
 struct ServerMetrics {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   obs::Counter& connectionsOpened = reg.counter("server.connections_opened");
   obs::Counter& connectionsClosed = reg.counter("server.connections_closed");
   obs::Counter& requests = reg.counter("server.requests");
   obs::Counter& requestErrors = reg.counter("server.request_errors");
+  obs::Counter& authFailures = reg.counter("server.auth_failures");
   obs::Counter& framesRx = reg.counter("server.frames_rx");
   obs::Counter& framesTx = reg.counter("server.frames_tx");
   obs::Counter& bytesRx = reg.counter("server.bytes_rx");
@@ -64,17 +72,24 @@ struct FreqDedupServer::Conn {
   Fd fd;
   std::atomic<bool> busy{false};
   std::atomic<bool> dead{false};
+  /// Unix-socket peer with the daemon's uid (or root) per SO_PEERCRED; the
+  /// only peers allowed to request shutdown. Never set for TCP.
+  bool privileged = false;
 
   // All fields below are only touched by the single active server thread.
   bool helloDone = false;
   std::string tenant;
   AesKey userKey{};
-  Rng rng{1};
+  /// Seeds the recipe-sealing IV stream. MUST come from OS entropy: a
+  /// deterministic seed (connection counter, tenant hash, ...) would replay
+  /// the same AES-CTR IV sequence after a daemon restart and break the
+  /// sealing under every reused (key, IV) pair.
+  Rng rng{secureSeed()};
   uint64_t nextId = 1;
   std::map<uint64_t, std::unique_ptr<BackupSession>> backups;
   struct OpenRestore {
     std::string name;
-    ByteVec data;  // materialized server-side; the wire stays frame-bounded
+    RestoreSession session;  // ranges stream on demand; nothing materialized
   };
   std::map<uint64_t, OpenRestore> restores;
 };
@@ -243,6 +258,13 @@ void FreqDedupServer::pollLoop() {
         auto conn = std::make_shared<Conn>();
         conn->id = nextConnId_.fetch_add(1);
         conn->fd = Fd(cfd);
+        if (bound_.kind == Address::Kind::kUnix) {
+          ucred cred{};
+          socklen_t credLen = sizeof(cred);
+          if (::getsockopt(cfd, SOL_SOCKET, SO_PEERCRED, &cred, &credLen) ==
+              0)
+            conn->privileged = cred.uid == ::geteuid() || cred.uid == 0;
+        }
         m.connectionsOpened.add();
         m.activeConnections.add();
         std::lock_guard lock(connsMu_);
@@ -343,10 +365,19 @@ bool FreqDedupServer::dispatch(const std::shared_ptr<Conn>& conn,
       markDead(conn);
       return false;
     }
+    // The claimed tenant id is only honored once the passphrase matches the
+    // tenant's persisted verifier (established first-connect-wins); a remote
+    // peer can no longer list/overwrite/delete another tenant's backups by
+    // merely naming it in Hello.
+    if (!authenticateTenant(hello.tenant, hello.passphrase)) {
+      ServerMetrics::get().authFailures.add();
+      sendError(conn, ErrorCode::kAuthFailed,
+                "tenant authentication failed for \"" + hello.tenant + "\"");
+      markDead(conn);
+      return false;
+    }
     conn->tenant = hello.tenant;
     conn->userKey = userKeyFromPassphrase(hello.passphrase);
-    conn->rng.reseed(mix64(conn->id) ^
-                     std::hash<std::string>{}(hello.tenant));
     conn->helloDone = true;
     sendReply(conn, encode(HelloOk{}));
     return false;
@@ -361,6 +392,11 @@ bool FreqDedupServer::dispatch(const std::shared_ptr<Conn>& conn,
         const BackupOpen req = decodeBackupOpen(payload);
         if (req.name.empty()) {
           sendError(conn, ErrorCode::kBadRequest, "empty backup name");
+          return false;
+        }
+        if (conn->backups.size() >= kMaxOpenBackupsPerConn) {
+          sendError(conn, ErrorCode::kBadRequest,
+                    "too many open backups on this connection");
           return false;
         }
         const uint64_t id = conn->nextId++;
@@ -420,7 +456,7 @@ bool FreqDedupServer::dispatch(const std::shared_ptr<Conn>& conn,
         return false;
 
       case MsgType::kList:
-        handleList(conn);
+        handleList(conn, payload);
         return false;
 
       case MsgType::kStats:
@@ -432,6 +468,14 @@ bool FreqDedupServer::dispatch(const std::shared_ptr<Conn>& conn,
         if (!options_.allowShutdown) {
           sendError(conn, ErrorCode::kBadRequest,
                     "shutdown disabled on this server");
+          return false;
+        }
+        if (!conn->privileged) {
+          // Only a unix-socket peer running as the daemon's user (or root)
+          // may stop the daemon; any tenant credential alone must not be
+          // able to deny service to every other tenant.
+          sendError(conn, ErrorCode::kBadRequest,
+                    "shutdown requires a privileged local peer");
           return false;
         }
         sendReply(conn, encode(Ok{}));
@@ -543,6 +587,11 @@ bool FreqDedupServer::handleBackupFinish(const std::shared_ptr<Conn>& conn,
 void FreqDedupServer::handleRestoreOpen(const std::shared_ptr<Conn>& conn,
                                         ByteView payload) {
   const RestoreOpen req = decodeRestoreOpen(payload);
+  if (conn->restores.size() >= kMaxOpenRestoresPerConn) {
+    sendError(conn, ErrorCode::kBadRequest,
+              "too many open restores on this connection");
+    return;
+  }
   const std::string scoped = scopedBackupName(conn->tenant, req.name);
   const bool exists = client_->withStore([&](BackupStore& s) {
     return s.getBlob(DedupClient::recipeBlobName(scoped)).has_value();
@@ -551,12 +600,16 @@ void FreqDedupServer::handleRestoreOpen(const std::shared_ptr<Conn>& conn,
     sendError(conn, ErrorCode::kNotFound, "no such backup: " + req.name);
     return;
   }
+  // Opening only loads the recipes; ranges stream chunk batches on demand,
+  // so an open restore costs O(recipe), never O(object) — a client opening
+  // a terabyte backup no longer makes the daemon materialize it. Chunk
+  // verification consequently happens per range: a corrupt chunk surfaces
+  // as a kServerError on the RestoreRange that covers it.
   RestoreSession session = client_->beginRestore(scoped, conn->userKey);
-  ByteVec data = session.readAll();
-  const uint64_t size = data.size();
+  const uint64_t size = session.size();
   const uint64_t id = conn->nextId++;
   conn->restores.emplace(id,
-                         Conn::OpenRestore{req.name, std::move(data)});
+                         Conn::OpenRestore{req.name, std::move(session)});
   tenants_.recordRestore(conn->tenant);
   sendReply(conn, encode(RestoreOpened{id, size}));
 }
@@ -569,16 +622,14 @@ void FreqDedupServer::handleRestoreRange(const std::shared_ptr<Conn>& conn,
     sendError(conn, ErrorCode::kBadRequest, "unknown restore id");
     return;
   }
-  const ByteVec& data = it->second.data;
+  RestoreSession& session = it->second.session;
   RestoreData out;
-  if (req.offset < data.size()) {
-    const uint64_t len = std::min({req.length,
-                                   static_cast<uint64_t>(kMaxDataBytes),
-                                   data.size() - req.offset});
-    out.data.assign(data.begin() + static_cast<ptrdiff_t>(req.offset),
-                    data.begin() + static_cast<ptrdiff_t>(req.offset + len));
-  }
-  // offset at/past the end returns an empty range (clean EOF signal).
+  const uint64_t len =
+      std::min(req.length, static_cast<uint64_t>(kMaxDataBytes));
+  // offset at/past the end streams nothing — an empty range is the clean
+  // EOF signal.
+  session.streamRange(req.offset, len,
+                      [&out](ByteView bytes) { appendBytes(out.data, bytes); });
   sendReply(conn, encode(out));
 }
 
@@ -607,12 +658,53 @@ void FreqDedupServer::handleDelete(const std::shared_ptr<Conn>& conn,
   sendReply(conn, encode(Ok{}));
 }
 
-void FreqDedupServer::handleList(const std::shared_ptr<Conn>& conn) {
-  ListResult out;
+void FreqDedupServer::handleList(const std::shared_ptr<Conn>& conn,
+                                 ByteView payload) {
+  const ListBackups req = decodeListBackups(payload);
+  std::vector<std::string> names;
   for (const std::string& scoped : client_->listBackups())
     if (auto bare = unscopeBackupName(conn->tenant, scoped))
-      out.names.push_back(std::move(*bare));
+      if (*bare > req.startAfter) names.push_back(std::move(*bare));
+  std::sort(names.begin(), names.end());
+  // One sorted page per reply, bounded by the byte budget so the encoded
+  // frame can never outgrow kMaxFrameBytes no matter how many backups a
+  // tenant holds; the client continues from names.back() while truncated.
+  ListResult out;
+  uint64_t budget = options_.listBytesPerReply;
+  for (std::string& name : names) {
+    const uint64_t cost = name.size() + 10;  // name bytes + varint framing
+    if (!out.names.empty() &&
+        (cost > budget || out.names.size() >= kMaxListNames)) {
+      out.truncated = true;
+      break;
+    }
+    budget -= std::min(budget, cost);
+    out.names.push_back(std::move(name));
+  }
   sendReply(conn, encode(out));
+}
+
+bool FreqDedupServer::authenticateTenant(const std::string& tenant,
+                                         const std::string& passphrase) {
+  const std::string blobName = authBlobName(tenant);
+  std::optional<ByteVec> record = client_->withStore(
+      [&](BackupStore& s) { return s.getBlob(blobName); });
+  if (record) return checkAuthVerifier(*record, passphrase);
+  // First Hello for this tenant: register its verifier. The KDF — the
+  // expensive part — runs outside the store lock; the put-if-absent under
+  // the lock makes two racing first connects deterministic (one registers,
+  // the other re-verifies against the winner's record).
+  const ByteVec fresh = makeAuthVerifier(passphrase);
+  bool registered = false;
+  record = client_->withStore(
+      [&](BackupStore& s) -> std::optional<ByteVec> {
+        if (auto existing = s.getBlob(blobName)) return existing;
+        s.putBlob(blobName, fresh);
+        registered = true;
+        return std::nullopt;
+      });
+  if (registered) return true;
+  return checkAuthVerifier(*record, passphrase);
 }
 
 void FreqDedupServer::handleStats(const std::shared_ptr<Conn>& conn) {

@@ -20,11 +20,22 @@
 // worker thread hostage on fdatasync: the response is sent from the log
 // syncer's completion callback.
 //
-// Tenancy: the first frame must be a Hello naming the tenant; all backup
-// names are scoped to "t/<tenant>/..." store-side (see tenant.h), quotas are
-// enforced at finish (a rejected backup's chunks stay unreferenced and are
-// reclaimed by the next GC), and per-tenant counters — including the
-// cross-tenant dedup leakage surface — flow into MetricsRegistry::global().
+// Tenancy: the first frame must be a Hello naming the tenant AND presenting
+// that tenant's passphrase — verified against a salted-KDF verifier blob
+// persisted in the store on the tenant's first Hello (first-connect-wins
+// registration; see tenant.h), so a remote peer cannot operate inside
+// another tenant's namespace by merely claiming its id. All backup names
+// are scoped to "t/<tenant>/..." store-side, quotas are enforced at finish
+// (a rejected backup's chunks stay unreferenced and are reclaimed by the
+// next GC), and per-tenant counters — including the cross-tenant dedup
+// leakage surface — flow into MetricsRegistry::global().
+//
+// Resource bounds: restores are served by streaming ranges straight off the
+// RestoreSession (never materializing the object server-side), and one
+// connection may hold at most kMaxOpenBackupsPerConn / kMaxOpenRestoresPerConn
+// concurrent streams. Shutdown additionally requires a privileged peer: a
+// unix-socket connection whose SO_PEERCRED uid is the daemon's (or root) —
+// TCP peers can never shut the daemon down.
 #pragma once
 
 #include <atomic>
@@ -62,9 +73,16 @@ struct ServerOptions {
   /// (MinHash + scrambling), matching the backup_system tool.
   BackupOptions backupOptions;
   RestoreOptions restoreOptions;
-  /// Whether remote peers may request daemon shutdown (on for the CLI
-  /// daemon, off when embedding the server in tests that manage lifetime).
+  /// Whether privileged peers (unix-socket, same uid as the daemon or root)
+  /// may request daemon shutdown (on for the CLI daemon, off when embedding
+  /// the server in tests that manage lifetime). Unprivileged peers — every
+  /// TCP connection included — are always refused regardless of this flag.
   bool allowShutdown = true;
+  /// Byte budget for one ListResult page (names + framing overhead); a
+  /// tenant with more backups gets a truncated page and continues via
+  /// ListBackups.startAfter. At least one name is always returned, so tiny
+  /// test budgets still make progress.
+  uint64_t listBytesPerReply = 1u << 20;
 };
 
 class FreqDedupServer {
@@ -128,8 +146,12 @@ class FreqDedupServer {
   void handleRestoreOpen(const std::shared_ptr<Conn>& conn, ByteView payload);
   void handleRestoreRange(const std::shared_ptr<Conn>& conn, ByteView payload);
   void handleDelete(const std::shared_ptr<Conn>& conn, ByteView payload);
-  void handleList(const std::shared_ptr<Conn>& conn);
+  void handleList(const std::shared_ptr<Conn>& conn, ByteView payload);
   void handleStats(const std::shared_ptr<Conn>& conn);
+  /// Verifies (or, on a tenant's first Hello, establishes) the tenant
+  /// passphrase verifier. Returns false on mismatch.
+  bool authenticateTenant(const std::string& tenant,
+                          const std::string& passphrase);
 
   std::string storeDir_;
   ServerOptions options_;

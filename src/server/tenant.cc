@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+#include "common/rng.h"
 #include "common/varint.h"
 #include "obs/metrics.h"
 #include "server/wire.h"  // kMaxTenantBytes
@@ -12,6 +14,19 @@ namespace {
 
 constexpr char kScopedPrefix[] = "t/";
 constexpr char kUsagePrefix[] = "tenantu:";
+constexpr char kAuthPrefix[] = "tenanta:";
+
+constexpr size_t kAuthSaltBytes = 16;
+constexpr size_t kAuthDigestBytes = 32;
+/// Iterated-HMAC stretching: ~milliseconds per Hello, chosen so the KDF is
+/// an annoyance for online guessing without making tests crawl.
+constexpr int kAuthKdfIterations = 10000;
+
+Digest authDigest(ByteView salt, const std::string& passphrase) {
+  Digest d = hmacSha256(salt, toBytes("tenant-auth:" + passphrase));
+  for (int i = 1; i < kAuthKdfIterations; ++i) d = hmacSha256(salt, d.view());
+  return d;
+}
 
 }  // namespace
 
@@ -36,6 +51,32 @@ std::optional<std::string> unscopeBackupName(const std::string& tenant,
 
 std::string TenantRegistry::usageBlobName(const std::string& scopedName) {
   return kUsagePrefix + scopedName;
+}
+
+std::string authBlobName(const std::string& tenant) {
+  return kAuthPrefix + tenant;
+}
+
+ByteVec makeAuthVerifier(const std::string& passphrase) {
+  ByteVec record(kAuthSaltBytes);
+  secureRandomBytes(record.data(), kAuthSaltBytes);
+  const Digest d =
+      authDigest(ByteView(record.data(), kAuthSaltBytes), passphrase);
+  appendBytes(record, d.view());
+  return record;
+}
+
+bool checkAuthVerifier(ByteView record, const std::string& passphrase) {
+  if (record.size() != kAuthSaltBytes + kAuthDigestBytes) return false;
+  const Digest d =
+      authDigest(record.subspan(0, kAuthSaltBytes), passphrase);
+  if (d.size != kAuthDigestBytes) return false;
+  // Constant-time comparison: accumulate every byte difference so the
+  // branch depends only on the final OR, never on a prefix match.
+  uint8_t diff = 0;
+  for (size_t i = 0; i < kAuthDigestBytes; ++i)
+    diff |= static_cast<uint8_t>(record[kAuthSaltBytes + i] ^ d.bytes[i]);
+  return diff == 0;
 }
 
 void TenantRegistry::loadFrom(BackupStore& store) {

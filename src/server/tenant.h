@@ -62,6 +62,26 @@ std::string scopedBackupName(const std::string& tenant,
 std::optional<std::string> unscopeBackupName(const std::string& tenant,
                                              const std::string& scoped);
 
+// ---- Tenant authentication ----
+//
+// A tenant id is only trusted once its Hello passphrase matches a verifier
+// persisted in the store ("tenanta:<tenant>" blob, created on the tenant's
+// FIRST Hello — first-connect-wins registration). The verifier is
+// [salt 16][digest 32] with digest = HMAC-SHA-256(salt, passphrase)
+// iterated kAuthKdfIterations times; comparison is constant-time. The KDF
+// is iterated-HMAC, not memory-hard — operators should hand tenants
+// high-entropy passphrases, not human-memorable ones.
+
+/// Store blob that persists one tenant's passphrase verifier.
+std::string authBlobName(const std::string& tenant);
+
+/// Builds a fresh verifier record (OS-entropy salt) for a passphrase.
+ByteVec makeAuthVerifier(const std::string& passphrase);
+
+/// Constant-time check of a passphrase against a stored verifier record.
+/// A malformed record never verifies.
+bool checkAuthVerifier(ByteView record, const std::string& passphrase);
+
 /// How one committed backup deduplicated, as classified against the
 /// writer's own prior chunks.
 struct DedupClassification {

@@ -339,15 +339,23 @@ DeleteBackup decodeDeleteBackup(ByteView payload) {
   return m;
 }
 
-ByteVec encode(const ListBackups&) { return begin(MsgType::kList); }
+ByteVec encode(const ListBackups& m) {
+  ByteVec out = begin(MsgType::kList);
+  putStr(out, m.startAfter);
+  return out;
+}
 
 ListBackups decodeListBackups(ByteView payload) {
-  decodeEmpty(payload, MsgType::kList, "ListBackups");
-  return {};
+  WireReader r = open(payload, MsgType::kList, "ListBackups");
+  ListBackups m;
+  m.startAfter = r.str(kMaxNameBytes);
+  r.expectEnd();
+  return m;
 }
 
 ByteVec encode(const ListResult& m) {
   ByteVec out = begin(MsgType::kListResult);
+  out.push_back(m.truncated ? 1 : 0);
   putVarint(out, m.names.size());
   for (const std::string& n : m.names) putStr(out, n);
   return out;
@@ -355,12 +363,15 @@ ByteVec encode(const ListResult& m) {
 
 ListResult decodeListResult(ByteView payload) {
   WireReader r = open(payload, MsgType::kListResult, "ListResult");
+  const uint8_t truncated = r.u8();
+  if (truncated > 1) throw WireError("bad truncated flag");
   const uint64_t count = r.varint();
   if (count > kMaxListNames) throw WireError("list count exceeds cap");
   // Each name costs at least one length byte, so `count` can never exceed
   // the remaining payload — checked before reserving anything.
   if (count > r.remaining()) throw WireError("list count exceeds payload");
   ListResult m;
+  m.truncated = truncated != 0;
   m.names.reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) m.names.push_back(r.str(kMaxNameBytes));
   r.expectEnd();
@@ -414,7 +425,7 @@ ErrorReply decodeErrorReply(ByteView payload) {
   ErrorReply m;
   const uint32_t code = r.u32();
   if (code < static_cast<uint32_t>(ErrorCode::kBadRequest) ||
-      code > static_cast<uint32_t>(ErrorCode::kShuttingDown))
+      code > static_cast<uint32_t>(ErrorCode::kAuthFailed))
     throw WireError("unknown error code");
   m.code = static_cast<ErrorCode>(code);
   m.message = r.str(kMaxErrorBytes);

@@ -33,7 +33,9 @@
 namespace freqdedup::server {
 
 /// Protocol revision; Hello carries it and the server rejects mismatches.
-inline constexpr uint32_t kWireVersion = 1;
+/// v2: tenant passphrase verification (kAuthFailed) and paginated List
+/// (ListBackups.startAfter / ListResult.truncated).
+inline constexpr uint32_t kWireVersion = 2;
 
 /// First u32 of a Hello payload body ("FDDP"): lets the server reject a
 /// non-protocol peer on the first frame with a clean error.
@@ -94,6 +96,7 @@ enum class ErrorCode : uint32_t {
   kProtocol = 4,       // malformed frame/message; connection is closed
   kServerError = 5,    // internal failure executing a valid request
   kShuttingDown = 6,   // daemon is draining; retry against a new server
+  kAuthFailed = 7,     // Hello passphrase does not match the tenant verifier
 };
 
 // ---- Messages ----
@@ -168,10 +171,17 @@ struct DeleteBackup {
   std::string name;
 };
 
-struct ListBackups {};
+struct ListBackups {
+  /// Pagination cursor: only names strictly greater (bytewise) than this are
+  /// returned. Empty starts from the beginning.
+  std::string startAfter;
+};
 
 struct ListResult {
-  std::vector<std::string> names;
+  std::vector<std::string> names;  // sorted ascending within one page
+  /// More names follow; re-request with startAfter = names.back(). Keeps
+  /// every reply frame-bounded no matter how many backups a tenant owns.
+  bool truncated = false;
 };
 
 struct StatsRequest {};

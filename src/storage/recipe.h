@@ -53,7 +53,12 @@ ByteVec serializeKeyRecipe(const KeyRecipe& recipe);
 KeyRecipe parseKeyRecipe(ByteView bytes);
 
 /// Conventional (randomized) encryption of recipe bytes under the user key:
-/// a fresh random IV is prepended to the AES-256-CTR ciphertext.
+/// a fresh random IV is prepended to the AES-256-CTR ciphertext. The IV is
+/// drawn from `rng`, so CTR security rests on that stream never repeating
+/// under one key: production callers MUST seed it from OS entropy
+/// (secureSeed()) — a fixed or restart-deterministic seed replays the IV
+/// sequence and keystream reuse exposes the recipes. Deterministic seeds
+/// are for tests only.
 ByteVec sealWithUserKey(const AesKey& userKey, ByteView plaintext, Rng& rng);
 
 /// Inverse of sealWithUserKey; throws std::runtime_error on truncated input.

@@ -10,6 +10,7 @@
 //    container exactly once.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <tuple>
 
@@ -282,6 +283,66 @@ TEST_F(RestoreVerificationBehavior, UntamperedInputSucceedsOnBothPaths) {
   EXPECT_EQ(legacyError(outcome_.fileRecipe, outcome_.keyRecipe), "");
   EXPECT_EQ(batchedError(outcome_.fileRecipe, outcome_.keyRecipe, 1), "");
   EXPECT_EQ(batchedError(outcome_.fileRecipe, outcome_.keyRecipe, 8), "");
+}
+
+// --- streamRange: every slice must be byte-identical to the same slice of
+// the full object, at arbitrary offsets and in arbitrary call order. ---
+
+using RestoreRangeSlices = RestoreVerificationBehavior;
+
+TEST_F(RestoreRangeSlices, StreamRangeMatchesContentSlices) {
+  DedupClient client(store_, restoreOptionsFor(2));
+  RestoreSession session =
+      client.beginRestore(outcome_.fileRecipe, outcome_.keyRecipe);
+  const uint64_t size = content_.size();
+  ASSERT_EQ(session.size(), size);
+
+  const auto expectRange = [&](uint64_t offset, uint64_t length) {
+    ByteVec got;
+    const uint64_t n = session.streamRange(
+        offset, length, [&](ByteView b) { appendBytes(got, b); });
+    const uint64_t want =
+        offset >= size ? 0 : std::min<uint64_t>(length, size - offset);
+    EXPECT_EQ(n, want) << "offset=" << offset << " length=" << length;
+    ASSERT_EQ(got.size(), want) << "offset=" << offset;
+    if (want > 0)
+      EXPECT_EQ(got,
+                ByteVec(content_.begin() + static_cast<ptrdiff_t>(offset),
+                        content_.begin() + static_cast<ptrdiff_t>(offset +
+                                                                  want)))
+          << "offset=" << offset << " length=" << length;
+  };
+
+  // Degenerate and clamped edges.
+  expectRange(0, 0);
+  expectRange(0, 1);
+  expectRange(size - 1, 1);
+  expectRange(size - 7, 1000);  // clamped at the end
+  expectRange(size, 10);        // at EOF: empty
+  expectRange(size + 5, 1);     // past EOF: empty
+  expectRange(0, size);         // the whole object as one range
+  expectRange(12345, 70000);    // unaligned mid-object slice
+
+  // Chunk-boundary offsets (exactly at, and straddling, entry edges).
+  uint64_t at = 0;
+  size_t probed = 0;
+  for (const RecipeEntry& e : outcome_.fileRecipe.entries) {
+    at += e.size;
+    if (at >= size || ++probed > 8) break;
+    expectRange(at, 1);
+    expectRange(at - 1, 2);
+    expectRange(at, e.size);
+  }
+
+  // Random slices, deliberately out of order; the session is reusable.
+  Rng rng(77);
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t offset = rng.next() % (size + 100);
+    const uint64_t length = 1 + rng.next() % (size / 3);
+    expectRange(offset, length);
+  }
+  // A full pass still works after arbitrary range calls.
+  expectRange(0, size);
 }
 
 }  // namespace

@@ -297,6 +297,142 @@ TEST_F(ServerE2E, RemoteShutdownRejectedWhenDisallowed) {
   EXPECT_FALSE(server_->shutdownRequested());
 }
 
+TEST_F(ServerE2E, WrongTenantPassphraseIsRejected) {
+  startServer();
+  // First Hello registers the tenant's verifier...
+  { RemoteDedupClient client = connect("acme"); }
+  // ...after which a mismatching passphrase is an auth failure and the
+  // connection is closed (no post-failure requests sneak through).
+  Fd fd = rawConnect();
+  Hello hello;
+  hello.tenant = "acme";
+  hello.passphrase = "not-pw";
+  writeFrame(fd.get(), encode(hello));
+  const auto reply = readFrame(fd.get());
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(decodeErrorReply(*reply).code, ErrorCode::kAuthFailed);
+  EXPECT_FALSE(readFrame(fd.get()).has_value());
+  // The correct passphrase still works.
+  RemoteDedupClient client = connect("acme");
+  EXPECT_TRUE(client.listBackups().empty());
+}
+
+TEST_F(ServerE2E, AuthVerifierSurvivesRestart) {
+  ServerOptions options;
+  options.address = "unix:" + base_ + "/sock";
+  startServer(options);
+  {
+    RemoteDedupClient client = connect("acme");
+    const RemoteBackup b = client.openBackup("a");
+    client.append(b, randomContent(20, 16 * 1024));
+    client.finishBackup(b);
+  }
+  server_.reset();
+  startServer(options);
+  // The verifier persisted: a wrong passphrase cannot re-register the
+  // tenant after a restart, and the right one still restores.
+  try {
+    RemoteDedupClient bad(server_->boundAddress().str(), "acme", "guess");
+    FAIL() << "wrong passphrase accepted after restart";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kAuthFailed);
+  }
+  RemoteDedupClient client = connect("acme");
+  EXPECT_EQ(client.restoreAll("a"), randomContent(20, 16 * 1024));
+}
+
+TEST_F(ServerE2E, ShutdownRejectedOverTcp) {
+  // Even with allowShutdown on, a TCP peer is never privileged — shutdown
+  // is reserved for same-uid unix-socket peers (SO_PEERCRED).
+  ServerOptions options;
+  options.address = "tcp:127.0.0.1:0";
+  options.allowShutdown = true;
+  startServer(options);
+  RemoteDedupClient client = connect("acme");
+  try {
+    client.shutdownServer();
+    FAIL() << "TCP peer was allowed to shut the daemon down";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+  EXPECT_FALSE(server_->shutdownRequested());
+  // The connection survives the refusal.
+  EXPECT_TRUE(client.listBackups().empty());
+}
+
+TEST_F(ServerE2E, ListPaginatesLargeTenants) {
+  ServerOptions options;
+  options.listBytesPerReply = 32;  // force multi-page listings
+  startServer(options);
+  RemoteDedupClient client = connect("acme");
+  std::vector<std::string> expected;
+  for (int i = 0; i < 12; ++i) {
+    const std::string name = "backup-" + std::to_string(100 + i);
+    client.finishBackup(client.openBackup(name));
+    expected.push_back(name);
+  }
+  // The client walks the continuation cursor transparently...
+  EXPECT_EQ(client.listBackups(), expected);
+
+  // ...and the raw protocol really does truncate and resume.
+  Fd fd = rawConnect();
+  Hello hello;
+  hello.tenant = "acme";
+  hello.passphrase = "pw";
+  writeFrame(fd.get(), encode(hello));
+  ASSERT_TRUE(readFrame(fd.get()).has_value());
+  writeFrame(fd.get(), encode(ListBackups{}));
+  const auto pageRaw = readFrame(fd.get());
+  ASSERT_TRUE(pageRaw.has_value());
+  const ListResult page = decodeListResult(*pageRaw);
+  EXPECT_TRUE(page.truncated);
+  ASSERT_FALSE(page.names.empty());
+  EXPECT_LT(page.names.size(), expected.size());
+  ListBackups next;
+  next.startAfter = page.names.back();
+  writeFrame(fd.get(), encode(next));
+  const auto page2Raw = readFrame(fd.get());
+  ASSERT_TRUE(page2Raw.has_value());
+  const ListResult page2 = decodeListResult(*page2Raw);
+  ASSERT_FALSE(page2.names.empty());
+  EXPECT_GT(page2.names.front(), page.names.back());
+}
+
+TEST_F(ServerE2E, PerConnectionOpenStreamCaps) {
+  startServer();
+  RemoteDedupClient client = connect("acme");
+  client.finishBackup(client.openBackup("obj"));
+
+  Fd fd = rawConnect();
+  Hello hello;
+  hello.tenant = "acme";
+  hello.passphrase = "pw";
+  writeFrame(fd.get(), encode(hello));
+  ASSERT_TRUE(readFrame(fd.get()).has_value());
+  // 64 concurrently open backups are fine; the 65th is a clean semantic
+  // error, and likewise for restores.
+  for (int i = 0; i < 64; ++i) {
+    writeFrame(fd.get(), encode(BackupOpen{"b" + std::to_string(i)}));
+    const auto reply = readFrame(fd.get());
+    ASSERT_TRUE(reply.has_value());
+    decodeBackupOpened(*reply);
+  }
+  writeFrame(fd.get(), encode(BackupOpen{"one-too-many"}));
+  auto reply = readFrame(fd.get());
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(decodeErrorReply(*reply).code, ErrorCode::kBadRequest);
+  for (int i = 0; i < 64; ++i) {
+    writeFrame(fd.get(), encode(RestoreOpen{"obj"}));
+    const auto opened = readFrame(fd.get());
+    ASSERT_TRUE(opened.has_value());
+    decodeRestoreOpened(*opened);
+  }
+  writeFrame(fd.get(), encode(RestoreOpen{"obj"}));
+  reply = readFrame(fd.get());
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(decodeErrorReply(*reply).code, ErrorCode::kBadRequest);
+}
+
 TEST_F(ServerE2E, RestoreRangeSemantics) {
   startServer();
   RemoteDedupClient client = connect("acme");

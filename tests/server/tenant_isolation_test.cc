@@ -141,6 +141,25 @@ TEST_F(TenantIsolation, CannotDeleteAnotherTenantsBackup) {
   EXPECT_TRUE(acme.listBackups().empty());
 }
 
+TEST_F(TenantIsolation, CannotImpersonateAnotherTenant) {
+  startServer();
+  RemoteDedupClient acme = connect("acme");
+  backup(acme, "secret.img", randomContent(12, 64 * 1024));
+
+  // Claiming acme's tenant id with a different passphrase must fail the
+  // handshake outright — the id alone grants nothing once its verifier is
+  // registered, so the namespace (list/restore/delete) is unreachable.
+  try {
+    RemoteDedupClient mallory(server_->boundAddress().str(), "acme",
+                              "pass-mallory");
+    FAIL() << "wrong passphrase connected as acme";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kAuthFailed);
+  }
+  // The legitimate tenant is unaffected.
+  EXPECT_EQ(acme.restoreAll("secret.img"), randomContent(12, 64 * 1024));
+}
+
 TEST_F(TenantIsolation, QuotaExhaustionIsACleanProtocolError) {
   TenantQuota quota;
   quota.maxLogicalBytes = 100 * 1024;

@@ -67,10 +67,13 @@ std::vector<std::pair<ByteVec, Decoder>> corpus() {
       [](ByteView p) { decodeRestoreClose(p); });
   add(encode(DeleteBackup{"old-backup"}), "DeleteBackup",
       [](ByteView p) { decodeDeleteBackup(p); });
-  add(encode(ListBackups{}), "ListBackups",
+  ListBackups listReq;
+  listReq.startAfter = "vm-041.img";
+  add(encode(listReq), "ListBackups",
       [](ByteView p) { decodeListBackups(p); });
   ListResult list;
   list.names = {"a", "vm.img", "nested/name/with/slashes", ""};
+  list.truncated = true;
   add(encode(list), "ListResult", [](ByteView p) { decodeListResult(p); });
   add(encode(StatsRequest{}), "StatsRequest",
       [](ByteView p) { decodeStatsRequest(p); });

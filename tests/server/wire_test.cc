@@ -98,11 +98,26 @@ TEST(Wire, AllMessagesRoundTrip) {
   }
   EXPECT_EQ(decodeRestoreClose(encode(RestoreClose{5})).restoreId, 5u);
   EXPECT_EQ(decodeDeleteBackup(encode(DeleteBackup{"gone"})).name, "gone");
-  decodeListBackups(encode(ListBackups{}));
+  EXPECT_EQ(decodeListBackups(encode(ListBackups{})).startAfter, "");
+  {
+    ListBackups in;
+    in.startAfter = "vm-042.img";
+    EXPECT_EQ(decodeListBackups(encode(in)).startAfter, "vm-042.img");
+  }
   {
     ListResult in;
     in.names = {"a", "b/c", ""};
-    EXPECT_EQ(decodeListResult(encode(in)).names, in.names);
+    const ListResult out = decodeListResult(encode(in));
+    EXPECT_EQ(out.names, in.names);
+    EXPECT_FALSE(out.truncated);
+  }
+  {
+    ListResult in;
+    in.names = {"page-end"};
+    in.truncated = true;
+    const ListResult out = decodeListResult(encode(in));
+    EXPECT_EQ(out.names, in.names);
+    EXPECT_TRUE(out.truncated);
   }
   decodeStatsRequest(encode(StatsRequest{}));
   EXPECT_EQ(decodeStatsResult(encode(StatsResult{"{}"})).json, "{}");
@@ -155,7 +170,16 @@ TEST(Wire, ListCountValidatedAgainstPayload) {
   // rejected before any reserve.
   ByteVec payload;
   payload.push_back(static_cast<uint8_t>(MsgType::kListResult));
+  payload.push_back(0);  // truncated flag
   putVarint(payload, 1u << 19);
+  EXPECT_THROW(decodeListResult(payload), WireError);
+}
+
+TEST(Wire, ListResultRejectsBadTruncatedFlag) {
+  ByteVec payload;
+  payload.push_back(static_cast<uint8_t>(MsgType::kListResult));
+  payload.push_back(7);  // flag must be 0 or 1
+  putVarint(payload, 0);
   EXPECT_THROW(decodeListResult(payload), WireError);
 }
 

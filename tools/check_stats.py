@@ -79,6 +79,12 @@ def check_server(snap):
     closed = counters.get("server.connections_closed", 0)
     if opened <= 0:
         errors.append("server.connections_opened is zero in a daemon dump")
+    # Every auth failure happened on some accepted connection.
+    if counters.get("server.auth_failures", 0) > opened:
+        errors.append(
+            f"server.auth_failures {counters.get('server.auth_failures')} "
+            f"> connections_opened {opened}"
+        )
     if closed > opened:
         errors.append(
             f"server.connections_closed {closed} > connections_opened {opened}"

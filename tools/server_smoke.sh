@@ -52,10 +52,16 @@ wait "$ACME_PID"
 wait "$BETA_PID"
 
 # Namespaces: each tenant lists exactly its own files.
-"$CLIENT" list --remote="$SOCK" --tenant=acme | sort > "$WORK_DIR/acme.list"
+"$CLIENT" list --remote="$SOCK" --tenant=acme --pass=acme-pass | sort > "$WORK_DIR/acme.list"
 printf 'big.bin\nsmall.bin\n' | diff - "$WORK_DIR/acme.list"
-"$CLIENT" list --remote="$SOCK" --tenant=beta | sort > "$WORK_DIR/beta.list"
+"$CLIENT" list --remote="$SOCK" --tenant=beta --pass=beta-pass | sort > "$WORK_DIR/beta.list"
 printf 'big.bin\nother.bin\n' | diff - "$WORK_DIR/beta.list"
+
+# Tenant auth: claiming acme's id with the wrong passphrase must fail.
+if "$CLIENT" list --remote="$SOCK" --tenant=acme --pass=wrong-pass \
+    > /dev/null 2>&1; then
+  echo "wrong passphrase was accepted for tenant acme"; exit 1
+fi
 
 # Restore (concurrently) and byte-compare everything.
 "$CLIENT" restore "$WORK_DIR/out-acme" acme-pass \
@@ -72,18 +78,18 @@ cmp "$WORK_DIR/src-beta/big.bin"   "$WORK_DIR/out-beta/big.bin"
 cmp "$WORK_DIR/src-beta/other.bin" "$WORK_DIR/out-beta/other.bin"
 
 # Live stats over the socket must pass the daemon invariants.
-"$CLIENT" stats --remote="$SOCK" --tenant=acme > "$WORK_DIR/stats.json"
+"$CLIENT" stats --remote="$SOCK" --tenant=acme --pass=acme-pass > "$WORK_DIR/stats.json"
 python3 "$TOOLS_DIR/check_stats.py" "$WORK_DIR/stats.json"
 
 # Delete one backup per tenant; acme's copy of big.bin must survive beta's.
-"$CLIENT" delete small.bin --remote="$SOCK" --tenant=acme
-"$CLIENT" delete big.bin   --remote="$SOCK" --tenant=beta
+"$CLIENT" delete small.bin --remote="$SOCK" --tenant=acme --pass=acme-pass
+"$CLIENT" delete big.bin   --remote="$SOCK" --tenant=beta --pass=beta-pass
 "$CLIENT" restore "$WORK_DIR/out-acme2" acme-pass \
     --remote="$SOCK" --tenant=acme
 cmp "$WORK_DIR/src-acme/big.bin" "$WORK_DIR/out-acme2/big.bin"
 
 # Remote shutdown; the daemon must exit 0 and dump a clean final snapshot.
-"$CLIENT" shutdown --remote="$SOCK" --tenant=acme
+"$CLIENT" shutdown --remote="$SOCK" --tenant=acme --pass=acme-pass
 DAEMON_RC=0
 wait "$DAEMON_PID" || DAEMON_RC=$?
 trap - EXIT
