@@ -4,11 +4,15 @@
 //
 //   restore_throughput [--threads N] [--mb M] [--json PATH]
 //
-// Measures MB/s at restore threads {1, N} x container read cache
-// {cold, warm} — cold reopens the store (the read cache starts empty by
-// contract), warm re-runs the restore on the same instance — plus the
-// chunk-at-a-time baseline (one getChunk + serial decrypt per recipe
-// entry) on its own cold open. N defaults to 8, M (object size) to 64.
+// Measures MB/s at restore threads {1, N} x block cache {cold, warm} —
+// cold reopens the store (the cache starts empty by contract), warm
+// re-runs the restore on the same instance — plus the chunk-at-a-time
+// baseline (one getChunk + serial decrypt per recipe entry) on its own
+// cold open, and a tiered section: every container is demoted to a
+// simulated cold object store (GC demotion), then one restore runs
+// against the cold tier (transparently promoting), one against the
+// freshly promoted hot tier, and one cache-warm. N defaults to 8, M
+// (object size) to 64.
 // --json writes a machine-readable summary (default BENCH_restore.json),
 // matching the BENCH_attack.json conventions; the recorded speedups
 // reflect the machine's real core count, which the JSON notes.
@@ -34,7 +38,27 @@ namespace freqdedup {
 namespace {
 
 constexpr uint64_t kContainerBytes = 4 * 1024 * 1024;
-constexpr size_t kBenchReadCacheContainers = 64;
+constexpr uint64_t kBenchBlockCacheBytes = 64 * kContainerBytes;
+
+StoreOptions benchStoreOptions() {
+  StoreOptions o;
+  o.containerBytes = kContainerBytes;
+  o.blockCacheBytes = kBenchBlockCacheBytes;
+  return o;
+}
+
+/// Tiering setup for the tiered rows: demote everything during GC into a
+/// cold store simulating a modest object store (2 ms/op, 200 MB/s).
+StoreOptions tieredStoreOptions() {
+  StoreOptions o = benchStoreOptions();
+  o.coldTier.demoteOnGc = true;
+  o.coldTier.hotBytes = 0;
+  o.coldTier.keepHotRecent = 0;
+  o.coldTier.sim.readLatencyUs = 2000;
+  o.coldTier.sim.writeLatencyUs = 2000;
+  o.coldTier.sim.bytesPerSecond = 200ull * 1000 * 1000;
+  return o;
+}
 
 ByteVec makeObject(size_t bytes) {
   // Mostly unique content with a little cross-object-style duplication
@@ -124,9 +148,19 @@ struct CacheResult {
   uint64_t batchReads = 0;
 };
 
+struct TieredResult {
+  double coldMBps = 0;      // every container served by the cold tier
+  double promotedMBps = 0;  // fresh open after promotion: hot-tier disk
+  double warmMBps = 0;      // same instance again: block cache
+  uint64_t demoted = 0;
+  uint64_t coldReads = 0;
+  uint64_t promotions = 0;
+};
+
 void writeJson(const std::string& path, size_t objectBytes, size_t chunks,
                size_t containers, uint32_t threads, double baselineMBps,
-               const CacheResult& t1, const CacheResult& tN) {
+               const CacheResult& t1, const CacheResult& tN,
+               const TieredResult& tiered) {
   FILE* f = fopen(path.c_str(), "w");
   if (f == nullptr) {
     fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -166,6 +200,14 @@ void writeJson(const std::string& path, size_t objectBytes, size_t chunks,
           static_cast<unsigned long long>(tN.readCacheHits),
           static_cast<unsigned long long>(tN.chunkReads),
           static_cast<unsigned long long>(tN.batchReads));
+  fprintf(f,
+          "  \"tiered\": {\"cold_mbps\": %.1f, \"promoted_mbps\": %.1f, "
+          "\"warm_mbps\": %.1f, \"containers_demoted\": %llu, "
+          "\"cold_reads\": %llu, \"promotions\": %llu},\n",
+          tiered.coldMBps, tiered.promotedMBps, tiered.warmMBps,
+          static_cast<unsigned long long>(tiered.demoted),
+          static_cast<unsigned long long>(tiered.coldReads),
+          static_cast<unsigned long long>(tiered.promotions));
   fprintf(f, "  \"obs_enabled\": %s\n", obs::kObsEnabled ? "true" : "false");
   fprintf(f, "}\n");
   fclose(f);
@@ -201,7 +243,7 @@ int main(int argc, char** argv) {
   BackupOutcome outcome;
   size_t containerCount = 0;
   {
-    FileBackupStore store(dir, kContainerBytes, kBenchReadCacheContainers);
+    FileBackupStore store(dir, benchStoreOptions());
     BackupOptions backup;
     backup.parallelism = std::max(threads, 1u);
     DedupClient client(store, km, chunker, backup);
@@ -225,7 +267,7 @@ int main(int argc, char** argv) {
   // Baseline: cold open, chunk-at-a-time.
   double baselineMBps = 0;
   {
-    FileBackupStore store(dir, kContainerBytes, kBenchReadCacheContainers);
+    FileBackupStore store(dir, benchStoreOptions());
     uint64_t bytes = 0;
     exp::Stopwatch watch;
     const Digest got = chunkAtATimeRestore(store, outcome, bytes);
@@ -240,7 +282,7 @@ int main(int argc, char** argv) {
 
   const auto runBatched = [&](uint32_t t) {
     CacheResult r;
-    FileBackupStore store(dir, kContainerBytes, kBenchReadCacheContainers);
+    FileBackupStore store(dir, benchStoreOptions());
     DedupClient client(store, benchRestoreOptions(t));
     r.coldMBps = timedBatchedPass(client, outcome, expected);  // cache fills
     r.warmMBps = timedBatchedPass(client, outcome, expected);  // cache hot
@@ -258,12 +300,46 @@ int main(int argc, char** argv) {
   const CacheResult t1 = runBatched(1);
   const CacheResult tN = threads == 1 ? t1 : runBatched(threads);
 
+  // Tiered rows: demote every container to the simulated cold store, then
+  // restore once against the cold tier (promoting as it goes), once against
+  // the freshly promoted hot tier, and once cache-warm.
+  TieredResult tiered;
+  {
+    FileBackupStore store(dir, tieredStoreOptions());
+    // The sections above never run GC, but demotion rides collectGarbage();
+    // a manifest must pin the chunks live first or GC reclaims the whole
+    // (refcount-zero) store out from under the restores.
+    std::vector<Fp> live;
+    live.reserve(outcome.fileRecipe.entries.size());
+    for (const RecipeEntry& entry : outcome.fileRecipe.entries)
+      live.push_back(entry.cipherFp);
+    store.recordBackup("bench.img", live);
+    tiered.demoted = store.collectGarbage().containersDemoted;
+    DedupClient client(store, benchRestoreOptions(threads));
+    tiered.coldMBps = timedBatchedPass(client, outcome, expected);
+    const StoreReadStats reads = store.readStats();
+    tiered.coldReads = reads.coldReads;
+    tiered.promotions = reads.promotions;
+  }
+  {
+    FileBackupStore store(dir, tieredStoreOptions());
+    DedupClient client(store, benchRestoreOptions(threads));
+    tiered.promotedMBps = timedBatchedPass(client, outcome, expected);
+    tiered.warmMBps = timedBatchedPass(client, outcome, expected);
+  }
+  exp::printRow({"tiered, " + std::to_string(threads) + " thread(s)", "cold",
+                 exp::fmtDouble(tiered.coldMBps, 1)});
+  exp::printRow({"tiered, " + std::to_string(threads) + " thread(s)",
+                 "promoted", exp::fmtDouble(tiered.promotedMBps, 1)});
+  exp::printRow({"tiered, " + std::to_string(threads) + " thread(s)", "warm",
+                 exp::fmtDouble(tiered.warmMBps, 1)});
+
   printf("\nwarm %u-thread batched vs chunk-at-a-time baseline: %.2fx "
          "(all passes byte-identical)\n",
          threads, baselineMBps > 0 ? tN.warmMBps / baselineMBps : 0.0);
 
   writeJson(jsonPath, object.size(), outcome.fileRecipe.entries.size(),
-            containerCount, threads, baselineMBps, t1, tN);
+            containerCount, threads, baselineMBps, t1, tN, tiered);
   std::filesystem::remove_all(dir);
   return 0;
 }

@@ -100,6 +100,55 @@ std::string extractOption(int& argc, char** argv, const std::string& name) {
   return value;
 }
 
+/// Consumes a valueless `--<name>` flag anywhere in argv.
+bool extractFlag(int& argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  bool present = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      present = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return present;
+}
+
+/// Store configuration shared by every local subcommand, parsed from the
+/// trailing flags: --compress=<none|zstd|deflate>, --cache-bytes=<n[kmg]>,
+/// --demote-on-gc, --hot-bytes=<n[kmg]>, --keep-hot=<n>. Reads always work
+/// regardless of these flags (codecs and tier placement are discovered per
+/// container); they only shape new writes, the block-cache budget, and GC
+/// demotion.
+StoreOptions g_storeOptions;
+
+void extractStoreOptions(int& argc, char** argv) {
+  if (const std::string codec = extractOption(argc, argv, "compress");
+      !codec.empty()) {
+    const auto parsed = codecFromName(codec);
+    if (!parsed)
+      throw std::invalid_argument("unknown codec '" + codec +
+                                  "' (none|zstd|deflate)");
+    g_storeOptions.codec = *parsed;
+  }
+  if (const std::string bytes = extractOption(argc, argv, "cache-bytes");
+      !bytes.empty())
+    g_storeOptions.blockCacheBytes = server::parseByteSize(bytes);
+  if (extractFlag(argc, argv, "demote-on-gc"))
+    g_storeOptions.coldTier.demoteOnGc = true;
+  if (const std::string bytes = extractOption(argc, argv, "hot-bytes");
+      !bytes.empty()) {
+    g_storeOptions.coldTier.hotBytes = server::parseByteSize(bytes);
+    g_storeOptions.coldTier.demoteOnGc = true;
+  }
+  if (const std::string keep = extractOption(argc, argv, "keep-hot");
+      !keep.empty())
+    g_storeOptions.coldTier.keepHotRecent =
+        static_cast<uint32_t>(std::stoul(keep));
+}
+
 /// Dumps the process-wide registry (sessions, pipeline, chunking) merged
 /// with the store's per-instance registry (cache, containers, GC).
 void dumpStats(const FileBackupStore& store, StatsFlag flag) {
@@ -150,7 +199,7 @@ BackupOutcome backupFile(DedupClient& client, const std::string& name,
 int doBackup(const std::string& storeDir, const std::string& sourceDir,
              const std::string& passphrase,
              StatsFlag stats = StatsFlag::kNone) {
-  FileBackupStore store(storeDir);
+  FileBackupStore store(storeDir, g_storeOptions);
   printRecovery(store);
   KeyManager keyManager(toBytes("backup-system-global-secret"));
   CdcChunker chunker;
@@ -184,7 +233,7 @@ int doBackup(const std::string& storeDir, const std::string& sourceDir,
 int doRestore(const std::string& storeDir, const std::string& destDir,
               const std::string& passphrase,
               StatsFlag stats = StatsFlag::kNone) {
-  FileBackupStore store(storeDir);
+  FileBackupStore store(storeDir, g_storeOptions);
   printRecovery(store);
   // Restore-only client (no chunker or key manager) on the batched engine:
   // parallel decrypt + container read-ahead, sized to the machine.
@@ -222,7 +271,7 @@ int doRestore(const std::string& storeDir, const std::string& destDir,
 
 int doDelete(const std::string& storeDir, const std::string& name,
              StatsFlag stats = StatsFlag::kNone) {
-  FileBackupStore store(storeDir);
+  FileBackupStore store(storeDir, g_storeOptions);
   DedupClient client(store);
   if (!client.deleteBackup(name)) {
     fprintf(stderr, "no backup named '%s'\n", name.c_str());
@@ -235,21 +284,22 @@ int doDelete(const std::string& storeDir, const std::string& name,
 }
 
 int doGc(const std::string& storeDir, StatsFlag stats = StatsFlag::kNone) {
-  FileBackupStore store(storeDir);
+  FileBackupStore store(storeDir, g_storeOptions);
   const GcStats gc = store.collectGarbage();
   printf("gc: reclaimed %llu chunks (%.2f MB) from %llu containers, "
-         "relocated %llu live chunks\n",
+         "relocated %llu live chunks, demoted %llu containers\n",
          static_cast<unsigned long long>(gc.chunksReclaimed),
          static_cast<double>(gc.bytesReclaimed) / 1e6,
          static_cast<unsigned long long>(gc.containersCompacted),
-         static_cast<unsigned long long>(gc.chunksRelocated));
+         static_cast<unsigned long long>(gc.chunksRelocated),
+         static_cast<unsigned long long>(gc.containersDemoted));
   dumpStats(store, stats);
   return 0;
 }
 
 int doVerify(const std::string& storeDir,
              StatsFlag stats = StatsFlag::kNone) {
-  FileBackupStore store(storeDir);
+  FileBackupStore store(storeDir, g_storeOptions);
   printRecovery(store);
   const StoreCheckReport report = store.verify();
   printf("verify: %llu chunks, %llu containers, %llu backups checked\n",
@@ -264,7 +314,7 @@ int doVerify(const std::string& storeDir,
 }
 
 int doList(const std::string& storeDir) {
-  FileBackupStore store(storeDir);
+  FileBackupStore store(storeDir, g_storeOptions);
   for (const std::string& name : store.listBackups())
     printf("%s\n", name.c_str());
   return 0;
@@ -272,7 +322,7 @@ int doList(const std::string& storeDir) {
 
 int doStats(const std::string& storeDir,
             StatsFlag stats = StatsFlag::kText) {
-  FileBackupStore store(storeDir);
+  FileBackupStore store(storeDir, g_storeOptions);
   if (stats == StatsFlag::kJson) {
     dumpStats(store, stats);
     return 0;
@@ -397,6 +447,7 @@ int doRemoteShutdown(const std::string& address, const std::string& tenant,
 int doServe(const std::string& storeDir, const std::string& address) {
   server::ServerOptions options;
   options.address = address;
+  options.store = g_storeOptions;
   server::FreqDedupServer srv(storeDir, options);
   srv.start();
   printf("freqdedupd listening on %s (store %s)\n",
@@ -466,6 +517,12 @@ int main(int argc, char** argv) {
   // passphrase (the daemon authenticates every Hello against the tenant's
   // registered verifier).
   const std::string pass = extractOption(argc, argv, "pass");
+  try {
+    extractStoreOptions(argc, argv);
+  } catch (const std::exception& e) {
+    fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   const std::string mode = argc > 1 ? argv[1] : "demo";
   try {
     if (!remote.empty()) {
@@ -524,6 +581,11 @@ int main(int argc, char** argv) {
           "flags: --stats | --stats=json   dump the metrics registry after\n"
           "       any subcommand above\n"
           "       --remote=<addr> [--tenant=<id>]   run backup/restore/\n"
-          "       delete/list/stats/shutdown against a freqdedupd daemon\n");
+          "       delete/list/stats/shutdown against a freqdedupd daemon\n"
+          "store: --compress=<none|zstd|deflate>  codec for new containers\n"
+          "       --cache-bytes=<n[kmg]>  block-cache byte budget\n"
+          "       --demote-on-gc          move cold containers to <store>/cold\n"
+          "       --hot-bytes=<n[kmg]>    hot-tier target (implies demotion)\n"
+          "       --keep-hot=<n>          newest containers never demoted\n");
   return 2;
 }

@@ -117,9 +117,7 @@ FreqDedupServer::FreqDedupServer(const std::string& storeDir,
     : storeDir_(storeDir),
       options_(std::move(options)),
       bound_(parseAddress(options_.address)),
-      store_(makeBackupStore(StoreBackend::kFile, storeDir,
-                             options_.containerBytes,
-                             options_.readCacheContainers)),
+      store_(makeBackupStore(StoreBackend::kFile, storeDir, options_.store)),
       keyManager_(toBytes(kServerSecret)),
       chunker_(std::make_unique<CdcChunker>()),
       tenants_(options_.quota) {

@@ -66,9 +66,9 @@ struct ServerOptions {
   uint32_t threads = 4;
   /// Applied uniformly to every tenant; zero fields mean unlimited.
   TenantQuota quota;
-  /// Store geometry (passed through to the file backend).
-  uint64_t containerBytes = kDefaultContainerBytes;
-  size_t readCacheContainers = kDefaultReadCacheContainers;
+  /// Store geometry, codec, block-cache budget and tiering (passed through
+  /// to the file backend).
+  StoreOptions store;
   /// Session behavior for all tenants. Defaults to the full defense
   /// (MinHash + scrambling), matching the backup_system tool.
   BackupOptions backupOptions;

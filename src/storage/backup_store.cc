@@ -20,14 +20,12 @@ std::vector<std::optional<ChunkPlacement>> BackupStore::chunkLocator(
 
 std::unique_ptr<BackupStore> makeBackupStore(StoreBackend backend,
                                              const std::string& dir,
-                                             uint64_t containerBytes,
-                                             size_t readCacheContainers) {
+                                             const StoreOptions& options) {
   switch (backend) {
     case StoreBackend::kMemory:
-      return std::make_unique<MemBackupStore>(containerBytes);
+      return std::make_unique<MemBackupStore>(options.containerBytes);
     case StoreBackend::kFile:
-      return std::make_unique<FileBackupStore>(dir, containerBytes,
-                                               readCacheContainers);
+      return std::make_unique<FileBackupStore>(dir, options);
   }
   FDD_CHECK_MSG(false, "unreachable");
   return nullptr;

@@ -25,6 +25,8 @@
 
 #include "common/fingerprint.h"
 #include "obs/metrics.h"
+#include "storage/block_cache.h"
+#include "storage/cold_tier.h"
 #include "storage/container.h"
 
 namespace freqdedup {
@@ -32,6 +34,34 @@ namespace freqdedup {
 enum class StoreBackend {
   kMemory,  // volatile, in-process
   kFile     // persistent, log-structured containers + LogKv index
+};
+
+/// Default byte budget of the file backend's block cache (16 default-sized
+/// containers' payloads).
+inline constexpr uint64_t kDefaultBlockCacheBytes = 64ull * 1024 * 1024;
+
+/// Block-cache budget meaning "never evict".
+inline constexpr uint64_t kUnboundedBlockCacheBytes = UINT64_MAX;
+
+/// Everything that shapes a store instance beyond its directory. The codec
+/// and tiering knobs only affect the file backend; the memory backend keeps
+/// containers resident and uncompressed.
+struct StoreOptions {
+  /// Target payload bytes per sealed container.
+  uint64_t containerBytes = kDefaultContainerBytes;
+  /// Codec for newly written container frames (kZstd falls back to the
+  /// built-in kDeflate when the build has no system zstd). Existing
+  /// containers are never rewritten: a store may freely mix codecs, and
+  /// reads decode whatever each frame declares.
+  ContainerCodec codec = ContainerCodec::kNone;
+  /// Byte budget of the block cache shared by restore prefetch, cold-tier
+  /// promotion and fsck --deep (0 disables it, kUnboundedBlockCacheBytes
+  /// never evicts).
+  uint64_t blockCacheBytes = kDefaultBlockCacheBytes;
+  /// Eviction order of the block cache.
+  BlockCacheEviction eviction = BlockCacheEviction::kLru;
+  /// Hot/cold tiering (demotion policy + simulated cold-store performance).
+  ColdTierOptions coldTier;
 };
 
 struct BackupStoreStats {
@@ -53,6 +83,7 @@ struct GcStats {
   uint64_t bytesReclaimed = 0;     // payload bytes those chunks held
   uint64_t chunksRelocated = 0;    // live chunks copied forward
   uint64_t containersCompacted = 0;  // containers rewritten and reclaimed
+  uint64_t containersDemoted = 0;  // live containers moved to the cold tier
 };
 
 /// Result of verify(): an fsck-style consistency report.
@@ -92,8 +123,10 @@ struct StoreReadStats {
   uint64_t chunkReads = 0;      // chunks served by getChunk/getChunks
   uint64_t batchReads = 0;      // getChunks calls
   uint64_t containerLoads = 0;  // container fetches that missed the cache
-  uint64_t cacheHits = 0;       // container fetches the read cache served
+  uint64_t cacheHits = 0;       // container fetches the block cache served
   uint64_t readRetries = 0;     // chunk reads re-resolved after a GC race
+  uint64_t coldReads = 0;       // container fetches served by the cold tier
+  uint64_t promotions = 0;      // cold containers copied back to hot
 };
 
 class BackupStore {
@@ -214,19 +247,11 @@ class BackupStore {
   [[nodiscard]] virtual size_t containerCount() const = 0;
 };
 
-/// Default capacity (in containers) of the file backend's read cache.
-inline constexpr size_t kDefaultReadCacheContainers = 16;
-
-/// Read-cache capacity meaning "never evict".
-inline constexpr size_t kUnboundedReadCache = SIZE_MAX;
-
 /// Creates a store of the chosen backend. `dir` is required for (and only
-/// used by) StoreBackend::kFile. `readCacheContainers` bounds the file
-/// backend's container read cache (0 disables it, kUnboundedReadCache never
-/// evicts); the memory backend keeps containers resident and ignores it.
-std::unique_ptr<BackupStore> makeBackupStore(
-    StoreBackend backend, const std::string& dir = {},
-    uint64_t containerBytes = kDefaultContainerBytes,
-    size_t readCacheContainers = kDefaultReadCacheContainers);
+/// used by) StoreBackend::kFile; the memory backend keeps containers
+/// resident and honors only options.containerBytes.
+std::unique_ptr<BackupStore> makeBackupStore(StoreBackend backend,
+                                             const std::string& dir = {},
+                                             const StoreOptions& options = {});
 
 }  // namespace freqdedup

@@ -1,0 +1,67 @@
+#include "storage/cold_tier.h"
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace freqdedup {
+
+namespace fs = std::filesystem;
+
+LocalObjectStore::LocalObjectStore(std::string dir, ObjectStoreSim sim)
+    : dir_(std::move(dir)), sim_(sim) {
+  fs::create_directories(dir_);
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".tmp") fs::remove(entry.path());
+  }
+}
+
+void LocalObjectStore::throttle(uint32_t latencyUs, uint64_t bytes) const {
+  uint64_t us = latencyUs;
+  if (sim_.bytesPerSecond > 0)
+    us += bytes * 1'000'000 / sim_.bytesPerSecond;
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void LocalObjectStore::put(const std::string& key, ByteView bytes) {
+  throttle(sim_.writeLatencyUs, bytes.size());
+  const std::string path = dir_ + "/" + key;
+  writeFile(path + ".tmp", bytes);
+  fs::rename(path + ".tmp", path);
+}
+
+ByteVec LocalObjectStore::get(const std::string& key) {
+  ByteVec bytes = readFile(dir_ + "/" + key);
+  throttle(sim_.readLatencyUs, bytes.size());
+  return bytes;
+}
+
+bool LocalObjectStore::exists(const std::string& key) const {
+  return fs::exists(dir_ + "/" + key);
+}
+
+bool LocalObjectStore::remove(const std::string& key) {
+  return fs::remove(dir_ + "/" + key);
+}
+
+void LocalObjectStore::rename(const std::string& key,
+                              const std::string& newKey) {
+  std::error_code ec;
+  fs::rename(dir_ + "/" + key, dir_ + "/" + newKey, ec);
+  if (ec)
+    throw std::runtime_error("object store: rename failed for " + key + ": " +
+                             ec.message());
+}
+
+std::vector<std::string> LocalObjectStore::list() const {
+  std::vector<std::string> keys;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.is_regular_file() && entry.path().extension() != ".tmp")
+      keys.push_back(entry.path().filename().string());
+  }
+  return keys;
+}
+
+}  // namespace freqdedup

@@ -1,0 +1,90 @@
+// Cold storage tier behind a minimal object-store interface.
+//
+// A tiered store keeps its working set in the hot local tier
+// (<dir>/containers) and demotes cold container files — whole CRC-framed
+// frames, bytes preserved verbatim — into an ObjectStore during
+// collectGarbage(). Restore reads that miss the hot tier fetch from cold
+// and transparently promote (the store copies the object back into the hot
+// tier and deletes the cold copy). The tier assignment is never persisted:
+// recovery discovers it by scanning both tiers, so a store reopened with
+// different tiering options still finds every container.
+//
+// LocalObjectStore is the built-in backend: a flat directory of objects
+// with optional simulated latency and bandwidth, so benches and tests can
+// model a remote object store (S3-style cold tier) without network access.
+// Puts are atomic (tmp + rename) and torn tmp files are swept on open.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace freqdedup {
+
+/// Simulated object-store performance envelope. Zero values mean "free".
+struct ObjectStoreSim {
+  uint32_t readLatencyUs = 0;   // added to every get()
+  uint32_t writeLatencyUs = 0;  // added to every put()
+  uint64_t bytesPerSecond = 0;  // get/put bandwidth cap; 0 = unlimited
+};
+
+/// Minimal blob interface the cold tier is programmed against. Keys are
+/// flat names (no directories). Implementations must make put() atomic:
+/// a reader never observes a partially written object.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  virtual void put(const std::string& key, ByteView bytes) = 0;
+  /// Throws std::runtime_error when the object is absent or unreadable.
+  [[nodiscard]] virtual ByteVec get(const std::string& key) = 0;
+  [[nodiscard]] virtual bool exists(const std::string& key) const = 0;
+  /// False when the object was already absent (idempotent delete).
+  virtual bool remove(const std::string& key) = 0;
+  /// Renames an object (quarantine path); throws if the source is absent.
+  virtual void rename(const std::string& key, const std::string& newKey) = 0;
+  [[nodiscard]] virtual std::vector<std::string> list() const = 0;
+};
+
+/// Directory-backed ObjectStore with simulated latency/bandwidth.
+class LocalObjectStore final : public ObjectStore {
+ public:
+  /// Creates `dir` if missing and removes stray *.tmp files (torn puts).
+  explicit LocalObjectStore(std::string dir, ObjectStoreSim sim = {});
+
+  void put(const std::string& key, ByteView bytes) override;
+  [[nodiscard]] ByteVec get(const std::string& key) override;
+  [[nodiscard]] bool exists(const std::string& key) const override;
+  bool remove(const std::string& key) override;
+  void rename(const std::string& key, const std::string& newKey) override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  void throttle(uint32_t latencyUs, uint64_t bytes) const;
+
+  std::string dir_;
+  ObjectStoreSim sim_;
+};
+
+/// Tiering knobs, part of StoreOptions. Reads always consult the cold tier
+/// (tier assignment is discovered, not configured); these knobs only shape
+/// demotion and the simulated cold-store performance.
+struct ColdTierOptions {
+  /// Demote during collectGarbage() until the hot tier's physical bytes
+  /// drop to hotBytes (oldest-unread containers first).
+  bool demoteOnGc = false;
+  /// Hot-tier physical-byte target for demotion. 0 demotes everything
+  /// demotable (the keepHotRecent newest containers are always kept hot).
+  uint64_t hotBytes = 0;
+  /// Newest containers never demoted: the most recent backup's tail stays
+  /// hot so incremental workloads do not bounce straight back.
+  uint32_t keepHotRecent = 1;
+  /// Simulated performance of the cold object store.
+  ObjectStoreSim sim;
+};
+
+}  // namespace freqdedup

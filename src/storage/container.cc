@@ -8,48 +8,25 @@
 
 namespace freqdedup {
 
-namespace {
-constexpr uint32_t kContainerMagic = 0x46444354;  // "FDCT"
-}
-
 uint64_t Container::dataBytes() const {
   uint64_t total = 0;
   for (const auto& e : entries) total += e.size;
   return total;
 }
 
-ByteVec serializeContainer(const Container& container) {
-  ByteVec out;
-  putU32(out, kContainerMagic);
-  putU32(out, container.id);
+namespace {
+
+void putEntryTable(ByteVec& out, const Container& container) {
   putVarint(out, container.entries.size());
   for (const auto& e : container.entries) {
     putU64(out, e.fp);
     putU32(out, e.size);
     putVarint(out, e.dataOffset);
   }
-  putVarint(out, container.data.size());
-  appendBytes(out, container.data);
-  putU32(out, crc32c(out));
-  return out;
 }
 
-Container parseContainer(ByteView bytes) {
-  if (bytes.size() < 12)
-    throw std::runtime_error("container: input too short");
-  const size_t bodySize = bytes.size() - 4;
-  if (crc32c(bytes.subspan(0, bodySize)) != getU32(bytes, bodySize))
-    throw std::runtime_error("container: checksum mismatch");
-  // All structural reads stay within the CRC-covered body.
-  const ByteView body = bytes.subspan(0, bodySize);
-
-  size_t offset = 0;
-  if (getU32(body, offset) != kContainerMagic)
-    throw std::runtime_error("container: bad magic");
-  offset += 4;
-  Container container;
-  container.id = getU32(body, offset);
-  offset += 4;
+void parseEntryTable(ByteView body, size_t& offset, size_t bodySize,
+                     Container& container) {
   const auto entryCount = getVarint(body, offset);
   if (!entryCount) throw std::runtime_error("container: truncated header");
   // Validate the count against the remaining input (every entry occupies at
@@ -71,24 +48,119 @@ Container parseContainer(ByteView bytes) {
     e.dataOffset = *dataOffset;
     container.entries.push_back(e);
   }
-  const auto dataLen = getVarint(body, offset);
-  if (!dataLen || *dataLen > bodySize - offset)
+}
+
+/// Every entry's payload must lie within a data section of `dataSize`
+/// bytes. For the codec frame this runs against the *declared* raw size
+/// before decompression, so a crafted size claim is rejected before any
+/// output is allocated. Trace-mode containers carry sizes but no bytes
+/// (data empty), so the bound is only enforceable when a payload exists.
+void checkEntryExtents(const Container& container, uint64_t dataSize) {
+  if (dataSize == 0) return;
+  for (const ContainerEntry& e : container.entries) {
+    if (e.size > dataSize || e.dataOffset > dataSize - e.size)
+      throw std::runtime_error("container: entry payload out of range");
+  }
+}
+
+}  // namespace
+
+ByteVec serializeContainer(const Container& container, ContainerCodec codec) {
+  const ContainerCodec eff = effectiveCodec(codec);
+  if (eff != ContainerCodec::kNone) {
+    if (auto stored = compressBytes(eff, container.data)) {
+      ByteVec out;
+      putU32(out, kContainerMagicV2);
+      putU32(out, container.id);
+      out.push_back(static_cast<uint8_t>(eff));
+      putEntryTable(out, container);
+      putVarint(out, container.data.size());  // raw (decompressed) length
+      putVarint(out, stored->size());
+      appendBytes(out, *stored);
+      putU32(out, crc32c(out));
+      return out;
+    }
+    // Compression would not shrink the payload (or there is none): fall
+    // through to the legacy frame, so incompressible containers pay no
+    // codec overhead and trace-mode containers stay legacy-readable.
+  }
+  ByteVec out;
+  putU32(out, kContainerMagic);
+  putU32(out, container.id);
+  putEntryTable(out, container);
+  putVarint(out, container.data.size());
+  appendBytes(out, container.data);
+  putU32(out, crc32c(out));
+  return out;
+}
+
+Container parseContainer(ByteView bytes) {
+  if (bytes.size() < 12)
+    throw std::runtime_error("container: input too short");
+  const size_t bodySize = bytes.size() - 4;
+  if (crc32c(bytes.subspan(0, bodySize)) != getU32(bytes, bodySize))
+    throw std::runtime_error("container: checksum mismatch");
+  // All structural reads stay within the CRC-covered body.
+  const ByteView body = bytes.subspan(0, bodySize);
+
+  size_t offset = 0;
+  const uint32_t magic = getU32(body, offset);
+  offset += 4;
+  if (magic != kContainerMagic && magic != kContainerMagicV2)
+    throw std::runtime_error("container: bad magic");
+  Container container;
+  container.id = getU32(body, offset);
+  offset += 4;
+
+  if (magic == kContainerMagic) {
+    parseEntryTable(body, offset, bodySize, container);
+    const auto dataLen = getVarint(body, offset);
+    if (!dataLen || *dataLen > bodySize - offset)
+      throw std::runtime_error("container: truncated data");
+    container.data.assign(
+        body.begin() + static_cast<ptrdiff_t>(offset),
+        body.begin() + static_cast<ptrdiff_t>(offset + *dataLen));
+    offset += static_cast<size_t>(*dataLen);
+    if (offset != bodySize)
+      throw std::runtime_error("container: trailing garbage");
+    checkEntryExtents(container, container.data.size());
+    return container;
+  }
+
+  // Codec frame. The codec byte is validated first: a frame declaring a
+  // codec this build cannot decode (or no codec at all — the serializer
+  // never writes a kNone codec frame) is rejected, which recovery treats
+  // like any other corrupt container (quarantine, not data loss).
+  if (offset >= bodySize)
+    throw std::runtime_error("container: truncated header");
+  const uint8_t codecByte = body[offset++];
+  if (codecByte == static_cast<uint8_t>(ContainerCodec::kNone) ||
+      (codecByte != static_cast<uint8_t>(ContainerCodec::kZstd) &&
+       codecByte != static_cast<uint8_t>(ContainerCodec::kDeflate)))
+    throw std::runtime_error("container: unknown codec byte");
+  const auto codec = static_cast<ContainerCodec>(codecByte);
+  if (!codecAvailable(codec))
+    throw std::runtime_error("container: codec not supported in this build");
+  parseEntryTable(body, offset, bodySize, container);
+  const auto rawLen = getVarint(body, offset);
+  if (!rawLen) throw std::runtime_error("container: truncated data header");
+  // Bound the decompression output *before* allocating anything: the claim
+  // must be plausible in absolute terms and consistent with every entry's
+  // declared extent.
+  if (*rawLen == 0 || *rawLen > kMaxContainerRawBytes)
+    throw std::runtime_error("container: raw size claim implausible");
+  checkEntryExtents(container, *rawLen);
+  const auto storedLen = getVarint(body, offset);
+  if (!storedLen || *storedLen > bodySize - offset)
     throw std::runtime_error("container: truncated data");
-  container.data.assign(body.begin() + static_cast<ptrdiff_t>(offset),
-                        body.begin() + static_cast<ptrdiff_t>(offset + *dataLen));
-  offset += static_cast<size_t>(*dataLen);
+  if (*storedLen >= *rawLen)
+    throw std::runtime_error("container: stored size claim implausible");
+  const ByteView stored = body.subspan(offset, static_cast<size_t>(*storedLen));
+  offset += static_cast<size_t>(*storedLen);
   if (offset != bodySize)
     throw std::runtime_error("container: trailing garbage");
-  // Every entry's payload must lie within the data section. Trace-mode
-  // containers carry sizes but no bytes (data empty), so the bound is only
-  // enforceable when a payload is present.
-  if (!container.data.empty()) {
-    for (const ContainerEntry& e : container.entries) {
-      if (e.size > container.data.size() ||
-          e.dataOffset > container.data.size() - e.size)
-        throw std::runtime_error("container: entry payload out of range");
-    }
-  }
+  container.data = decompressBytes(codec, stored, *rawLen);
+  container.storageCodec = codec;
   return container;
 }
 

@@ -9,10 +9,24 @@
 
 #include "common/bytes.h"
 #include "common/fingerprint.h"
+#include "storage/codec.h"
 
 namespace freqdedup {
 
 inline constexpr uint64_t kDefaultContainerBytes = 4 * 1024 * 1024;
+
+/// Legacy frame magic ("FDCT"): header, entry table, raw data, trailing CRC.
+/// Every container written without compression uses this frame, so old
+/// stores parse unchanged and kNone output stays bit-identical to them.
+inline constexpr uint32_t kContainerMagic = 0x46444354;
+
+/// Codec frame magic ("FDC2"): like the legacy frame but with a codec byte
+/// and a (rawLen, storedLen) pair framing a compressed data section.
+inline constexpr uint32_t kContainerMagicV2 = 0x46444332;
+
+/// Upper bound on a frame's declared decompressed data size; claims beyond
+/// it are rejected before any allocation happens.
+inline constexpr uint64_t kMaxContainerRawBytes = uint64_t{1} << 30;
 
 struct ContainerEntry {
   Fp fp = 0;
@@ -27,6 +41,9 @@ struct Container {
   uint32_t id = 0;
   std::vector<ContainerEntry> entries;
   ByteVec data;  // empty in trace mode (sizes tracked, bytes not stored)
+  /// Codec of the frame this container was parsed from (kNone for legacy
+  /// frames and freshly built containers); `data` is always raw bytes.
+  ContainerCodec storageCodec = ContainerCodec::kNone;
 
   [[nodiscard]] size_t chunkCount() const { return entries.size(); }
   [[nodiscard]] uint64_t dataBytes() const;
@@ -37,10 +54,19 @@ struct Container {
   }
 };
 
-/// Serializes a container (header, entry table, data, trailing CRC).
-ByteVec serializeContainer(const Container& container);
+/// Serializes a container (header, entry table, data, trailing CRC). With a
+/// codec (after effectiveCodec mapping) the data section is compressed into
+/// a codec frame — unless compression would not shrink it, in which case the
+/// output falls back to the bit-identical legacy kNone frame. Containers
+/// without payload bytes (trace mode) always use the legacy frame.
+ByteVec serializeContainer(const Container& container,
+                           ContainerCodec codec = ContainerCodec::kNone);
 
-/// Parses a serialized container; throws std::runtime_error on corruption.
+/// Parses a serialized container (either frame; `storageCodec` records which
+/// codec the frame declared); throws std::runtime_error on corruption,
+/// unknown codec bytes, or implausible decompressed-size claims — entry
+/// extents are validated against the declared raw size before any
+/// decompression output is allocated.
 Container parseContainer(ByteView bytes);
 
 /// Accumulates chunks until the data payload reaches the capacity, then the

@@ -115,11 +115,11 @@ ContainerBackupStore::ChunkEntry ContainerBackupStore::decodeChunkEntry(
 
 ContainerBackupStore::ContainerBackupStore(std::unique_ptr<KvStore> index,
                                            std::string dir,
-                                           uint64_t containerBytes,
-                                           size_t readCacheContainers)
+                                           const StoreOptions& options)
     : dir_(std::move(dir)),
       index_(std::move(index)),
-      builder_(containerBytes),
+      builder_(options.containerBytes),
+      options_(options),
       putChunks_(registry_.counter("store.put_chunks")),
       putBytes_(registry_.counter("store.put_bytes")),
       uniqueChunks_(registry_.gauge("store.unique_chunks")),
@@ -135,11 +135,31 @@ ContainerBackupStore::ContainerBackupStore(std::unique_ptr<KvStore> index,
           registry_.counter("store.singleflight_coalesces")),
       containerLoadUs_(registry_.histogram("store.container_load_us")),
       gcUs_(registry_.histogram("store.gc_us")),
-      readCache_(readCacheContainers, registry_) {
+      compressedContainers_(registry_.counter("store.compressed_containers")),
+      containerRawBytes_(registry_.counter("store.container_raw_bytes")),
+      containerPhysicalBytes_(
+          registry_.counter("store.container_physical_bytes")),
+      coldReads_(registry_.counter("tier.cold_reads")),
+      coldReadBytes_(registry_.counter("tier.cold_read_bytes")),
+      coldWriteBytes_(registry_.counter("tier.cold_write_bytes")),
+      demotions_(registry_.counter("tier.demotions")),
+      promotions_(registry_.counter("tier.promotions")),
+      hotContainers_(registry_.gauge("tier.hot_containers")),
+      hotBytes_(registry_.gauge("tier.hot_bytes")),
+      coldContainers_(registry_.gauge("tier.cold_containers")),
+      coldBytes_(registry_.gauge("tier.cold_bytes")),
+      readCache_(dir_.empty() ? 0 : options.blockCacheBytes, registry_,
+                 BlockCache::makePolicy(options.eviction)) {
   logKv_ = dynamic_cast<LogKv*>(index_.get());
   // Surface the index's WAL/checkpoint/recovery activity (wal.*, ckpt.*)
   // in this store's registry alongside the store.* metrics.
   if (logKv_ != nullptr) logKv_->bindMetrics(registry_);
+  // The cold tier always lives at <dir>/cold, so a store reopened with
+  // different options (or none) still finds every demoted container.
+  // ColdTierOptions shape only demotion and the simulated performance.
+  if (!dir_.empty())
+    cold_ = std::make_unique<LocalObjectStore>(dir_ + "/cold",
+                                               options.coldTier.sim);
 }
 
 ContainerBackupStore::~ContainerBackupStore() {
@@ -154,9 +174,13 @@ ContainerBackupStore::~ContainerBackupStore() {
 }
 
 std::string ContainerBackupStore::containerPath(uint32_t id) const {
+  return dir_ + "/containers/" + coldKey(id);
+}
+
+std::string ContainerBackupStore::coldKey(uint32_t id) {
   char name[32];
   snprintf(name, sizeof(name), "%08u.fdc", id);
-  return dir_ + "/containers/" + name;
+  return name;
 }
 
 bool ContainerBackupStore::hasChunkLocked(Fp cipherFp) const {
@@ -204,7 +228,12 @@ void ContainerBackupStore::sealOpenContainerLocked() {
   Container container = builder_.seal(id);
   // Persist the container before its index entries: a crash in between
   // leaves only an orphan container file, which recovery deletes.
-  if (!dir_.empty()) writeContainerFile(container);
+  if (!dir_.empty()) {
+    const uint64_t physical = writeContainerFile(container);
+    physicalBytes_[id] = physical;
+    hotContainers_.add(1);
+    hotBytes_.add(static_cast<int64_t>(physical));
+  }
   for (uint32_t i = 0; i < container.entries.size(); ++i) {
     const Fp fp = container.entries[i].fp;
     const ChunkEntry e{id, i, container.entries[i].size,
@@ -215,8 +244,8 @@ void ContainerBackupStore::sealOpenContainerLocked() {
   containerWrites_.add();
   auto shared = std::make_shared<const Container>(std::move(container));
   if (dir_.empty()) {
-    containers_.emplace(id, ContainerReadCache::makeEntry(std::move(shared)));
-  } else if (readCache_.capacity() > 0) {
+    containers_.emplace(id, BlockCache::makeEntry(std::move(shared)));
+  } else if (readCache_.enabled()) {
     // Keep the freshly sealed container hot. Admission CRCs its payloads
     // while we hold the store lock — an O(container) pass on top of a seal
     // that is already O(container) — and is skipped entirely when the
@@ -226,14 +255,20 @@ void ContainerBackupStore::sealOpenContainerLocked() {
   openChunks_.clear();
 }
 
-void ContainerBackupStore::writeContainerFile(
+uint64_t ContainerBackupStore::writeContainerFile(
     const Container& container) const {
   // Atomic write: containers become visible under their final name only
   // once fully written, so a torn write can never masquerade as a
   // container. Recovery deletes stray .tmp files.
+  const ByteVec frame = serializeContainer(container, options_.codec);
+  if (!frame.empty() && getU32(frame, 0) == kContainerMagicV2)
+    compressedContainers_.add();
+  containerRawBytes_.add(container.data.size());
+  containerPhysicalBytes_.add(frame.size());
   const std::string path = containerPath(container.id);
-  writeFile(path + ".tmp", serializeContainer(container));
+  writeFile(path + ".tmp", frame);
   std::filesystem::rename(path + ".tmp", path);
+  return frame.size();
 }
 
 std::shared_ptr<const Container> ContainerBackupStore::loadContainerLocked(
@@ -248,29 +283,100 @@ std::shared_ptr<const Container> ContainerBackupStore::loadContainerLocked(
   if (auto cached = readCache_.get(id)) return cached->container;
   // Deliberately not admitted: admin scans (GC, verify) visit each
   // container once, so admission would only pay the CRC-table pass and
-  // evict the restore working set from the bounded cache.
+  // evict the restore working set from the bounded cache. Cold containers
+  // are likewise read in place, not promoted — a scan must not drag the
+  // whole cold tier back into the hot directory.
   return parseContainerFile(id);
 }
 
-std::shared_ptr<const Container> ContainerBackupStore::parseContainerFile(
+ContainerBackupStore::RawContainer ContainerBackupStore::readContainerRaw(
     uint32_t id) const {
-  auto container = std::make_shared<const Container>(
-      parseContainer(readFile(containerPath(id))));
+  try {
+    return {readFile(containerPath(id)), /*fromCold=*/false};
+  } catch (const std::exception&) {
+    // Fall through to the cold tier.
+  }
+  if (cold_ && cold_->exists(coldKey(id))) {
+    try {
+      RawContainer raw{cold_->get(coldKey(id)), /*fromCold=*/true};
+      coldReads_.add();
+      coldReadBytes_.add(raw.bytes.size());
+      return raw;
+    } catch (const std::exception&) {
+      // A promotion may have moved it back to hot between exists and get.
+    }
+  }
+  // Final attempt against the hot tier (covers a read racing a promotion);
+  // its failure is the error the caller sees.
+  return {readFile(containerPath(id)), /*fromCold=*/false};
+}
+
+std::shared_ptr<const Container> ContainerBackupStore::parseContainerFile(
+    uint32_t id, bool* fromCold, ByteVec* rawBytes) const {
+  RawContainer raw = readContainerRaw(id);
+  auto container =
+      std::make_shared<const Container>(parseContainer(raw.bytes));
   if (container->id != id)
     throw std::runtime_error("BackupStore: container id mismatch in " +
                              containerPath(id));
+  if (fromCold != nullptr) *fromCold = raw.fromCold;
+  if (rawBytes != nullptr) *rawBytes = std::move(raw.bytes);
   return container;
 }
 
-ContainerReadCache::Entry ContainerBackupStore::loadAndAdmit(uint32_t id) {
-  if (readCache_.capacity() == 0) {
+void ContainerBackupStore::promoteContainer(uint32_t id, ByteView frame) {
+  // Entirely under mu_: the cold-copy removal must not race a GC pass that
+  // re-demoted the container, or the only surviving copy could be deleted.
+  std::lock_guard lock(mu_);
+  if (!liveContainerIds_.contains(id) || !coldContainerIds_.contains(id))
+    return;
+  const std::string path = containerPath(id);
+  writeFile(path + ".tmp", frame);
+  std::filesystem::rename(path + ".tmp", path);
+  cold_->remove(coldKey(id));
+  coldContainerIds_.erase(id);
+  const uint64_t physical = frame.size();
+  physicalBytes_[id] = physical;
+  promotions_.add();
+  hotContainers_.add(1);
+  hotBytes_.add(static_cast<int64_t>(physical));
+  coldContainers_.sub(1);
+  coldBytes_.sub(static_cast<int64_t>(physical));
+}
+
+void ContainerBackupStore::demoteContainerLocked(uint32_t id) {
+  // Cold copy lands before the hot file goes away, so a crash (or a
+  // concurrent reader) at any instant still finds one complete copy.
+  const ByteVec frame = readFile(containerPath(id));
+  cold_->put(coldKey(id), frame);
+  std::filesystem::remove(containerPath(id));
+  coldContainerIds_.insert(id);
+  physicalBytes_[id] = frame.size();
+  demotions_.add();
+  coldWriteBytes_.add(frame.size());
+  hotContainers_.sub(1);
+  hotBytes_.sub(static_cast<int64_t>(frame.size()));
+  coldContainers_.add(1);
+  coldBytes_.add(static_cast<int64_t>(frame.size()));
+}
+
+void ContainerBackupStore::noteContainerRead(uint32_t id) {
+  std::lock_guard lock(tierMu_);
+  lastReadGen_[id] = ++readGen_;
+}
+
+BlockCache::Entry ContainerBackupStore::loadAndAdmit(uint32_t id) {
+  if (!readCache_.enabled()) {
     // Cache disabled: nothing a loader admits could serve a waiter, so
     // single-flight coalescing would only serialize concurrent misses.
     // Every miss loads independently, in parallel.
     obs::ObsSpan span(&containerLoadUs_, "store.container_load", "store");
-    auto container = parseContainerFile(id);
+    bool fromCold = false;
+    ByteVec raw;
+    auto container = parseContainerFile(id, &fromCold, &raw);
     containerLoads_.add();
-    return ContainerReadCache::makeEntry(std::move(container));
+    if (fromCold) promoteContainer(id, raw);
+    return BlockCache::makeEntry(std::move(container));
   }
   {
     std::unique_lock lock(loadMu_);
@@ -306,11 +412,17 @@ ContainerReadCache::Entry ContainerBackupStore::loadAndAdmit(uint32_t id) {
   };
   try {
     obs::ObsSpan span(&containerLoadUs_, "store.container_load", "store");
-    auto container = parseContainerFile(id);
+    bool fromCold = false;
+    ByteVec raw;
+    auto container = parseContainerFile(id, &fromCold, &raw);
     span.finish();
     containerLoads_.add();
-    ContainerReadCache::Entry entry =
-        readCache_.admit(id, std::move(container));
+    BlockCache::Entry entry = readCache_.admit(id, std::move(container));
+    // A cold hit is promoted with the verbatim frame bytes we just read —
+    // no re-serialization, so the hot copy is bit-identical to the cold one
+    // (same codec, same CRC). The promotion itself re-checks liveness and
+    // tier membership under mu_.
+    if (fromCold) promoteContainer(id, raw);
     // Close the admit-vs-GC race: if GC compacted this container while we
     // were reading it (its invalidate() ran before our admit()), drop the
     // re-admitted entry so a dead container never pins a cache slot. GC
@@ -329,7 +441,7 @@ ContainerReadCache::Entry ContainerBackupStore::loadAndAdmit(uint32_t id) {
   }
 }
 
-ContainerReadCache::Entry ContainerBackupStore::fetchContainer(uint32_t id) {
+BlockCache::Entry ContainerBackupStore::fetchContainer(uint32_t id) {
   if (dir_.empty()) {
     std::lock_guard lock(mu_);
     const auto it = containers_.find(id);
@@ -340,6 +452,7 @@ ContainerReadCache::Entry ContainerBackupStore::fetchContainer(uint32_t id) {
     readCacheHits_.add();
     return it->second;
   }
+  noteContainerRead(id);
   if (auto cached = readCache_.get(id)) {
     readCacheHits_.add();
     return *cached;
@@ -351,11 +464,27 @@ void ContainerBackupStore::dropContainerLocked(uint32_t id) {
   containers_.erase(id);
   readCache_.invalidate(id);
   liveContainerIds_.erase(id);
-  if (!dir_.empty()) std::filesystem::remove(containerPath(id));
+  if (!dir_.empty()) {
+    const auto sizeIt = physicalBytes_.find(id);
+    const uint64_t physical =
+        sizeIt == physicalBytes_.end() ? 0 : sizeIt->second;
+    if (coldContainerIds_.erase(id) > 0) {
+      if (cold_) cold_->remove(coldKey(id));
+      coldContainers_.sub(1);
+      coldBytes_.sub(static_cast<int64_t>(physical));
+    } else {
+      std::filesystem::remove(containerPath(id));
+      hotContainers_.sub(1);
+      hotBytes_.sub(static_cast<int64_t>(physical));
+    }
+    physicalBytes_.erase(id);
+    std::lock_guard tierLock(tierMu_);
+    lastReadGen_.erase(id);
+  }
 }
 
 ByteVec ContainerBackupStore::extractPayload(
-    const ContainerReadCache::Entry& cached, Fp fp, const ChunkEntry& e) {
+    const BlockCache::Entry& cached, Fp fp, const ChunkEntry& e) {
   const Container& container = *cached.container;
   if (e.entryIndex >= container.entries.size())
     throw std::runtime_error("BackupStore: index entry out of range for " +
@@ -474,7 +603,7 @@ std::vector<ByteVec> ContainerBackupStore::getChunks(
     const uint32_t id = needs[i].entry.containerId;
     while (j < needs.size() && needs[j].entry.containerId == id) ++j;
     try {
-      const ContainerReadCache::Entry cached = fetchContainer(id);
+      const BlockCache::Entry cached = fetchContainer(id);
       for (size_t k = i; k < j; ++k)
         out[needs[k].at] = extractPayload(cached, needs[k].fp, needs[k].entry);
     } catch (const std::exception&) {
@@ -519,6 +648,8 @@ StoreReadStats ContainerBackupStore::readStats() const {
   s.containerLoads = containerLoads_.value();
   s.cacheHits = readCacheHits_.value();
   s.readRetries = readRetries_.value();
+  s.coldReads = coldReads_.value();
+  s.promotions = promotions_.value();
   return s;
 }
 
@@ -757,7 +888,50 @@ GcStats ContainerBackupStore::collectGarbage() {
     ++gc.containersCompacted;
   }
 
-  // Phase 4: checkpoint the index. The checkpoint snapshots only live
+  // Phase 4 (optional): demote cold containers until the hot tier's
+  // physical bytes drop to the configured target. Oldest-unread containers
+  // go first (admission order breaks ties); the keepHotRecent newest ids
+  // stay hot so an incremental workload's tail does not bounce straight
+  // back. Runs after compaction so doomed containers are never demoted.
+  if (options_.coldTier.demoteOnGc && cold_ != nullptr) {
+    std::unordered_map<uint32_t, uint64_t> readGen;
+    {
+      std::lock_guard tierLock(tierMu_);
+      readGen = lastReadGen_;
+    }
+    std::vector<uint32_t> hot;
+    uint64_t hotPhysical = 0;
+    for (const uint32_t id : liveContainerIds_) {
+      if (coldContainerIds_.contains(id)) continue;
+      hot.push_back(id);
+      const auto it = physicalBytes_.find(id);
+      if (it != physicalBytes_.end()) hotPhysical += it->second;
+    }
+    std::sort(hot.begin(), hot.end());
+    const size_t keep =
+        std::min<size_t>(hot.size(), options_.coldTier.keepHotRecent);
+    hot.resize(hot.size() - keep);  // newest ids are never demoted
+    std::stable_sort(hot.begin(), hot.end(),
+                     [&readGen](uint32_t a, uint32_t b) {
+                       const auto ga = readGen.find(a);
+                       const auto gb = readGen.find(b);
+                       const uint64_t va =
+                           ga == readGen.end() ? 0 : ga->second;
+                       const uint64_t vb =
+                           gb == readGen.end() ? 0 : gb->second;
+                       return va != vb ? va < vb : a < b;
+                     });
+    for (const uint32_t id : hot) {
+      if (hotPhysical <= options_.coldTier.hotBytes) break;
+      const auto it = physicalBytes_.find(id);
+      const uint64_t physical = it == physicalBytes_.end() ? 0 : it->second;
+      demoteContainerLocked(id);
+      hotPhysical -= physical;
+      ++gc.containersDemoted;
+    }
+  }
+
+  // Phase 5: checkpoint the index. The checkpoint snapshots only live
   // records (reclaiming the dead ones GC just created), makes everything
   // durable, and rotates the WAL so the next open replays an empty tail.
   if (logKv_ != nullptr) logKv_->checkpoint();
@@ -845,7 +1019,8 @@ StoreCheckReport ContainerBackupStore::verify() {
           std::to_string(refs) + ", manifests say " + std::to_string(expected));
   }
 
-  // File mode: every container file on disk must be referenced.
+  // File mode: every container file on disk — either tier — must be
+  // referenced.
   if (!dir_.empty()) {
     for (const auto& entry :
          std::filesystem::directory_iterator(dir_ + "/containers")) {
@@ -854,6 +1029,14 @@ StoreCheckReport ContainerBackupStore::verify() {
       if (!byContainer.contains(*id))
         report.errors.emplace_back("orphan container file: " +
                                    entry.path().string());
+    }
+    if (cold_) {
+      for (const std::string& key : cold_->list()) {
+        const auto id = containerIdFromPath(std::filesystem::path(key));
+        if (!id) continue;
+        if (!byContainer.contains(*id))
+          report.errors.emplace_back("orphan cold container object: " + key);
+      }
     }
   }
   return report;
@@ -870,7 +1053,7 @@ StoreRecoveryStats ContainerBackupStore::recoverPersistentState() {
   for (const auto& [id, entries] : byContainer)
     nextContainerId_ = std::max(nextContainerId_, id + 1);
 
-  std::vector<uint32_t> onDisk;
+  std::unordered_set<uint32_t> onHot;
   for (const auto& entry :
        std::filesystem::directory_iterator(dir_ + "/containers")) {
     if (entry.path().extension() == ".tmp") {
@@ -879,35 +1062,88 @@ StoreRecoveryStats ContainerBackupStore::recoverPersistentState() {
     }
     const auto id = containerIdFromPath(entry.path());
     if (!id) continue;
-    onDisk.push_back(*id);
+    onHot.insert(*id);
     nextContainerId_ = std::max(nextContainerId_, *id + 1);
   }
+  // Tier assignment is never persisted: discover the cold tier's containers
+  // by listing it (the LocalObjectStore constructor already swept its torn
+  // .tmp puts). Quarantined *.corrupt objects fail the id parse and are
+  // left alone.
+  std::unordered_set<uint32_t> onCold;
+  if (cold_) {
+    for (const std::string& key : cold_->list()) {
+      const auto id = containerIdFromPath(std::filesystem::path(key));
+      if (!id) continue;
+      onCold.insert(*id);
+      nextContainerId_ = std::max(nextContainerId_, *id + 1);
+    }
+  }
 
+  std::unordered_set<uint32_t> onDisk = onHot;
+  onDisk.insert(onCold.begin(), onCold.end());
   for (const uint32_t id : onDisk) {
+    const bool hot = onHot.contains(id);
+    const bool coldCopy = onCold.contains(id);
     if (!byContainer.contains(id)) {
       // No index entry references it: a crash landed between the container
       // write and its index puts, or mid-GC after relocation.
-      std::filesystem::remove(containerPath(id));
+      if (hot) std::filesystem::remove(containerPath(id));
+      if (coldCopy) cold_->remove(coldKey(id));
       ++rs.orphanContainersRemoved;
       continue;
     }
+    // Prefer the hot copy. Both tiers holding one (a crash between the two
+    // halves of a demotion or promotion) means the copies are identical —
+    // both transitions complete the new copy before removing the old — so
+    // keeping hot and dropping cold is always safe. Validation parses the
+    // full frame (CRC + structure + codec byte), so an unreadable codec or
+    // a corrupt compressed stream quarantines exactly like torn bytes.
+    // Valid containers are deliberately NOT admitted to the block cache: a
+    // freshly opened store starts with a cold cache, so read-count
+    // accounting and cold-cache benchmarks measure the read path, not
+    // recovery's validation pass.
     bool valid = false;
-    try {
-      const Container container = parseContainer(readFile(containerPath(id)));
-      valid = container.id == id;
-      // Deliberately NOT admitted to the read cache: a freshly opened store
-      // starts with a cold cache, so read-count accounting and cold-cache
-      // benchmarks measure the read path, not recovery's validation pass.
-    } catch (const std::exception&) {
+    if (hot) {
+      uint64_t physical = 0;
+      try {
+        const ByteVec frame = readFile(containerPath(id));
+        physical = frame.size();
+        valid = parseContainer(frame).id == id;
+      } catch (const std::exception&) {
+      }
+      if (valid) {
+        physicalBytes_[id] = physical;
+        hotContainers_.add(1);
+        hotBytes_.add(static_cast<int64_t>(physical));
+        if (coldCopy) cold_->remove(coldKey(id));  // stale duplicate
+      } else {
+        ++rs.corruptContainers;
+        // Keep the bytes for forensics, but out of the recovery path.
+        std::filesystem::rename(containerPath(id),
+                                containerPath(id) + ".corrupt");
+      }
+    }
+    if (!valid && coldCopy) {
+      uint64_t physical = 0;
+      try {
+        const ByteVec frame = cold_->get(coldKey(id));
+        physical = frame.size();
+        valid = parseContainer(frame).id == id;
+      } catch (const std::exception&) {
+      }
+      if (valid) {
+        coldContainerIds_.insert(id);
+        physicalBytes_[id] = physical;
+        coldContainers_.add(1);
+        coldBytes_.add(static_cast<int64_t>(physical));
+      } else {
+        ++rs.corruptContainers;
+        cold_->rename(coldKey(id), coldKey(id) + ".corrupt");
+      }
     }
     if (valid) {
       ++rs.containersValidated;
       liveContainerIds_.insert(id);
-    } else {
-      ++rs.corruptContainers;
-      // Keep the bytes for forensics, but out of the recovery path.
-      std::filesystem::rename(containerPath(id),
-                              containerPath(id) + ".corrupt");
     }
   }
 
@@ -969,8 +1205,19 @@ void ContainerBackupStore::flush() {
   flushIndexLocked();
 }
 
+namespace {
+
+StoreOptions memStoreOptions(uint64_t containerBytes) {
+  StoreOptions o;
+  o.containerBytes = containerBytes;
+  o.blockCacheBytes = 0;  // resident containers ARE the memory backend's cache
+  return o;
+}
+
+}  // namespace
+
 MemBackupStore::MemBackupStore(uint64_t containerBytes)
-    : ContainerBackupStore(std::make_unique<MemKv>(), "", containerBytes,
-                           /*readCacheContainers=*/0) {}
+    : ContainerBackupStore(std::make_unique<MemKv>(), "",
+                           memStoreOptions(containerBytes)) {}
 
 }  // namespace freqdedup

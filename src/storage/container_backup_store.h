@@ -38,7 +38,8 @@
 #include "kvstore/kvstore.h"
 #include "obs/metrics.h"
 #include "storage/backup_store.h"
-#include "storage/container_read_cache.h"
+#include "storage/block_cache.h"
+#include "storage/cold_tier.h"
 
 namespace freqdedup {
 
@@ -83,15 +84,18 @@ class ContainerBackupStore : public BackupStore {
   }
   [[nodiscard]] size_t containerCount() const override;
 
-  /// The container read cache's own counters (hits/admissions/evictions/
-  /// invalidations), for tests and diagnostics.
-  [[nodiscard]] ContainerReadCache::Stats readCacheStats() const {
+  /// The block cache's own counters (hits/admissions/evictions/
+  /// invalidations/bytes), for tests and diagnostics.
+  [[nodiscard]] BlockCache::Stats readCacheStats() const {
     return readCache_.stats();
   }
 
+  /// The store options this instance was opened with.
+  [[nodiscard]] const StoreOptions& storeOptions() const { return options_; }
+
  protected:
   ContainerBackupStore(std::unique_ptr<KvStore> index, std::string dir,
-                       uint64_t containerBytes, size_t readCacheContainers);
+                       const StoreOptions& options);
 
   /// File-mode recovery, run after the KvStore has replayed its log:
   /// validates every container file's trailer (full CRC + structure parse),
@@ -142,20 +146,46 @@ class ContainerBackupStore : public BackupStore {
   void flushIndexLocked();
 
   [[nodiscard]] std::string containerPath(uint32_t id) const;
-  void writeContainerFile(const Container& container) const;
-  /// Reads + parses a container file and validates its id; throws
-  /// std::runtime_error on any mismatch or I/O/parse failure.
+  /// Cold-tier object key of a container (same name the hot tier uses).
+  [[nodiscard]] static std::string coldKey(uint32_t id);
+  /// Writes the container's frame to the hot tier (codec per StoreOptions)
+  /// and returns its physical (on-disk) byte size.
+  uint64_t writeContainerFile(const Container& container) const;
+
+  /// A container's raw frame bytes and which tier served them. Tries the
+  /// hot tier, then the cold tier, then the hot tier again — demotion puts
+  /// cold before removing hot and promotion renames hot before removing
+  /// cold, so one complete copy exists at every instant and the re-try
+  /// covers reads racing either transition. Cold reads count tier.*.
+  struct RawContainer {
+    ByteVec bytes;
+    bool fromCold = false;
+  };
+  [[nodiscard]] RawContainer readContainerRaw(uint32_t id) const;
+  /// Reads + parses a container (either tier) and validates its id; throws
+  /// std::runtime_error on any mismatch or I/O/parse failure. `fromCold`
+  /// (optional) reports the serving tier; `rawBytes` (optional) hands back
+  /// the frame bytes for promotion.
   [[nodiscard]] std::shared_ptr<const Container> parseContainerFile(
-      uint32_t id) const;
+      uint32_t id, bool* fromCold = nullptr, ByteVec* rawBytes = nullptr) const;
+
+  /// Copies a cold container's frame back into the hot tier (verbatim
+  /// bytes) and removes the cold copy. No-op when the container is no
+  /// longer live or already hot. Takes mu_ internally.
+  void promoteContainer(uint32_t id, ByteView frame);
+  /// Moves a hot container's frame to the cold tier; requires mu_.
+  void demoteContainerLocked(uint32_t id);
+  /// Records a read-path touch for demotion ordering (oldest-unread first).
+  void noteContainerRead(uint32_t id);
 
   // Read path; must NOT be called with mu_ held.
-  ContainerReadCache::Entry fetchContainer(uint32_t id);
-  ContainerReadCache::Entry loadAndAdmit(uint32_t id);
+  BlockCache::Entry fetchContainer(uint32_t id);
+  BlockCache::Entry loadAndAdmit(uint32_t id);
   ByteVec serveChunk(Fp fp, ChunkEntry e);
   /// Extracts one chunk's payload after re-checking placement, fingerprint,
   /// bounds and the admission-time payload CRC. Throws on any mismatch
   /// (CRC failures also count store.crc_recheck_failures).
-  ByteVec extractPayload(const ContainerReadCache::Entry& cached, Fp fp,
+  ByteVec extractPayload(const BlockCache::Entry& cached, Fp fp,
                          const ChunkEntry& e);
 
   std::string dir_;  // empty in memory mode
@@ -168,9 +198,18 @@ class ContainerBackupStore : public BackupStore {
   std::unordered_map<Fp, OpenChunk, FpHash> openChunks_;  // not yet sealed
   // Memory mode: authoritative container storage (with admission-time CRC
   // tables, so cached-read integrity checks behave identically to file mode).
-  std::unordered_map<uint32_t, ContainerReadCache::Entry> containers_;
+  std::unordered_map<uint32_t, BlockCache::Entry> containers_;
   std::unordered_set<uint32_t> liveContainerIds_;
   uint32_t nextContainerId_ = 0;
+
+  StoreOptions options_;
+  /// Cold tier (file mode only, always at <dir>/cold). Reads consult it
+  /// whenever it is non-null; ColdTierOptions only shape demotion.
+  std::unique_ptr<ObjectStore> cold_;
+  /// Containers currently living in the cold tier; guarded by mu_.
+  std::unordered_set<uint32_t> coldContainerIds_;
+  /// Physical (on-disk frame) bytes per live container; guarded by mu_.
+  std::unordered_map<uint32_t, uint64_t> physicalBytes_;
 
   // Per-instance metrics. The registry lives for the store's lifetime, so a
   // fresh open (including one that ran recovery) starts every counter from
@@ -191,12 +230,31 @@ class ContainerBackupStore : public BackupStore {
   obs::Counter& singleflightCoalesces_;
   obs::Histogram& containerLoadUs_;
   obs::Histogram& gcUs_;
+  obs::Counter& compressedContainers_;
+  obs::Counter& containerRawBytes_;
+  obs::Counter& containerPhysicalBytes_;
+  obs::Counter& coldReads_;
+  obs::Counter& coldReadBytes_;
+  obs::Counter& coldWriteBytes_;
+  obs::Counter& demotions_;
+  obs::Counter& promotions_;
+  obs::Gauge& hotContainers_;
+  obs::Gauge& hotBytes_;
+  obs::Gauge& coldContainers_;
+  obs::Gauge& coldBytes_;
 
-  /// Guards the metadata members above (index, open container, ids). The
-  /// read cache and registry counters are internally synchronized and safe
-  /// to touch without it.
+  /// Guards the metadata members above (index, open container, ids, tier
+  /// membership). The read cache and registry counters are internally
+  /// synchronized and safe to touch without it.
   mutable std::mutex mu_;
-  mutable ContainerReadCache readCache_;  // file-mode container read cache
+  mutable BlockCache readCache_;  // byte-budgeted container block cache
+
+  /// Read-recency for demotion ordering: container id -> last read
+  /// generation. Guarded by tierMu_ (not mu_: the read path must not take
+  /// the metadata mutex to record a touch).
+  mutable std::mutex tierMu_;
+  mutable std::unordered_map<uint32_t, uint64_t> lastReadGen_;
+  mutable uint64_t readGen_ = 0;
 
   // Single-flight miss handling: concurrent read-path misses for one
   // container coalesce into a single file read; waiters are served from the
@@ -207,7 +265,9 @@ class ContainerBackupStore : public BackupStore {
   std::unordered_set<uint32_t> loading_;
 };
 
-/// In-memory backend: volatile, used by tests and experiments.
+/// In-memory backend: volatile, used by tests and experiments. Containers
+/// stay resident and uncompressed; the block cache and tiering knobs do not
+/// apply.
 class MemBackupStore final : public ContainerBackupStore {
  public:
   explicit MemBackupStore(uint64_t containerBytes = kDefaultContainerBytes);

@@ -18,10 +18,8 @@ std::unique_ptr<KvStore> openIndexLog(const std::string& dir) {
 }  // namespace
 
 FileBackupStore::FileBackupStore(const std::string& dir,
-                                 uint64_t containerBytes,
-                                 size_t readCacheContainers)
-    : ContainerBackupStore(openIndexLog(dir), dir, containerBytes,
-                           readCacheContainers) {
+                                 const StoreOptions& options)
+    : ContainerBackupStore(openIndexLog(dir), dir, options) {
   recovery_ = recoverPersistentState();
 }
 

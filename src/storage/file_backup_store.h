@@ -2,14 +2,15 @@
 //
 // On-disk layout under the store directory:
 //   <dir>/index.log          LogKv: fingerprint index, blobs, manifests
-//   <dir>/containers/NNNNNNNN.fdc   CRC-framed chunk containers
+//   <dir>/containers/NNNNNNNN.fdc   CRC-framed chunk containers (hot tier)
+//   <dir>/cold/NNNNNNNN.fdc         demoted containers (cold tier)
 //
 // Containers are written atomically (tmp + rename) and *before* their index
 // entries, so the index never references bytes that are not durably on disk.
 // Opening the directory runs crash-safe recovery: the LogKv replays its log
-// (truncating any torn tail), every container trailer is validated, orphan
-// containers and stray .tmp files are deleted, and index entries whose
-// container is missing or corrupt are dropped.
+// (truncating any torn tail), every container trailer is validated (both
+// tiers), orphan containers and stray .tmp files are deleted, and index
+// entries whose container is missing or corrupt are dropped.
 #pragma once
 
 #include <string>
@@ -22,13 +23,12 @@ class FileBackupStore final : public ContainerBackupStore {
  public:
   /// Opens (creating if missing) the store rooted at `dir` and recovers any
   /// existing state. Throws std::runtime_error on unrecoverable I/O failure.
-  /// `readCacheContainers` bounds the container read cache (0 disables it,
-  /// kUnboundedReadCache never evicts); a freshly opened store always starts
-  /// with a cold cache.
-  explicit FileBackupStore(
-      const std::string& dir,
-      uint64_t containerBytes = kDefaultContainerBytes,
-      size_t readCacheContainers = kDefaultReadCacheContainers);
+  /// StoreOptions shape the codec of new containers, the block cache's byte
+  /// budget and the demotion policy; a freshly opened store always starts
+  /// with a cold cache and reads back whatever codecs and tier placement the
+  /// directory already holds.
+  explicit FileBackupStore(const std::string& dir,
+                           const StoreOptions& options = {});
 
   /// What recovery had to repair while opening this store.
   [[nodiscard]] const StoreRecoveryStats& recoveryStats() const {

@@ -89,8 +89,8 @@ TEST(RestoreConcurrency, RestoresRacingDeleteAndGcNeverServeWrongBytes) {
   {
     // Small containers + tiny read cache: restores constantly reload
     // containers while GC compacts them underneath.
-    FileBackupStore store(dir, /*containerBytes=*/16 * 1024,
-                          /*readCacheContainers=*/2);
+    FileBackupStore store(
+        dir, {.containerBytes = 16 * 1024, .blockCacheBytes = 2 * 16 * 1024});
     KeyManager km(toBytes("gc-race-secret"));
     CdcChunker chunker(smallCdc());
     DedupClient client(store, km, chunker, {}, concurrentRestoreOptions());

@@ -1,7 +1,7 @@
 // Batched-vs-chunk-at-a-time restore equivalence matrix: the pipelined
 // restore engine must reproduce the frozen pre-PR5 path across schemes
 // {MLE, MinHash, Scrambled} x chunkers {CDC, fixed} x restore threads
-// {1, 2, 8} x container read-cache sizes {0, 1, unbounded}:
+// {1, 2, 8} x block-cache byte budgets {0, ~one container, unbounded}:
 //  - restored bytes bit-identical (and equal to the original content);
 //  - verification behavior identical (same checks, same error messages, on
 //    tampered recipes/keys both paths fail the same way);
@@ -28,11 +28,14 @@ namespace {
 
 enum class ChunkerKind { kCdc, kFixed };
 
-// (scheme, chunker, restore threads, read-cache capacity in containers)
+// (scheme, chunker, restore threads, block-cache byte budget)
 using MatrixParam =
-    std::tuple<EncryptionScheme, ChunkerKind, uint32_t, size_t>;
+    std::tuple<EncryptionScheme, ChunkerKind, uint32_t, uint64_t>;
 
 constexpr uint64_t kContainerBytes = 64 * 1024;
+// A bounded budget that retains roughly one full container (payload plus
+// the per-chunk charge overhead) at a time.
+constexpr uint64_t kOneContainerBudget = 2 * kContainerBytes;
 
 ByteVec testContent() {
   // 192 KiB random + a repeat of the first 64 KiB: duplicate chunks point
@@ -90,7 +93,7 @@ class RestoreEquivalence : public ::testing::TestWithParam<MatrixParam> {
     return std::get<0>(GetParam());
   }
   [[nodiscard]] uint32_t threads() const { return std::get<2>(GetParam()); }
-  [[nodiscard]] size_t cacheSize() const { return std::get<3>(GetParam()); }
+  [[nodiscard]] uint64_t cacheBudget() const { return std::get<3>(GetParam()); }
 
   [[nodiscard]] std::unique_ptr<Chunker> makeChunker() const {
     if (std::get<1>(GetParam()) == ChunkerKind::kCdc)
@@ -109,7 +112,7 @@ TEST_P(RestoreEquivalence, BatchedPathMatchesChunkAtATimeBitIdentically) {
   // Backup once; both restore passes then read the same on-disk store.
   BackupOutcome outcome;
   {
-    FileBackupStore store(dir_, kContainerBytes);
+    FileBackupStore store(dir_, {.containerBytes = kContainerBytes});
     DedupClient client(store, km, *chunker, backupOptionsFor(scheme()));
     BackupSession session = client.beginBackup("obj");
     session.append(content);
@@ -122,7 +125,8 @@ TEST_P(RestoreEquivalence, BatchedPathMatchesChunkAtATimeBitIdentically) {
   StoreReadStats legacyReads;
   size_t containerCount = 0;
   {
-    FileBackupStore store(dir_, kContainerBytes, cacheSize());
+    FileBackupStore store(dir_, {.containerBytes = kContainerBytes,
+                                 .blockCacheBytes = cacheBudget()});
     const uint64_t n = legacy::chunkAtATimeRestore(
         store, outcome.fileRecipe, outcome.keyRecipe,
         [&](ByteView b) { appendBytes(legacyBytes, b); });
@@ -135,7 +139,8 @@ TEST_P(RestoreEquivalence, BatchedPathMatchesChunkAtATimeBitIdentically) {
   ByteVec batchedBytes;
   StoreReadStats batchedReads;
   {
-    FileBackupStore store(dir_, kContainerBytes, cacheSize());
+    FileBackupStore store(dir_, {.containerBytes = kContainerBytes,
+                                 .blockCacheBytes = cacheBudget()});
     DedupClient client(store, restoreOptionsFor(threads()));
     RestoreSession session =
         client.beginRestore(outcome.fileRecipe, outcome.keyRecipe);
@@ -162,7 +167,7 @@ TEST_P(RestoreEquivalence, BatchedPathMatchesChunkAtATimeBitIdentically) {
     // disabled (one getChunk = one container fetch vs. one fetch per distinct
     // container per batch), and with a bounded cache it pays at most one
     // boundary re-load per batch over the sequential legacy scan.
-    if (cacheSize() == 0) {
+    if (cacheBudget() == 0) {
       EXPECT_EQ(legacyReads.containerLoads, legacyReads.chunkReads);
       EXPECT_LT(batchedReads.containerLoads, legacyReads.containerLoads);
     } else {
@@ -171,7 +176,7 @@ TEST_P(RestoreEquivalence, BatchedPathMatchesChunkAtATimeBitIdentically) {
     }
     // With an unbounded cache nothing is ever evicted or re-read: each live
     // container is parsed from disk exactly once.
-    if (cacheSize() == kUnboundedReadCache) {
+    if (cacheBudget() == kUnboundedBlockCacheBytes) {
       EXPECT_EQ(batchedReads.containerLoads, containerCount);
       EXPECT_EQ(legacyReads.containerLoads, containerCount);
     }
@@ -185,7 +190,8 @@ INSTANTIATE_TEST_SUITE_P(
                           EncryptionScheme::kMinHashScrambled),
         ::testing::Values(ChunkerKind::kCdc, ChunkerKind::kFixed),
         ::testing::Values(1u, 2u, 8u),
-        ::testing::Values(size_t{0}, size_t{1}, kUnboundedReadCache)),
+        ::testing::Values(uint64_t{0}, kOneContainerBudget,
+                          kUnboundedBlockCacheBytes)),
     [](const ::testing::TestParamInfo<MatrixParam>& info) {
       std::string name;
       switch (std::get<0>(info.param)) {
@@ -195,9 +201,10 @@ INSTANTIATE_TEST_SUITE_P(
       }
       name += std::get<1>(info.param) == ChunkerKind::kCdc ? "_Cdc" : "_Fixed";
       name += "_t" + std::to_string(std::get<2>(info.param));
-      const size_t cache = std::get<3>(info.param);
-      name += cache == kUnboundedReadCache ? "_cacheUnbounded"
-                                           : "_cache" + std::to_string(cache);
+      const uint64_t cache = std::get<3>(info.param);
+      name += cache == kUnboundedBlockCacheBytes
+                  ? "_cacheUnbounded"
+                  : "_cache" + std::to_string(cache);
       return name;
     });
 
@@ -343,6 +350,46 @@ TEST_F(RestoreRangeSlices, StreamRangeMatchesContentSlices) {
   }
   // A full pass still works after arbitrary range calls.
   expectRange(0, size);
+}
+
+// Regression for the mid-recipe window-anchoring bug class (PR 9 fixed it
+// in streamRange; this pins the shared path): a restore whose first served
+// entry is NOT entry 0 must anchor its locality windows at that entry, so
+// every suffix restore — including one long enough to span many batches —
+// is byte-identical to the corresponding slice of the object.
+TEST_F(RestoreRangeSlices, RestoreBeginningAtNonZeroEntryIsExact) {
+  DedupClient client(store_, restoreOptionsFor(4));
+  RestoreSession session =
+      client.beginRestore(outcome_.fileRecipe, outcome_.keyRecipe);
+  const uint64_t size = content_.size();
+  ASSERT_EQ(session.size(), size);
+  ASSERT_GT(outcome_.fileRecipe.entries.size(), 16u);
+
+  // Suffix restores starting exactly at a selection of entry boundaries
+  // (first, early, middle, deep, last): offset != 0 while the batch planner
+  // starts from a mid-recipe entry index.
+  std::vector<size_t> starts = {1, 2, outcome_.fileRecipe.entries.size() / 2,
+                                outcome_.fileRecipe.entries.size() - 2,
+                                outcome_.fileRecipe.entries.size() - 1};
+  std::vector<uint64_t> entryOffsets;
+  {
+    uint64_t at = 0;
+    for (const RecipeEntry& e : outcome_.fileRecipe.entries) {
+      entryOffsets.push_back(at);
+      at += e.size;
+    }
+  }
+  for (const size_t start : starts) {
+    const uint64_t offset = entryOffsets[start];
+    ByteVec got;
+    const uint64_t n = session.streamRange(
+        offset, size - offset, [&](ByteView b) { appendBytes(got, b); });
+    ASSERT_EQ(n, size - offset) << "start entry " << start;
+    EXPECT_EQ(got,
+              ByteVec(content_.begin() + static_cast<ptrdiff_t>(offset),
+                      content_.end()))
+        << "suffix restore from entry " << start << " diverged";
+  }
 }
 
 }  // namespace

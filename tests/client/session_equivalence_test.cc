@@ -107,7 +107,8 @@ TEST_P(SessionEquivalence, StreamingMatchesOneShotBitIdentically) {
   BackupOutcome legacyOutcome;
   {
     const auto store =
-        makeBackupStore(StoreBackend::kFile, legacyDir, 64 * 1024);
+        makeBackupStore(StoreBackend::kFile, legacyDir,
+                        {.containerBytes = 64 * 1024});
     legacyOutcome = legacy::oneShotBackup(*store, km, *chunker, options,
                                           "obj", content);
     store->flush();
@@ -117,7 +118,8 @@ TEST_P(SessionEquivalence, StreamingMatchesOneShotBitIdentically) {
   BackupOutcome sessionOutcome;
   {
     const auto store =
-        makeBackupStore(StoreBackend::kFile, sessionDir, 64 * 1024);
+        makeBackupStore(StoreBackend::kFile, sessionDir,
+                        {.containerBytes = 64 * 1024});
     DedupClient client(*store, km, *chunker, options);
     BackupSession session = client.beginBackup("obj");
     const size_t step = granularity() == 0 ? content.size() : granularity();

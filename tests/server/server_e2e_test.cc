@@ -43,7 +43,7 @@ class ServerE2E : public ::testing::Test {
 
   void startServer(ServerOptions options = {}) {
     if (options.address.empty()) options.address = "unix:" + base_ + "/sock";
-    options.containerBytes = 256 * 1024;
+    options.store.containerBytes = 256 * 1024;
     server_ = std::make_unique<FreqDedupServer>(base_ + "/store", options);
     server_->start();
   }

@@ -52,7 +52,7 @@ class TenantIsolation : public ::testing::Test {
     options.address = "unix:" + base_ + "/sock";
     options.threads = 4;
     options.quota = quota;
-    options.containerBytes = 256 * 1024;
+    options.store.containerBytes = 256 * 1024;
     options.allowShutdown = false;
     server_ = std::make_unique<FreqDedupServer>(base_ + "/store", options);
     server_->start();
@@ -240,7 +240,7 @@ TEST_F(TenantIsolation, ConcurrentTenantsRestoreBitIdentical) {
   // under userKeyFromPassphrase(hello.passphrase) at the scoped name.
   server_.reset();
   auto store = makeBackupStore(StoreBackend::kFile, base_ + "/store",
-                               /*containerBytes=*/256 * 1024);
+                               {.containerBytes = 256 * 1024});
   DedupClient local(*store);
   for (int t = 0; t < kTenants; ++t) {
     const std::string tenant = "tenant" + std::to_string(t);

@@ -230,7 +230,7 @@ TEST(MakeBackupStore, FactoryProducesWorkingBackends) {
 TEST_F(BackupStoreDirTest, PersistsAcrossReopen) {
   std::vector<std::pair<Fp, ByteVec>> chunks;
   {
-    FileBackupStore store(dir_, /*containerBytes=*/256 * 1024);
+    FileBackupStore store(dir_, {.containerBytes = 256 * 1024});
     for (int i = 0; i < 50; ++i) {
       ByteVec bytes(16 * 1024, static_cast<uint8_t>(i));
       const Fp fp = fpOfContent(bytes);
@@ -240,7 +240,7 @@ TEST_F(BackupStoreDirTest, PersistsAcrossReopen) {
     store.putBlob("file:backup1", toBytes("sealed recipe"));
     store.flush();
   }
-  FileBackupStore reopened(dir_, 256 * 1024);
+  FileBackupStore reopened(dir_, {.containerBytes = 256 * 1024});
   if (obs::kObsEnabled) EXPECT_EQ(reopened.stats().uniqueChunks, 50u);
   for (const auto& [fp, bytes] : chunks) {
     EXPECT_TRUE(reopened.hasChunk(fp));
@@ -263,7 +263,7 @@ TEST_F(BackupStoreDirTest, DedupAcrossReopen) {
 
 TEST_F(BackupStoreDirTest, ContainerFilesOnDisk) {
   {
-    FileBackupStore store(dir_, 64 * 1024);
+    FileBackupStore store(dir_, {.containerBytes = 64 * 1024});
     for (int i = 0; i < 10; ++i) {
       ByteVec bytes(16 * 1024, static_cast<uint8_t>(i));
       store.putChunk(fpOfContent(bytes), bytes);
@@ -294,7 +294,7 @@ TEST_F(BackupStoreDirTest, GcReclaimsContainerFilesAndSurvivesReopen) {
   const ByteVec live = chunkOfByte(1, 32 * 1024);
   const Fp fpLive = fpOfContent(live);
   {
-    FileBackupStore store(dir_, /*containerBytes=*/64 * 1024);
+    FileBackupStore store(dir_, {.containerBytes = 64 * 1024});
     store.putChunk(fpLive, live);
     std::vector<Fp> doomed;
     for (int i = 2; i < 10; ++i) {
@@ -311,7 +311,7 @@ TEST_F(BackupStoreDirTest, GcReclaimsContainerFilesAndSurvivesReopen) {
     EXPECT_LT(containerFilesOnDisk(), before);
     EXPECT_TRUE(store.verify().ok());
   }
-  FileBackupStore reopened(dir_, 64 * 1024);
+  FileBackupStore reopened(dir_, {.containerBytes = 64 * 1024});
   if (obs::kObsEnabled) EXPECT_EQ(reopened.stats().uniqueChunks, 1u);
   EXPECT_EQ(reopened.getChunk(fpLive), live);
   EXPECT_TRUE(reopened.verify().ok());

@@ -171,10 +171,12 @@ TEST_P(GcProperty, FileBackendMatchesNaiveModelAcrossReopens) {
   std::filesystem::remove_all(dir);
   {
     auto store =
-        std::make_unique<FileBackupStore>(dir, kSmallContainerBytes);
+        std::make_unique<FileBackupStore>(
+            dir, StoreOptions{.containerBytes = kSmallContainerBytes});
     runOps(GetParam(), store.get(), [&]() -> BackupStore* {
       store.reset();  // close (destructor flushes)
-      store = std::make_unique<FileBackupStore>(dir, kSmallContainerBytes);
+      store = std::make_unique<FileBackupStore>(
+          dir, StoreOptions{.containerBytes = kSmallContainerBytes});
       EXPECT_EQ(store->recoveryStats().entriesDropped, 0u);
       return store.get();
     });
@@ -198,8 +200,9 @@ TEST(GcPropertyConcurrent, AlwaysRestoringReaderNeverSeesWrongBytes) {
   {
     // Tiny containers + tiny read cache: most batched reads fetch from
     // disk, and every GC pass compacts containers the reader may be using.
-    FileBackupStore store(dir, kSmallContainerBytes,
-                          /*readCacheContainers=*/2);
+    FileBackupStore store(dir,
+                          {.containerBytes = kSmallContainerBytes,
+                           .blockCacheBytes = 2 * kSmallContainerBytes});
     Rng rng(1234);
     NaiveModel model;
     uint64_t nextBackupId = 0;

@@ -115,6 +115,145 @@ TEST(ContainerCorruption, TrailingGarbageRejected) {
   EXPECT_THROW(parseContainer(withCrc(body)), std::runtime_error);
 }
 
+// --- Codec (V2) frame coverage: the compressed path must uphold the same
+// reject-everything-malformed contract, plus validate the codec byte and
+// bound decompression against the declared sizes before allocating. ---
+
+ByteVec sampleCompressedContainerBytes() {
+  ContainerBuilder builder(1 << 20);
+  ByteVec chunk(4096);
+  for (size_t i = 0; i < chunk.size(); ++i)
+    chunk[i] = static_cast<uint8_t>("abcabcabd"[i % 9]);
+  builder.add(0xAAAA, static_cast<uint32_t>(chunk.size()), chunk);
+  builder.add(0xBBBB, static_cast<uint32_t>(chunk.size()), chunk);
+  const ByteVec frame = serializeContainer(
+      builder.seal(9), effectiveCodec(ContainerCodec::kZstd));
+  // Repetitive payload must have taken the codec frame, or the sweeps below
+  // would silently exercise the legacy path instead.
+  EXPECT_EQ(getU32(frame, 0), kContainerMagicV2);
+  return frame;
+}
+
+/// A structurally valid codec-frame body up to (but excluding) the stored
+/// data section — the crafted-size-claim tests append their own claims.
+ByteVec codecFrameHeader(uint8_t codecByte, uint32_t chunkSize) {
+  ByteVec body;
+  putU32(body, kContainerMagicV2);
+  putU32(body, 9);
+  body.push_back(codecByte);
+  putVarint(body, 1);          // one entry
+  putU64(body, 0xABCD);        // fp
+  putU32(body, chunkSize);     // size
+  putVarint(body, 0);          // dataOffset
+  return body;
+}
+
+TEST(CompressedContainerCorruption, RoundTripsAndRecordsCodec) {
+  const Container parsed = parseContainer(sampleCompressedContainerBytes());
+  EXPECT_EQ(parsed.id, 9u);
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.data.size(), 2u * 4096u);
+  EXPECT_NE(parsed.storageCodec, ContainerCodec::kNone);
+}
+
+TEST(CompressedContainerCorruption, EveryTruncationRejected) {
+  expectEveryTruncationRejected(sampleCompressedContainerBytes(),
+                                [](ByteView b) { return parseContainer(b); });
+}
+
+TEST(CompressedContainerCorruption, EveryBitFlipRejected) {
+  expectEveryBitFlipRejected(sampleCompressedContainerBytes(),
+                             [](ByteView b) { return parseContainer(b); });
+}
+
+TEST(CompressedContainerCorruption, CraftedCodecByteRejected) {
+  // Flip the codec byte to kNone (the serializer never writes it) and to
+  // values no build understands — each with a freshly valid CRC, so the
+  // rejection comes from codec validation, not the checksum.
+  const ByteVec frame = sampleCompressedContainerBytes();
+  constexpr size_t kCodecByteOffset = 8;  // after magic + id
+  for (const uint8_t crafted : {uint8_t{0}, uint8_t{3}, uint8_t{0x7F},
+                                uint8_t{0xFF}}) {
+    ByteVec body = bodyOf(frame);
+    body[kCodecByteOffset] = crafted;
+    EXPECT_THROW(parseContainer(withCrc(body)), std::runtime_error)
+        << "codec byte " << int(crafted);
+  }
+}
+
+TEST(CompressedContainerCorruption, HugeRawSizeClaimRejectedBeforeAllocating) {
+  // rawLen beyond kMaxContainerRawBytes must be rejected up front; were the
+  // parser to trust it, this tiny frame would trigger a multi-exabyte
+  // allocation.
+  ByteVec body = codecFrameHeader(
+      static_cast<uint8_t>(ContainerCodec::kDeflate), /*chunkSize=*/16);
+  putVarint(body, uint64_t{1} << 60);  // raw length claim
+  putVarint(body, 4);                  // stored length
+  appendBytes(body, toBytes("abcd"));
+  EXPECT_THROW(parseContainer(withCrc(body)), std::runtime_error);
+}
+
+TEST(CompressedContainerCorruption, ZeroRawSizeClaimRejected) {
+  ByteVec body = codecFrameHeader(
+      static_cast<uint8_t>(ContainerCodec::kDeflate), /*chunkSize=*/16);
+  putVarint(body, 0);  // raw length claim
+  putVarint(body, 4);
+  appendBytes(body, toBytes("abcd"));
+  EXPECT_THROW(parseContainer(withCrc(body)), std::runtime_error);
+}
+
+TEST(CompressedContainerCorruption, EntryBeyondRawSizeClaimRejected) {
+  // The entry declares a 100-byte chunk while rawLen claims only 10 bytes of
+  // decompressed data: extent validation runs against the claim *before*
+  // decompression, so no output is ever produced for this frame.
+  ByteVec body = codecFrameHeader(
+      static_cast<uint8_t>(ContainerCodec::kDeflate), /*chunkSize=*/100);
+  putVarint(body, 10);  // raw length claim smaller than the entry extent
+  putVarint(body, 4);
+  appendBytes(body, toBytes("abcd"));
+  EXPECT_THROW(parseContainer(withCrc(body)), std::runtime_error);
+}
+
+TEST(CompressedContainerCorruption, StoredNotSmallerThanRawRejected) {
+  // storedLen >= rawLen is impossible output from the serializer (it falls
+  // back to the legacy frame instead), so the parser treats it as corruption.
+  ByteVec body = codecFrameHeader(
+      static_cast<uint8_t>(ContainerCodec::kDeflate), /*chunkSize=*/4);
+  putVarint(body, 4);  // raw length claim
+  putVarint(body, 4);  // stored == raw
+  appendBytes(body, toBytes("abcd"));
+  EXPECT_THROW(parseContainer(withCrc(body)), std::runtime_error);
+}
+
+TEST(CompressedContainerCorruption, StoredLengthSpillingPastBodyRejected) {
+  ByteVec body = codecFrameHeader(
+      static_cast<uint8_t>(ContainerCodec::kDeflate), /*chunkSize=*/16);
+  putVarint(body, 64);    // raw length claim
+  putVarint(body, 1000);  // stored length far beyond the input
+  appendBytes(body, toBytes("abcd"));
+  EXPECT_THROW(parseContainer(withCrc(body)), std::runtime_error);
+}
+
+TEST(CompressedContainerCorruption, IncompressiblePayloadFallsBackToLegacy) {
+  // Serializing with a codec must never grow the frame: high-entropy
+  // (ciphertext-like) payloads take the bit-identical legacy frame.
+  ContainerBuilder builder(1 << 20);
+  ByteVec noise(1024);
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (auto& b : noise) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<uint8_t>(x);
+  }
+  builder.add(0xCCCC, static_cast<uint32_t>(noise.size()), noise);
+  const Container container = builder.seal(4);
+  const ByteVec plain = serializeContainer(container);
+  const ByteVec viaCodec =
+      serializeContainer(container, effectiveCodec(ContainerCodec::kZstd));
+  EXPECT_EQ(viaCodec, plain) << "fallback frame must be bit-identical";
+}
+
 TEST(FileRecipeCorruption, EveryTruncationRejected) {
   expectEveryTruncationRejected(sampleFileRecipeBytes(),
                                 [](ByteView b) { return parseFileRecipe(b); });

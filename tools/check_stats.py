@@ -9,6 +9,11 @@ JSON metrics snapshot (or a bare .json file). Checks, per file:
   - at least one work counter is nonzero (a backup that chunked nothing,
     or a restore that streamed nothing, is a broken run);
   - the container read cache hit rate is a real rate in [0, 1];
+  - block cache accounting: hits + misses == lookups, and the byte
+    gauges respect cached_bytes <= peak_cached_bytes <= budget_bytes
+    (the budget gauge is only emitted for bounded caches);
+  - tiering: tier.promotions <= tier.cold_reads (every promotion is
+    driven by a cold read) and the placement gauges are non-negative;
   - settled gauges: restore.prefetch_window and queue depths read 0;
   - every histogram's count/sum/bucket totals are internally consistent.
 
@@ -138,12 +143,57 @@ def check(path):
 
     hits = counters.get("cache.hits", 0)
     misses = counters.get("cache.misses", 0)
+    lookups = counters.get("cache.lookups", 0)
     if hits < 0 or misses < 0:
         errors.append("negative cache counters")
     elif hits + misses > 0:
         rate = hits / (hits + misses)
         if not 0.0 <= rate <= 1.0:
             errors.append(f"cache hit rate {rate} outside [0, 1]")
+    # Every lookup resolves as exactly one hit or one miss.
+    if hits + misses != lookups:
+        errors.append(
+            f"cache.hits {hits} + cache.misses {misses} != "
+            f"cache.lookups {lookups}"
+        )
+
+    # Byte-budget accounting: the resident bytes never exceed the peak, and
+    # the peak never exceeds the configured budget. cache.budget_bytes is
+    # only emitted for bounded caches, so its absence skips the budget leg.
+    cached = gauges.get("cache.cached_bytes", 0)
+    peak = gauges.get("cache.peak_cached_bytes", 0)
+    budget = gauges.get("cache.budget_bytes")
+    if cached < 0:
+        errors.append(f"cache.cached_bytes negative: {cached}")
+    if cached > peak:
+        errors.append(
+            f"cache.cached_bytes {cached} > cache.peak_cached_bytes {peak}"
+        )
+    if budget is not None:
+        if cached > budget:
+            errors.append(
+                f"cache.cached_bytes {cached} > cache.budget_bytes {budget}"
+            )
+        if peak > budget:
+            errors.append(
+                f"cache.peak_cached_bytes {peak} > "
+                f"cache.budget_bytes {budget}"
+            )
+
+    # Tiering: promotions only happen in service of a cold read, and the
+    # placement gauges (container/byte counts per tier) can never go
+    # negative no matter how demote/promote/gc interleave.
+    promotions = counters.get("tier.promotions", 0)
+    cold_reads = counters.get("tier.cold_reads", 0)
+    if promotions > cold_reads:
+        errors.append(
+            f"tier.promotions {promotions} > tier.cold_reads {cold_reads}"
+        )
+    for name in ("tier.hot_containers", "tier.hot_bytes",
+                 "tier.cold_containers", "tier.cold_bytes"):
+        v = gauges.get(name, 0)
+        if v < 0:
+            errors.append(f"gauge {name} negative: {v}")
 
     for name in SETTLED_GAUGES:
         if gauges.get(name, 0) != 0:

@@ -12,6 +12,11 @@
 //     --threads=<n>           request worker threads (default 4)
 //     --quota-bytes=<n[kmg]>  per-tenant logical-byte quota (default: none)
 //     --quota-backups=<n>     per-tenant backup-count quota (default: none)
+//     --compress=<codec>      codec for new containers: none|zstd|deflate
+//     --cache-bytes=<n[kmg]>  block-cache byte budget (default 64m)
+//     --demote-on-gc          demote cold containers during GC
+//     --hot-bytes=<n[kmg]>    hot-tier byte target (implies --demote-on-gc)
+//     --keep-hot=<n>          newest containers never demoted (default 1)
 //     --no-shutdown           ignore remote Shutdown requests
 //     --stats=json            dump the metrics registry on exit
 #include <csignal>
@@ -55,6 +60,27 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--quota-backups=", 0) == 0) {
       options.quota.maxBackups =
           std::stoull(arg.substr(strlen("--quota-backups=")));
+    } else if (arg.rfind("--compress=", 0) == 0) {
+      const std::string name = arg.substr(strlen("--compress="));
+      const auto codec = codecFromName(name);
+      if (!codec) {
+        fprintf(stderr, "unknown codec '%s' (none|zstd|deflate)\n",
+                name.c_str());
+        return 2;
+      }
+      options.store.codec = *codec;
+    } else if (arg.rfind("--cache-bytes=", 0) == 0) {
+      options.store.blockCacheBytes =
+          parseByteSize(arg.substr(strlen("--cache-bytes=")));
+    } else if (arg == "--demote-on-gc") {
+      options.store.coldTier.demoteOnGc = true;
+    } else if (arg.rfind("--hot-bytes=", 0) == 0) {
+      options.store.coldTier.hotBytes =
+          parseByteSize(arg.substr(strlen("--hot-bytes=")));
+      options.store.coldTier.demoteOnGc = true;
+    } else if (arg.rfind("--keep-hot=", 0) == 0) {
+      options.store.coldTier.keepHotRecent =
+          static_cast<uint32_t>(std::stoul(arg.substr(strlen("--keep-hot="))));
     } else if (arg == "--no-shutdown") {
       options.allowShutdown = false;
     } else if (arg == "--stats=json") {
@@ -72,6 +98,9 @@ int main(int argc, char** argv) {
     fprintf(stderr,
             "usage: freqdedupd <store-dir> <address> [--threads=N]\n"
             "                  [--quota-bytes=N[kmg]] [--quota-backups=N]\n"
+            "                  [--compress=none|zstd|deflate]\n"
+            "                  [--cache-bytes=N[kmg]] [--demote-on-gc]\n"
+            "                  [--hot-bytes=N[kmg]] [--keep-hot=N]\n"
             "                  [--no-shutdown] [--stats=json]\n"
             "  <address> = unix:<path> | tcp:<host>:<port> | <path>\n");
     return 2;
